@@ -1,0 +1,76 @@
+//! Criterion benchmarks behind Figure 4: UFDI attack verification time
+//! across system sizes, measurement densities, attacker resource limits
+//! and sat/unsat polarity.
+//!
+//! Run with: `cargo bench -p sta-bench --bench fig4`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sta_bench::{
+    sat_scenario, system_for, target_states, time_verification, unsat_scenario,
+    with_taken_fraction,
+};
+
+fn fig4a_buses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4a_verification_vs_buses");
+    group.sample_size(10);
+    for &b in &[14usize, 30] {
+        let sys = system_for(b);
+        let model = sat_scenario(&sys, target_states(b)[1]);
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, _| {
+            bench.iter(|| time_verification(&sys, &model));
+        });
+    }
+    group.finish();
+}
+
+fn fig4b_measurement_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4b_verification_vs_taken_fraction");
+    group.sample_size(10);
+    for &pct in &[60u32, 80, 100] {
+        let sys = with_taken_fraction(&system_for(30), pct as f64 / 100.0);
+        let model = sat_scenario(&sys, target_states(30)[1]);
+        group.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |bench, _| {
+            bench.iter(|| time_verification(&sys, &model));
+        });
+    }
+    group.finish();
+}
+
+fn fig4c_resource_limit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4c_verification_vs_resource_limit");
+    group.sample_size(10);
+    for &t_cz in &[8usize, 16, 24] {
+        let sys = system_for(14);
+        let model =
+            sat_scenario(&sys, target_states(14)[1]).max_altered_measurements(t_cz);
+        group.bench_with_input(BenchmarkId::from_parameter(t_cz), &t_cz, |bench, _| {
+            bench.iter(|| time_verification(&sys, &model));
+        });
+    }
+    group.finish();
+}
+
+fn fig4d_sat_vs_unsat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4d_sat_vs_unsat");
+    group.sample_size(10);
+    let sys = system_for(14);
+    let t = target_states(14)[1];
+    let sat = sat_scenario(&sys, t);
+    let unsat = unsat_scenario(&sys, t);
+    group.bench_function("sat_14bus", |bench| {
+        bench.iter(|| time_verification(&sys, &sat));
+    });
+    group.bench_function("unsat_14bus", |bench| {
+        bench.iter(|| time_verification(&sys, &unsat));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    fig4,
+    fig4a_buses,
+    fig4b_measurement_density,
+    fig4c_resource_limit,
+    fig4d_sat_vs_unsat
+);
+criterion_main!(fig4);

@@ -1,0 +1,83 @@
+//! Criterion benchmarks behind Figure 5: security-architecture synthesis
+//! time across system sizes, measurement densities, attacker resource
+//! limits, and the unsat budget regime.
+//!
+//! Run with: `cargo bench -p sta-bench --bench fig5`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sta_bench::{
+    synthesis_attacker, synthesis_budget, system_for, time_synthesis,
+    with_taken_fraction,
+};
+use sta_core::synthesis::SynthesisConfig;
+
+fn fig5a_buses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a_synthesis_vs_buses");
+    group.sample_size(10);
+    for &b in &[14usize, 30] {
+        let sys = system_for(b);
+        let attacker = synthesis_attacker(&sys, 0.15);
+        let config = SynthesisConfig::with_budget(synthesis_budget(b));
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, _| {
+            bench.iter(|| time_synthesis(&sys, &attacker, &config));
+        });
+    }
+    group.finish();
+}
+
+fn fig5b_measurement_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_synthesis_vs_taken_fraction");
+    group.sample_size(10);
+    for &pct in &[80u32, 100] {
+        let sys = with_taken_fraction(&system_for(14), pct as f64 / 100.0);
+        let attacker = synthesis_attacker(&sys, 0.15);
+        let config = SynthesisConfig::with_budget(synthesis_budget(14));
+        group.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |bench, _| {
+            bench.iter(|| time_synthesis(&sys, &attacker, &config));
+        });
+    }
+    group.finish();
+}
+
+fn fig5c_resource_limit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5c_synthesis_vs_attacker_resources");
+    group.sample_size(10);
+    for &pct in &[15u32, 30] {
+        let sys = system_for(14);
+        let attacker = synthesis_attacker(&sys, pct as f64 / 100.0);
+        let config = SynthesisConfig::with_budget(synthesis_budget(14));
+        group.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |bench, _| {
+            bench.iter(|| time_synthesis(&sys, &attacker, &config));
+        });
+    }
+    group.finish();
+}
+
+fn fig5d_unsat_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5d_synthesis_unsat_budget");
+    group.sample_size(10);
+    // A 14-bus attacker whose minimum architecture needs several buses;
+    // budgets below that time the exhaustive-unsat regime.
+    let sys = system_for(14);
+    let attacker = sta_core::AttackModel::new(14);
+    for &budget in &[1usize, 2] {
+        let config = SynthesisConfig::with_budget(budget);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(budget),
+            &budget,
+            |bench, _| {
+                bench.iter(|| time_synthesis(&sys, &attacker, &config));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    fig5,
+    fig5a_buses,
+    fig5b_measurement_density,
+    fig5c_resource_limit,
+    fig5d_unsat_budget
+);
+criterion_main!(fig5);

@@ -1,0 +1,109 @@
+//! Criterion benchmarks of the SMT substrate itself (not in the paper;
+//! used to track the solver's own performance over time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sta_smt::{BoolVar, Formula, LinExpr, LinExprCmp, Rational, Solver};
+
+/// Pigeonhole principle: n+1 pigeons into n holes (unsat, pure SAT).
+fn pigeonhole(n: usize) -> Solver {
+    let mut solver = Solver::new();
+    let vars: Vec<Vec<BoolVar>> = (0..n + 1)
+        .map(|_| (0..n).map(|_| solver.new_bool()).collect())
+        .collect();
+    for pigeon in &vars {
+        solver.assert_formula(&Formula::or(
+            pigeon.iter().map(|&v| Formula::var(v)).collect(),
+        ));
+    }
+    for hole in 0..n {
+        for p1 in 0..n + 1 {
+            for p2 in p1 + 1..n + 1 {
+                solver.assert_formula(&Formula::or(vec![
+                    Formula::var(vars[p1][hole]).not(),
+                    Formula::var(vars[p2][hole]).not(),
+                ]));
+            }
+        }
+    }
+    solver
+}
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_pigeonhole_unsat");
+    group.sample_size(10);
+    for &n in &[5usize, 6, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut solver = pigeonhole(n);
+                assert!(!solver.check().is_sat());
+            });
+        });
+    }
+    group.finish();
+}
+
+/// A chain of linear constraints: x_{i+1} = a·x_i + b with bounds — pure
+/// simplex work.
+fn bench_lra_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_lra_chain_sat");
+    group.sample_size(10);
+    for &n in &[50usize, 150] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
+            bch.iter(|| {
+                let mut solver = Solver::new();
+                let xs: Vec<_> = (0..n).map(|_| solver.new_real()).collect();
+                solver
+                    .assert_formula(&LinExpr::var(xs[0]).eq_expr(LinExpr::from(1)));
+                for i in 0..n - 1 {
+                    solver.assert_formula(
+                        &LinExpr::var(xs[i + 1]).eq_expr(
+                            LinExpr::var(xs[i]) * Rational::new(2, 3)
+                                + LinExpr::from(1),
+                        ),
+                    );
+                }
+                solver.assert_formula(
+                    &LinExpr::var(xs[n - 1]).le(LinExpr::from(4)),
+                );
+                assert!(solver.check().is_sat());
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Cardinality-heavy instance: exactly-k over many Booleans plus linked
+/// arithmetic guards.
+fn bench_cardinality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_cardinality_sat");
+    group.sample_size(10);
+    for &n in &[40usize, 80] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
+            bch.iter(|| {
+                let mut solver = Solver::new();
+                let ps: Vec<_> = (0..n).map(|_| solver.new_bool()).collect();
+                let mut sum = LinExpr::zero();
+                for &p in &ps {
+                    let x = solver.new_real();
+                    solver.assert_formula(&Formula::var(p).implies(
+                        LinExpr::var(x).eq_expr(LinExpr::from(1)),
+                    ));
+                    solver.assert_formula(&Formula::var(p).not().implies(
+                        LinExpr::var(x).eq_expr(LinExpr::from(0)),
+                    ));
+                    sum = sum + LinExpr::var(x);
+                }
+                solver.assert_formula(&Formula::exactly(
+                    ps.iter().map(|&p| Formula::var(p)).collect(),
+                    n / 4,
+                ));
+                solver.assert_formula(&sum.ge(LinExpr::from((n / 4) as i64)));
+                assert!(solver.check().is_sat());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(solver, bench_pigeonhole, bench_lra_chain, bench_cardinality);
+criterion_main!(solver);

@@ -1,0 +1,96 @@
+//! Ablation studies of the design choices: synthesis blocking strategy
+//! (counterexample-hitting vs the paper's Algorithm 1), counterexample
+//! batching, and the defense baselines compared head-to-head.
+//!
+//! Usage: `cargo run --release -p sta-bench --bin ablation`
+
+use sta_bench::{print_table, Row};
+use sta_core::attack::AttackModel;
+use sta_core::baselines;
+use sta_core::synthesis::{BlockingStrategy, SynthesisConfig, Synthesizer};
+use sta_grid::ieee14;
+use std::time::Instant;
+
+fn main() {
+    let sys = ieee14::system_unsecured();
+    let synth = Synthesizer::new(&sys);
+
+    // --- Ablation 1: refinement strategy -------------------------------
+    println!("# Ablation 1 — synthesis refinement strategy (14-bus, scenario 2)");
+    let attacker = AttackModel::new(14);
+    let mut rows = Vec::new();
+    let variants: [(&str, BlockingStrategy, usize); 3] = [
+        ("paper Algorithm 1 (candidate-only)", BlockingStrategy::CandidateOnly, 1),
+        ("hitting, no batching", BlockingStrategy::CounterexampleHitting, 1),
+        ("hitting, 4 chained (default)", BlockingStrategy::CounterexampleHitting, 4),
+    ];
+    for (label, strategy, batch) in variants {
+        let mut config = SynthesisConfig::with_budget(5).with_reference_secured();
+        config.blocking = strategy;
+        config.counterexamples_per_round = batch;
+        let start = Instant::now();
+        let outcome = synth.synthesize(&attacker, &config);
+        let secs = start.elapsed().as_secs_f64();
+        let (found, iters) = match &outcome {
+            sta_core::SynthesisOutcome::Architecture(a) => (1.0, a.iterations),
+            sta_core::SynthesisOutcome::NoSolution { iterations } => (0.0, *iterations),
+            sta_core::SynthesisOutcome::Inconclusive { iterations } => (0.0, *iterations),
+        };
+        rows.push(
+            Row::new(label)
+                .cell("time (s)", secs)
+                .cell("iterations", iters as f64)
+                .cell("solved", found),
+        );
+    }
+    print_table("budget-5 synthesis against the unconstrained attacker", &rows);
+
+    // --- Ablation 2: defenses head-to-head ------------------------------
+    println!();
+    println!("# Ablation 2 — defense mechanisms against the unconstrained attacker");
+    let mut rows = Vec::new();
+
+    let start = Instant::now();
+    let basic = baselines::bobba_protection(&sys).expect("observable");
+    rows.push(
+        Row::new("Bobba basic-measurement set")
+            .cell("units secured", basic.len() as f64)
+            .cell("granularity=meas", 1.0)
+            .cell("time (s)", start.elapsed().as_secs_f64()),
+    );
+
+    let start = Instant::now();
+    let greedy = baselines::kim_poor_greedy(&sys, &attacker).expect("converges");
+    rows.push(
+        Row::new("Kim–Poor-style greedy (buses)")
+            .cell("units secured", greedy.secured_buses.len() as f64)
+            .cell("granularity=meas", 0.0)
+            .cell("time (s)", start.elapsed().as_secs_f64()),
+    );
+
+    let start = Instant::now();
+    let outcome = synth.synthesize(&attacker, &SynthesisConfig::with_budget(5));
+    if let Some(arch) = outcome.architecture() {
+        rows.push(
+            Row::new("synthesis (buses, budget 5)")
+                .cell("units secured", arch.secured_buses.len() as f64)
+                .cell("granularity=meas", 0.0)
+                .cell("time (s)", start.elapsed().as_secs_f64()),
+        );
+    }
+
+    let start = Instant::now();
+    if let Some((set, _)) = synth.synthesize_measurements(&attacker, 13) {
+        rows.push(
+            Row::new("synthesis (measurements, budget 13)")
+                .cell("units secured", set.len() as f64)
+                .cell("granularity=meas", 1.0)
+                .cell("time (s)", start.elapsed().as_secs_f64()),
+        );
+    }
+    print_table("defense comparison (IEEE 14-bus, unsecured baseline)", &rows);
+    println!();
+    println!("(Bobba's 13 measurements are provably minimal at measurement");
+    println!(" granularity; bus-level synthesis trades a coarser unit for");
+    println!(" far fewer sites to harden.)");
+}

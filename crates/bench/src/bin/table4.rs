@@ -1,0 +1,15 @@
+//! Regenerates the paper's Table IV (solver memory per system size).
+//!
+//! Usage: `cargo run --release -p sta-bench --bin table4 [--full]`
+
+use sta_bench::{print_table, table4, ALL_SIZES, DEFAULT_SIZES};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let sizes: &[usize] = if full { &ALL_SIZES } else { &DEFAULT_SIZES };
+
+    println!("# Table IV — memory requirement (MB) of the two formal models");
+    println!("(Z3's telemetry replaced by explicit allocation accounting;");
+    println!(" the reproduced claim is near-linear growth in bus count)");
+    print_table("Table IV", &table4(sizes));
+}

@@ -1,0 +1,17 @@
+//! Undetected false data injection (UFDI) attack modeling and
+//! verification — the paper's §III.
+//!
+//! * [`AttackModel`] — the scenario: knowledge, resources, goal, topology
+//!   poisoning ([`model`]);
+//! * [`AttackVerifier`] — the SMT encoding and feasibility check
+//!   ([`verifier`]);
+//! * [`AttackVector`] / [`AttackOutcome`] — extracted witnesses
+//!   ([`vector`]).
+
+pub mod model;
+pub mod vector;
+pub mod verifier;
+
+pub use model::{AttackModel, StateTarget};
+pub use vector::{Alteration, AttackOutcome, AttackVector, VerificationReport};
+pub use verifier::AttackVerifier;

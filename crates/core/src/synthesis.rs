@@ -1,0 +1,508 @@
+//! Security architecture synthesis — the paper's §IV, Algorithm 1.
+//!
+//! A CEGIS-style loop over two formal models. The *candidate selection
+//! model* proposes a set of buses to secure subject to the operator's
+//! budget (`Σ sb_j ≤ T_SB`, Eq. 27), operator exclusions (Eq. 29) and the
+//! analytical adjacency pruning of Eq. 30. The *attack verification model*
+//! ([`crate::attack::AttackVerifier`]) then checks whether the candidate
+//! actually blocks the given attack model: securing a bus secures every
+//! measurement taken there (Eq. 28). A failing candidate is excluded
+//! together with all of its subsets (protection is monotone: removing
+//! secured buses can only help the attacker), via the blocking clause
+//! `∨_{j ∉ S} sb_j`. The loop ends with an architecture (verifier returns
+//! unsat) or with an exhausted candidate space (no solution at this
+//! budget).
+
+use crate::attack::{AttackModel, AttackVerifier};
+use sta_grid::{BusId, MeasurementConfig, MeasurementId, TestSystem};
+use sta_smt::{BoolVar, Formula, SatResult, Solver};
+use std::fmt;
+
+/// How failed candidates are excluded from the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockingStrategy {
+    /// Counterexample-guided (default): when candidate `S` fails with an
+    /// attack compromising buses `B`, require `∨_{j∈B} sb_j` — any
+    /// architecture disjoint from `B` admits the *same* attack, so this
+    /// clause is sound and turns the loop into an implicit hitting-set
+    /// search (subsuming subset blocking).
+    #[default]
+    CounterexampleHitting,
+    /// The paper's Algorithm 1 line 14: exclude only the failed candidate
+    /// (and, by monotonicity of protection, its subsets) via
+    /// `∨_{j∉S} sb_j`. Kept as an ablation baseline for the benches.
+    CandidateOnly,
+}
+
+/// Operator-side constraints on the architecture search.
+#[derive(Debug, Clone)]
+pub struct SynthesisConfig {
+    /// `T_SB`: maximum number of buses that can be secured (Eq. 27).
+    pub max_secured_buses: usize,
+    /// Buses the operator cannot secure (Eq. 29).
+    pub unsecurable_buses: Vec<BusId>,
+    /// Apply the Eq. 30 pruning: never secure two buses adjacent through
+    /// a taken flow meter. On by default, as in the paper.
+    pub adjacency_pruning: bool,
+    /// Safety valve on loop iterations; `None` = unbounded (the candidate
+    /// space is finite, so the loop always terminates anyway).
+    pub max_iterations: Option<usize>,
+    /// Refinement-clause strategy.
+    pub blocking: BlockingStrategy,
+    /// Force the reference bus into every architecture (counted against
+    /// the budget). The paper's §IV-E case studies follow this
+    /// convention — all three published architectures include bus 1, the
+    /// declared reference — reflecting that the angle datum's substation
+    /// must be trustworthy. Off by default for the general API.
+    pub require_reference_secured: bool,
+    /// With [`BlockingStrategy::CounterexampleHitting`], how many
+    /// counterexample attacks to chain per failed candidate: after the
+    /// candidate fails, its attack's buses are provisionally added and
+    /// the verifier is re-run, producing additional hitting clauses
+    /// before the next candidate solve. Values above 1 sharply reduce
+    /// round trips on larger systems. Ignored under `CandidateOnly`.
+    pub counterexamples_per_round: usize,
+}
+
+impl SynthesisConfig {
+    /// A configuration with budget `t_sb` and the default strategy.
+    pub fn with_budget(t_sb: usize) -> Self {
+        SynthesisConfig {
+            max_secured_buses: t_sb,
+            unsecurable_buses: Vec::new(),
+            adjacency_pruning: true,
+            max_iterations: None,
+            blocking: BlockingStrategy::default(),
+            require_reference_secured: false,
+            counterexamples_per_round: 4,
+        }
+    }
+
+    /// Switches to the paper's candidate-only blocking (Algorithm 1).
+    pub fn paper_blocking(mut self) -> Self {
+        self.blocking = BlockingStrategy::CandidateOnly;
+        self
+    }
+
+    /// Forces the reference bus into every candidate (the paper's §IV-E
+    /// convention).
+    pub fn with_reference_secured(mut self) -> Self {
+        self.require_reference_secured = true;
+        self
+    }
+}
+
+/// A synthesized security architecture.
+#[derive(Debug, Clone)]
+pub struct SecurityArchitecture {
+    /// Buses to secure (all their taken measurements become
+    /// integrity-protected).
+    pub secured_buses: Vec<BusId>,
+    /// Candidate-selection/verification round trips performed.
+    pub iterations: usize,
+}
+
+impl fmt::Display for SecurityArchitecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "secure buses {{")?;
+        for (i, b) in self.secured_buses.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", b.0 + 1)?;
+        }
+        write!(f, "}} ({} iterations)", self.iterations)
+    }
+}
+
+/// Result of one synthesis run.
+#[derive(Debug, Clone)]
+pub enum SynthesisOutcome {
+    /// An architecture satisfying the security requirements.
+    Architecture(SecurityArchitecture),
+    /// No bus set within the constraints blocks the attack model.
+    NoSolution {
+        /// Rounds explored before exhausting the candidate space.
+        iterations: usize,
+    },
+    /// The iteration cap was hit before a conclusion.
+    Inconclusive {
+        /// Rounds performed.
+        iterations: usize,
+    },
+}
+
+impl SynthesisOutcome {
+    /// The architecture, if one was found.
+    pub fn architecture(&self) -> Option<&SecurityArchitecture> {
+        match self {
+            SynthesisOutcome::Architecture(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Whether an architecture was found.
+    pub fn is_solution(&self) -> bool {
+        matches!(self, SynthesisOutcome::Architecture(_))
+    }
+}
+
+/// The Algorithm 1 synthesizer.
+///
+/// # Examples
+///
+/// ```
+/// use sta_core::attack::AttackModel;
+/// use sta_core::synthesis::{SynthesisConfig, Synthesizer};
+/// use sta_grid::ieee14;
+///
+/// let sys = ieee14::system();
+/// let synth = Synthesizer::new(&sys);
+/// // A knowledge- and resource-limited attacker (paper Scenario 1).
+/// let attacker = AttackModel::new(14)
+///     .unknown_lines(20, &[2, 16])
+///     .max_altered_measurements(12);
+/// let outcome = synth.synthesize(&attacker, &SynthesisConfig::with_budget(4));
+/// assert!(outcome.is_solution());
+/// ```
+#[derive(Debug)]
+pub struct Synthesizer<'a> {
+    system: &'a TestSystem,
+    verifier: AttackVerifier<'a>,
+}
+
+impl<'a> Synthesizer<'a> {
+    /// Creates a synthesizer over `system` with the default operating
+    /// point.
+    pub fn new(system: &'a TestSystem) -> Self {
+        Synthesizer { system, verifier: AttackVerifier::new(system) }
+    }
+
+    /// Runs Algorithm 1 for the given attack model and operator
+    /// constraints.
+    pub fn synthesize(
+        &self,
+        attacker: &AttackModel,
+        config: &SynthesisConfig,
+    ) -> SynthesisOutcome {
+        let b = self.system.grid.num_buses();
+        let mut selection = Solver::new();
+        let sb: Vec<BoolVar> = (0..b).map(|_| selection.new_bool()).collect();
+        // Eq. 27: the budget.
+        selection.assert_formula(&Formula::at_most(
+            sb.iter().map(|&v| Formula::var(v)).collect(),
+            config.max_secured_buses,
+        ));
+        // Eq. 29: operator exclusions.
+        for bus in &config.unsecurable_buses {
+            selection.assert_formula(&Formula::var(sb[bus.0]).not());
+        }
+        // §IV-E convention: the reference bus is always secured.
+        if config.require_reference_secured {
+            selection
+                .assert_formula(&Formula::var(sb[self.system.reference_bus.0]));
+        }
+        // Eq. 30: no two buses adjacent through a taken flow meter.
+        if config.adjacency_pruning {
+            for (i, line) in self.system.grid.lines().iter().enumerate() {
+                let l = self.system.grid.num_lines();
+                let fwd_taken =
+                    self.system.measurements.is_taken(MeasurementId(i));
+                let bwd_taken =
+                    self.system.measurements.is_taken(MeasurementId(l + i));
+                if fwd_taken || bwd_taken {
+                    selection.assert_formula(&Formula::or(vec![
+                        Formula::var(sb[line.from.0]).not(),
+                        Formula::var(sb[line.to.0]).not(),
+                    ]));
+                }
+            }
+        }
+
+        let mut iterations = 0usize;
+        loop {
+            if let Some(cap) = config.max_iterations {
+                if iterations >= cap {
+                    return SynthesisOutcome::Inconclusive { iterations };
+                }
+            }
+            iterations += 1;
+            let candidate: Vec<BusId> = match selection.check() {
+                SatResult::Unsat => {
+                    return SynthesisOutcome::NoSolution { iterations };
+                }
+                SatResult::Sat(m) => (0..b)
+                    .filter(|&j| m.bool_value(sb[j]))
+                    .map(BusId)
+                    .collect(),
+            };
+            // Verify: does the attack model still succeed with the
+            // candidate secured?
+            let mut hardened = attacker.clone();
+            hardened.extra_secured_buses.extend(candidate.iter().copied());
+            let outcome = self.verifier.verify(&hardened);
+            let Some(vector) = outcome.vector() else {
+                return SynthesisOutcome::Architecture(SecurityArchitecture {
+                    secured_buses: candidate,
+                    iterations,
+                });
+            };
+            match config.blocking {
+                BlockingStrategy::CounterexampleHitting => {
+                    // A found attack's validity depends only on its own
+                    // altered measurements being unprotected, so *any*
+                    // architecture disjoint from its compromised-bus set
+                    // admits the same attack: each counterexample yields
+                    // the sound clause "secure at least one of its buses".
+                    // Chain further counterexamples by provisionally
+                    // securing each attack's buses and re-verifying,
+                    // harvesting several clauses per candidate round.
+                    let mut chained = hardened;
+                    let mut buses = vector.compromised_buses.clone();
+                    for round in 0..config.counterexamples_per_round.max(1) {
+                        selection.assert_formula(&Formula::or(
+                            buses
+                                .iter()
+                                .filter(|bus| {
+                                    !config.unsecurable_buses.contains(bus)
+                                })
+                                .map(|bus| Formula::var(sb[bus.0]))
+                                .collect(),
+                        ));
+                        if round + 1 == config.counterexamples_per_round {
+                            break;
+                        }
+                        chained.extra_secured_buses.extend(buses.iter().copied());
+                        match self.verifier.verify(&chained).vector() {
+                            Some(v) => buses = v.compromised_buses.clone(),
+                            None => break,
+                        }
+                    }
+                }
+                BlockingStrategy::CandidateOnly => {
+                    // Block the candidate and every subset: require some
+                    // bus outside it.
+                    let in_candidate: Vec<bool> = {
+                        let mut v = vec![false; b];
+                        for bus in &candidate {
+                            v[bus.0] = true;
+                        }
+                        v
+                    };
+                    selection.assert_formula(&Formula::or(
+                        (0..b)
+                            .filter(|&j| !in_candidate[j])
+                            .filter(|&j| {
+                                !config.unsecurable_buses.contains(&BusId(j))
+                            })
+                            .map(|j| Formula::var(sb[j]))
+                            .collect(),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Applies an architecture to a copy of the system's measurement
+    /// configuration (for downstream what-if analysis).
+    pub fn apply(
+        &self,
+        architecture: &SecurityArchitecture,
+    ) -> MeasurementConfig {
+        self.system
+            .measurements
+            .with_secured_buses(&self.system.grid, &architecture.secured_buses)
+    }
+
+    /// Measurement-granular variant of Algorithm 1 — the paper notes that
+    /// "similar mechanism can be used for synthesizing security
+    /// architecture with respect to measurements only" (§IV-A).
+    ///
+    /// Selects at most `max_secured` individual *taken, unsecured*
+    /// measurements whose protection blocks `attacker`, using the same
+    /// counterexample-hitting refinement (any architecture disjoint from
+    /// a found attack's altered measurements admits that same attack).
+    /// Returns the measurement set and the number of iterations, or
+    /// `None` when no set within the budget works.
+    pub fn synthesize_measurements(
+        &self,
+        attacker: &AttackModel,
+        max_secured: usize,
+    ) -> Option<(Vec<MeasurementId>, usize)> {
+        let m = self.system.grid.num_potential_measurements();
+        // Only taken, not-already-secured measurements are candidates.
+        let candidates: Vec<MeasurementId> = (0..m)
+            .map(MeasurementId)
+            .filter(|&id| {
+                self.system.measurements.is_taken(id)
+                    && !self.system.measurements.is_secured(id)
+            })
+            .collect();
+        let mut selection = Solver::new();
+        let sm: Vec<BoolVar> =
+            candidates.iter().map(|_| selection.new_bool()).collect();
+        let index_of: std::collections::HashMap<MeasurementId, usize> = candidates
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| (id, k))
+            .collect();
+        selection.assert_formula(&Formula::at_most(
+            sm.iter().map(|&v| Formula::var(v)).collect(),
+            max_secured,
+        ));
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            let chosen: Vec<MeasurementId> = match selection.check() {
+                sta_smt::SatResult::Unsat => return None,
+                sta_smt::SatResult::Sat(model) => candidates
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| model.bool_value(sm[*k]))
+                    .map(|(_, &id)| id)
+                    .collect(),
+            };
+            let mut hardened = attacker.clone();
+            hardened
+                .extra_secured_measurements
+                .extend(chosen.iter().copied());
+            match self.verifier.verify(&hardened).vector() {
+                None => return Some((chosen, iterations)),
+                Some(vector) => {
+                    // Hit at least one altered measurement of the attack.
+                    selection.assert_formula(&Formula::or(
+                        vector
+                            .alterations
+                            .iter()
+                            .filter_map(|a| index_of.get(&a.measurement))
+                            .map(|&k| Formula::var(sm[k]))
+                            .collect(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::StateTarget;
+    use sta_grid::ieee14;
+
+    #[test]
+    fn zero_budget_fails_against_real_attacker() {
+        let sys = ieee14::system();
+        let synth = Synthesizer::new(&sys);
+        let attacker = AttackModel::new(14);
+        let outcome = synth.synthesize(&attacker, &SynthesisConfig::with_budget(0));
+        assert!(!outcome.is_solution());
+    }
+
+    #[test]
+    fn architecture_blocks_the_attack_model() {
+        let sys = ieee14::system_unsecured();
+        let synth = Synthesizer::new(&sys);
+        // Limited attacker: one specific target, modest resources.
+        let attacker = AttackModel::new(14)
+            .target(sta_grid::BusId(11), StateTarget::MustChange)
+            .max_altered_measurements(8);
+        // Meaningful setup: the attack succeeds without protection.
+        assert!(AttackVerifier::new(&sys).verify(&attacker).is_feasible());
+        let outcome = synth.synthesize(&attacker, &SynthesisConfig::with_budget(3));
+        let arch = outcome.architecture().expect("solution within 3 buses");
+        assert!(arch.secured_buses.len() <= 3);
+        assert!(!arch.secured_buses.is_empty());
+        // Re-verify independently.
+        let verifier = AttackVerifier::new(&sys);
+        let hardened = attacker.clone().secure_buses(&arch.secured_buses);
+        assert!(!verifier.verify(&hardened).is_feasible());
+    }
+
+    #[test]
+    fn unsecurable_buses_never_selected() {
+        let sys = ieee14::system();
+        let synth = Synthesizer::new(&sys);
+        let attacker = AttackModel::new(14)
+            .target(sta_grid::BusId(11), StateTarget::MustChange)
+            .max_altered_measurements(8);
+        let mut config = SynthesisConfig::with_budget(4);
+        config.unsecurable_buses = vec![sta_grid::BusId(5)];
+        if let SynthesisOutcome::Architecture(arch) =
+            synth.synthesize(&attacker, &config)
+        {
+            assert!(!arch.secured_buses.contains(&sta_grid::BusId(5)));
+        }
+    }
+
+    #[test]
+    fn measurement_level_synthesis_blocks_and_is_minimal_ish() {
+        let sys = ieee14::system_unsecured();
+        let synth = Synthesizer::new(&sys);
+        let attacker = AttackModel::new(14);
+        // Bobba: 13 basic measurements always suffice; the synthesized
+        // set must also block and fit the same budget.
+        let (set, iters) = synth
+            .synthesize_measurements(&attacker, 13)
+            .expect("13 measurements suffice (Bobba)");
+        assert!(set.len() <= 13);
+        assert!(iters >= 1);
+        let verifier = AttackVerifier::new(&sys);
+        let mut hardened = attacker.clone();
+        hardened.extra_secured_measurements.extend(set.iter().copied());
+        assert!(!verifier.verify(&hardened).is_feasible());
+        // Bobba et al. necessity (fewer than n−1 secured measurements
+        // never blocks an unconstrained attacker), exhaustively on a
+        // small grid where the no-solution proof is cheap: a 4-bus ring
+        // has n−1 = 3, so a 2-measurement budget must fail.
+        let ring = sta_grid::Grid::new(
+            4,
+            vec![
+                sta_grid::Line::new(sta_grid::BusId(0), sta_grid::BusId(1), 2.0),
+                sta_grid::Line::new(sta_grid::BusId(1), sta_grid::BusId(2), 3.0),
+                sta_grid::Line::new(sta_grid::BusId(2), sta_grid::BusId(3), 4.0),
+                sta_grid::Line::new(sta_grid::BusId(0), sta_grid::BusId(3), 5.0),
+            ],
+        );
+        let tiny = sta_grid::TestSystem::fully_metered("ring", ring);
+        let tiny_synth = Synthesizer::new(&tiny);
+        let tiny_attacker = AttackModel::new(4);
+        assert!(tiny_synth.synthesize_measurements(&tiny_attacker, 3).is_some());
+        assert!(tiny_synth.synthesize_measurements(&tiny_attacker, 2).is_none());
+    }
+
+    #[test]
+    fn strict_knowledge_is_at_least_as_restrictive() {
+        let sys = ieee14::system_unsecured();
+        let verifier = AttackVerifier::new(&sys);
+        // Target a state adjacent to an unknown line: strict semantics
+        // must refuse whenever the lax semantics refuses, and may refuse
+        // more.
+        for target in 1..14 {
+            let lax = AttackModel::new(14)
+                .unknown_lines(20, &[2, 6, 16])
+                .target(sta_grid::BusId(target), StateTarget::MustChange);
+            let strict = lax.clone().with_strict_knowledge();
+            let lax_ok = verifier.verify(&lax).is_feasible();
+            let strict_ok = verifier.verify(&strict).is_feasible();
+            assert!(
+                lax_ok || !strict_ok,
+                "strict feasible but lax infeasible at state {}",
+                target + 1
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_cap_returns_inconclusive() {
+        let sys = ieee14::system();
+        let synth = Synthesizer::new(&sys);
+        let attacker = AttackModel::new(14);
+        let mut config = SynthesisConfig::with_budget(1);
+        config.max_iterations = Some(1);
+        // Budget 1 can't stop an unconstrained attacker; with a 1-round
+        // cap we must get Inconclusive or NoSolution, never a solution.
+        let outcome = synth.synthesize(&attacker, &config);
+        assert!(!outcome.is_solution());
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests of the attack/defense stack over randomized grids.
+//!
+//! Deterministically seeded synthetic systems exercise structural
+//! diversity the IEEE cases cannot: varying meshedness, degree spread,
+//! and metering density. The invariants checked here are the load-bearing
+//! ones: witnesses replay stealthily, protection is monotone, and the
+//! cut-attack baseline never beats the SMT optimum.
+
+use proptest::prelude::*;
+use sta_core::attack::{AttackModel, AttackVerifier, StateTarget};
+use sta_core::cutattack;
+use sta_core::validation;
+use sta_grid::{synthetic, BusId, MeasurementId, TestSystem};
+
+fn random_system(buses: usize, extra_lines: usize, seed: u64) -> TestSystem {
+    let l = (buses - 1 + extra_lines).min(buses * (buses - 1) / 2);
+    let grid = synthetic::generate(buses, l, seed);
+    TestSystem::fully_metered(format!("prop-{seed}"), grid)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every feasible witness replays stealthily and moves its target.
+    #[test]
+    fn witnesses_replay_stealthily(
+        buses in 6usize..14,
+        extra in 2usize..6,
+        seed in 0u64..40,
+        target_raw in 1usize..14,
+    ) {
+        let sys = random_system(buses, extra, seed);
+        let target = 1 + (target_raw % (buses - 1));
+        let verifier = AttackVerifier::new(&sys);
+        let model = AttackModel::new(buses)
+            .target(BusId(target), StateTarget::MustChange);
+        if let Some(attack) = verifier.verify(&model).vector() {
+            let replay = validation::replay_default(&sys, attack).unwrap();
+            prop_assert!(replay.is_stealthy(1e-6), "{replay}");
+            prop_assert!(replay.state_shifts[target].abs() > 1e-9);
+        }
+    }
+
+    /// Securing more buses never helps the attacker (monotonicity).
+    #[test]
+    fn protection_is_monotone(
+        buses in 6usize..12,
+        extra in 2usize..5,
+        seed in 0u64..30,
+        secure_a in 0usize..12,
+        secure_b in 0usize..12,
+    ) {
+        let sys = random_system(buses, extra, seed);
+        let verifier = AttackVerifier::new(&sys);
+        let target = BusId(buses / 2);
+        let a = BusId(secure_a % buses);
+        let b = BusId(secure_b % buses);
+        let small = AttackModel::new(buses)
+            .target(target, StateTarget::MustChange)
+            .secure_buses(&[a]);
+        let big = AttackModel::new(buses)
+            .target(target, StateTarget::MustChange)
+            .secure_buses(&[a, b]);
+        // feasible(big) → feasible(small): adding protection can only
+        // remove attacks.
+        if verifier.verify(&big).is_feasible() {
+            prop_assert!(verifier.verify(&small).is_feasible());
+        }
+    }
+
+    /// The greedy cut attack is a valid attack, so the SMT minimal
+    /// measurement count never exceeds its cost.
+    #[test]
+    fn cut_bound_holds(
+        buses in 6usize..12,
+        extra in 2usize..5,
+        seed in 0u64..30,
+    ) {
+        let sys = random_system(buses, extra, seed);
+        let target = BusId(buses / 2);
+        if let Some(cut) = cutattack::best_cut_attack(&sys, target, 0.1) {
+            let verifier = AttackVerifier::new(&sys);
+            let model = AttackModel::new(buses)
+                .target(target, StateTarget::MustChange)
+                .max_altered_measurements(cut.cost);
+            prop_assert!(
+                verifier.verify(&model).is_feasible(),
+                "cut with {} alterations exists but SMT says infeasible",
+                cut.cost
+            );
+        }
+    }
+
+    /// Resource monotonicity: if an attack fits budget k, it fits k+1.
+    #[test]
+    fn budget_monotonicity(
+        buses in 6usize..12,
+        extra in 2usize..5,
+        seed in 0u64..30,
+        k in 3usize..10,
+    ) {
+        let sys = random_system(buses, extra, seed);
+        let verifier = AttackVerifier::new(&sys);
+        let target = BusId(buses / 2);
+        let tight = AttackModel::new(buses)
+            .target(target, StateTarget::MustChange)
+            .max_altered_measurements(k);
+        let loose = AttackModel::new(buses)
+            .target(target, StateTarget::MustChange)
+            .max_altered_measurements(k + 1);
+        if verifier.verify(&tight).is_feasible() {
+            prop_assert!(verifier.verify(&loose).is_feasible());
+        }
+    }
+
+    /// Untaken measurements never appear in a witness.
+    #[test]
+    fn untaken_meters_never_altered(
+        buses in 6usize..12,
+        extra in 2usize..5,
+        seed in 0u64..30,
+        drop_stride in 2usize..5,
+    ) {
+        let mut sys = random_system(buses, extra, seed);
+        // Drop a deterministic subset of meters.
+        for m in (0..sys.measurements.len()).step_by(drop_stride) {
+            sys.measurements.set_taken(MeasurementId(m), false);
+        }
+        let verifier = AttackVerifier::new(&sys);
+        let model = AttackModel::new(buses);
+        if let Some(v) = verifier.verify(&model).vector() {
+            for alt in &v.alterations {
+                prop_assert!(sys.measurements.is_taken(alt.measurement));
+            }
+        }
+    }
+}

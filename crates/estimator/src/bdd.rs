@@ -1,0 +1,248 @@
+//! Bad data detection and identification.
+//!
+//! Detection is the chi-square test on the weighted residual SSE (paper
+//! §II-B); identification is the classical largest-normalized-residual
+//! (LNR) method: normalize each residual by the square root of its
+//! diagonal entry in the residual covariance `Ω = S·R` with sensitivity
+//! `S = I − H·G⁻¹·Hᵀ·W`, and flag the largest.
+
+use crate::chi2;
+use crate::wls::{StateEstimate, WlsEstimator};
+use sta_linalg::{Cholesky, Matrix, Vector};
+
+/// Verdict of one detection pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Residuals are consistent with noise at the configured significance.
+    Clean,
+    /// Bad data detected; carries the offending statistic value.
+    BadData {
+        /// The weighted SSE that tripped the test.
+        statistic: f64,
+        /// The threshold it exceeded.
+        threshold: f64,
+    },
+}
+
+impl Verdict {
+    /// Whether bad data was flagged.
+    pub fn is_bad(&self) -> bool {
+        matches!(self, Verdict::BadData { .. })
+    }
+}
+
+/// A chi-square bad data detector at a fixed significance level.
+///
+/// # Examples
+///
+/// ```
+/// use sta_estimator::{dcflow, BadDataDetector, WlsEstimator};
+/// use sta_grid::ieee14;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sys = ieee14::system();
+/// let est = WlsEstimator::for_system(&sys)?;
+/// let op = dcflow::solve(
+///     &sys.grid, &sys.topology,
+///     &dcflow::synthetic_injections(14, 1), sys.reference_bus)?;
+/// let mut z = est.measure(&op);
+/// let detector = BadDataDetector::new(0.05);
+/// assert!(!detector.detect(&est, &est.estimate(&z)?).is_bad());
+/// z[3] += 50.0; // gross error
+/// assert!(detector.detect(&est, &est.estimate(&z)?).is_bad());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BadDataDetector {
+    /// False-alarm probability of the chi-square test.
+    alpha: f64,
+}
+
+impl BadDataDetector {
+    /// Creates a detector with false-alarm probability `alpha`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha < 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha in (0, 1)");
+        BadDataDetector { alpha }
+    }
+
+    /// The significance level.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Chi-square test on a state estimate.
+    pub fn detect(&self, est: &WlsEstimator, result: &StateEstimate) -> Verdict {
+        let threshold = est.detection_threshold(self.alpha);
+        if result.weighted_sse > threshold {
+            Verdict::BadData { statistic: result.weighted_sse, threshold }
+        } else {
+            Verdict::Clean
+        }
+    }
+
+    /// `l2`-norm variant of the test (the form quoted in the paper's
+    /// §II-B): flags when `‖z − H·x̂‖ > τ` with `τ` the square root of the
+    /// chi-square threshold (valid for unit weights).
+    pub fn detect_by_norm(&self, _est: &WlsEstimator, result: &StateEstimate) -> Verdict {
+        let dof = result.degrees_of_freedom.max(1);
+        let tau = chi2::chi2_quantile(dof, 1.0 - self.alpha).sqrt();
+        if result.residual_norm > tau {
+            Verdict::BadData {
+                statistic: result.residual_norm,
+                threshold: tau,
+            }
+        } else {
+            Verdict::Clean
+        }
+    }
+
+    /// Largest-normalized-residual identification: the taken-row index of
+    /// the most suspicious measurement and its normalized residual, or
+    /// `None` when every residual normalizes below 3.0 (the conventional
+    /// identification cutoff) or the covariance diagonal vanishes
+    /// (critical measurement).
+    pub fn identify(&self, est: &WlsEstimator, result: &StateEstimate) -> Option<(usize, f64)> {
+        let omega = residual_covariance_diag(est)?;
+        let mut best: Option<(usize, f64)> = None;
+        for (i, r) in result.residual.iter().enumerate() {
+            let var = omega[i];
+            if var <= 1e-10 {
+                continue; // critical measurement: residual always ~0
+            }
+            let rn = r.abs() / var.sqrt();
+            if best.map_or(true, |(_, b)| rn > b) {
+                best = Some((i, rn));
+            }
+        }
+        best.filter(|&(_, rn)| rn > 3.0)
+    }
+}
+
+/// Diagonal of the residual covariance `Ω = S·R` with unit `R`, i.e. the
+/// diagonal of `I − H·G⁻¹·Hᵀ` (unit weights assumed, as everywhere in the
+/// paper's DC treatment).
+fn residual_covariance_diag(est: &WlsEstimator) -> Option<Vector> {
+    let h = est.jacobian();
+    let g = h.transpose().mul_mat(h);
+    let chol = Cholesky::factor(&g).ok()?;
+    let m = h.num_rows();
+    let n = h.num_cols();
+    // K = H·G⁻¹·Hᵀ diagonal: for each row hᵢ of H, hᵢ·G⁻¹·hᵢᵀ.
+    let mut diag = Vector::zeros(m);
+    // Solve G·X = Hᵀ once per column block.
+    let ht = h.transpose();
+    let mut ginv_ht = Matrix::zeros(n, m);
+    for j in 0..m {
+        let col = ht.col(j);
+        let sol = chol.solve(&col).ok()?;
+        for i in 0..n {
+            ginv_ht[(i, j)] = sol[i];
+        }
+    }
+    for i in 0..m {
+        let mut k_ii = 0.0;
+        for j in 0..n {
+            k_ii += h[(i, j)] * ginv_ht[(j, i)];
+        }
+        diag[i] = (1.0 - k_ii).max(0.0);
+    }
+    Some(diag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcflow;
+    use crate::wls::WlsEstimator;
+    use sta_grid::ieee14;
+    use sta_linalg::Vector;
+
+    fn setup() -> (WlsEstimator, Vector) {
+        let sys = ieee14::system();
+        let est = WlsEstimator::for_system(&sys).unwrap();
+        let op = dcflow::solve(
+            &sys.grid,
+            &sys.topology,
+            &dcflow::synthetic_injections(14, 2),
+            sys.reference_bus,
+        )
+        .unwrap();
+        let z = est.measure(&op);
+        (est, z)
+    }
+
+    #[test]
+    fn clean_data_passes() {
+        let (est, z) = setup();
+        let det = BadDataDetector::new(0.05);
+        let result = est.estimate(&z).unwrap();
+        assert_eq!(det.detect(&est, &result), Verdict::Clean);
+        assert_eq!(det.detect_by_norm(&est, &result), Verdict::Clean);
+    }
+
+    #[test]
+    fn gross_error_detected_and_identified() {
+        // LNR correctly fingers a single gross error on any measurement
+        // with enough local redundancy; at least half the meters qualify.
+        let (est, z) = setup();
+        let det = BadDataDetector::new(0.05);
+        // For a single error e with unit weights the χ² statistic is
+        // exactly rn², so detection needs rn above √threshold.
+        let detect_rn = est.detection_threshold(0.05).sqrt();
+        let mut identified = 0usize;
+        for row in 0..est.num_measurements() {
+            let mut zz = z.clone();
+            zz[row] += 20.0;
+            let result = est.estimate(&zz).unwrap();
+            if let Some((idx, rn)) = det.identify(&est, &result) {
+                assert_eq!(idx, row, "LNR must point at the corrupted meter");
+                assert!(rn > 3.0);
+                if rn > detect_rn * 1.01 {
+                    assert!(det.detect(&est, &result).is_bad());
+                }
+                identified += 1;
+            }
+        }
+        assert!(
+            identified * 2 >= est.num_measurements(),
+            "only {identified} of {} identified",
+            est.num_measurements()
+        );
+    }
+
+    #[test]
+    fn stealthy_attack_evades_detection() {
+        let (est, z) = setup();
+        let det = BadDataDetector::new(0.05);
+        // a = H·c with a large state change is invisible.
+        let mut c = Vector::zeros(est.num_states());
+        c[3] = 1.0;
+        c[7] = -0.5;
+        let a = est.jacobian().mul_vec(&c);
+        let attacked = &z + &a;
+        let result = est.estimate(&attacked).unwrap();
+        assert_eq!(det.detect(&est, &result), Verdict::Clean);
+        assert!(det.identify(&est, &result).is_none());
+    }
+
+    #[test]
+    fn small_noise_not_flagged() {
+        let (est, mut z) = setup();
+        let det = BadDataDetector::new(0.01);
+        for i in 0..z.len() {
+            z[i] += 1e-4 * ((i * 31 % 7) as f64 - 3.0);
+        }
+        let result = est.estimate(&z).unwrap();
+        assert_eq!(det.detect(&est, &result), Verdict::Clean);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        let _ = BadDataDetector::new(1.5);
+    }
+}

@@ -1,0 +1,178 @@
+//! Chi-square distribution routines for bad-data detection thresholds.
+//!
+//! Under the Gaussian error model the weighted sum of squared residuals of
+//! a WLS estimate follows a `χ²` distribution with `m − n` degrees of
+//! freedom; the BDD threshold is its quantile at a chosen significance
+//! level (paper §II-B). Implemented from scratch: Lanczos log-gamma, the
+//! regularized lower incomplete gamma `P(a, x)` by series/continued
+//! fraction, and quantiles by bisection.
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+///
+/// Accurate to ~1e-13 for positive arguments.
+#[allow(clippy::excessive_precision)] // canonical Lanczos g=7 table
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// # Panics
+/// Panics if `a ≤ 0` or `x < 0`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_p domain");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series representation converges quickly.
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut n = a;
+        for _ in 0..500 {
+            n += 1.0;
+            term *= x / n;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+    } else {
+        // Continued fraction for Q(a, x) (modified Lentz).
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let delta = d * c;
+            h *= delta;
+            if (delta - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        let q = (-x + a * x.ln() - ln_gamma(a)).exp() * h;
+        1.0 - q
+    }
+}
+
+/// CDF of the chi-square distribution with `k` degrees of freedom.
+///
+/// # Panics
+/// Panics if `k == 0` or `x < 0`.
+pub fn chi2_cdf(k: usize, x: f64) -> f64 {
+    assert!(k > 0, "degrees of freedom must be positive");
+    gamma_p(k as f64 / 2.0, x / 2.0)
+}
+
+/// Quantile (inverse CDF) of the chi-square distribution: the `x` with
+/// `CDF(x) = p`, found by bisection.
+///
+/// # Panics
+/// Panics unless `0 < p < 1` and `k > 0`.
+pub fn chi2_quantile(k: usize, p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p in (0, 1)");
+    assert!(k > 0, "degrees of freedom must be positive");
+    let mut lo = 0.0f64;
+    let mut hi = k as f64;
+    while chi2_cdf(k, hi) < p {
+        hi *= 2.0;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if chi2_cdf(k, mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-12 * hi.max(1.0) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        close(ln_gamma(1.0), 0.0, 1e-12);
+        close(ln_gamma(2.0), 0.0, 1e-12);
+        close(ln_gamma(5.0), 24.0f64.ln(), 1e-10);
+        close(ln_gamma(0.5), std::f64::consts::PI.ln() / 2.0, 1e-10);
+    }
+
+    #[test]
+    fn chi2_cdf_reference_points() {
+        // χ²(2) CDF is 1 − e^{−x/2}.
+        for &x in &[0.5, 1.0, 3.0, 10.0] {
+            close(chi2_cdf(2, x), 1.0 - (-x / 2.0f64).exp(), 1e-10);
+        }
+        // Median of χ²(1) ≈ 0.4549.
+        close(chi2_cdf(1, 0.454936), 0.5, 1e-4);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &k in &[1usize, 2, 5, 10, 40, 100] {
+            for &p in &[0.05, 0.5, 0.95, 0.99] {
+                let x = chi2_quantile(k, p);
+                close(chi2_cdf(k, x), p, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn known_critical_values() {
+        // Standard table: χ²_{0.95, 10} ≈ 18.307.
+        close(chi2_quantile(10, 0.95), 18.307, 1e-3);
+        // χ²_{0.99, 30} ≈ 50.892.
+        close(chi2_quantile(30, 0.99), 50.892, 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "degrees of freedom")]
+    fn zero_dof_panics() {
+        let _ = chi2_cdf(0, 1.0);
+    }
+}

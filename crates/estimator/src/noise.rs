@@ -1,0 +1,143 @@
+//! Measurement noise models for Monte-Carlo studies.
+//!
+//! SCADA meters report with Gaussian error; the WLS weights are the
+//! reciprocal variances of exactly this noise (paper §II-B). This module
+//! provides a deterministic, seedable Gaussian sampler used by the
+//! noisy-replay validation and any statistical experiment that needs
+//! repeatable snapshots.
+
+use sta_linalg::Vector;
+
+/// A seeded Gaussian meter-noise source.
+///
+/// Deterministic: the same `(sigma, seed)` always produces the same
+/// perturbation sequence (xorshift64* + Box–Muller).
+///
+/// # Examples
+///
+/// ```
+/// use sta_estimator::noise::GaussianNoise;
+/// use sta_linalg::Vector;
+///
+/// let mut noise = GaussianNoise::new(0.01, 42);
+/// let clean = Vector::zeros(4);
+/// let noisy = noise.perturb(&clean);
+/// assert!(noisy.iter().any(|&x| x != 0.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussianNoise {
+    sigma: f64,
+    state: u64,
+    /// Spare sample from the last Box–Muller pair.
+    spare: Option<f64>,
+}
+
+impl GaussianNoise {
+    /// Creates a source with standard deviation `sigma`.
+    ///
+    /// # Panics
+    /// Panics unless `sigma > 0` and finite.
+    pub fn new(sigma: f64, seed: u64) -> Self {
+        assert!(sigma > 0.0 && sigma.is_finite(), "sigma must be positive");
+        GaussianNoise { sigma, state: seed.max(1), spare: None }
+    }
+
+    /// The configured standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The WLS weight matching this noise level (`1/σ²`).
+    pub fn weight(&self) -> f64 {
+        1.0 / (self.sigma * self.sigma)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// One standard-normal sample.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(g) = self.spare.take() {
+            return g;
+        }
+        // Box–Muller.
+        let u1 = self.uniform().max(1e-300);
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// One noise sample at the configured `sigma`.
+    pub fn sample(&mut self) -> f64 {
+        self.sigma * self.standard_normal()
+    }
+
+    /// Returns `z` with i.i.d. noise added to every entry.
+    pub fn perturb(&mut self, z: &Vector) -> Vector {
+        z.iter().map(|&v| v + self.sample()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let z = Vector::zeros(16);
+        let a = GaussianNoise::new(0.1, 7).perturb(&z);
+        let b = GaussianNoise::new(0.1, 7).perturb(&z);
+        let c = GaussianNoise::new(0.1, 8).perturb(&z);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn moments_are_plausible() {
+        let mut noise = GaussianNoise::new(2.0, 99);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| noise.sample()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / n as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn weight_is_reciprocal_variance() {
+        let noise = GaussianNoise::new(0.02, 1);
+        assert!((noise.weight() - 2500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn rejects_zero_sigma() {
+        let _ = GaussianNoise::new(0.0, 1);
+    }
+
+    #[test]
+    fn tail_fraction_is_sane() {
+        // ~32% of standard normals exceed |1σ|.
+        let mut noise = GaussianNoise::new(1.0, 3);
+        let n = 10_000;
+        let beyond = (0..n)
+            .filter(|_| noise.standard_normal().abs() > 1.0)
+            .count();
+        let frac = beyond as f64 / n as f64;
+        assert!((frac - 0.317).abs() < 0.03, "frac {frac}");
+    }
+}

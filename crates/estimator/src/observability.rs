@@ -1,0 +1,309 @@
+//! Numerical observability analysis.
+//!
+//! A measurement set observes the system when the taken-row Jacobian has
+//! full column rank over the non-reference states — equivalently, when the
+//! WLS gain matrix is positive definite. Both the rank test and the
+//! *basic measurement set* extraction (a minimal row subset of full rank,
+//! the object Bobba et al.'s defense secures) live here.
+
+use sta_grid::{BusId, Grid, MeasurementConfig, MeasurementId, Topology};
+use sta_linalg::Matrix;
+
+/// Numerical rank of a matrix by Gaussian elimination with partial
+/// pivoting; entries below `1e-9` times the largest are treated as zero.
+pub fn rank(matrix: &Matrix) -> usize {
+    let mut a = matrix.clone();
+    let rows = a.num_rows();
+    let cols = a.num_cols();
+    let tol = 1e-9 * a.norm_max().max(1.0);
+    let mut r = 0usize;
+    for c in 0..cols {
+        // Find pivot in column c at or below row r.
+        let mut piv = r;
+        let mut best = 0.0f64;
+        for i in r..rows {
+            let v = a[(i, c)].abs();
+            if v > best {
+                best = v;
+                piv = i;
+            }
+        }
+        if best <= tol {
+            continue;
+        }
+        if piv != r {
+            for j in 0..cols {
+                let tmp = a[(r, j)];
+                a[(r, j)] = a[(piv, j)];
+                a[(piv, j)] = tmp;
+            }
+        }
+        for i in r + 1..rows {
+            let f = a[(i, c)] / a[(r, c)];
+            if f == 0.0 {
+                continue;
+            }
+            for j in c..cols {
+                let upd = f * a[(r, j)];
+                a[(i, j)] -= upd;
+            }
+        }
+        r += 1;
+        if r == rows {
+            break;
+        }
+    }
+    r
+}
+
+/// Whether the taken measurements observe every state (full column rank
+/// of the reduced Jacobian).
+///
+/// # Examples
+///
+/// ```
+/// use sta_estimator::observability;
+/// use sta_grid::ieee14;
+///
+/// let sys = ieee14::system();
+/// assert!(observability::is_observable(
+///     &sys.grid, &sys.topology, &sys.measurements, sys.reference_bus));
+/// ```
+pub fn is_observable(
+    grid: &Grid,
+    topo: &Topology,
+    measurements: &MeasurementConfig,
+    reference: BusId,
+) -> bool {
+    let h = reduced_jacobian(grid, topo, measurements, reference);
+    rank(&h) == grid.num_buses() - 1
+}
+
+/// The Jacobian restricted to taken rows and non-reference columns.
+pub fn reduced_jacobian(
+    grid: &Grid,
+    topo: &Topology,
+    measurements: &MeasurementConfig,
+    reference: BusId,
+) -> Matrix {
+    let h_full = sta_grid::topology::h_matrix(grid, topo);
+    let taken: Vec<usize> = measurements.taken_ids().map(|m| m.0).collect();
+    let cols: Vec<usize> =
+        (0..grid.num_buses()).filter(|&j| j != reference.0).collect();
+    h_full.select_rows(&taken).select_cols(&cols)
+}
+
+/// Extracts a *basic measurement set*: a greedy minimal subset of the
+/// taken measurements whose rows span the state space. Securing exactly
+/// such a set is Bobba et al.'s necessary-and-sufficient defense, the
+/// baseline the paper compares its synthesis against.
+///
+/// Returns `None` if the system is unobservable to begin with.
+pub fn basic_measurement_set(
+    grid: &Grid,
+    topo: &Topology,
+    measurements: &MeasurementConfig,
+    reference: BusId,
+) -> Option<Vec<MeasurementId>> {
+    let h_full = sta_grid::topology::h_matrix(grid, topo);
+    let cols: Vec<usize> =
+        (0..grid.num_buses()).filter(|&j| j != reference.0).collect();
+    let target = cols.len();
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut current_rank = 0usize;
+    for id in measurements.taken_ids() {
+        if current_rank == target {
+            break;
+        }
+        let mut trial = chosen.clone();
+        trial.push(id.0);
+        let sub = h_full.select_rows(&trial).select_cols(&cols);
+        let r = rank(&sub);
+        if r > current_rank {
+            chosen.push(id.0);
+            current_rank = r;
+        }
+    }
+    if current_rank == target {
+        Some(chosen.into_iter().map(MeasurementId).collect())
+    } else {
+        None
+    }
+}
+
+/// Identifies the *critical measurements*: taken measurements whose
+/// removal makes the system unobservable.
+///
+/// Critical measurements matter doubly for security: their residual is
+/// structurally zero, so bad data on them is undetectable (the LNR
+/// identifier skips them), and a single-meter attack on one is already
+/// stealthy. A defense design should either secure them or add
+/// redundancy.
+pub fn critical_measurements(
+    grid: &Grid,
+    topo: &Topology,
+    measurements: &MeasurementConfig,
+    reference: BusId,
+) -> Vec<MeasurementId> {
+    let h_full = sta_grid::topology::h_matrix(grid, topo);
+    let cols: Vec<usize> =
+        (0..grid.num_buses()).filter(|&j| j != reference.0).collect();
+    let taken: Vec<usize> = measurements.taken_ids().map(|m| m.0).collect();
+    let full = h_full.select_rows(&taken).select_cols(&cols);
+    let base_rank = rank(&full);
+    if base_rank < cols.len() {
+        return Vec::new(); // already unobservable; criticality undefined
+    }
+    let mut critical = Vec::new();
+    for (k, &m) in taken.iter().enumerate() {
+        let keep: Vec<usize> = (0..taken.len()).filter(|&i| i != k).collect();
+        let reduced = full.select_rows(&keep);
+        if rank(&reduced) < base_rank {
+            critical.push(MeasurementId(m));
+        }
+    }
+    critical
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sta_grid::{ieee14, synthetic};
+
+    #[test]
+    fn rank_of_identity_and_rankdeficient() {
+        assert_eq!(rank(&Matrix::identity(4)), 4);
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(rank(&m), 1);
+        assert_eq!(rank(&Matrix::zeros(3, 3)), 0);
+        let wide = Matrix::from_rows(&[vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 1.0]]);
+        assert_eq!(rank(&wide), 2);
+    }
+
+    #[test]
+    fn ieee14_is_observable() {
+        let sys = ieee14::system();
+        assert!(is_observable(
+            &sys.grid,
+            &sys.topology,
+            &sys.measurements,
+            sys.reference_bus
+        ));
+    }
+
+    #[test]
+    fn dropping_all_bus_meters_of_leaf_breaks_observability() {
+        let sys = ieee14::system();
+        let mut cfg = sys.measurements.clone();
+        // Bus 8 (index 7) connects only through line 14 (7→8). Remove both
+        // flow meters of line 14 and bus 8's injection; bus 8 becomes
+        // unobservable. Measurements (1-indexed): 14, 34, 48 (2·20 + 8).
+        cfg.set_taken(MeasurementId(13), false); // already untaken per Table III
+        cfg.set_taken(MeasurementId(33), false);
+        cfg.set_taken(MeasurementId(47), false);
+        // Its neighbor's injection also sees line 14; remove bus 7's meter.
+        cfg.set_taken(MeasurementId(46), false);
+        assert!(!is_observable(
+            &sys.grid,
+            &sys.topology,
+            &cfg,
+            sys.reference_bus
+        ));
+    }
+
+    #[test]
+    fn basic_set_has_state_count_rows_and_full_rank() {
+        let sys = ieee14::system();
+        let basic = basic_measurement_set(
+            &sys.grid,
+            &sys.topology,
+            &sys.measurements,
+            sys.reference_bus,
+        )
+        .expect("observable");
+        assert_eq!(basic.len(), 13);
+        // The basic rows alone are observable.
+        let mut cfg = sys.measurements.clone();
+        for m in 0..cfg.len() {
+            cfg.set_taken(MeasurementId(m), false);
+        }
+        for &id in &basic {
+            cfg.set_taken(id, true);
+        }
+        assert!(is_observable(
+            &sys.grid,
+            &sys.topology,
+            &cfg,
+            sys.reference_bus
+        ));
+    }
+
+    #[test]
+    fn fully_metered_system_has_no_critical_measurements() {
+        // 2l + b meters over b−1 states: redundancy everywhere.
+        let sys = synthetic::ieee_case(30);
+        let critical = critical_measurements(
+            &sys.grid,
+            &sys.topology,
+            &sys.measurements,
+            sys.reference_bus,
+        );
+        assert!(critical.is_empty(), "{critical:?}");
+    }
+
+    #[test]
+    fn basic_set_is_entirely_critical() {
+        // Restrict the taken set to a basic measurement set: every member
+        // becomes critical (minimality).
+        let sys = ieee14::system();
+        let basic = basic_measurement_set(
+            &sys.grid,
+            &sys.topology,
+            &sys.measurements,
+            sys.reference_bus,
+        )
+        .unwrap();
+        let mut cfg = sys.measurements.clone();
+        for m in 0..cfg.len() {
+            cfg.set_taken(MeasurementId(m), false);
+        }
+        for &id in &basic {
+            cfg.set_taken(id, true);
+        }
+        let critical =
+            critical_measurements(&sys.grid, &sys.topology, &cfg, sys.reference_bus);
+        assert_eq!(critical.len(), basic.len());
+        let mut sorted_basic = basic.clone();
+        sorted_basic.sort();
+        let mut sorted_critical = critical;
+        sorted_critical.sort();
+        assert_eq!(sorted_critical, sorted_basic);
+    }
+
+    #[test]
+    fn unobservable_system_reports_no_criticals() {
+        let sys = ieee14::system();
+        let mut cfg = sys.measurements.clone();
+        for m in 0..cfg.len() {
+            cfg.set_taken(MeasurementId(m), m < 3);
+        }
+        assert!(critical_measurements(
+            &sys.grid,
+            &sys.topology,
+            &cfg,
+            sys.reference_bus
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn synthetic_cases_observable_when_fully_metered() {
+        for &b in &[30usize, 57] {
+            let sys = synthetic::ieee_case(b);
+            assert!(
+                is_observable(&sys.grid, &sys.topology, &sys.measurements, sys.reference_bus),
+                "case {b}"
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Power-grid modeling substrate: network model, topology processor,
+//! measurement configuration, and test systems.
+//!
+//! This crate provides everything below the estimator in the DSN'14
+//! reproduction stack:
+//!
+//! * [`Grid`] / [`Line`] / [`BusId`] / [`LineId`] — the static network
+//!   ([`model`]);
+//! * [`Topology`] and the topology-processor matrix builders
+//!   ([`topology::h_matrix`], [`topology::b_matrix`],
+//!   [`topology::connectivity_matrix`]) implementing paper Eq. 2;
+//! * [`MeasurementConfig`] — the `2l + b` potential measurements with their
+//!   taken/secured/accessible flags ([`measurement`]);
+//! * [`TestSystem`] — a packaged case ([`system`]);
+//! * [`ieee14`] — the paper's Table II/III data, exact; and
+//! * [`synthetic`] — seeded generators at IEEE 30/57/118/300 dimensions.
+//!
+//! # Examples
+//!
+//! ```
+//! use sta_grid::{ieee14, topology};
+//!
+//! let sys = ieee14::system();
+//! let h = topology::h_matrix(&sys.grid, &sys.topology);
+//! assert_eq!(h.num_rows(), 54); // 2·20 + 14 potential measurements
+//! assert_eq!(h.num_cols(), 14);
+//! ```
+
+pub mod caseformat;
+pub mod ieee14;
+pub mod measurement;
+pub mod model;
+pub mod synthetic;
+pub mod system;
+pub mod topology;
+
+pub use measurement::{MeasurementConfig, MeasurementId, MeasurementKind};
+pub use model::{BusId, Grid, Line, LineId};
+pub use system::TestSystem;
+pub use topology::Topology;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any generated synthetic grid is connected and has the requested
+        /// dimensions.
+        #[test]
+        fn synthetic_grids_always_connected(
+            b in 4usize..40,
+            extra in 0usize..12,
+            seed in 0u64..1000,
+        ) {
+            let l = (b - 1 + extra).min(b * (b - 1) / 2);
+            let grid = synthetic::generate(b, l, seed);
+            prop_assert_eq!(grid.num_buses(), b);
+            prop_assert_eq!(grid.num_lines(), l);
+            prop_assert!(Topology::all_closed(&grid).is_connected(&grid));
+        }
+
+        /// Each H-matrix consumption column block sums to zero (power
+        /// balance) for random synthetic grids.
+        #[test]
+        fn h_consumption_rows_balance(seed in 0u64..200) {
+            let grid = synthetic::generate(10, 14, seed);
+            let topo = Topology::all_closed(&grid);
+            let h = topology::h_matrix(&grid, &topo);
+            for col in 0..10 {
+                let total: f64 = (28..38).map(|r| h[(r, col)]).sum();
+                prop_assert!(total.abs() < 1e-9);
+            }
+        }
+
+        /// Opening a single line leaves at most two islands.
+        #[test]
+        fn single_cut_makes_at_most_two_islands(seed in 0u64..200) {
+            let grid = synthetic::generate(12, 16, seed);
+            let base = Topology::all_closed(&grid);
+            for i in 0..grid.num_lines() {
+                let cut = base.with_line_open(LineId(i));
+                let islands = cut.island_count(&grid);
+                prop_assert!(islands == 1 || islands == 2);
+            }
+        }
+
+        /// measurement_bus is consistent with MeasurementConfig::kind.
+        #[test]
+        fn measurement_bus_matches_kind(seed in 0u64..100) {
+            let grid = synthetic::generate(8, 11, seed);
+            for m in 0..grid.num_potential_measurements() {
+                let id = MeasurementId(m);
+                let bus = MeasurementConfig::bus_of(&grid, id);
+                match MeasurementConfig::kind(&grid, id) {
+                    MeasurementKind::FlowForward(l) =>
+                        prop_assert_eq!(bus, grid.line(l).from),
+                    MeasurementKind::FlowBackward(l) =>
+                        prop_assert_eq!(bus, grid.line(l).to),
+                    MeasurementKind::Injection(b) => prop_assert_eq!(bus, b),
+                }
+            }
+        }
+    }
+}

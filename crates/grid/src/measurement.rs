@@ -1,0 +1,260 @@
+//! Measurement configuration: which of the `2l + b` potential meters are
+//! taken, secured, and accessible to an adversary.
+//!
+//! The paper's measurement numbering is preserved: measurements `1..=l`
+//! (here `0..l`) are forward line flows, `l+1..=2l` backward flows, and
+//! `2l+1..=2l+b` bus consumptions. [`MeasurementConfig`] carries the three
+//! per-measurement flags the attack model reads — `mz` (taken), `sz`
+//! (secured), `az` (accessible) — plus helpers to manipulate them in bulk.
+
+use crate::model::{BusId, Grid, LineId};
+use crate::topology::measurement_bus;
+use std::fmt;
+
+/// Index of a potential measurement, `0`-based over `2l + b` slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MeasurementId(pub usize);
+
+impl fmt::Display for MeasurementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "measurement {}", self.0 + 1)
+    }
+}
+
+/// What a measurement meters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeasurementKind {
+    /// Forward power flow of a line (from-bus → to-bus).
+    FlowForward(LineId),
+    /// Backward power flow of a line.
+    FlowBackward(LineId),
+    /// Power consumption at a bus.
+    Injection(BusId),
+}
+
+/// The `mz`/`sz`/`az` flags of every potential measurement.
+///
+/// # Examples
+///
+/// ```
+/// use sta_grid::{ieee14, MeasurementId};
+///
+/// let case = ieee14::system();
+/// let cfg = &case.measurements;
+/// // Paper Table III: measurement 5 is not taken; measurement 1 is secured.
+/// assert!(!cfg.is_taken(MeasurementId(4)));
+/// assert!(cfg.is_secured(MeasurementId(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasurementConfig {
+    taken: Vec<bool>,
+    secured: Vec<bool>,
+    accessible: Vec<bool>,
+}
+
+impl MeasurementConfig {
+    /// All measurements taken, none secured, all accessible.
+    pub fn full(grid: &Grid) -> Self {
+        let m = grid.num_potential_measurements();
+        MeasurementConfig {
+            taken: vec![true; m],
+            secured: vec![false; m],
+            accessible: vec![true; m],
+        }
+    }
+
+    /// Total number of potential measurements (`2l + b`).
+    pub fn len(&self) -> usize {
+        self.taken.len()
+    }
+
+    /// Whether there are no measurement slots.
+    pub fn is_empty(&self) -> bool {
+        self.taken.is_empty()
+    }
+
+    /// Whether `id` is recorded for state estimation (`mz`).
+    pub fn is_taken(&self, id: MeasurementId) -> bool {
+        self.taken[id.0]
+    }
+
+    /// Whether `id` is integrity-protected (`sz`).
+    pub fn is_secured(&self, id: MeasurementId) -> bool {
+        self.secured[id.0]
+    }
+
+    /// Whether the adversary can reach `id` (`az`).
+    pub fn is_accessible(&self, id: MeasurementId) -> bool {
+        self.accessible[id.0]
+    }
+
+    /// Sets the taken flag.
+    pub fn set_taken(&mut self, id: MeasurementId, v: bool) {
+        self.taken[id.0] = v;
+    }
+
+    /// Sets the secured flag.
+    pub fn set_secured(&mut self, id: MeasurementId, v: bool) {
+        self.secured[id.0] = v;
+    }
+
+    /// Sets the accessible flag.
+    pub fn set_accessible(&mut self, id: MeasurementId, v: bool) {
+        self.accessible[id.0] = v;
+    }
+
+    /// Ids of taken measurements.
+    pub fn taken_ids(&self) -> impl Iterator<Item = MeasurementId> + '_ {
+        self.taken
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t)
+            .map(|(i, _)| MeasurementId(i))
+    }
+
+    /// Number of taken measurements.
+    pub fn num_taken(&self) -> usize {
+        self.taken.iter().filter(|&&t| t).count()
+    }
+
+    /// Marks every measurement residing at `bus` as secured — the paper's
+    /// bus-level protection model (securing a substation, e.g. with a
+    /// tamper-protected PMU, secures all its meters; Eq. 28).
+    pub fn secure_bus(&mut self, grid: &Grid, bus: BusId) {
+        for i in 0..self.len() {
+            if measurement_bus(grid, i) == bus {
+                self.secured[i] = true;
+            }
+        }
+    }
+
+    /// Returns a copy with the given buses secured.
+    pub fn with_secured_buses(&self, grid: &Grid, buses: &[BusId]) -> Self {
+        let mut out = self.clone();
+        for &b in buses {
+            out.secure_bus(grid, b);
+        }
+        out
+    }
+
+    /// Restricts `taken` to a deterministic subset of the given fraction
+    /// (used by the evaluation sweeps over "% of measurements taken").
+    ///
+    /// Keeps every `ceil(1/fraction)`-ish slot via integer striding so the
+    /// same fraction always selects the same subset. A fraction of 1.0
+    /// keeps everything.
+    ///
+    /// # Panics
+    /// Panics unless `0 < fraction ≤ 1`.
+    pub fn with_taken_fraction(&self, fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction in (0, 1]");
+        let mut out = self.clone();
+        for i in 0..self.len() {
+            // Deterministic stride: slot i survives iff its scaled position
+            // advances the integer count, i.e. ⌊(i+1)f⌋ > ⌊i·f⌋.
+            let advances = (((i + 1) as f64) * fraction).floor()
+                > ((i as f64) * fraction).floor();
+            out.taken[i] = self.taken[i] && advances;
+        }
+        out
+    }
+
+    /// Kind of a measurement slot with respect to `grid`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range for `grid`.
+    pub fn kind(grid: &Grid, id: MeasurementId) -> MeasurementKind {
+        let l = grid.num_lines();
+        if id.0 < l {
+            MeasurementKind::FlowForward(LineId(id.0))
+        } else if id.0 < 2 * l {
+            MeasurementKind::FlowBackward(LineId(id.0 - l))
+        } else {
+            MeasurementKind::Injection(BusId(id.0 - 2 * l))
+        }
+    }
+
+    /// The substation (bus) where measurement `id` physically resides.
+    pub fn bus_of(grid: &Grid, id: MeasurementId) -> BusId {
+        measurement_bus(grid, id.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Line;
+
+    fn grid() -> Grid {
+        Grid::new(
+            3,
+            vec![
+                Line::new(BusId(0), BusId(1), 2.0),
+                Line::new(BusId(1), BusId(2), 4.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn full_config_flags() {
+        let g = grid();
+        let cfg = MeasurementConfig::full(&g);
+        assert_eq!(cfg.len(), 7);
+        assert_eq!(cfg.num_taken(), 7);
+        assert!(cfg.is_taken(MeasurementId(0)));
+        assert!(!cfg.is_secured(MeasurementId(0)));
+        assert!(cfg.is_accessible(MeasurementId(6)));
+    }
+
+    #[test]
+    fn kinds_partition_by_index() {
+        let g = grid();
+        assert_eq!(
+            MeasurementConfig::kind(&g, MeasurementId(1)),
+            MeasurementKind::FlowForward(LineId(1))
+        );
+        assert_eq!(
+            MeasurementConfig::kind(&g, MeasurementId(2)),
+            MeasurementKind::FlowBackward(LineId(0))
+        );
+        assert_eq!(
+            MeasurementConfig::kind(&g, MeasurementId(5)),
+            MeasurementKind::Injection(BusId(1))
+        );
+    }
+
+    #[test]
+    fn securing_a_bus_secures_its_meters() {
+        let g = grid();
+        let mut cfg = MeasurementConfig::full(&g);
+        cfg.secure_bus(&g, BusId(1));
+        // Bus 1 hosts: forward flow of line 1 (meter 1), backward flow of
+        // line 0 (meter 2), injection of bus 1 (meter 5).
+        assert!(cfg.is_secured(MeasurementId(1)));
+        assert!(cfg.is_secured(MeasurementId(2)));
+        assert!(cfg.is_secured(MeasurementId(5)));
+        assert!(!cfg.is_secured(MeasurementId(0)));
+        assert!(!cfg.is_secured(MeasurementId(3)));
+    }
+
+    #[test]
+    fn taken_fraction_is_deterministic_and_sized() {
+        let g = grid();
+        let cfg = MeasurementConfig::full(&g);
+        let half = cfg.with_taken_fraction(0.5);
+        let again = cfg.with_taken_fraction(0.5);
+        assert_eq!(half, again);
+        let kept = half.num_taken();
+        assert!(kept >= 3 && kept <= 4, "kept {kept}");
+        assert_eq!(cfg.with_taken_fraction(1.0).num_taken(), 7);
+    }
+
+    #[test]
+    fn taken_ids_iterates_only_taken() {
+        let g = grid();
+        let mut cfg = MeasurementConfig::full(&g);
+        cfg.set_taken(MeasurementId(3), false);
+        let ids: Vec<usize> = cfg.taken_ids().map(|m| m.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 4, 5, 6]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Core grid model: buses, transmission lines, and the static network.
+//!
+//! Conventions follow the paper's Section III-A: line `i` runs from its
+//! *from-bus* `lf_i` to its *to-bus* `lt_i`; its DC admittance `ld_i` is the
+//! reciprocal of the line reactance; the line power flow is
+//! `P_i = ld_i·(θ_lf − θ_lt)`; and the consumption at bus `j` is the sum of
+//! incoming flows minus the sum of outgoing flows (Eq. 4).
+
+use std::fmt;
+
+/// Index of a bus, `0`-based.
+///
+/// The paper numbers buses from 1; all public display/reporting helpers in
+/// this workspace add 1 back when printing so outputs match the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BusId(pub usize);
+
+impl fmt::Display for BusId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bus {}", self.0 + 1)
+    }
+}
+
+/// Index of a transmission line, `0`-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineId(pub usize);
+
+impl fmt::Display for LineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.0 + 1)
+    }
+}
+
+/// A transmission line (branch) of the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Line {
+    /// The from-bus (`lf_i`), the tail of the reference direction.
+    pub from: BusId,
+    /// The to-bus (`lt_i`), the head of the reference direction.
+    pub to: BusId,
+    /// DC admittance (`ld_i`), reciprocal of the line reactance, in per
+    /// unit. Always positive.
+    pub admittance: f64,
+    /// Thermal rating: the largest |flow| the line can carry, in per
+    /// unit. `None` = unknown/unlimited. Used by impact analysis
+    /// (overload masking), not by the attack feasibility model.
+    pub rating: Option<f64>,
+}
+
+impl Line {
+    /// Creates a line with no thermal rating.
+    ///
+    /// # Panics
+    /// Panics if the endpoints coincide or the admittance is not positive
+    /// and finite.
+    pub fn new(from: BusId, to: BusId, admittance: f64) -> Self {
+        assert_ne!(from, to, "line endpoints must differ");
+        assert!(
+            admittance > 0.0 && admittance.is_finite(),
+            "admittance must be positive and finite"
+        );
+        Line { from, to, admittance, rating: None }
+    }
+
+    /// Sets the thermal rating.
+    ///
+    /// # Panics
+    /// Panics if `rating` is not positive and finite.
+    pub fn with_rating(mut self, rating: f64) -> Self {
+        assert!(
+            rating > 0.0 && rating.is_finite(),
+            "rating must be positive and finite"
+        );
+        self.rating = Some(rating);
+        self
+    }
+
+    /// Whether the line touches `bus`.
+    pub fn touches(&self, bus: BusId) -> bool {
+        self.from == bus || self.to == bus
+    }
+}
+
+/// The static model of a power grid: a set of buses and the lines that can
+/// connect them.
+///
+/// Which lines are actually *in service* is a property of a
+/// [`crate::topology::Topology`], not of the grid itself — the topology
+/// processor combines the two.
+///
+/// # Examples
+///
+/// ```
+/// use sta_grid::{BusId, Grid, Line};
+///
+/// let grid = Grid::new(3, vec![
+///     Line::new(BusId(0), BusId(1), 10.0),
+///     Line::new(BusId(1), BusId(2), 5.0),
+/// ]);
+/// assert_eq!(grid.num_buses(), 3);
+/// assert_eq!(grid.lines_at(BusId(1)).count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    num_buses: usize,
+    lines: Vec<Line>,
+}
+
+impl Grid {
+    /// Creates a grid with `num_buses` buses and the given lines.
+    ///
+    /// # Panics
+    /// Panics if any line references a bus out of range.
+    pub fn new(num_buses: usize, lines: Vec<Line>) -> Self {
+        for line in &lines {
+            assert!(
+                line.from.0 < num_buses && line.to.0 < num_buses,
+                "line endpoint out of range"
+            );
+        }
+        Grid { num_buses, lines }
+    }
+
+    /// Number of buses (`b`).
+    pub fn num_buses(&self) -> usize {
+        self.num_buses
+    }
+
+    /// Number of lines (`l`).
+    pub fn num_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// The lines, indexed by [`LineId`].
+    pub fn lines(&self) -> &[Line] {
+        &self.lines
+    }
+
+    /// The line with the given id.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn line(&self, id: LineId) -> &Line {
+        &self.lines[id.0]
+    }
+
+    /// Iterates over `(LineId, &Line)` pairs of lines touching `bus`.
+    pub fn lines_at(&self, bus: BusId) -> impl Iterator<Item = (LineId, &Line)> + '_ {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(move |(_, l)| l.touches(bus))
+            .map(|(i, l)| (LineId(i), l))
+    }
+
+    /// Lines whose *to-bus* is `bus` (the paper's `I_{j,in}`).
+    pub fn incoming(&self, bus: BusId) -> impl Iterator<Item = (LineId, &Line)> + '_ {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(move |(_, l)| l.to == bus)
+            .map(|(i, l)| (LineId(i), l))
+    }
+
+    /// Lines whose *from-bus* is `bus` (the paper's `I_{j,out}`).
+    pub fn outgoing(&self, bus: BusId) -> impl Iterator<Item = (LineId, &Line)> + '_ {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(move |(_, l)| l.from == bus)
+            .map(|(i, l)| (LineId(i), l))
+    }
+
+    /// The average nodal degree `2l / b` — power grids sit near 3
+    /// regardless of size, the structural property the paper credits for
+    /// its sub-quadratic scaling (§V-B).
+    pub fn average_degree(&self) -> f64 {
+        2.0 * self.num_lines() as f64 / self.num_buses() as f64
+    }
+
+    /// Total number of potential measurements, `2l + b` (two flow meters
+    /// per line plus one injection meter per bus).
+    pub fn num_potential_measurements(&self) -> usize {
+        2 * self.num_lines() + self.num_buses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Grid {
+        Grid::new(
+            3,
+            vec![
+                Line::new(BusId(0), BusId(1), 2.0),
+                Line::new(BusId(1), BusId(2), 4.0),
+                Line::new(BusId(0), BusId(2), 8.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts() {
+        let g = tiny();
+        assert_eq!(g.num_buses(), 3);
+        assert_eq!(g.num_lines(), 3);
+        assert_eq!(g.num_potential_measurements(), 9);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incidence_queries() {
+        let g = tiny();
+        let at1: Vec<usize> = g.lines_at(BusId(1)).map(|(id, _)| id.0).collect();
+        assert_eq!(at1, vec![0, 1]);
+        let inc2: Vec<usize> = g.incoming(BusId(2)).map(|(id, _)| id.0).collect();
+        assert_eq!(inc2, vec![1, 2]);
+        let out0: Vec<usize> = g.outgoing(BusId(0)).map(|(id, _)| id.0).collect();
+        assert_eq!(out0, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_line() {
+        Grid::new(2, vec![Line::new(BusId(0), BusId(5), 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn rejects_self_loop() {
+        Line::new(BusId(1), BusId(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_admittance() {
+        Line::new(BusId(0), BusId(1), 0.0);
+    }
+
+    #[test]
+    fn display_is_one_indexed() {
+        assert_eq!(BusId(0).to_string(), "bus 1");
+        assert_eq!(LineId(19).to_string(), "line 20");
+    }
+}

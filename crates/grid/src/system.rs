@@ -1,0 +1,112 @@
+//! A packaged test system: grid, true topology, topology-security flags,
+//! and measurement configuration.
+
+use crate::measurement::MeasurementConfig;
+use crate::model::{BusId, Grid, LineId};
+use crate::topology::Topology;
+
+/// Everything the attack/synthesis models need to know about one test
+/// case: the static grid, the true topology (`tl`), which lines are part of
+/// the fixed *core topology* (`fl`), which line statuses are
+/// integrity-protected (`sl`), the measurement configuration
+/// (`mz`/`sz`/`az`), and the chosen reference (slack) bus.
+///
+/// # Examples
+///
+/// ```
+/// use sta_grid::ieee14;
+///
+/// let sys = ieee14::system();
+/// assert_eq!(sys.grid.num_buses(), 14);
+/// assert_eq!(sys.grid.num_lines(), 20);
+/// assert_eq!(sys.measurements.len(), 54);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TestSystem {
+    /// Human-readable case name, e.g. `"ieee14"`.
+    pub name: String,
+    /// The static network.
+    pub grid: Grid,
+    /// True in-service statuses (`tl_i`).
+    pub topology: Topology,
+    /// Whether each line belongs to the fixed core topology (`fl_i`);
+    /// core lines can never be opened.
+    pub fixed_lines: Vec<bool>,
+    /// Whether each line's breaker status telemetry is secured (`sl_i`).
+    pub secured_line_status: Vec<bool>,
+    /// The `mz`/`sz`/`az` flags.
+    pub measurements: MeasurementConfig,
+    /// Reference (slack) bus whose phase angle is pinned to zero.
+    pub reference_bus: BusId,
+}
+
+impl TestSystem {
+    /// A fully-metered, unsecured system over `grid` with every line in
+    /// the fixed core topology.
+    pub fn fully_metered(name: impl Into<String>, grid: Grid) -> Self {
+        let measurements = MeasurementConfig::full(&grid);
+        let topology = Topology::all_closed(&grid);
+        let n = grid.num_lines();
+        TestSystem {
+            name: name.into(),
+            grid,
+            topology,
+            fixed_lines: vec![true; n],
+            secured_line_status: vec![false; n],
+            measurements,
+            reference_bus: BusId(0),
+        }
+    }
+
+    /// Whether `line` may be excluded by a topology attack: it must be in
+    /// the true topology, not fixed, and not status-secured (paper Eq. 9).
+    pub fn excludable(&self, line: LineId) -> bool {
+        self.topology.is_in_service(line)
+            && !self.fixed_lines[line.0]
+            && !self.secured_line_status[line.0]
+    }
+
+    /// Whether `line` may be included by a topology attack: it must be out
+    /// of the true topology and not status-secured (paper Eq. 10).
+    pub fn includable(&self, line: LineId) -> bool {
+        !self.topology.is_in_service(line) && !self.secured_line_status[line.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Line;
+
+    #[test]
+    fn fully_metered_defaults() {
+        let g = Grid::new(2, vec![Line::new(BusId(0), BusId(1), 1.0)]);
+        let sys = TestSystem::fully_metered("t", g);
+        assert_eq!(sys.measurements.num_taken(), 4); // 2·1 flows + 2 injections
+        assert!(!sys.excludable(LineId(0))); // fixed core line
+        assert!(!sys.includable(LineId(0))); // already in service
+        assert_eq!(sys.reference_bus, BusId(0));
+    }
+
+    #[test]
+    fn exclusion_inclusion_gates() {
+        let g = Grid::new(
+            3,
+            vec![
+                Line::new(BusId(0), BusId(1), 1.0),
+                Line::new(BusId(1), BusId(2), 1.0),
+                Line::new(BusId(0), BusId(2), 1.0),
+            ],
+        );
+        let mut sys = TestSystem::fully_metered("t", g);
+        sys.fixed_lines[1] = false;
+        assert!(sys.excludable(LineId(1)));
+        sys.secured_line_status[1] = true;
+        assert!(!sys.excludable(LineId(1)));
+        // An open, unsecured line is includable.
+        sys.topology = sys.topology.with_line_open(LineId(2));
+        assert!(sys.includable(LineId(2)));
+        sys.secured_line_status[2] = true;
+        assert!(!sys.includable(LineId(2)));
+    }
+}

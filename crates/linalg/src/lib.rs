@@ -1,0 +1,106 @@
+//! Dense linear algebra substrate for the state-estimation stack.
+//!
+//! The paper's estimator needs exactly the classical kit: dense
+//! matrix/vector arithmetic ([`Matrix`], [`Vector`]), LU with partial
+//! pivoting ([`Lu`]) for general square solves, and Cholesky ([`Cholesky`])
+//! for the symmetric positive-definite WLS normal equations. Everything is
+//! `f64`; the exact-arithmetic side of the project lives in `sta-smt`.
+//!
+//! # Examples
+//!
+//! Weighted least squares `x̂ = (HᵀWH)⁻¹HᵀWz` in three lines:
+//!
+//! ```
+//! use sta_linalg::{Cholesky, Matrix, Vector};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let h = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+//! let w = [1.0, 1.0, 2.0];
+//! let z = Vector::from(vec![1.0, 2.0, 3.1]);
+//! let htw = h.transpose().scale_cols(&w);
+//! let x = Cholesky::factor(&htw.mul_mat(&h))?.solve(&htw.mul_vec(&z))?;
+//! assert!((x[0] - 1.04).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cholesky;
+pub mod lu;
+pub mod qr;
+pub mod matrix;
+pub mod vector;
+
+pub use cholesky::{Cholesky, NotPositiveDefiniteError};
+pub use lu::{Lu, SingularMatrixError};
+pub use qr::{Qr, RankDeficientError};
+pub use matrix::Matrix;
+pub use vector::Vector;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(-10.0f64..10.0, n)
+    }
+
+    proptest! {
+        /// LU solve then multiply round-trips for well-conditioned matrices.
+        #[test]
+        fn lu_roundtrip(rows in proptest::collection::vec(small_vec(4), 4),
+                        b in small_vec(4)) {
+            let mut a = Matrix::from_rows(&rows);
+            // Diagonal dominance guarantees nonsingularity.
+            for i in 0..4 {
+                a[(i, i)] += 50.0;
+            }
+            let bv = Vector::from(b);
+            let x = Lu::factor(&a).unwrap().solve(&bv).unwrap();
+            let back = a.mul_vec(&x);
+            for i in 0..4 {
+                prop_assert!((back[i] - bv[i]).abs() < 1e-8);
+            }
+        }
+
+        /// AᵀA + λI is SPD; Cholesky solves agree with LU solves.
+        #[test]
+        fn cholesky_matches_lu(rows in proptest::collection::vec(small_vec(3), 5),
+                               b in small_vec(3)) {
+            let a = Matrix::from_rows(&rows);
+            let mut ata = a.transpose().mul_mat(&a);
+            for i in 0..3 {
+                ata[(i, i)] += 1.0;
+            }
+            let bv = Vector::from(b);
+            let x1 = Cholesky::factor(&ata).unwrap().solve(&bv).unwrap();
+            let x2 = Lu::factor(&ata).unwrap().solve(&bv).unwrap();
+            for i in 0..3 {
+                prop_assert!((x1[i] - x2[i]).abs() < 1e-7);
+            }
+        }
+
+        /// (A·B)ᵀ = Bᵀ·Aᵀ.
+        #[test]
+        fn transpose_of_product(ra in proptest::collection::vec(small_vec(3), 2),
+                                rb in proptest::collection::vec(small_vec(4), 3)) {
+            let a = Matrix::from_rows(&ra);
+            let b = Matrix::from_rows(&rb);
+            let left = a.mul_mat(&b).transpose();
+            let right = b.transpose().mul_mat(&a.transpose());
+            for i in 0..left.num_rows() {
+                for j in 0..left.num_cols() {
+                    prop_assert!((left[(i, j)] - right[(i, j)]).abs() < 1e-9);
+                }
+            }
+        }
+
+        /// Triangle inequality for the l2 norm.
+        #[test]
+        fn norm_triangle(xa in small_vec(6), xb in small_vec(6)) {
+            let a = Vector::from(xa);
+            let b = Vector::from(xb);
+            prop_assert!((&a + &b).norm2() <= a.norm2() + b.norm2() + 1e-9);
+        }
+    }
+}

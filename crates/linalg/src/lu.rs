@@ -1,0 +1,211 @@
+//! LU decomposition with partial pivoting.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use std::fmt;
+
+/// Error returned when a matrix is singular to working precision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SingularMatrixError;
+
+impl fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("matrix is singular to working precision")
+    }
+}
+
+impl std::error::Error for SingularMatrixError {}
+
+/// An LU factorization `P·A = L·U` of a square matrix.
+///
+/// # Examples
+///
+/// ```
+/// use sta_linalg::{Lu, Matrix, Vector};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+/// let lu = Lu::factor(&a)?;
+/// let x = lu.solve(&Vector::from(vec![3.0, 5.0]))?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined storage: U on and above the diagonal, L (unit-diagonal)
+    /// strictly below.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for the determinant).
+    sign: f64,
+}
+
+impl Lu {
+    /// Factors `a`.
+    ///
+    /// # Errors
+    /// Returns [`SingularMatrixError`] if a pivot underflows `1e-12` times
+    /// the largest entry of the matrix.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    pub fn factor(a: &Matrix) -> Result<Lu, SingularMatrixError> {
+        assert_eq!(a.num_rows(), a.num_cols(), "LU needs a square matrix");
+        let n = a.num_rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let tol = 1e-12 * a.norm_max().max(1.0);
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below row k.
+            let mut piv = k;
+            let mut best = lu[(k, k)].abs();
+            for i in k + 1..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    piv = i;
+                }
+            }
+            if best <= tol {
+                return Err(SingularMatrixError);
+            }
+            if piv != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(piv, j)];
+                    lu[(piv, j)] = tmp;
+                }
+                perm.swap(k, piv);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in k + 1..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in k + 1..n {
+                    let upd = factor * lu[(k, j)];
+                    lu[(i, j)] -= upd;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    /// Never fails once factored; the `Result` mirrors [`Lu::factor`] so
+    /// call sites can chain with `?`.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the matrix dimension.
+    pub fn solve(&self, b: &Vector) -> Result<Vector, SingularMatrixError> {
+        let n = self.lu.num_rows();
+        assert_eq!(b.len(), n, "solve: dimension mismatch");
+        // Forward substitution with permuted b (L has unit diagonal).
+        let mut y = Vector::zeros(n);
+        for i in 0..n {
+            let mut acc = b[self.perm[i]];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution.
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in i + 1..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// The determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.num_rows();
+        (0..n).fold(self.sign, |acc, i| acc * self.lu[(i, i)])
+    }
+
+    /// The inverse of the factored matrix.
+    ///
+    /// # Errors
+    /// Mirrors [`Lu::solve`].
+    pub fn inverse(&self) -> Result<Matrix, SingularMatrixError> {
+        let n = self.lu.num_rows();
+        let mut inv = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut e = Vector::zeros(n);
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+    }
+
+    #[test]
+    fn solves_small_system() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, -2.0, 1.0],
+            vec![-2.0, 4.0, -2.0],
+            vec![1.0, -2.0, 4.0],
+        ]);
+        let b = Vector::from(vec![11.0, -16.0, 17.0]);
+        let x = Lu::factor(&a).unwrap().solve(&b).unwrap();
+        let back = a.mul_vec(&x);
+        for i in 0..3 {
+            assert_close(back[i], b[i]);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = Lu::factor(&a).unwrap().solve(&Vector::from(vec![2.0, 3.0])).unwrap();
+        assert_close(x[0], 3.0);
+        assert_close(x[1], 2.0);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(Lu::factor(&a).unwrap_err(), SingularMatrixError);
+    }
+
+    #[test]
+    fn determinant_and_inverse() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![1.0, 2.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        assert_close(lu.det(), 6.0);
+        let inv = lu.inverse().unwrap();
+        let prod = a.mul_mat(&inv);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_close(prod[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn determinant_sign_tracks_permutation() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert_close(Lu::factor(&a).unwrap().det(), -1.0);
+    }
+}

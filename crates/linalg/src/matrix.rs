@@ -1,0 +1,333 @@
+//! Dense row-major matrices of `f64`.
+
+use crate::vector::Vector;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense matrix.
+///
+/// # Examples
+///
+/// ```
+/// use sta_linalg::{Matrix, Vector};
+///
+/// let h = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0]]);
+/// let x = Vector::from(vec![2.0, 3.0]);
+/// assert_eq!(h.mul_vec(&x), Vector::from(vec![2.0, 5.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An all-zero `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// A square matrix with `diag` on the diagonal.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let mut m = Matrix::zeros(diag.len(), diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Builds from row slices.
+    ///
+    /// # Panics
+    /// Panics if the rows have differing lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// A copy of row `i`.
+    pub fn row(&self, i: usize) -> Vector {
+        Vector::from(self.data[i * self.cols..(i + 1) * self.cols].to_vec())
+    }
+
+    /// A copy of column `j`.
+    pub fn col(&self, j: usize) -> Vector {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.num_cols()`.
+    pub fn mul_vec(&self, x: &Vector) -> Vector {
+        assert_eq!(x.len(), self.cols, "mul_vec: dimension mismatch");
+        let xs = x.as_slice();
+        (0..self.rows)
+            .map(|i| {
+                self.data[i * self.cols..(i + 1) * self.cols]
+                    .iter()
+                    .zip(xs)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions differ.
+    pub fn mul_mat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "mul_mat: dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Scales every entry by `k`.
+    pub fn scaled(&self, k: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * k).collect(),
+        }
+    }
+
+    /// `self · diag(d)` — cheap right-scaling by a diagonal.
+    ///
+    /// # Panics
+    /// Panics if `d.len() != self.num_cols()`.
+    pub fn scale_cols(&self, d: &[f64]) -> Matrix {
+        assert_eq!(d.len(), self.cols, "scale_cols: dimension mismatch");
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(i, j)] *= d[j];
+            }
+        }
+        out
+    }
+
+    /// `diag(d) · self` — cheap left-scaling by a diagonal.
+    ///
+    /// # Panics
+    /// Panics if `d.len() != self.num_rows()`.
+    pub fn scale_rows(&self, d: &[f64]) -> Matrix {
+        assert_eq!(d.len(), self.rows, "scale_rows: dimension mismatch");
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(i, j)] *= d[i];
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute entry.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, x| m.max(x.abs()))
+    }
+
+    /// Returns the sub-matrix keeping the given rows (in order).
+    pub fn select_rows(&self, keep: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(keep.len(), self.cols);
+        for (oi, &i) in keep.iter().enumerate() {
+            for j in 0..self.cols {
+                out[(oi, j)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Returns the sub-matrix keeping the given columns (in order).
+    pub fn select_cols(&self, keep: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, keep.len());
+        for i in 0..self.rows {
+            for (oj, &j) in keep.iter().enumerate() {
+                out[(i, oj)] = self[(i, j)];
+            }
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, other: &Matrix) -> Matrix {
+        self.mul_mat(other)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:10.4}", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.mul_mat(&i), a);
+        assert_eq!(i.mul_mat(&a), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().num_rows(), 3);
+    }
+
+    #[test]
+    fn mat_vec_and_mat_mat_agree() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let x = Vector::from(vec![5.0, 6.0]);
+        let as_mat = Matrix::from_rows(&[vec![5.0], vec![6.0]]);
+        let y = a.mul_vec(&x);
+        let ym = a.mul_mat(&as_mat);
+        assert_eq!(y[0], ym[(0, 0)]);
+        assert_eq!(y[1], ym[(1, 0)]);
+    }
+
+    #[test]
+    fn diagonal_scaling_matches_full_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let d = [2.0, 3.0];
+        let full = Matrix::from_diag(&d);
+        assert_eq!(a.scale_cols(&d), a.mul_mat(&full));
+        assert_eq!(a.scale_rows(&d), full.mul_mat(&a));
+    }
+
+    #[test]
+    fn row_col_selection() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ]);
+        let r = a.select_rows(&[2, 0]);
+        assert_eq!(r, Matrix::from_rows(&[vec![7.0, 8.0, 9.0], vec![1.0, 2.0, 3.0]]));
+        let c = a.select_cols(&[1]);
+        assert_eq!(c, Matrix::from_rows(&[vec![2.0], vec![5.0], vec![8.0]]));
+        assert_eq!(a.row(1), Vector::from(vec![4.0, 5.0, 6.0]));
+        assert_eq!(a.col(0), Vector::from(vec![1.0, 4.0, 7.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_product_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.mul_mat(&b);
+    }
+}

@@ -1,0 +1,270 @@
+//! QR decomposition by Householder reflections.
+//!
+//! The numerically robust route to least squares: solving `min ‖Ax − b‖`
+//! via `QR` avoids squaring the condition number the way the normal
+//! equations (`AᵀA`) do. The WLS estimator uses Cholesky on the gain
+//! matrix for speed (and because a failed factorization doubles as an
+//! unobservability signal); this factorization is the cross-check used in
+//! tests and the right tool for ill-conditioned measurement sets.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use std::fmt;
+
+/// Error returned when the matrix is rank-deficient to working precision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankDeficientError;
+
+impl fmt::Display for RankDeficientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("matrix is rank deficient to working precision")
+    }
+}
+
+impl std::error::Error for RankDeficientError {}
+
+/// A QR factorization `A = Q·R` of an `m × n` matrix with `m ≥ n`.
+///
+/// # Examples
+///
+/// ```
+/// use sta_linalg::{Matrix, Qr, Vector};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Overdetermined least squares: fit y = a + b·t.
+/// let a = Matrix::from_rows(&[
+///     vec![1.0, 0.0],
+///     vec![1.0, 1.0],
+///     vec![1.0, 2.0],
+/// ]);
+/// let y = Vector::from(vec![1.0, 3.0, 5.0]);
+/// let x = Qr::factor(&a)?.solve_least_squares(&y)?;
+/// assert!((x[0] - 1.0).abs() < 1e-12); // intercept
+/// assert!((x[1] - 2.0).abs() < 1e-12); // slope
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Householder vectors in the lower trapezoid, `R` on and above the
+    /// diagonal.
+    qr: Matrix,
+    /// The scalar `β` of each Householder reflector `I − β·v·vᵀ`.
+    betas: Vec<f64>,
+}
+
+impl Qr {
+    /// Factors `a` (requires `m ≥ n`).
+    ///
+    /// # Errors
+    /// Returns [`RankDeficientError`] if a diagonal of `R` underflows
+    /// `1e-12` times the largest entry of `a`.
+    ///
+    /// # Panics
+    /// Panics if `a` has fewer rows than columns.
+    pub fn factor(a: &Matrix) -> Result<Qr, RankDeficientError> {
+        let m = a.num_rows();
+        let n = a.num_cols();
+        assert!(m >= n, "QR needs m ≥ n");
+        let tol = 1e-12 * a.norm_max().max(1.0);
+        let mut qr = a.clone();
+        let mut betas = Vec::with_capacity(n);
+        for k in 0..n {
+            // Householder vector for column k below the diagonal.
+            let mut norm2 = 0.0;
+            for i in k..m {
+                norm2 += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm2.sqrt();
+            if norm <= tol {
+                return Err(RankDeficientError);
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // v = (v0, column k below the diagonal); β = 2 / ‖v‖².
+            let vnorm2 = v0 * v0 + (norm2 - qr[(k, k)] * qr[(k, k)]);
+            let beta = if vnorm2 <= tol * tol { 0.0 } else { 2.0 / vnorm2 };
+            // Apply the reflector to the columns right of k (column k's
+            // own image is known analytically: (α, 0, …, 0)).
+            for j in k + 1..n {
+                let mut dot = v0 * qr[(k, j)];
+                for i in k + 1..m {
+                    dot += qr[(i, k)] * qr[(i, j)];
+                }
+                let scale = beta * dot;
+                qr[(k, j)] -= scale * v0;
+                for i in k + 1..m {
+                    let upd = scale * qr[(i, k)];
+                    qr[(i, j)] -= upd;
+                }
+            }
+            // Write R's diagonal and stash the normalized Householder
+            // vector v/v0 = (1, …) in the zeroed-out subdiagonal.
+            qr[(k, k)] = alpha;
+            if v0.abs() > 0.0 {
+                for i in k + 1..m {
+                    qr[(i, k)] /= v0;
+                }
+            }
+            betas.push(beta * v0 * v0);
+            if qr[(k, k)].abs() <= tol {
+                return Err(RankDeficientError);
+            }
+        }
+        Ok(Qr { qr, betas })
+    }
+
+    /// Applies `Qᵀ` to a copy of `b`.
+    fn apply_qt(&self, b: &Vector) -> Vector {
+        let m = self.qr.num_rows();
+        let n = self.qr.num_cols();
+        let mut y = b.clone();
+        for k in 0..n {
+            // v = (1, qr[k+1.., k]) scaled; β' = betas[k].
+            let mut dot = y[k];
+            for i in k + 1..m {
+                dot += self.qr[(i, k)] * y[i];
+            }
+            let scale = self.betas[k] * dot;
+            y[k] -= scale;
+            for i in k + 1..m {
+                let upd = scale * self.qr[(i, k)];
+                y[i] -= upd;
+            }
+        }
+        y
+    }
+
+    /// Solves the least-squares problem `min ‖A·x − b‖`.
+    ///
+    /// # Errors
+    /// Mirrors [`Qr::factor`] (never fails once factored).
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the row count.
+    pub fn solve_least_squares(&self, b: &Vector) -> Result<Vector, RankDeficientError> {
+        let m = self.qr.num_rows();
+        let n = self.qr.num_cols();
+        assert_eq!(b.len(), m, "dimension mismatch");
+        let y = self.apply_qt(b);
+        // Back-substitute R·x = y[..n].
+        let mut x = Vector::zeros(n);
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in i + 1..n {
+                acc -= self.qr[(i, j)] * x[j];
+            }
+            x[i] = acc / self.qr[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// The upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.num_cols();
+        let mut r = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r[(i, j)] = self.qr[(i, j)];
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn square_solve_matches_direct() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, -2.0, 1.0],
+            vec![-2.0, 4.0, -2.0],
+            vec![1.0, -2.0, 4.0],
+        ]);
+        let b = Vector::from(vec![11.0, -16.0, 17.0]);
+        let x = Qr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
+        let back = a.mul_vec(&x);
+        for i in 0..3 {
+            assert_close(back[i], b[i], 1e-10);
+        }
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+            vec![5.0, 6.0],
+            vec![7.0, 9.0],
+        ]);
+        let b = Vector::from(vec![1.0, -1.0, 2.0, 0.5]);
+        let qr_x = Qr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
+        // Normal equations via Cholesky.
+        let ata = a.transpose().mul_mat(&a);
+        let atb = a.transpose().mul_vec(&b);
+        let ne_x = crate::Cholesky::factor(&ata).unwrap().solve(&atb).unwrap();
+        for i in 0..2 {
+            assert_close(qr_x[i], ne_x[i], 1e-9);
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_correct_gram() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0],
+            vec![0.0, 3.0],
+            vec![1.0, -1.0],
+        ]);
+        let qr = Qr::factor(&a).unwrap();
+        let r = qr.r();
+        // RᵀR = AᵀA (Q orthogonal).
+        let rtr = r.transpose().mul_mat(&r);
+        let ata = a.transpose().mul_mat(&a);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_close(rtr[(i, j)], ata[(i, j)], 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_rank_deficient() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+        ]);
+        assert_eq!(Qr::factor(&a).unwrap_err(), RankDeficientError);
+    }
+
+    #[test]
+    #[should_panic(expected = "m ≥ n")]
+    fn underdetermined_panics() {
+        let a = Matrix::zeros(2, 3);
+        let _ = Qr::factor(&a);
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_range() {
+        // LS optimality: Aᵀ(b − A·x) = 0.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.5],
+            vec![2.0, -1.0],
+            vec![0.0, 3.0],
+            vec![4.0, 4.0],
+        ]);
+        let b = Vector::from(vec![1.0, 2.0, 3.0, 4.0]);
+        let x = Qr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
+        let r = &b - &a.mul_vec(&x);
+        let at_r = a.transpose().mul_vec(&r);
+        for i in 0..2 {
+            assert_close(at_r[i], 0.0, 1e-9);
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Linear real-arithmetic expressions.
+//!
+//! A [`LinExpr`] is an affine combination `Σ cᵢ·xᵢ + k` of real theory
+//! variables [`RealVar`] with exact [`Rational`] coefficients. It is the
+//! left-hand side of every arithmetic atom handed to the solver.
+//!
+//! # Examples
+//!
+//! ```
+//! use sta_smt::{LinExpr, RealVar};
+//! use sta_smt::rational::Rational;
+//!
+//! let x = RealVar(0);
+//! let y = RealVar(1);
+//! let e = LinExpr::var(x) * Rational::new(2, 1) - LinExpr::var(y)
+//!     + LinExpr::constant(Rational::new(1, 2));
+//! assert_eq!(e.coeff(x), Rational::new(2, 1));
+//! assert_eq!(e.coeff(y), Rational::new(-1, 1));
+//! ```
+
+use crate::rational::Rational;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Identifier of a real-valued theory variable.
+///
+/// Created by [`crate::Solver::new_real`]; the wrapped index is public so
+/// embedders can use it as a dense array key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RealVar(pub u32);
+
+impl fmt::Display for RealVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An affine linear expression over [`RealVar`]s.
+///
+/// Zero-coefficient terms are never stored, so structural equality is
+/// semantic equality.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    terms: BTreeMap<RealVar, Rational>,
+    constant: Rational,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr::default()
+    }
+
+    /// A single variable with coefficient one.
+    pub fn var(v: RealVar) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(v, Rational::one());
+        LinExpr { terms, constant: Rational::zero() }
+    }
+
+    /// A constant expression.
+    pub fn constant(c: Rational) -> Self {
+        LinExpr { terms: BTreeMap::new(), constant: c }
+    }
+
+    /// `coeff · v`.
+    pub fn term(coeff: Rational, v: RealVar) -> Self {
+        let mut e = LinExpr::zero();
+        e.add_term(coeff, v);
+        e
+    }
+
+    /// Adds `coeff · v` in place.
+    pub fn add_term(&mut self, coeff: Rational, v: RealVar) {
+        if coeff.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(v).or_default();
+        let sum = &*entry + &coeff;
+        if sum.is_zero() {
+            self.terms.remove(&v);
+        } else {
+            *entry = sum;
+        }
+    }
+
+    /// Adds a constant in place.
+    pub fn add_constant(&mut self, c: &Rational) {
+        self.constant = &self.constant + c;
+    }
+
+    /// The coefficient of `v` (zero when absent).
+    pub fn coeff(&self, v: RealVar) -> Rational {
+        self.terms.get(&v).cloned().unwrap_or_default()
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> &Rational {
+        &self.constant
+    }
+
+    /// Whether the expression has no variable terms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates `(variable, coefficient)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (RealVar, &Rational)> + '_ {
+        self.terms.iter().map(|(v, c)| (*v, c))
+    }
+
+    /// Number of variable terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether there are no variable terms and the constant is zero.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty() && self.constant.is_zero()
+    }
+
+    /// Evaluates under an assignment function.
+    pub fn eval(&self, assignment: impl Fn(RealVar) -> Rational) -> Rational {
+        let mut acc = self.constant.clone();
+        for (v, c) in &self.terms {
+            acc = &acc + &(c * &assignment(*v));
+        }
+        acc
+    }
+
+    /// Splits into the variable part (constant removed) and the constant.
+    pub fn split_constant(mut self) -> (LinExpr, Rational) {
+        let c = std::mem::take(&mut self.constant);
+        (self, c)
+    }
+
+    /// Scales every coefficient and the constant by `k`.
+    pub fn scaled(&self, k: &Rational) -> LinExpr {
+        if k.is_zero() {
+            return LinExpr::zero();
+        }
+        LinExpr {
+            terms: self.terms.iter().map(|(v, c)| (*v, c * k)).collect(),
+            constant: &self.constant * k,
+        }
+    }
+}
+
+impl From<RealVar> for LinExpr {
+    fn from(v: RealVar) -> Self {
+        LinExpr::var(v)
+    }
+}
+
+impl From<Rational> for LinExpr {
+    fn from(c: Rational) -> Self {
+        LinExpr::constant(c)
+    }
+}
+
+impl From<i64> for LinExpr {
+    fn from(c: i64) -> Self {
+        LinExpr::constant(Rational::from(c))
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, other: LinExpr) -> LinExpr {
+        for (v, c) in other.terms {
+            self.add_term(c, v);
+        }
+        self.add_constant(&other.constant);
+        self
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, other: LinExpr) -> LinExpr {
+        self + (-other)
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        LinExpr {
+            terms: self.terms.into_iter().map(|(v, c)| (v, -c)).collect(),
+            constant: -self.constant,
+        }
+    }
+}
+
+impl Mul<Rational> for LinExpr {
+    type Output = LinExpr;
+    fn mul(self, k: Rational) -> LinExpr {
+        self.scaled(&k)
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.terms {
+            if first {
+                write!(f, "{c}·{v}")?;
+                first = false;
+            } else {
+                write!(f, " + {c}·{v}")?;
+            }
+        }
+        if !self.constant.is_zero() || first {
+            if first {
+                write!(f, "{}", self.constant)?;
+            } else {
+                write!(f, " + {}", self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn builds_and_cancels() {
+        let x = RealVar(0);
+        let y = RealVar(1);
+        let e = LinExpr::var(x) + LinExpr::var(y) - LinExpr::var(x);
+        assert_eq!(e.coeff(x), Rational::zero());
+        assert_eq!(e.coeff(y), Rational::one());
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn zero_coefficients_never_stored() {
+        let x = RealVar(3);
+        let mut e = LinExpr::zero();
+        e.add_term(r(1, 2), x);
+        e.add_term(r(-1, 2), x);
+        assert!(e.is_empty());
+        assert_eq!(e, LinExpr::zero());
+    }
+
+    #[test]
+    fn eval_affine() {
+        let x = RealVar(0);
+        let y = RealVar(1);
+        let e = LinExpr::term(r(2, 1), x) + LinExpr::term(r(-3, 1), y)
+            + LinExpr::constant(r(5, 1));
+        let val = e.eval(|v| if v == x { r(1, 2) } else { r(1, 3) });
+        assert_eq!(val, r(5, 1));
+    }
+
+    #[test]
+    fn scaling() {
+        let x = RealVar(0);
+        let e = (LinExpr::var(x) + LinExpr::constant(r(1, 1))) * r(3, 2);
+        assert_eq!(e.coeff(x), r(3, 2));
+        assert_eq!(e.constant_term(), &r(3, 2));
+        assert_eq!(e.scaled(&Rational::zero()), LinExpr::zero());
+    }
+
+    #[test]
+    fn split_constant() {
+        let x = RealVar(0);
+        let e = LinExpr::var(x) + LinExpr::constant(r(7, 1));
+        let (p, c) = e.split_constant();
+        assert_eq!(c, r(7, 1));
+        assert_eq!(p.constant_term(), &Rational::zero());
+        assert_eq!(p.coeff(x), Rational::one());
+    }
+
+    #[test]
+    fn display_readable() {
+        let e = LinExpr::term(r(2, 1), RealVar(0)) + LinExpr::constant(r(-1, 1));
+        assert_eq!(e.to_string(), "2·r0 + -1");
+        assert_eq!(LinExpr::zero().to_string(), "0");
+    }
+}

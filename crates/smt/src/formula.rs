@@ -1,0 +1,393 @@
+//! Boolean formulas over propositional variables and arithmetic atoms.
+//!
+//! [`Formula`] is the assertion language of the [`crate::Solver`]: full
+//! propositional structure (negation, n-ary conjunction/disjunction,
+//! implication, equivalence), linear-arithmetic comparisons built from
+//! [`LinExpr`], and cardinality constraints over sub-formulas.
+//!
+//! # Examples
+//!
+//! ```
+//! use sta_smt::{Formula, LinExpr, LinExprCmp, Solver};
+//! use sta_smt::rational::Rational;
+//!
+//! let mut solver = Solver::new();
+//! let p = solver.new_bool();
+//! let x = solver.new_real();
+//! // p → x ≥ 2, together with ¬(x ≥ 1) forces ¬p.
+//! solver.assert_formula(
+//!     &Formula::var(p).implies(LinExpr::var(x).ge(LinExpr::from(2))),
+//! );
+//! solver.assert_formula(&LinExpr::var(x).ge(LinExpr::from(1)).not());
+//! let model = solver.check().expect_sat();
+//! assert!(!model.bool_value(p));
+//! ```
+
+use crate::expr::LinExpr;
+use std::fmt;
+use std::rc::Rc;
+
+/// Identifier of a propositional variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BoolVar(pub u32);
+
+impl fmt::Display for BoolVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Comparison operator of an arithmetic atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `≤`
+    Le,
+    /// `<`
+    Lt,
+    /// `≥`
+    Ge,
+    /// `>`
+    Gt,
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Le => "<=",
+            CmpOp::Lt => "<",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Node {
+    True,
+    False,
+    Var(BoolVar),
+    /// `expr op 0` — the right-hand side has been folded into the expression.
+    Atom(LinExpr, CmpOp),
+    Not(Formula),
+    And(Vec<Formula>),
+    Or(Vec<Formula>),
+    Implies(Formula, Formula),
+    Iff(Formula, Formula),
+    /// At most `k` of the sub-formulas are true.
+    AtMost(Vec<Formula>, usize),
+    /// At least `k` of the sub-formulas are true.
+    AtLeast(Vec<Formula>, usize),
+}
+
+/// A Boolean combination of propositional variables and arithmetic atoms.
+///
+/// Formulas are immutable and cheaply cloneable (reference-counted nodes).
+/// Build them with the constructors on this type and the comparison methods
+/// on [`LinExpr`] (via [`LinExprCmp`]).
+#[derive(Debug, Clone)]
+pub struct Formula(pub(crate) Rc<Node>);
+
+impl Formula {
+    /// The constant true formula.
+    pub fn top() -> Self {
+        Formula(Rc::new(Node::True))
+    }
+
+    /// The constant false formula.
+    pub fn bottom() -> Self {
+        Formula(Rc::new(Node::False))
+    }
+
+    /// A propositional variable.
+    pub fn var(v: BoolVar) -> Self {
+        Formula(Rc::new(Node::Var(v)))
+    }
+
+    /// A literal: the variable or its negation.
+    pub fn lit(v: BoolVar, positive: bool) -> Self {
+        let f = Formula::var(v);
+        if positive {
+            f
+        } else {
+            f.not()
+        }
+    }
+
+    /// Logical negation.
+    pub fn not(self) -> Self {
+        match &*self.0 {
+            Node::True => Formula::bottom(),
+            Node::False => Formula::top(),
+            Node::Not(inner) => inner.clone(),
+            _ => Formula(Rc::new(Node::Not(self))),
+        }
+    }
+
+    /// N-ary conjunction. Empty input yields `true`.
+    pub fn and(mut fs: Vec<Formula>) -> Self {
+        fs.retain(|f| !matches!(&*f.0, Node::True));
+        if fs.iter().any(|f| matches!(&*f.0, Node::False)) {
+            return Formula::bottom();
+        }
+        match fs.len() {
+            0 => Formula::top(),
+            1 => fs.pop().unwrap(),
+            _ => Formula(Rc::new(Node::And(fs))),
+        }
+    }
+
+    /// N-ary disjunction. Empty input yields `false`.
+    pub fn or(mut fs: Vec<Formula>) -> Self {
+        fs.retain(|f| !matches!(&*f.0, Node::False));
+        if fs.iter().any(|f| matches!(&*f.0, Node::True)) {
+            return Formula::top();
+        }
+        match fs.len() {
+            0 => Formula::bottom(),
+            1 => fs.pop().unwrap(),
+            _ => Formula(Rc::new(Node::Or(fs))),
+        }
+    }
+
+    /// Implication `self → other`.
+    pub fn implies(self, other: Formula) -> Self {
+        match (&*self.0, &*other.0) {
+            (Node::True, _) => other,
+            (Node::False, _) => Formula::top(),
+            (_, Node::True) => Formula::top(),
+            (_, Node::False) => self.not(),
+            _ => Formula(Rc::new(Node::Implies(self, other))),
+        }
+    }
+
+    /// Equivalence `self ↔ other`.
+    pub fn iff(self, other: Formula) -> Self {
+        match (&*self.0, &*other.0) {
+            (Node::True, _) => other,
+            (_, Node::True) => self,
+            (Node::False, _) => other.not(),
+            (_, Node::False) => self.not(),
+            _ => Formula(Rc::new(Node::Iff(self, other))),
+        }
+    }
+
+    /// At most `k` of `fs` hold.
+    ///
+    /// Encoded with the Sinz sequential-counter, so the CNF size is
+    /// `O(k·|fs|)`.
+    pub fn at_most(fs: Vec<Formula>, k: usize) -> Self {
+        if fs.len() <= k {
+            return Formula::top();
+        }
+        if k == 0 {
+            return Formula::and(fs.into_iter().map(Formula::not).collect());
+        }
+        Formula(Rc::new(Node::AtMost(fs, k)))
+    }
+
+    /// At least `k` of `fs` hold.
+    pub fn at_least(fs: Vec<Formula>, k: usize) -> Self {
+        if k == 0 {
+            return Formula::top();
+        }
+        if fs.len() < k {
+            return Formula::bottom();
+        }
+        if k == 1 {
+            return Formula::or(fs);
+        }
+        Formula(Rc::new(Node::AtLeast(fs, k)))
+    }
+
+    /// Exactly `k` of `fs` hold.
+    pub fn exactly(fs: Vec<Formula>, k: usize) -> Self {
+        Formula::and(vec![
+            Formula::at_most(fs.clone(), k),
+            Formula::at_least(fs, k),
+        ])
+    }
+
+    /// An arithmetic atom `lhs op rhs`.
+    pub fn cmp(lhs: LinExpr, op: CmpOp, rhs: LinExpr) -> Self {
+        let diff = lhs - rhs;
+        if diff.is_constant() {
+            let c = diff.constant_term();
+            let holds = match op {
+                CmpOp::Le => !c.is_positive(),
+                CmpOp::Lt => c.is_negative(),
+                CmpOp::Ge => !c.is_negative(),
+                CmpOp::Gt => c.is_positive(),
+                CmpOp::Eq => c.is_zero(),
+                CmpOp::Ne => !c.is_zero(),
+            };
+            return if holds { Formula::top() } else { Formula::bottom() };
+        }
+        Formula(Rc::new(Node::Atom(diff, op)))
+    }
+}
+
+impl From<BoolVar> for Formula {
+    fn from(v: BoolVar) -> Self {
+        Formula::var(v)
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn join(f: &mut fmt::Formatter<'_>, fs: &[Formula], sep: &str) -> fmt::Result {
+            write!(f, "(")?;
+            for (i, sub) in fs.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(sep)?;
+                }
+                write!(f, "{sub}")?;
+            }
+            write!(f, ")")
+        }
+        match &*self.0 {
+            Node::True => write!(f, "true"),
+            Node::False => write!(f, "false"),
+            Node::Var(v) => write!(f, "{v}"),
+            Node::Atom(e, op) => write!(f, "({e} {op} 0)"),
+            Node::Not(g) => write!(f, "¬{g}"),
+            Node::And(fs) => join(f, fs, " ∧ "),
+            Node::Or(fs) => join(f, fs, " ∨ "),
+            Node::Implies(a, b) => write!(f, "({a} → {b})"),
+            Node::Iff(a, b) => write!(f, "({a} ↔ {b})"),
+            Node::AtMost(fs, k) => {
+                write!(f, "atmost[{k}]")?;
+                join(f, fs, ", ")
+            }
+            Node::AtLeast(fs, k) => {
+                write!(f, "atleast[{k}]")?;
+                join(f, fs, ", ")
+            }
+        }
+    }
+}
+
+/// Comparison constructors on [`LinExpr`], producing [`Formula`] atoms.
+///
+/// This trait is sealed; it exists so `expr.le(other)` reads naturally.
+pub trait LinExprCmp: sealed::Sealed + Sized {
+    /// `self ≤ other`
+    fn le(self, other: LinExpr) -> Formula;
+    /// `self < other`
+    fn lt(self, other: LinExpr) -> Formula;
+    /// `self ≥ other`
+    fn ge(self, other: LinExpr) -> Formula;
+    /// `self > other`
+    fn gt(self, other: LinExpr) -> Formula;
+    /// `self = other`
+    fn eq_expr(self, other: LinExpr) -> Formula;
+    /// `self ≠ other`
+    fn ne_expr(self, other: LinExpr) -> Formula;
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for crate::expr::LinExpr {}
+}
+
+impl LinExprCmp for LinExpr {
+    fn le(self, other: LinExpr) -> Formula {
+        Formula::cmp(self, CmpOp::Le, other)
+    }
+    fn lt(self, other: LinExpr) -> Formula {
+        Formula::cmp(self, CmpOp::Lt, other)
+    }
+    fn ge(self, other: LinExpr) -> Formula {
+        Formula::cmp(self, CmpOp::Ge, other)
+    }
+    fn gt(self, other: LinExpr) -> Formula {
+        Formula::cmp(self, CmpOp::Gt, other)
+    }
+    fn eq_expr(self, other: LinExpr) -> Formula {
+        Formula::cmp(self, CmpOp::Eq, other)
+    }
+    fn ne_expr(self, other: LinExpr) -> Formula {
+        Formula::cmp(self, CmpOp::Ne, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::Rational;
+
+    #[test]
+    fn constant_folding() {
+        assert!(matches!(&*Formula::top().not().0, Node::False));
+        assert!(matches!(&*Formula::and(vec![]).0, Node::True));
+        assert!(matches!(&*Formula::or(vec![]).0, Node::False));
+        let p = Formula::var(BoolVar(0));
+        assert!(matches!(
+            &*Formula::and(vec![p.clone(), Formula::bottom()]).0,
+            Node::False
+        ));
+        assert!(matches!(
+            &*Formula::or(vec![p.clone(), Formula::top()]).0,
+            Node::True
+        ));
+        assert!(matches!(&*Formula::top().implies(p.clone()).0, Node::Var(_)));
+        assert!(matches!(&*p.clone().implies(Formula::top()).0, Node::True));
+    }
+
+    #[test]
+    fn double_negation_collapses() {
+        let p = Formula::var(BoolVar(1));
+        let pp = p.clone().not().not();
+        assert!(matches!(&*pp.0, Node::Var(BoolVar(1))));
+    }
+
+    #[test]
+    fn constant_atoms_fold() {
+        let two = LinExpr::from(2);
+        let three = LinExpr::from(3);
+        assert!(matches!(&*two.clone().le(three.clone()).0, Node::True));
+        assert!(matches!(&*three.clone().le(two.clone()).0, Node::False));
+        assert!(matches!(&*two.clone().eq_expr(two.clone()).0, Node::True));
+        assert!(matches!(&*two.clone().ne_expr(two.clone()).0, Node::False));
+        assert!(matches!(&*two.clone().lt(two.clone()).0, Node::False));
+        assert!(matches!(&*two.clone().ge(two).0, Node::True));
+    }
+
+    #[test]
+    fn cardinality_degenerate_cases() {
+        let ps: Vec<Formula> = (0..3).map(|i| Formula::var(BoolVar(i))).collect();
+        assert!(matches!(&*Formula::at_most(ps.clone(), 3).0, Node::True));
+        assert!(matches!(&*Formula::at_most(ps.clone(), 0).0, Node::And(_)));
+        assert!(matches!(&*Formula::at_least(ps.clone(), 0).0, Node::True));
+        assert!(matches!(&*Formula::at_least(ps.clone(), 4).0, Node::False));
+        assert!(matches!(&*Formula::at_least(ps.clone(), 1).0, Node::Or(_)));
+        assert!(matches!(&*Formula::at_least(ps, 2).0, Node::AtLeast(_, 2)));
+    }
+
+    #[test]
+    fn atom_normalizes_to_difference() {
+        let x = crate::RealVar(0);
+        let f = LinExpr::var(x).le(LinExpr::constant(Rational::new(3, 1)));
+        match &*f.0 {
+            Node::Atom(e, CmpOp::Le) => {
+                assert_eq!(e.coeff(x), Rational::one());
+                assert_eq!(e.constant_term(), &Rational::new(-3, 1));
+            }
+            other => panic!("unexpected node {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_smoke() {
+        let p = Formula::var(BoolVar(0));
+        let q = Formula::var(BoolVar(1));
+        let f = Formula::and(vec![p.clone(), q.clone().not()]).implies(q);
+        assert_eq!(f.to_string(), "((b0 ∧ ¬b1) → b1)");
+    }
+}

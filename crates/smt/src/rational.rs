@@ -1,0 +1,514 @@
+//! Exact rational numbers and delta-rationals.
+//!
+//! [`Rational`] is a normalized fraction of [`BigInt`]s — the coefficient
+//! domain for linear terms and the simplex tableau. [`DeltaRational`] extends
+//! it with an infinitesimal `δ` component so strict bounds (`x < c`) can be
+//! represented exactly as `x ≤ c − δ`, the standard trick from the
+//! Dutertre–de Moura general simplex.
+//!
+//! # Examples
+//!
+//! ```
+//! use sta_smt::rational::Rational;
+//!
+//! let a = Rational::new(1, 3);
+//! let b = Rational::new(1, 6);
+//! assert_eq!(&a + &b, Rational::new(1, 2));
+//! assert_eq!(Rational::from_decimal_str("16.90").unwrap(), Rational::new(169, 10));
+//! ```
+
+use crate::bigint::BigInt;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number `num / den`.
+///
+/// Invariants: `den > 0`, `gcd(|num|, den) = 1`, zero is `0/1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+/// Error returned by [`Rational::from_decimal_str`] for malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError {
+    input: String,
+}
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid decimal literal: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl Rational {
+    /// Creates `num / den` from machine integers, normalizing the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i64, den: i64) -> Self {
+        Self::from_bigints(BigInt::from(num), BigInt::from(den))
+    }
+
+    /// Creates `num / den` from big integers, normalizing the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn from_bigints(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let (num, den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        if num.is_zero() {
+            return Rational { num: BigInt::zero(), den: BigInt::one() };
+        }
+        let g = num.gcd(&den);
+        if g.is_one() {
+            Rational { num, den }
+        } else {
+            Rational { num: &num / &g, den: &den / &g }
+        }
+    }
+
+    /// Returns zero.
+    pub fn zero() -> Self {
+        Rational { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// Returns one.
+    pub fn one() -> Self {
+        Rational { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Whether this rational is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Whether this rational is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Whether this rational is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Sign as `-1`, `0` or `1`.
+    pub fn signum(&self) -> i32 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        Rational { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this rational is zero.
+    pub fn recip(&self) -> Self {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Self::from_bigints(self.den.clone(), self.num.clone())
+    }
+
+    /// Parses a decimal literal such as `"16.90"`, `"-0.25"` or `"3"` into an
+    /// exact rational.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRationalError`] when the input is not a plain decimal
+    /// literal (scientific notation is not accepted).
+    pub fn from_decimal_str(s: &str) -> Result<Self, ParseRationalError> {
+        let err = || ParseRationalError { input: s.to_owned() };
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if body.is_empty() {
+            return Err(err());
+        }
+        let (int_part, frac_part) = match body.split_once('.') {
+            Some((i, f)) => (i, f),
+            None => (body, ""),
+        };
+        if int_part.is_empty() && frac_part.is_empty() {
+            return Err(err());
+        }
+        let mut num = BigInt::zero();
+        let ten = BigInt::from(10i64);
+        for ch in int_part.chars().chain(frac_part.chars()) {
+            let d = ch.to_digit(10).ok_or_else(err)?;
+            num = &(&num * &ten) + &BigInt::from(d as i64);
+        }
+        let mut den = BigInt::one();
+        for _ in 0..frac_part.len() {
+            den = &den * &ten;
+        }
+        if neg {
+            num = -num;
+        }
+        Ok(Self::from_bigints(num, den))
+    }
+
+    /// Converts an `f64` to the exact rational it represents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite.
+    pub fn from_f64(v: f64) -> Self {
+        assert!(v.is_finite(), "cannot convert non-finite float to rational");
+        if v == 0.0 {
+            return Rational::zero();
+        }
+        let bits = v.to_bits();
+        let sign = if bits >> 63 == 1 { -1i64 } else { 1 };
+        let exponent = ((bits >> 52) & 0x7ff) as i64;
+        let mantissa = if exponent == 0 {
+            bits & 0xf_ffff_ffff_ffff
+        } else {
+            (bits & 0xf_ffff_ffff_ffff) | 0x10_0000_0000_0000
+        };
+        let exp2 = if exponent == 0 { -1074 } else { exponent - 1075 };
+        let m = &BigInt::from(mantissa) * &BigInt::from(sign);
+        let two = BigInt::from(2i64);
+        let mut pow = BigInt::one();
+        for _ in 0..exp2.unsigned_abs() {
+            pow = &pow * &two;
+        }
+        if exp2 >= 0 {
+            Self::from_bigints(&m * &pow, BigInt::one())
+        } else {
+            Self::from_bigints(m, pow)
+        }
+    }
+
+    /// Lossy conversion to `f64` (reporting only; never used while solving).
+    pub fn to_f64(&self) -> f64 {
+        // Scale so the division happens in a range f64 can represent.
+        let nf = self.num.to_f64();
+        let df = self.den.to_f64();
+        if nf.is_finite() && df.is_finite() && df != 0.0 {
+            nf / df
+        } else {
+            // Fall back to a quotient-based approximation for huge operands.
+            let (q, r) = self.num.divmod(&self.den);
+            q.to_f64() + r.to_f64() / self.den.to_f64()
+        }
+    }
+
+    /// Total limbs across numerator and denominator (memory accounting).
+    pub fn limb_len(&self) -> usize {
+        self.num.limb_len() + self.den.limb_len()
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational { num: BigInt::from(v), den: BigInt::one() }
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(v: BigInt) -> Self {
+        Rational { num: v, den: BigInt::one() }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, other: &Rational) -> Rational {
+        Rational::from_bigints(
+            &(&self.num * &other.den) + &(&other.num * &self.den),
+            &self.den * &other.den,
+        )
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, other: &Rational) -> Rational {
+        Rational::from_bigints(
+            &(&self.num * &other.den) - &(&other.num * &self.den),
+            &self.den * &other.den,
+        )
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, other: &Rational) -> Rational {
+        Rational::from_bigints(&self.num * &other.num, &self.den * &other.den)
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+    fn div(self, other: &Rational) -> Rational {
+        assert!(!other.is_zero(), "division by zero rational");
+        Rational::from_bigints(&self.num * &other.den, &self.den * &other.num)
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -&self.num, den: self.den.clone() }
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rational {
+            type Output = Rational;
+            fn $method(self, other: Rational) -> Rational {
+                (&self).$method(&other)
+            }
+        }
+    };
+}
+forward_owned_binop!(Add, add);
+forward_owned_binop!(Sub, sub);
+forward_owned_binop!(Mul, mul);
+forward_owned_binop!(Div, div);
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// A rational extended with an infinitesimal: `value + delta·δ`.
+///
+/// Strict bounds become weak bounds over delta-rationals:
+/// `x < c` ⇔ `x ≤ c − δ`. Comparison is lexicographic on
+/// `(value, delta)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaRational {
+    /// Standard (real) part.
+    pub value: Rational,
+    /// Coefficient of the infinitesimal δ.
+    pub delta: Rational,
+}
+
+impl DeltaRational {
+    /// A plain rational with no infinitesimal part.
+    pub fn real(value: Rational) -> Self {
+        DeltaRational { value, delta: Rational::zero() }
+    }
+
+    /// `value + delta·δ`.
+    pub fn with_delta(value: Rational, delta: Rational) -> Self {
+        DeltaRational { value, delta }
+    }
+
+    /// Zero.
+    pub fn zero() -> Self {
+        DeltaRational::real(Rational::zero())
+    }
+
+    /// Whether both components are zero.
+    pub fn is_zero(&self) -> bool {
+        self.value.is_zero() && self.delta.is_zero()
+    }
+
+    /// Scales both components by a rational factor.
+    pub fn scale(&self, k: &Rational) -> Self {
+        DeltaRational {
+            value: &self.value * k,
+            delta: &self.delta * k,
+        }
+    }
+
+    /// Concretizes to a plain rational by substituting a small positive value
+    /// for δ. `eps` must be small enough that all strict comparisons in the
+    /// current model remain strict; the caller computes a safe value.
+    pub fn concretize(&self, eps: &Rational) -> Rational {
+        &self.value + &(&self.delta * eps)
+    }
+}
+
+impl PartialOrd for DeltaRational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DeltaRational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.value
+            .cmp(&other.value)
+            .then_with(|| self.delta.cmp(&other.delta))
+    }
+}
+
+impl Add for &DeltaRational {
+    type Output = DeltaRational;
+    fn add(self, other: &DeltaRational) -> DeltaRational {
+        DeltaRational {
+            value: &self.value + &other.value,
+            delta: &self.delta + &other.delta,
+        }
+    }
+}
+
+impl Sub for &DeltaRational {
+    type Output = DeltaRational;
+    fn sub(self, other: &DeltaRational) -> DeltaRational {
+        DeltaRational {
+            value: &self.value - &other.value,
+            delta: &self.delta - &other.delta,
+        }
+    }
+}
+
+impl Neg for &DeltaRational {
+    type Output = DeltaRational;
+    fn neg(self) -> DeltaRational {
+        DeltaRational { value: -&self.value, delta: -&self.delta }
+    }
+}
+
+impl fmt::Display for DeltaRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.delta.is_zero() {
+            write!(f, "{}", self.value)
+        } else {
+            write!(f, "{} + {}δ", self.value, self.delta)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 5), Rational::zero());
+        assert_eq!(r(0, -5).denom(), &BigInt::one());
+    }
+
+    #[test]
+    fn field_operations() {
+        assert_eq!(&r(1, 3) + &r(1, 6), r(1, 2));
+        assert_eq!(&r(1, 3) - &r(1, 6), r(1, 6));
+        assert_eq!(&r(2, 3) * &r(3, 4), r(1, 2));
+        assert_eq!(&r(2, 3) / &r(4, 3), r(1, 2));
+        assert_eq!(r(3, 7).recip(), r(7, 3));
+        assert_eq!(-r(3, 7), r(-3, 7));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(-1, 2) < r(0, 1));
+        assert!(r(7, 2) > r(10, 3));
+    }
+
+    #[test]
+    fn decimal_parsing() {
+        assert_eq!(Rational::from_decimal_str("16.90").unwrap(), r(169, 10));
+        assert_eq!(Rational::from_decimal_str("-0.25").unwrap(), r(-1, 4));
+        assert_eq!(Rational::from_decimal_str("3").unwrap(), r(3, 1));
+        assert_eq!(Rational::from_decimal_str(".5").unwrap(), r(1, 2));
+        assert_eq!(Rational::from_decimal_str("+2.").unwrap(), r(2, 1));
+        assert!(Rational::from_decimal_str("").is_err());
+        assert!(Rational::from_decimal_str("1.2.3").is_err());
+        assert!(Rational::from_decimal_str("1e5").is_err());
+        assert!(Rational::from_decimal_str(".").is_err());
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        for v in [0.0, 1.0, -1.5, 0.1, 1234.5678, -1e-9, 2f64.powi(53)] {
+            let q = Rational::from_f64(v);
+            assert_eq!(q.to_f64(), v, "{v}");
+        }
+        // 0.1 is not exactly 1/10 in binary; from_f64 must be exact, not pretty.
+        assert_ne!(Rational::from_f64(0.1), r(1, 10));
+    }
+
+    #[test]
+    fn delta_rational_ordering() {
+        let a = DeltaRational::real(r(1, 1));
+        let b = DeltaRational::with_delta(r(1, 1), r(-1, 1)); // 1 - δ
+        let c = DeltaRational::with_delta(r(1, 1), r(1, 1)); // 1 + δ
+        assert!(b < a);
+        assert!(a < c);
+        assert_eq!(&a - &a, DeltaRational::zero());
+    }
+
+    #[test]
+    fn delta_scale_and_concretize() {
+        let x = DeltaRational::with_delta(r(3, 1), r(-2, 1));
+        let s = x.scale(&r(1, 2));
+        assert_eq!(s.value, r(3, 2));
+        assert_eq!(s.delta, r(-1, 1));
+        assert_eq!(s.concretize(&r(1, 100)), r(149, 100));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(r(3, 1).to_string(), "3");
+        assert_eq!(r(-3, 4).to_string(), "-3/4");
+        assert_eq!(
+            DeltaRational::with_delta(r(1, 2), r(-1, 1)).to_string(),
+            "1/2 + -1δ"
+        );
+    }
+}

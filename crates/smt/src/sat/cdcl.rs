@@ -1,0 +1,883 @@
+//! Conflict-driven clause-learning SAT solver with a DPLL(T) theory hook.
+//!
+//! A self-contained CDCL core: two-watched-literal propagation, 1-UIP
+//! conflict analysis, VSIDS branching with phase saving, Luby restarts and
+//! learned-clause database reduction. A [`Theory`] plugged into
+//! [`CdclSolver::solve`] receives assigned literals and may veto assignments
+//! with explanations, which the solver turns into learned clauses — the
+//! standard DPLL(T) integration used by the LRA solver in [`crate::simplex`].
+
+use super::lit::{LBool, Lit, SatVar};
+
+/// Result of a theory callback.
+#[derive(Debug)]
+pub enum TheoryResult {
+    /// Consistent so far.
+    Ok,
+    /// The given literals (all currently assigned true) are jointly
+    /// inconsistent with the theory.
+    Conflict(Vec<Lit>),
+}
+
+/// A decision-procedure plugin for DPLL(T).
+///
+/// The SAT core calls these hooks in trail order; `on_backtrack` undoes the
+/// effects of everything asserted after the surviving decision levels.
+pub trait Theory {
+    /// A new decision level was opened.
+    fn on_new_level(&mut self);
+    /// `n_levels` decision levels were popped; retract their assertions.
+    fn on_backtrack(&mut self, n_levels: usize);
+    /// `lit` was assigned true. Cheap bound updates happen here.
+    fn on_assert(&mut self, lit: Lit) -> TheoryResult;
+    /// Full consistency check (may pivot); called at propagation fixpoints.
+    fn check(&mut self) -> TheoryResult;
+}
+
+/// A theory that accepts everything — turns the solver into plain SAT.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTheory;
+
+impl Theory for NullTheory {
+    fn on_new_level(&mut self) {}
+    fn on_backtrack(&mut self, _n_levels: usize) {}
+    fn on_assert(&mut self, _lit: Lit) -> TheoryResult {
+        TheoryResult::Ok
+    }
+    fn check(&mut self) -> TheoryResult {
+        TheoryResult::Ok
+    }
+}
+
+/// Outcome of [`CdclSolver::solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatOutcome {
+    /// A model was found (read it with [`CdclSolver::value`]).
+    Sat,
+    /// The clauses are unsatisfiable modulo the theory.
+    Unsat,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learned: bool,
+    activity: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    clause: usize,
+    blocker: Lit,
+}
+
+/// Counters exported to [`crate::stats::SolverStats`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SatCounters {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of conflicts (Boolean + theory).
+    pub conflicts: u64,
+    /// Number of theory conflicts specifically.
+    pub theory_conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learned clauses currently in the database.
+    pub learned_clauses: u64,
+}
+
+/// The CDCL solver.
+///
+/// Typical use: create, [`CdclSolver::new_var`] as many times as needed,
+/// [`CdclSolver::add_clause`] the CNF, then [`CdclSolver::solve`].
+#[derive(Debug)]
+pub struct CdclSolver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>,
+    assign: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    theory_head: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    clause_inc: f64,
+    saved_phase: Vec<bool>,
+    order: Vec<SatVar>,
+    order_pos: Vec<usize>,
+    seen: Vec<bool>,
+    unsat_at_root: bool,
+    counters: SatCounters,
+    /// Variables the theory cares about; others skip the theory feed.
+    is_theory_var: Vec<bool>,
+}
+
+impl Default for CdclSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CdclSolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        CdclSolver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            prop_head: 0,
+            theory_head: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            clause_inc: 1.0,
+            saved_phase: Vec::new(),
+            order: Vec::new(),
+            order_pos: Vec::new(),
+            seen: Vec::new(),
+            unsat_at_root: false,
+            counters: SatCounters::default(),
+            is_theory_var: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh variable and returns its index.
+    pub fn new_var(&mut self) -> SatVar {
+        let v = self.assign.len() as SatVar;
+        self.assign.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.saved_phase.push(false);
+        self.seen.push(false);
+        self.is_theory_var.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order_pos.push(self.order.len());
+        self.order.push(v);
+        v
+    }
+
+    /// Marks `v` as a theory atom so its assignments are fed to the theory.
+    pub fn set_theory_var(&mut self, v: SatVar) {
+        self.is_theory_var[v as usize] = true;
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Solver counters (decisions, conflicts, …).
+    pub fn counters(&self) -> SatCounters {
+        self.counters
+    }
+
+    /// Current value of a variable (meaningful after a `Sat` outcome).
+    pub fn value(&self, v: SatVar) -> LBool {
+        self.assign[v as usize]
+    }
+
+    fn lit_value(&self, lit: Lit) -> LBool {
+        self.assign[lit.var() as usize].of_lit(lit)
+    }
+
+    /// Adds a clause. Duplicate literals are removed; tautologies ignored.
+    ///
+    /// Must be called before [`CdclSolver::solve`] (root level).
+    pub fn add_clause(&mut self, mut lits: Vec<Lit>) {
+        debug_assert!(self.trail_lim.is_empty(), "clauses are added at root level");
+        if self.unsat_at_root {
+            return;
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        let mut i = 0;
+        while i + 1 < lits.len() {
+            if lits[i].var() == lits[i + 1].var() {
+                return; // p ∨ ¬p — tautology
+            }
+            i += 1;
+        }
+        // Drop literals already false at root, satisfied clause check.
+        lits.retain(|&l| self.lit_value(l) != LBool::False);
+        if lits.iter().any(|&l| self.lit_value(l) == LBool::True) {
+            return;
+        }
+        match lits.len() {
+            0 => self.unsat_at_root = true,
+            1 => {
+                self.enqueue(lits[0], None);
+                if self.propagate().is_some() {
+                    self.unsat_at_root = true;
+                }
+            }
+            _ => {
+                self.attach_clause(Clause { lits, learned: false, activity: 0.0 });
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, clause: Clause) -> usize {
+        let idx = self.clauses.len();
+        let w0 = clause.lits[0];
+        let w1 = clause.lits[1];
+        self.watches[(!w0).index()].push(Watch { clause: idx, blocker: w1 });
+        self.watches[(!w1).index()].push(Watch { clause: idx, blocker: w0 });
+        self.clauses.push(clause);
+        idx
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Option<usize>) {
+        debug_assert_eq!(self.lit_value(lit), LBool::Undef);
+        let v = lit.var() as usize;
+        self.assign[v] = if lit.is_positive() { LBool::True } else { LBool::False };
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = reason;
+        self.trail.push(lit);
+        self.counters.propagations += 1;
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.prop_head < self.trail.len() {
+            let p = self.trail[self.prop_head];
+            self.prop_head += 1;
+            let widx = p.index();
+            let mut i = 0;
+            'watches: while i < self.watches[widx].len() {
+                let watch = self.watches[widx][i];
+                if self.lit_value(watch.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let ci = watch.clause;
+                // Normalize: watched literal ¬p must be at position 1.
+                let false_lit = !p;
+                if self.clauses[ci].lits[0] == false_lit {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci].lits[1], false_lit);
+                let first = self.clauses[ci].lits[0];
+                if first != watch.blocker && self.lit_value(first) == LBool::True {
+                    self.watches[widx][i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..self.clauses[ci].lits.len() {
+                    let cand = self.clauses[ci].lits[k];
+                    if self.lit_value(cand) != LBool::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[widx].swap_remove(i);
+                        self.watches[(!cand).index()]
+                            .push(Watch { clause: ci, blocker: first });
+                        continue 'watches;
+                    }
+                }
+                // Clause is unit or conflicting.
+                if self.lit_value(first) == LBool::False {
+                    self.prop_head = self.trail.len();
+                    return Some(ci);
+                }
+                self.enqueue(first, Some(ci));
+                i += 1;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: SatVar) {
+        let a = &mut self.activity[v as usize];
+        *a += self.var_inc;
+        if *a > 1e100 {
+            for act in &mut self.activity {
+                *act *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        if self.in_heap(v) {
+            self.sift_up(self.order_pos[v as usize]);
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+        self.clause_inc /= 0.999;
+    }
+
+    // --- binary-heap variable order (max-heap on activity) ---
+
+    fn heap_less(&self, a: SatVar, b: SatVar) -> bool {
+        self.activity[a as usize] > self.activity[b as usize]
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        let v = self.order[pos];
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.heap_less(v, self.order[parent]) {
+                self.order[pos] = self.order[parent];
+                self.order_pos[self.order[pos] as usize] = pos;
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+        self.order[pos] = v;
+        self.order_pos[v as usize] = pos;
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        let v = self.order[pos];
+        let len = self.order.len();
+        loop {
+            let left = 2 * pos + 1;
+            if left >= len {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < len && self.heap_less(self.order[right], self.order[left]) {
+                right
+            } else {
+                left
+            };
+            if self.heap_less(self.order[child], v) {
+                self.order[pos] = self.order[child];
+                self.order_pos[self.order[pos] as usize] = pos;
+                pos = child;
+            } else {
+                break;
+            }
+        }
+        self.order[pos] = v;
+        self.order_pos[v as usize] = pos;
+    }
+
+    fn heap_pop(&mut self) -> Option<SatVar> {
+        if self.order.is_empty() {
+            return None;
+        }
+        let top = self.order[0];
+        let last = self.order.pop().unwrap();
+        if !self.order.is_empty() {
+            self.order[0] = last;
+            self.order_pos[last as usize] = 0;
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn heap_insert(&mut self, v: SatVar) {
+        self.order_pos[v as usize] = self.order.len();
+        self.order.push(v);
+        self.sift_up(self.order.len() - 1);
+    }
+
+    fn in_heap(&self, v: SatVar) -> bool {
+        let pos = self.order_pos[v as usize];
+        pos < self.order.len() && self.order[pos] == v
+    }
+
+    fn decide(&mut self) -> bool {
+        while let Some(v) = self.heap_pop() {
+            if self.assign[v as usize] == LBool::Undef {
+                self.counters.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                let phase = self.saved_phase[v as usize];
+                self.enqueue(Lit::with_polarity(v, phase), None);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn backtrack_sat_only(&mut self, target_level: usize) {
+        while self.trail.len() > self.trail_lim[target_level] {
+            let lit = self.trail.pop().unwrap();
+            let v = lit.var() as usize;
+            self.saved_phase[v] = lit.is_positive();
+            self.assign[v] = LBool::Undef;
+            self.reason[v] = None;
+            if !self.in_heap(v as SatVar) {
+                self.heap_insert(v as SatVar);
+            }
+        }
+        self.trail_lim.truncate(target_level);
+        self.prop_head = self.trail.len();
+        self.theory_head = self.theory_head.min(self.trail.len());
+    }
+
+    fn backtrack<T: Theory>(&mut self, target_level: usize, theory: &mut T) {
+        let popped = self.trail_lim.len() - target_level;
+        if popped > 0 {
+            theory.on_backtrack(popped);
+            self.backtrack_sat_only(target_level);
+        }
+    }
+
+    /// 1-UIP analysis. `conflict` literals are all false under the current
+    /// assignment. Returns the learned clause (asserting literal first) and
+    /// the backjump level.
+    fn analyze(&mut self, conflict: Vec<Lit>) -> (Vec<Lit>, usize) {
+        let current = self.trail_lim.len() as u32;
+        let mut learnt: Vec<Lit> = vec![Lit::positive(0)]; // slot 0 = asserting lit
+        let mut counter = 0usize;
+        let mut idx = self.trail.len();
+        let mut reason_lits = conflict;
+        let p: Lit;
+        loop {
+            for &q in &reason_lits {
+                let v = q.var() as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var() as usize] {
+                    break;
+                }
+            }
+            let pl = self.trail[idx];
+            let v = pl.var() as usize;
+            self.seen[v] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = pl;
+                break;
+            }
+            let ci = self.reason[v].expect("non-decision literal has a reason");
+            self.bump_clause(ci);
+            reason_lits = self.clauses[ci]
+                .lits
+                .iter()
+                .copied()
+                .filter(|&l| l != pl)
+                .collect();
+        }
+        learnt[0] = !p;
+        // Clear remaining seen flags.
+        for l in &learnt {
+            self.seen[l.var() as usize] = false;
+        }
+        // Backjump level: highest level among learnt[1..].
+        let mut bj = 0usize;
+        let mut max_i = 1usize;
+        for (i, l) in learnt.iter().enumerate().skip(1) {
+            let lv = self.level[l.var() as usize] as usize;
+            if lv > bj {
+                bj = lv;
+                max_i = i;
+            }
+        }
+        if learnt.len() > 1 {
+            learnt.swap(1, max_i); // second watch at backjump level
+        }
+        (learnt, bj)
+    }
+
+    fn bump_clause(&mut self, ci: usize) {
+        if !self.clauses[ci].learned {
+            return;
+        }
+        self.clauses[ci].activity += self.clause_inc;
+        if self.clauses[ci].activity > 1e20 {
+            for c in self.clauses.iter_mut().filter(|c| c.learned) {
+                c.activity *= 1e-20;
+            }
+            self.clause_inc *= 1e-20;
+        }
+    }
+
+    /// Removes the least active half of the learned clauses.
+    fn reduce_db(&mut self) {
+        let mut learned: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| {
+                self.clauses[i].learned
+                    && self.clauses[i].lits.len() > 2
+                    && !self.is_reason(i)
+            })
+            .collect();
+        learned.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap()
+        });
+        let remove: std::collections::HashSet<usize> =
+            learned[..learned.len() / 2].iter().copied().collect();
+        if remove.is_empty() {
+            return;
+        }
+        // Compact the clause database and remap indices.
+        let mut remap = vec![usize::MAX; self.clauses.len()];
+        let mut new_clauses = Vec::with_capacity(self.clauses.len() - remove.len());
+        for (i, c) in self.clauses.drain(..).enumerate() {
+            if !remove.contains(&i) {
+                remap[i] = new_clauses.len();
+                new_clauses.push(c);
+            }
+        }
+        self.clauses = new_clauses;
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for idx in 0..self.clauses.len() {
+            let w0 = self.clauses[idx].lits[0];
+            let w1 = self.clauses[idx].lits[1];
+            self.watches[(!w0).index()].push(Watch { clause: idx, blocker: w1 });
+            self.watches[(!w1).index()].push(Watch { clause: idx, blocker: w0 });
+        }
+        for r in &mut self.reason {
+            if let Some(ci) = r {
+                *r = Some(remap[*ci]);
+                debug_assert!(r.unwrap() != usize::MAX);
+            }
+        }
+        self.counters.learned_clauses =
+            self.clauses.iter().filter(|c| c.learned).count() as u64;
+    }
+
+    fn is_reason(&self, ci: usize) -> bool {
+        let first = self.clauses[ci].lits[0];
+        self.reason[first.var() as usize] == Some(ci)
+            && self.lit_value(first) == LBool::True
+    }
+
+    fn luby(mut i: u64) -> u64 {
+        // Luby sequence: 1 1 2 1 1 2 4 ...
+        let mut k = 1u64;
+        while (1u64 << (k + 1)) <= i + 1 {
+            k += 1;
+        }
+        loop {
+            if (1u64 << k) == i + 1 {
+                return 1u64 << (k - 1).min(63);
+            }
+            i -= (1u64 << k) - 1;
+            k = 1;
+            while (1u64 << (k + 1)) <= i + 1 {
+                k += 1;
+            }
+        }
+    }
+
+    /// Feeds newly assigned theory literals to the theory and runs its check.
+    fn theory_step<T: Theory>(&mut self, theory: &mut T) -> TheoryResult {
+        let mut fed_any = false;
+        while self.theory_head < self.trail.len() {
+            let lit = self.trail[self.theory_head];
+            self.theory_head += 1;
+            if !self.is_theory_var[lit.var() as usize] {
+                continue;
+            }
+            fed_any = true;
+            if let TheoryResult::Conflict(expl) = theory.on_assert(lit) {
+                return TheoryResult::Conflict(expl);
+            }
+        }
+        if fed_any {
+            theory.check()
+        } else {
+            TheoryResult::Ok
+        }
+    }
+
+    /// Solves the current clause set modulo `theory`.
+    ///
+    /// After `Sat`, variable values are available via [`CdclSolver::value`]
+    /// and the theory holds a consistent assignment of all asserted atoms.
+    pub fn solve<T: Theory>(&mut self, theory: &mut T) -> SatOutcome {
+        let debug = std::env::var_os("STA_SMT_DEBUG").is_some();
+        let mut t_prop = std::time::Duration::ZERO;
+        let mut t_theory = std::time::Duration::ZERO;
+        let mut theory_steps = 0u64;
+        let outcome = self.solve_inner(theory, debug, &mut t_prop, &mut t_theory, &mut theory_steps);
+        if debug {
+            eprintln!(
+                "[sta-smt] propagate {t_prop:.2?} theory {t_theory:.2?} ({theory_steps} steps)"
+            );
+        }
+        outcome
+    }
+
+    fn solve_inner<T: Theory>(
+        &mut self,
+        theory: &mut T,
+        debug: bool,
+        t_prop: &mut std::time::Duration,
+        t_theory: &mut std::time::Duration,
+        theory_steps: &mut u64,
+    ) -> SatOutcome {
+        if self.unsat_at_root {
+            return SatOutcome::Unsat;
+        }
+        // Feed root-level units to the theory before starting.
+        let mut restarts = 0u64;
+        let mut conflicts_until_restart = 100 * Self::luby(1);
+        let mut conflicts_since_restart = 0u64;
+        let mut max_learned = 4000usize;
+        loop {
+            let prop_start = debug.then(std::time::Instant::now);
+            let boolean_conflict = self.propagate();
+            if let Some(s) = prop_start {
+                *t_prop += s.elapsed();
+            }
+            let conflict: Option<Vec<Lit>> = if let Some(ci) = boolean_conflict {
+                Some(self.clauses[ci].lits.clone())
+            } else {
+                let th_start = debug.then(std::time::Instant::now);
+                *theory_steps += 1;
+                let result = self.theory_step(theory);
+                if let Some(s) = th_start {
+                    *t_theory += s.elapsed();
+                }
+                match result {
+                    TheoryResult::Ok => None,
+                    TheoryResult::Conflict(expl) => {
+                        self.counters.theory_conflicts += 1;
+                        // Explanation lits are all true; the conflict clause
+                        // is their negation.
+                        Some(expl.into_iter().map(|l| !l).collect())
+                    }
+                }
+            };
+            match conflict {
+                Some(cl) => {
+                    self.counters.conflicts += 1;
+                    conflicts_since_restart += 1;
+                    if self.trail_lim.is_empty() {
+                        return SatOutcome::Unsat;
+                    }
+                    // Guard: ensure the conflict involves the current level
+                    // (always true for Boolean conflicts; theory conflicts
+                    // could in principle be older).
+                    let max_level = cl
+                        .iter()
+                        .map(|l| self.level[l.var() as usize] as usize)
+                        .max()
+                        .unwrap_or(0);
+                    if max_level == 0 {
+                        return SatOutcome::Unsat;
+                    }
+                    if max_level < self.trail_lim.len() {
+                        self.backtrack(max_level, theory);
+                    }
+                    let (learnt, bj) = self.analyze(cl);
+                    self.backtrack(bj, theory);
+                    if learnt.len() == 1 {
+                        self.enqueue(learnt[0], None);
+                    } else {
+                        let ci = self.attach_clause(Clause {
+                            lits: learnt.clone(),
+                            learned: true,
+                            activity: self.clause_inc,
+                        });
+                        self.counters.learned_clauses += 1;
+                        self.enqueue(learnt[0], Some(ci));
+                    }
+                    self.decay_activities();
+                }
+                None => {
+                    if conflicts_since_restart >= conflicts_until_restart {
+                        restarts += 1;
+                        self.counters.restarts += 1;
+                        conflicts_since_restart = 0;
+                        conflicts_until_restart = 100 * Self::luby(restarts + 1);
+                        self.backtrack(0, theory);
+                        continue;
+                    }
+                    if self.counters.learned_clauses as usize > max_learned {
+                        self.reduce_db();
+                        max_learned += 500;
+                    }
+                    theory.on_new_level();
+                    if !self.decide() {
+                        // Fully assigned and theory-consistent.
+                        return SatOutcome::Sat;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp(v: SatVar) -> Lit {
+        Lit::positive(v)
+    }
+    fn ln(v: SatVar) -> Lit {
+        Lit::negative(v)
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let mut s = CdclSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(vec![lp(a), lp(b)]);
+        s.add_clause(vec![ln(a)]);
+        assert_eq!(s.solve(&mut NullTheory), SatOutcome::Sat);
+        assert_eq!(s.value(a), LBool::False);
+        assert_eq!(s.value(b), LBool::True);
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        let mut s = CdclSolver::new();
+        let a = s.new_var();
+        s.add_clause(vec![lp(a)]);
+        s.add_clause(vec![ln(a)]);
+        assert_eq!(s.solve(&mut NullTheory), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = CdclSolver::new();
+        let _ = s.new_var();
+        s.add_clause(vec![]);
+        assert_eq!(s.solve(&mut NullTheory), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn tautology_ignored() {
+        let mut s = CdclSolver::new();
+        let a = s.new_var();
+        s.add_clause(vec![lp(a), ln(a)]);
+        assert_eq!(s.solve(&mut NullTheory), SatOutcome::Sat);
+    }
+
+    #[test]
+    fn pigeonhole_two_in_one_unsat() {
+        // 2 pigeons, 1 hole: p0h0, p1h0, ¬p0h0 ∨ ¬p1h0.
+        let mut s = CdclSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(vec![lp(a)]);
+        s.add_clause(vec![lp(b)]);
+        s.add_clause(vec![ln(a), ln(b)]);
+        assert_eq!(s.solve(&mut NullTheory), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // Pigeon i in hole j: var(i,j) = i*2+j; 3 pigeons, 2 holes.
+        let mut s = CdclSolver::new();
+        let mut v = vec![];
+        for _ in 0..6 {
+            v.push(s.new_var());
+        }
+        let var = |i: usize, j: usize| v[i * 2 + j];
+        for i in 0..3 {
+            s.add_clause(vec![lp(var(i, 0)), lp(var(i, 1))]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(vec![ln(var(i1, j)), ln(var(i2, j))]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&mut NullTheory), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn chain_implication_forces_assignment() {
+        // x0 ∧ (x_i → x_{i+1}) forces all true.
+        let mut s = CdclSolver::new();
+        let n = 50;
+        let vars: Vec<SatVar> = (0..n).map(|_| s.new_var()).collect();
+        s.add_clause(vec![lp(vars[0])]);
+        for i in 0..n - 1 {
+            s.add_clause(vec![ln(vars[i]), lp(vars[i + 1])]);
+        }
+        assert_eq!(s.solve(&mut NullTheory), SatOutcome::Sat);
+        for &v in &vars {
+            assert_eq!(s.value(v), LBool::True);
+        }
+    }
+
+    /// Brute-force cross-check on random 3-SAT instances.
+    #[test]
+    fn random_3sat_matches_brute_force() {
+        let mut state = 0xdead_beef_cafe_f00du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..60 {
+            let n_vars = 6;
+            let n_clauses = 3 + (next() % 22) as usize;
+            let mut clauses: Vec<Vec<(usize, bool)>> = Vec::new();
+            for _ in 0..n_clauses {
+                let mut cl = Vec::new();
+                for _ in 0..3 {
+                    cl.push(((next() % n_vars as u64) as usize, next() % 2 == 0));
+                }
+                clauses.push(cl);
+            }
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for m in 0..(1u32 << n_vars) {
+                for cl in &clauses {
+                    if !cl.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos) {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            // CDCL.
+            let mut s = CdclSolver::new();
+            let vars: Vec<SatVar> = (0..n_vars).map(|_| s.new_var()).collect();
+            for cl in &clauses {
+                s.add_clause(
+                    cl.iter()
+                        .map(|&(v, pos)| Lit::with_polarity(vars[v], pos))
+                        .collect(),
+                );
+            }
+            let got = s.solve(&mut NullTheory) == SatOutcome::Sat;
+            assert_eq!(got, brute_sat, "round {round} clauses {clauses:?}");
+            if got {
+                // Verify the model actually satisfies every clause.
+                for cl in &clauses {
+                    assert!(cl.iter().any(|&(v, pos)| {
+                        (s.value(vars[v]) == LBool::True) == pos
+                    }));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let seq: Vec<u64> = (1..=15).map(CdclSolver::luby).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+}

@@ -1,0 +1,231 @@
+//! DIMACS CNF import/export for the SAT core.
+//!
+//! The standard interchange format of the SAT community: `p cnf V C`
+//! followed by clauses of nonzero literals terminated by `0`. Lets the
+//! CDCL core be exercised on external benchmark instances and lets any
+//! encoding this workspace builds be inspected with off-the-shelf SAT
+//! tooling.
+
+use super::cdcl::{CdclSolver, NullTheory, SatOutcome};
+use super::lit::{LBool, Lit};
+use std::fmt;
+
+/// A parsed DIMACS instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsInstance {
+    /// Declared variable count.
+    pub num_vars: usize,
+    /// Clauses as signed 1-based literals (DIMACS convention).
+    pub clauses: Vec<Vec<i64>>,
+}
+
+impl DimacsInstance {
+    /// Loads the clauses into a fresh [`CdclSolver`], returning it with
+    /// `num_vars` allocated variables.
+    pub fn into_solver(&self) -> CdclSolver {
+        let mut solver = CdclSolver::new();
+        let vars: Vec<_> = (0..self.num_vars).map(|_| solver.new_var()).collect();
+        for clause in &self.clauses {
+            solver.add_clause(
+                clause
+                    .iter()
+                    .map(|&l| {
+                        let v = vars[(l.unsigned_abs() as usize) - 1];
+                        Lit::with_polarity(v, l > 0)
+                    })
+                    .collect(),
+            );
+        }
+        solver
+    }
+
+    /// Decides the instance (plain SAT) and returns the model as signed
+    /// literals if satisfiable.
+    pub fn solve(&self) -> Option<Vec<i64>> {
+        let mut solver = self.into_solver();
+        match solver.solve(&mut NullTheory) {
+            SatOutcome::Unsat => None,
+            SatOutcome::Sat => Some(
+                (0..self.num_vars)
+                    .map(|i| {
+                        let sign = if solver.value(i as u32) == LBool::True {
+                            1
+                        } else {
+                            -1
+                        };
+                        sign * (i as i64 + 1)
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for DimacsInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "p cnf {} {}", self.num_vars, self.clauses.len())?;
+        for clause in &self.clauses {
+            for lit in clause {
+                write!(f, "{lit} ")?;
+            }
+            writeln!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-indexed input line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DIMACS line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text.
+///
+/// Accepts `c` comment lines, one `p cnf` header, and whitespace-
+/// separated clause literals (clauses may span lines; each ends at `0`).
+///
+/// # Errors
+/// Returns [`ParseDimacsError`] on malformed headers, out-of-range
+/// literals, or a missing header.
+pub fn parse(text: &str) -> Result<DimacsInstance, ParseDimacsError> {
+    let err = |line: usize, message: &str| ParseDimacsError {
+        line,
+        message: message.to_string(),
+    };
+    let mut header: Option<(usize, usize)> = None;
+    let mut clauses: Vec<Vec<i64>> = Vec::new();
+    let mut current: Vec<i64> = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let ln = ln + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if header.is_some() {
+                return Err(err(ln, "duplicate header"));
+            }
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(err(ln, "expected `p cnf`"));
+            }
+            let v: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err(ln, "bad variable count"))?;
+            let c: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err(ln, "bad clause count"))?;
+            header = Some((v, c));
+            continue;
+        }
+        let (num_vars, _) = header.ok_or_else(|| err(ln, "clause before header"))?;
+        for tok in line.split_whitespace() {
+            let lit: i64 = tok
+                .parse()
+                .map_err(|_| err(ln, "bad literal"))?;
+            if lit == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                if lit.unsigned_abs() as usize > num_vars {
+                    return Err(err(ln, "literal out of declared range"));
+                }
+                current.push(lit);
+            }
+        }
+    }
+    let (num_vars, _declared) = header.ok_or_else(|| err(0, "missing `p cnf` header"))?;
+    if !current.is_empty() {
+        clauses.push(current); // tolerate a missing trailing 0
+    }
+    // A clause count differing from the header is tolerated — many
+    // real-world generators get it wrong and solvers conventionally
+    // trust the clause list.
+    Ok(DimacsInstance { num_vars, clauses })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_solves_sat() {
+        let text = "c a satisfiable toy\np cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n";
+        let inst = parse(text).unwrap();
+        assert_eq!(inst.num_vars, 3);
+        assert_eq!(inst.clauses.len(), 3);
+        let model = inst.solve().expect("sat");
+        assert_eq!(model.len(), 3);
+        // Model satisfies every clause.
+        for clause in &inst.clauses {
+            assert!(clause.iter().any(|&l| model.contains(&l)));
+        }
+    }
+
+    #[test]
+    fn parses_and_refutes_unsat() {
+        let text = "p cnf 1 2\n1 0\n-1 0\n";
+        assert!(parse(text).unwrap().solve().is_none());
+    }
+
+    #[test]
+    fn clauses_may_span_lines_and_trailing_zero_optional() {
+        let text = "p cnf 2 2\n1\n2 0\n-1 -2";
+        let inst = parse(text).unwrap();
+        assert_eq!(inst.clauses, vec![vec![1, 2], vec![-1, -2]]);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let inst = DimacsInstance {
+            num_vars: 2,
+            clauses: vec![vec![1, -2], vec![2]],
+        };
+        let text = inst.to_string();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("1 2 0").is_err()); // clause before header
+        assert!(parse("p cnf x 1\n").is_err());
+        assert!(parse("p cnf 2 1\n5 0\n").is_err()); // out of range
+        assert!(parse("p cnf 1 0\np cnf 1 0\n").is_err()); // dup header
+        assert!(parse("").is_err()); // no header
+        let e = parse("p cnf 2 1\nfoo 0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn pigeonhole_via_dimacs() {
+        // 3 pigeons, 2 holes, generated as DIMACS: unsat.
+        let mut clauses = Vec::new();
+        let var = |p: i64, h: i64| p * 2 + h; // 1-based packing
+        for p in 0..3 {
+            clauses.push(vec![var(p, 1), var(p, 2)]);
+        }
+        for h in 1..=2 {
+            for p1 in 0..3 {
+                for p2 in p1 + 1..3 {
+                    clauses.push(vec![-var(p1, h), -var(p2, h)]);
+                }
+            }
+        }
+        let inst = DimacsInstance { num_vars: 6, clauses };
+        assert!(inst.solve().is_none());
+    }
+}

@@ -1,0 +1,12 @@
+//! CDCL SAT solver with DPLL(T) theory hooks.
+//!
+//! See [`cdcl::CdclSolver`] for the solver and [`cdcl::Theory`] for the
+//! plugin interface the simplex LRA solver implements.
+
+pub mod cdcl;
+pub mod dimacs;
+pub mod lit;
+
+pub use cdcl::{CdclSolver, NullTheory, SatCounters, SatOutcome, Theory, TheoryResult};
+pub use dimacs::{DimacsInstance, ParseDimacsError};
+pub use lit::{LBool, Lit, SatVar};

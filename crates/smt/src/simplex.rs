@@ -1,0 +1,718 @@
+//! General simplex decision procedure for quantifier-free linear real
+//! arithmetic (QF_LRA), in the style of Dutertre and de Moura (CAV'06).
+//!
+//! The solver maintains a tableau of linear equalities over *solver
+//! variables* (problem variables plus slack variables, one per distinct
+//! linear form), a pair of optional bounds per variable, and a candidate
+//! assignment `β` of [`DeltaRational`]s. Strict bounds are represented
+//! exactly with the infinitesimal `δ` component. It plugs into the CDCL core
+//! through the [`Theory`] trait: asserted atom literals become bound
+//! updates, and `check` restores the bound invariants by pivoting, reporting
+//! minimal conflicting bound sets as explanations.
+//!
+//! Pivoting uses Bland's rule (smallest-index selection for both leaving and
+//! entering variables), which guarantees termination.
+
+use crate::expr::{LinExpr, RealVar};
+use crate::rational::{DeltaRational, Rational};
+use crate::sat::{Lit, SatVar, Theory, TheoryResult};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Internal solver-variable index (problem variables and slacks).
+type SVar = usize;
+
+/// Which side of a variable a bound constrains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BoundKind {
+    Lower,
+    Upper,
+}
+
+/// A bound imposed by an asserted literal.
+#[derive(Debug, Clone)]
+struct Bound {
+    value: DeltaRational,
+    /// The literal whose assertion installed this bound (explanation term).
+    lit: Lit,
+}
+
+/// Undo record for one bound overwrite.
+#[derive(Debug)]
+struct Undo {
+    var: SVar,
+    kind: BoundKind,
+    previous: Option<Bound>,
+}
+
+/// How an atom constrains its variable when its SAT literal is *true*.
+///
+/// The positive phase is always an upper bound `var ≤ value` (strict or
+/// not); the negative phase is the complementary lower bound. Lower-bound
+/// atoms from the input are normalized into this form by flipping polarity
+/// at registration time.
+#[derive(Debug, Clone)]
+struct AtomBinding {
+    var: SVar,
+    bound: Rational,
+    strict: bool,
+}
+
+/// The simplex LRA theory solver.
+///
+/// Create one, register slack definitions and atoms while encoding the
+/// formula, then hand it to [`crate::sat::CdclSolver::solve`].
+#[derive(Debug, Default)]
+pub struct Simplex {
+    /// `β`: the candidate assignment.
+    assignment: Vec<DeltaRational>,
+    lower: Vec<Option<Bound>>,
+    upper: Vec<Option<Bound>>,
+    /// Tableau rows: `rows[r]` defines `basic[r] = Σ coeff·nonbasic`.
+    rows: Vec<BTreeMap<SVar, Rational>>,
+    /// Basic variable of each row.
+    basic: Vec<SVar>,
+    /// `row_of[v] = Some(r)` iff `v` is basic in row `r`.
+    row_of: Vec<Option<usize>>,
+    /// `cols[v]`: rows whose right-hand side mentions `v` (v nonbasic).
+    cols: Vec<Vec<usize>>,
+    /// Map from SAT atom variable to its bound semantics.
+    atoms: HashMap<SatVar, AtomBinding>,
+    /// Map from problem [`RealVar`] index to solver variable.
+    real_vars: Vec<SVar>,
+    /// Dedup of slack variables by normalized linear form.
+    slack_by_form: HashMap<Vec<(SVar, Rational)>, SVar>,
+    /// Per-decision-level undo stacks.
+    trail: Vec<Vec<Undo>>,
+    /// Number of pivots performed (statistics).
+    pivots: u64,
+    /// Debug accounting (populated only when `STA_SMT_DEBUG` is set):
+    /// time in `repair_nonbasic`, in the violation/entering scans, and in
+    /// `pivot_and_update`, plus scan-iteration count.
+    pub debug_timers: DebugTimers,
+}
+
+/// Internal instrumentation; see [`Simplex::debug_timers`].
+#[derive(Debug, Default, Clone)]
+pub struct DebugTimers {
+    /// Time spent repairing nonbasic assignments.
+    pub repair: std::time::Duration,
+    /// Time spent scanning for violations/entering variables.
+    pub scan: std::time::Duration,
+    /// Time spent pivoting.
+    pub pivot: std::time::Duration,
+    /// Number of outer check iterations.
+    pub iterations: u64,
+}
+
+impl Simplex {
+    /// Creates an empty theory solver.
+    pub fn new() -> Self {
+        Simplex::default()
+    }
+
+    /// Number of solver variables (problem + slack).
+    pub fn num_vars(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of tableau rows (slack definitions).
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total number of tableau entries (memory statistic).
+    pub fn tableau_entries(&self) -> usize {
+        self.rows.iter().map(|r| r.len()).sum()
+    }
+
+    /// Number of pivot operations performed so far.
+    pub fn pivots(&self) -> u64 {
+        self.pivots
+    }
+
+    fn new_svar(&mut self) -> SVar {
+        let v = self.assignment.len();
+        self.assignment.push(DeltaRational::zero());
+        self.lower.push(None);
+        self.upper.push(None);
+        self.row_of.push(None);
+        self.cols.push(Vec::new());
+        v
+    }
+
+    /// Ensures problem variable `rv` has a solver variable; returns it.
+    pub fn solver_var(&mut self, rv: RealVar) -> SVar {
+        let idx = rv.0 as usize;
+        while self.real_vars.len() <= idx {
+            let sv = self.new_svar();
+            self.real_vars.push(sv);
+        }
+        self.real_vars[idx]
+    }
+
+    /// Returns the solver variable representing the variable part of `expr`
+    /// (the constant term is ignored — callers fold it into bounds).
+    ///
+    /// Single-variable forms with unit coefficient map to the problem
+    /// variable directly; anything else gets a (deduplicated) slack variable
+    /// defined by a tableau row.
+    pub fn var_for_form(&mut self, expr: &LinExpr) -> SVar {
+        debug_assert!(!expr.is_constant(), "constant atoms fold in Formula::cmp");
+        if expr.len() == 1 {
+            let (v, c) = expr.iter().next().map(|(v, c)| (v, c.clone())).unwrap();
+            if c == Rational::one() {
+                return self.solver_var(v);
+            }
+        }
+        let form: Vec<(SVar, Rational)> = {
+            let pairs: Vec<(RealVar, Rational)> =
+                expr.iter().map(|(v, c)| (v, c.clone())).collect();
+            pairs
+                .into_iter()
+                .map(|(v, c)| (self.solver_var(v), c))
+                .collect()
+        };
+        if let Some(&s) = self.slack_by_form.get(&form) {
+            return s;
+        }
+        let s = self.new_svar();
+        // Row: s = Σ coeff·var. Substitute any variables that are already
+        // basic so the row mentions only nonbasic variables.
+        let mut row: BTreeMap<SVar, Rational> = BTreeMap::new();
+        for (v, c) in &form {
+            if let Some(r) = self.row_of[*v] {
+                let sub = self.rows[r].clone();
+                for (w, cw) in sub {
+                    add_to_row(&mut row, w, &(c * &cw));
+                }
+            } else {
+                add_to_row(&mut row, *v, c);
+            }
+        }
+        let ridx = self.rows.len();
+        for &v in row.keys() {
+            self.cols[v].push(ridx);
+        }
+        // β[s] must satisfy the row under the current assignment.
+        let val = row.iter().fold(DeltaRational::zero(), |acc, (v, c)| {
+            &acc + &self.assignment[*v].scale(c)
+        });
+        self.assignment[s] = val;
+        self.rows.push(row);
+        self.basic.push(s);
+        self.row_of[s] = Some(ridx);
+        self.slack_by_form.insert(form, s);
+        s
+    }
+
+    /// Registers a SAT atom variable: when `sat_var` is assigned true the
+    /// constraint `var ≤ bound` (strict if `strict`) holds; when false, the
+    /// complementary lower bound holds.
+    pub fn register_atom(&mut self, sat_var: SatVar, var: SVar, bound: Rational, strict: bool) {
+        self.atoms.insert(sat_var, AtomBinding { var, bound, strict });
+    }
+
+    /// The current value of problem variable `rv`, if it has been seen.
+    pub fn value_of(&self, rv: RealVar) -> Option<&DeltaRational> {
+        self.real_vars
+            .get(rv.0 as usize)
+            .map(|&sv| &self.assignment[sv])
+    }
+
+    /// Computes a positive `ε` small enough that substituting it for `δ`
+    /// keeps every asserted bound satisfied, then returns the concretized
+    /// rational value of every problem variable.
+    ///
+    /// Call only after a successful solve (all bounds satisfied by `β`).
+    pub fn concrete_model(&self) -> Vec<Rational> {
+        let mut eps = Rational::one();
+        let mut shrink = |gap_real: &Rational, gap_delta: &Rational| {
+            // Constraint satisfied in delta order: gap_real + gap_delta·δ ≥ 0
+            // with (gap_real, gap_delta) ≥lex 0. If gap_real > 0 but
+            // gap_delta < 0, ε must stay ≤ gap_real / (−gap_delta).
+            if gap_real.is_positive() && gap_delta.is_negative() {
+                let limit = gap_real / &(-gap_delta);
+                if limit < eps {
+                    eps = limit;
+                }
+            }
+        };
+        for v in 0..self.assignment.len() {
+            let beta = &self.assignment[v];
+            if let Some(lb) = &self.lower[v] {
+                let gap = beta - &lb.value;
+                shrink(&gap.value, &gap.delta);
+            }
+            if let Some(ub) = &self.upper[v] {
+                let gap = &ub.value - beta;
+                shrink(&gap.value, &gap.delta);
+            }
+        }
+        let half = &eps * &Rational::new(1, 2);
+        self.real_vars
+            .iter()
+            .map(|&sv| self.assignment[sv].concretize(&half))
+            .collect()
+    }
+
+    fn assert_bound(&mut self, var: SVar, kind: BoundKind, value: DeltaRational, lit: Lit) -> TheoryResult {
+        match kind {
+            BoundKind::Upper => {
+                if let Some(ub) = &self.upper[var] {
+                    if value >= ub.value {
+                        return TheoryResult::Ok; // not tighter
+                    }
+                }
+                if let Some(lb) = &self.lower[var] {
+                    if value < lb.value {
+                        return TheoryResult::Conflict(vec![lit, lb.lit]);
+                    }
+                }
+                self.record_undo(var, BoundKind::Upper);
+                self.upper[var] = Some(Bound { value: value.clone(), lit });
+                if self.row_of[var].is_none() && self.assignment[var] > value {
+                    self.update_nonbasic(var, value);
+                }
+            }
+            BoundKind::Lower => {
+                if let Some(lb) = &self.lower[var] {
+                    if value <= lb.value {
+                        return TheoryResult::Ok;
+                    }
+                }
+                if let Some(ub) = &self.upper[var] {
+                    if value > ub.value {
+                        return TheoryResult::Conflict(vec![lit, ub.lit]);
+                    }
+                }
+                self.record_undo(var, BoundKind::Lower);
+                self.lower[var] = Some(Bound { value: value.clone(), lit });
+                if self.row_of[var].is_none() && self.assignment[var] < value {
+                    self.update_nonbasic(var, value);
+                }
+            }
+        }
+        TheoryResult::Ok
+    }
+
+    fn record_undo(&mut self, var: SVar, kind: BoundKind) {
+        let previous = match kind {
+            BoundKind::Lower => self.lower[var].clone(),
+            BoundKind::Upper => self.upper[var].clone(),
+        };
+        if let Some(level) = self.trail.last_mut() {
+            level.push(Undo { var, kind, previous });
+        }
+        // At root level (empty trail) bounds are permanent.
+    }
+
+    /// Sets nonbasic `var` to `value`, updating every dependent basic var.
+    fn update_nonbasic(&mut self, var: SVar, value: DeltaRational) {
+        let diff = &value - &self.assignment[var];
+        // cols[var] may contain stale row indices from pivoting; filter by
+        // membership.
+        let rows_touching: Vec<usize> = self.cols[var].clone();
+        for r in rows_touching {
+            if let Some(c) = self.rows[r].get(&var) {
+                let b = self.basic[r];
+                self.assignment[b] = &self.assignment[b] + &diff.scale(c);
+            }
+        }
+        self.assignment[var] = value;
+    }
+
+    /// Pivots basic variable of row `r` with nonbasic `entering`, then sets
+    /// the (now nonbasic) former basic variable so the leaving variable's
+    /// violated bound becomes satisfied: standard `pivotAndUpdate`.
+    fn pivot_and_update(&mut self, r: usize, entering: SVar, target: DeltaRational) {
+        self.pivots += 1;
+        let leaving = self.basic[r];
+        let a = self.rows[r].get(&entering).cloned().expect("entering in row");
+        // θ = (target − β[leaving]) / a
+        let theta = (&target - &self.assignment[leaving]).scale(&a.recip());
+        // β updates: leaving gets target; entering moves by θ; every other
+        // basic row containing `entering` moves by its coefficient times θ.
+        self.assignment[leaving] = target;
+        self.assignment[entering] = &self.assignment[entering] + &theta;
+        let touching: Vec<usize> = self.cols[entering].clone();
+        for rr in touching {
+            if rr == r {
+                continue;
+            }
+            if let Some(c) = self.rows[rr].get(&entering) {
+                let b = self.basic[rr];
+                self.assignment[b] = &self.assignment[b] + &theta.scale(c);
+            }
+        }
+        self.pivot(r, entering);
+    }
+
+    /// Row `r`: `leaving = Σ coeffs·nonbasic` with `entering` among them.
+    /// Re-solves for `entering` and substitutes into all other rows.
+    fn pivot(&mut self, r: usize, entering: SVar) {
+        let leaving = self.basic[r];
+        let mut row = std::mem::take(&mut self.rows[r]);
+        let a = row.remove(&entering).expect("entering coefficient");
+        // entering = (leaving − Σ rest) / a
+        let inv = a.recip();
+        let mut new_row: BTreeMap<SVar, Rational> = BTreeMap::new();
+        new_row.insert(leaving, inv.clone());
+        for (v, c) in row {
+            new_row.insert(v, -&(&c * &inv));
+        }
+        // Column bookkeeping for the rewritten row.
+        for (&v, _) in &new_row {
+            if !self.cols[v].contains(&r) {
+                self.cols[v].push(r);
+            }
+        }
+        self.rows[r] = new_row;
+        self.basic[r] = entering;
+        self.row_of[leaving] = None;
+        self.row_of[entering] = Some(r);
+
+        // Substitute `entering` out of every other row.
+        let touching: Vec<usize> = self.cols[entering].clone();
+        for rr in touching {
+            if rr == r {
+                continue;
+            }
+            let Some(c) = self.rows[rr].remove(&entering) else {
+                continue;
+            };
+            let expansion = self.rows[r].clone();
+            for (v, cv) in expansion {
+                let coeff = &c * &cv;
+                let row_rr = &mut self.rows[rr];
+                add_to_row(row_rr, v, &coeff);
+                if row_rr.contains_key(&v) && !self.cols[v].contains(&rr) {
+                    self.cols[v].push(rr);
+                }
+            }
+        }
+        self.cols[entering].retain(|&rr| rr == r);
+        // `entering` now only appears as basic of row r; clear its column.
+        self.cols[entering].clear();
+        // Occasionally compact stale column entries to bound memory.
+        if self.pivots % 256 == 0 {
+            self.rebuild_cols();
+        }
+    }
+
+    fn rebuild_cols(&mut self) {
+        for col in &mut self.cols {
+            col.clear();
+        }
+        for (r, row) in self.rows.iter().enumerate() {
+            for &v in row.keys() {
+                self.cols[v].push(r);
+            }
+        }
+    }
+
+    /// Restores every *nonbasic* variable to within its bounds (needed after
+    /// backtracking, which rewinds bounds but not `β`).
+    fn repair_nonbasic(&mut self) {
+        for v in 0..self.assignment.len() {
+            if self.row_of[v].is_some() {
+                continue;
+            }
+            let lb = self.lower[v].as_ref().map(|b| b.value.clone());
+            let ub = self.upper[v].as_ref().map(|b| b.value.clone());
+            if let Some(l) = &lb {
+                if self.assignment[v] < *l {
+                    self.update_nonbasic(v, l.clone());
+                    continue;
+                }
+            }
+            if let Some(u) = &ub {
+                if self.assignment[v] > *u {
+                    self.update_nonbasic(v, u.clone());
+                }
+            }
+        }
+    }
+
+    /// The main `Check()` loop: Bland's rule pivoting until all basic
+    /// variables respect their bounds, or a row proves infeasibility.
+    fn check_internal(&mut self) -> TheoryResult {
+        let debug = std::env::var_os("STA_SMT_DEBUG").is_some();
+        let t0 = debug.then(std::time::Instant::now);
+        self.repair_nonbasic();
+        if let Some(t) = t0 {
+            self.debug_timers.repair += t.elapsed();
+        }
+        loop {
+            self.debug_timers.iterations += 1;
+            let t_scan = debug.then(std::time::Instant::now);
+            // Leaving: smallest-index basic variable violating a bound.
+            let mut violation: Option<(usize, SVar, bool)> = None; // (row, var, below)
+            for (r, &b) in self.basic.iter().enumerate() {
+                let below = matches!(&self.lower[b], Some(lb) if self.assignment[b] < lb.value);
+                let above = matches!(&self.upper[b], Some(ub) if self.assignment[b] > ub.value);
+                if below || above {
+                    match violation {
+                        Some((_, bv, _)) if bv <= b => {}
+                        _ => violation = Some((r, b, below)),
+                    }
+                }
+            }
+            let Some((r, xb, below)) = violation else {
+                if let Some(t) = t_scan {
+                    self.debug_timers.scan += t.elapsed();
+                }
+                return TheoryResult::Ok;
+            };
+            // Entering: smallest-index nonbasic that can move xb toward the
+            // violated bound.
+            let mut entering: Option<SVar> = None;
+            for (&xn, c) in &self.rows[r] {
+                let can_increase = match &self.upper[xn] {
+                    Some(ub) => self.assignment[xn] < ub.value,
+                    None => true,
+                };
+                let can_decrease = match &self.lower[xn] {
+                    Some(lb) => self.assignment[xn] > lb.value,
+                    None => true,
+                };
+                let usable = if below {
+                    // Need to raise xb.
+                    (c.is_positive() && can_increase) || (c.is_negative() && can_decrease)
+                } else {
+                    // Need to lower xb.
+                    (c.is_positive() && can_decrease) || (c.is_negative() && can_increase)
+                };
+                if usable {
+                    match entering {
+                        Some(e) if e <= xn => {}
+                        _ => entering = Some(xn),
+                    }
+                }
+            }
+            if let Some(t) = t_scan {
+                self.debug_timers.scan += t.elapsed();
+            }
+            match entering {
+                Some(xn) => {
+                    let target = if below {
+                        self.lower[xb].as_ref().unwrap().value.clone()
+                    } else {
+                        self.upper[xb].as_ref().unwrap().value.clone()
+                    };
+                    let t_piv = debug.then(std::time::Instant::now);
+                    self.pivot_and_update(r, xn, target);
+                    if let Some(t) = t_piv {
+                        self.debug_timers.pivot += t.elapsed();
+                    }
+                }
+                None => {
+                    // Infeasible row: explanation is the violated bound of xb
+                    // plus the blocking bound of every nonbasic in the row.
+                    let mut expl = Vec::new();
+                    if below {
+                        expl.push(self.lower[xb].as_ref().unwrap().lit);
+                        for (&xn, c) in &self.rows[r] {
+                            if c.is_positive() {
+                                expl.push(self.upper[xn].as_ref().unwrap().lit);
+                            } else {
+                                expl.push(self.lower[xn].as_ref().unwrap().lit);
+                            }
+                        }
+                    } else {
+                        expl.push(self.upper[xb].as_ref().unwrap().lit);
+                        for (&xn, c) in &self.rows[r] {
+                            if c.is_positive() {
+                                expl.push(self.lower[xn].as_ref().unwrap().lit);
+                            } else {
+                                expl.push(self.upper[xn].as_ref().unwrap().lit);
+                            }
+                        }
+                    }
+                    expl.sort_unstable();
+                    expl.dedup();
+                    return TheoryResult::Conflict(expl);
+                }
+            }
+        }
+    }
+}
+
+fn add_to_row(row: &mut BTreeMap<SVar, Rational>, v: SVar, c: &Rational) {
+    if c.is_zero() {
+        return;
+    }
+    let entry = row.entry(v).or_default();
+    let sum = &*entry + c;
+    if sum.is_zero() {
+        row.remove(&v);
+    } else {
+        *entry = sum;
+    }
+}
+
+impl Theory for Simplex {
+    fn on_new_level(&mut self) {
+        self.trail.push(Vec::new());
+    }
+
+    fn on_backtrack(&mut self, n_levels: usize) {
+        for _ in 0..n_levels {
+            let undos = self.trail.pop().expect("backtrack within pushed levels");
+            for undo in undos.into_iter().rev() {
+                match undo.kind {
+                    BoundKind::Lower => self.lower[undo.var] = undo.previous,
+                    BoundKind::Upper => self.upper[undo.var] = undo.previous,
+                }
+            }
+        }
+    }
+
+    fn on_assert(&mut self, lit: Lit) -> TheoryResult {
+        let Some(binding) = self.atoms.get(&lit.var()) else {
+            return TheoryResult::Ok;
+        };
+        let AtomBinding { var, bound, strict } = binding.clone();
+        if lit.is_positive() {
+            // var ≤ bound (− δ if strict)
+            let value = if strict {
+                DeltaRational::with_delta(bound, Rational::new(-1, 1))
+            } else {
+                DeltaRational::real(bound)
+            };
+            self.assert_bound(var, BoundKind::Upper, value, lit)
+        } else {
+            // ¬(var ≤ bound) ⇔ var > bound; ¬(var < bound) ⇔ var ≥ bound.
+            let value = if strict {
+                DeltaRational::real(bound)
+            } else {
+                DeltaRational::with_delta(bound, Rational::one())
+            };
+            self.assert_bound(var, BoundKind::Lower, value, lit)
+        }
+    }
+
+    fn check(&mut self) -> TheoryResult {
+        self.check_internal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::{CdclSolver, LBool, SatOutcome};
+
+    /// Directly exercise the theory through a tiny CDCL harness: atoms
+    /// `x ≤ 1`, `x ≥ 2` (as ¬(x < 2)) must be jointly unsat.
+    #[test]
+    fn contradictory_bounds_conflict() {
+        let mut simplex = Simplex::new();
+        let mut sat = CdclSolver::new();
+        let x = simplex.solver_var(RealVar(0));
+
+        let a = sat.new_var(); // x ≤ 1
+        sat.set_theory_var(a);
+        simplex.register_atom(a, x, Rational::new(1, 1), false);
+        let b = sat.new_var(); // x < 2 ; ¬b means x ≥ 2
+        sat.set_theory_var(b);
+        simplex.register_atom(b, x, Rational::new(2, 1), true);
+
+        sat.add_clause(vec![Lit::positive(a)]);
+        sat.add_clause(vec![Lit::negative(b)]);
+        assert_eq!(sat.solve(&mut simplex), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn feasible_bounds_produce_model() {
+        let mut simplex = Simplex::new();
+        let mut sat = CdclSolver::new();
+        let x = simplex.solver_var(RealVar(0));
+
+        let a = sat.new_var(); // x ≤ 3
+        sat.set_theory_var(a);
+        simplex.register_atom(a, x, Rational::new(3, 1), false);
+        let b = sat.new_var(); // x ≤ 2 ; ¬b ⇒ x > 2
+        sat.set_theory_var(b);
+        simplex.register_atom(b, x, Rational::new(2, 1), false);
+
+        sat.add_clause(vec![Lit::positive(a)]);
+        sat.add_clause(vec![Lit::negative(b)]);
+        assert_eq!(sat.solve(&mut simplex), SatOutcome::Sat);
+        let model = simplex.concrete_model();
+        let v = &model[0];
+        assert!(*v > Rational::new(2, 1) && *v <= Rational::new(3, 1), "got {v}");
+    }
+
+    /// x + y ≤ 1 together with x ≥ 1 and y ≥ 1 is unsat; dropping one of
+    /// the lower bounds makes it sat.
+    #[test]
+    fn sum_constraint_via_slack() {
+        let mut simplex = Simplex::new();
+        let mut sat = CdclSolver::new();
+        let x = RealVar(0);
+        let y = RealVar(1);
+        let form = LinExpr::var(x) + LinExpr::var(y);
+        let s = simplex.var_for_form(&form);
+        let sx = simplex.solver_var(x);
+        let sy = simplex.solver_var(y);
+
+        let a = sat.new_var(); // x+y ≤ 1
+        sat.set_theory_var(a);
+        simplex.register_atom(a, s, Rational::new(1, 1), false);
+        let b = sat.new_var(); // x < 1 ; ¬b ⇒ x ≥ 1
+        sat.set_theory_var(b);
+        simplex.register_atom(b, sx, Rational::new(1, 1), true);
+        let c = sat.new_var(); // y < 1 ; ¬c ⇒ y ≥ 1
+        sat.set_theory_var(c);
+        simplex.register_atom(c, sy, Rational::new(1, 1), true);
+
+        sat.add_clause(vec![Lit::positive(a)]);
+        sat.add_clause(vec![Lit::negative(b)]);
+        sat.add_clause(vec![Lit::negative(c)]);
+        assert_eq!(sat.solve(&mut simplex), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn sat_case_with_slack_and_choice() {
+        let mut simplex = Simplex::new();
+        let mut sat = CdclSolver::new();
+        let x = RealVar(0);
+        let y = RealVar(1);
+        let form = LinExpr::var(x) + LinExpr::var(y);
+        let s = simplex.var_for_form(&form);
+        let sx = simplex.solver_var(x);
+
+        let a = sat.new_var(); // x+y ≤ 1
+        sat.set_theory_var(a);
+        simplex.register_atom(a, s, Rational::new(1, 1), false);
+        let b = sat.new_var(); // x ≤ -5
+        sat.set_theory_var(b);
+        simplex.register_atom(b, sx, Rational::new(-5, 1), false);
+        // Either x+y ≤ 1 or x ≤ -5 must hold; both is fine too.
+        sat.add_clause(vec![Lit::positive(a), Lit::positive(b)]);
+        assert_eq!(sat.solve(&mut simplex), SatOutcome::Sat);
+        let model = simplex.concrete_model();
+        let xv = &model[0];
+        let yv = &model[1];
+        let asserted_a = sat.value(a) == LBool::True;
+        let asserted_b = sat.value(b) == LBool::True;
+        assert!(asserted_a || asserted_b);
+        if asserted_a {
+            assert!(&(xv + yv) <= &Rational::new(1, 1));
+        }
+        if asserted_b {
+            assert!(xv <= &Rational::new(-5, 1));
+        }
+    }
+
+    /// Dedup: the same linear form registered twice yields one slack.
+    #[test]
+    fn slack_deduplication() {
+        let mut simplex = Simplex::new();
+        let form = LinExpr::var(RealVar(0)) + LinExpr::var(RealVar(1));
+        let s1 = simplex.var_for_form(&form);
+        let s2 = simplex.var_for_form(&form.clone());
+        assert_eq!(s1, s2);
+        assert_eq!(simplex.num_rows(), 1);
+    }
+}

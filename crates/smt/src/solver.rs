@@ -1,0 +1,383 @@
+//! The user-facing SMT solver: assertion stack, check, model extraction.
+//!
+//! [`Solver`] collects [`Formula`] assertions with [`Solver::push`] /
+//! [`Solver::pop`] scoping, and [`Solver::check`] decides their conjunction
+//! over QF_LRA. Each check encodes the current assertion set from scratch —
+//! the paper's Algorithm 1 uses push/pop around whole verification calls, so
+//! re-encoding (rather than incremental clause retraction) keeps the solver
+//! simple without changing any observable behavior.
+//!
+//! # Examples
+//!
+//! ```
+//! use sta_smt::{Formula, LinExpr, LinExprCmp, Solver};
+//!
+//! let mut solver = Solver::new();
+//! let x = solver.new_real();
+//! let y = solver.new_real();
+//! solver.assert_formula(&(LinExpr::var(x) + LinExpr::var(y)).eq_expr(LinExpr::from(10)));
+//! solver.assert_formula(&LinExpr::var(x).ge(LinExpr::from(7)));
+//! let model = solver.check().expect_sat();
+//! assert!(model.real_value(y).to_f64() <= 3.0);
+//! ```
+
+use crate::cnf::Encoder;
+use crate::expr::RealVar;
+use crate::formula::{BoolVar, Formula};
+use crate::rational::Rational;
+use crate::sat::{CdclSolver, LBool, SatOutcome};
+use crate::simplex::Simplex;
+use crate::stats::SolverStats;
+use std::time::Instant;
+
+/// A satisfying assignment for the problem variables.
+///
+/// Every declared variable has a value; variables unconstrained by the
+/// assertions default to `false` / `0`.
+#[derive(Debug, Clone)]
+pub struct Model {
+    bools: Vec<bool>,
+    reals: Vec<Rational>,
+}
+
+impl Model {
+    /// Value of a Boolean variable.
+    ///
+    /// # Panics
+    /// Panics if `v` was not created by the solver that produced this model.
+    pub fn bool_value(&self, v: BoolVar) -> bool {
+        self.bools[v.0 as usize]
+    }
+
+    /// Value of a real variable.
+    ///
+    /// # Panics
+    /// Panics if `v` was not created by the solver that produced this model.
+    pub fn real_value(&self, v: RealVar) -> &Rational {
+        &self.reals[v.0 as usize]
+    }
+}
+
+/// Outcome of [`Solver::check`].
+#[derive(Debug, Clone)]
+pub enum SatResult {
+    /// Satisfiable, with a model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// Extracts the model.
+    ///
+    /// # Panics
+    /// Panics if the result is `Unsat`.
+    pub fn expect_sat(self) -> Model {
+        match self {
+            SatResult::Sat(m) => m,
+            SatResult::Unsat => panic!("expected sat, got unsat"),
+        }
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(self) -> Option<Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            SatResult::Unsat => None,
+        }
+    }
+}
+
+/// An SMT solver for Boolean combinations of linear real arithmetic.
+///
+/// See the [module docs](self) for an example.
+#[derive(Debug, Default)]
+pub struct Solver {
+    n_bools: u32,
+    n_reals: u32,
+    assertions: Vec<Formula>,
+    scopes: Vec<usize>,
+    last_stats: Option<SolverStats>,
+}
+
+impl Solver {
+    /// Creates a solver with no variables or assertions.
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    /// Declares a fresh Boolean variable.
+    pub fn new_bool(&mut self) -> BoolVar {
+        let v = BoolVar(self.n_bools);
+        self.n_bools += 1;
+        v
+    }
+
+    /// Declares a fresh real variable.
+    pub fn new_real(&mut self) -> RealVar {
+        let v = RealVar(self.n_reals);
+        self.n_reals += 1;
+        v
+    }
+
+    /// Asserts `f` in the current scope.
+    pub fn assert_formula(&mut self, f: &Formula) {
+        self.assertions.push(f.clone());
+    }
+
+    /// Opens a new assertion scope.
+    pub fn push(&mut self) {
+        self.scopes.push(self.assertions.len());
+    }
+
+    /// Discards all assertions added since the matching [`Solver::push`].
+    ///
+    /// # Panics
+    /// Panics if there is no open scope.
+    pub fn pop(&mut self) {
+        let mark = self.scopes.pop().expect("pop without matching push");
+        self.assertions.truncate(mark);
+    }
+
+    /// Number of assertions currently active.
+    pub fn num_assertions(&self) -> usize {
+        self.assertions.len()
+    }
+
+    /// Statistics of the most recent [`Solver::check`] call.
+    pub fn last_stats(&self) -> Option<&SolverStats> {
+        self.last_stats.as_ref()
+    }
+
+    /// Decides satisfiability of the asserted conjunction.
+    pub fn check(&mut self) -> SatResult {
+        let start = Instant::now();
+        let mut sat = CdclSolver::new();
+        let mut simplex = Simplex::new();
+        let mut encoder = Encoder::new();
+        // Materialize every declared real variable so the model covers them.
+        for i in 0..self.n_reals {
+            simplex.solver_var(RealVar(i));
+        }
+        for f in &self.assertions {
+            encoder.assert_root(f, &mut sat, &mut simplex);
+        }
+        let encode_done = Instant::now();
+        let outcome = sat.solve(&mut simplex);
+        if std::env::var_os("STA_SMT_DEBUG").is_some() {
+            let t = &simplex.debug_timers;
+            eprintln!(
+                "[sta-smt] encode {:.2?} solve {:.2?} | simplex repair {:.2?} \
+                 scan {:.2?} pivot {:.2?} iters {}",
+                encode_done - start,
+                encode_done.elapsed(),
+                t.repair,
+                t.scan,
+                t.pivot,
+                t.iterations,
+            );
+        }
+        let counters = sat.counters();
+        let stats = SolverStats {
+            bool_vars: self.n_bools as usize,
+            real_vars: self.n_reals as usize,
+            assertions: self.assertions.len(),
+            sat_vars: sat.num_vars(),
+            clauses: encoder.clauses,
+            clause_lits: encoder.clause_lits,
+            atoms: encoder.num_atoms(),
+            simplex_vars: simplex.num_vars(),
+            simplex_rows: simplex.num_rows(),
+            tableau_entries: simplex.tableau_entries(),
+            pivots: simplex.pivots(),
+            decisions: counters.decisions,
+            propagations: counters.propagations,
+            conflicts: counters.conflicts,
+            theory_conflicts: counters.theory_conflicts,
+            restarts: counters.restarts,
+            learned_clauses: counters.learned_clauses,
+            solve_time: start.elapsed(),
+        };
+        self.last_stats = Some(stats);
+        match outcome {
+            SatOutcome::Unsat => SatResult::Unsat,
+            SatOutcome::Sat => {
+                let reals = simplex.concrete_model();
+                let bools = (0..self.n_bools)
+                    .map(|i| match encoder.lookup_bool(BoolVar(i)) {
+                        Some(v) => sat.value(v) == LBool::True,
+                        None => false,
+                    })
+                    .collect();
+                SatResult::Sat(Model { bools, reals })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::formula::LinExprCmp;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn pure_boolean() {
+        let mut s = Solver::new();
+        let p = s.new_bool();
+        let q = s.new_bool();
+        s.assert_formula(&Formula::or(vec![Formula::var(p), Formula::var(q)]));
+        s.assert_formula(&Formula::var(p).not());
+        let m = s.check().expect_sat();
+        assert!(!m.bool_value(p));
+        assert!(m.bool_value(q));
+    }
+
+    #[test]
+    fn pure_arithmetic_system() {
+        // x + y = 10, x − y = 4 ⇒ x = 7, y = 3.
+        let mut s = Solver::new();
+        let x = s.new_real();
+        let y = s.new_real();
+        s.assert_formula(
+            &(LinExpr::var(x) + LinExpr::var(y)).eq_expr(LinExpr::from(10)),
+        );
+        s.assert_formula(
+            &(LinExpr::var(x) - LinExpr::var(y)).eq_expr(LinExpr::from(4)),
+        );
+        let m = s.check().expect_sat();
+        assert_eq!(*m.real_value(x), r(7, 1));
+        assert_eq!(*m.real_value(y), r(3, 1));
+    }
+
+    #[test]
+    fn mixed_boolean_arithmetic() {
+        // p → x ≥ 5, ¬p → x ≤ −5, x = 2 forces... nothing consistent with p,
+        // so p must be true and x ≥ 5 contradicts x = 2: unsat.
+        let mut s = Solver::new();
+        let p = s.new_bool();
+        let x = s.new_real();
+        s.assert_formula(&Formula::var(p).implies(LinExpr::var(x).ge(LinExpr::from(5))));
+        s.assert_formula(
+            &Formula::var(p)
+                .not()
+                .implies(LinExpr::var(x).le(LinExpr::from(-5))),
+        );
+        s.assert_formula(&LinExpr::var(x).eq_expr(LinExpr::from(2)));
+        assert!(!s.check().is_sat());
+    }
+
+    #[test]
+    fn strict_inequalities_exact() {
+        // 0 < x < 1 and 3x = 1 is sat with x = 1/3.
+        let mut s = Solver::new();
+        let x = s.new_real();
+        s.assert_formula(&LinExpr::var(x).gt(LinExpr::from(0)));
+        s.assert_formula(&LinExpr::var(x).lt(LinExpr::from(1)));
+        s.assert_formula(
+            &(LinExpr::var(x) * r(3, 1)).eq_expr(LinExpr::from(1)),
+        );
+        let m = s.check().expect_sat();
+        assert_eq!(*m.real_value(x), r(1, 3));
+    }
+
+    #[test]
+    fn strict_open_interval_has_interior_point() {
+        // 0 < x < 1 alone: the delta-rational model must concretize to a
+        // rational strictly inside the interval.
+        let mut s = Solver::new();
+        let x = s.new_real();
+        s.assert_formula(&LinExpr::var(x).gt(LinExpr::from(0)));
+        s.assert_formula(&LinExpr::var(x).lt(LinExpr::from(1)));
+        let m = s.check().expect_sat();
+        let v = m.real_value(x);
+        assert!(v > &r(0, 1) && v < &r(1, 1), "got {v}");
+    }
+
+    #[test]
+    fn push_pop_restores_satisfiability() {
+        let mut s = Solver::new();
+        let x = s.new_real();
+        s.assert_formula(&LinExpr::var(x).ge(LinExpr::from(0)));
+        s.push();
+        s.assert_formula(&LinExpr::var(x).lt(LinExpr::from(0)));
+        assert!(!s.check().is_sat());
+        s.pop();
+        assert!(s.check().is_sat());
+    }
+
+    #[test]
+    fn unconstrained_variables_get_defaults() {
+        let mut s = Solver::new();
+        let p = s.new_bool();
+        let x = s.new_real();
+        s.assert_formula(&Formula::top());
+        let m = s.check().expect_sat();
+        assert!(!m.bool_value(p));
+        assert_eq!(*m.real_value(x), Rational::zero());
+    }
+
+    #[test]
+    fn stats_populated_after_check() {
+        let mut s = Solver::new();
+        let x = s.new_real();
+        s.assert_formula(&LinExpr::var(x).ge(LinExpr::from(1)));
+        let _ = s.check();
+        let stats = s.last_stats().expect("stats");
+        assert!(stats.sat_vars > 0);
+        assert!(stats.estimated_bytes() > 0);
+    }
+
+    #[test]
+    fn ne_forces_displacement() {
+        // x = y ∧ x ≠ 0 ∧ y ≤ 0 ⇒ x = y < 0.
+        let mut s = Solver::new();
+        let x = s.new_real();
+        let y = s.new_real();
+        s.assert_formula(&LinExpr::var(x).eq_expr(LinExpr::var(y)));
+        s.assert_formula(&LinExpr::var(x).ne_expr(LinExpr::from(0)));
+        s.assert_formula(&LinExpr::var(y).le(LinExpr::from(0)));
+        let m = s.check().expect_sat();
+        assert!(m.real_value(x).is_negative());
+        assert_eq!(m.real_value(x), m.real_value(y));
+    }
+
+    #[test]
+    fn cardinality_over_implication_guards() {
+        // 4 booleans, each forces its real to 1; at most 2 true; sum of
+        // reals ≥ 3 ⇒ unsat (reals otherwise pinned to 0).
+        let mut s = Solver::new();
+        let mut sum = LinExpr::zero();
+        let mut card = Vec::new();
+        for _ in 0..4 {
+            let p = s.new_bool();
+            let x = s.new_real();
+            s.assert_formula(
+                &Formula::var(p).implies(LinExpr::var(x).eq_expr(LinExpr::from(1))),
+            );
+            s.assert_formula(
+                &Formula::var(p)
+                    .not()
+                    .implies(LinExpr::var(x).eq_expr(LinExpr::from(0))),
+            );
+            sum = sum + LinExpr::var(x);
+            card.push(Formula::var(p));
+        }
+        s.assert_formula(&Formula::at_most(card, 2));
+        s.push();
+        s.assert_formula(&sum.clone().ge(LinExpr::from(3)));
+        assert!(!s.check().is_sat());
+        s.pop();
+        s.assert_formula(&sum.ge(LinExpr::from(2)));
+        assert!(s.check().is_sat());
+    }
+}

@@ -1,0 +1,219 @@
+//! `sta` — command-line front end for the threat-analytics toolchain.
+//!
+//! ```text
+//! sta case <name>                      print a built-in case file
+//! sta verify <case> <scenario>         decide attack feasibility
+//! sta replay <case> <scenario>         verify, then replay end to end
+//! sta assess <case>                    grid-wide threat assessment
+//! sta synthesize <case> <scenario> --budget N [--reference-secured]
+//!                                      synthesize a security architecture
+//! sta synthesize <case> <scenario> --budget N --measurements
+//!                                      measurement-granular variant
+//! ```
+//!
+//! `<case>` is a case file (see `sta::grid::caseformat`) or a built-in
+//! name: `ieee14`, `ieee14-unsecured`, `ieee30`, `ieee57`, `ieee118`,
+//! `ieee300`. `<scenario>` is an attack-scenario file (see
+//! `sta::core::scenario`) or `-` for the empty (unconstrained) scenario.
+
+use sta::core::analytics::ThreatAnalyzer;
+use sta::core::attack::{AttackModel, AttackVerifier};
+use sta::core::synthesis::{SynthesisConfig, Synthesizer};
+use sta::core::{scenario, validation};
+use sta::grid::{caseformat, ieee14, synthetic, TestSystem};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sta case <name>\n  sta verify <case> <scenario>\n  \
+         sta replay <case> <scenario>\n  sta assess <case>\n  \
+         sta synthesize <case> <scenario> --budget N \
+         [--reference-secured] [--measurements] [--paper-blocking]"
+    );
+    ExitCode::from(2)
+}
+
+fn load_case(spec: &str) -> Result<TestSystem, String> {
+    match spec {
+        "ieee14" => return Ok(ieee14::system()),
+        "ieee14-unsecured" => return Ok(ieee14::system_unsecured()),
+        "ieee30" => return Ok(synthetic::ieee_case(30)),
+        "ieee57" => return Ok(synthetic::ieee_case(57)),
+        "ieee118" => return Ok(synthetic::ieee_case(118)),
+        "ieee300" => return Ok(synthetic::ieee_case(300)),
+        _ => {}
+    }
+    let text = std::fs::read_to_string(spec)
+        .map_err(|e| format!("cannot read case file {spec:?}: {e}"))?;
+    caseformat::parse(&text).map_err(|e| e.to_string())
+}
+
+fn load_scenario(spec: &str, sys: &TestSystem) -> Result<AttackModel, String> {
+    if spec == "-" {
+        return Ok(AttackModel::new(sys.grid.num_buses()));
+    }
+    let text = std::fs::read_to_string(spec)
+        .map_err(|e| format!("cannot read scenario file {spec:?}: {e}"))?;
+    scenario::parse(&text, sys.grid.num_buses(), sys.grid.num_lines())
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_case(args: &[String]) -> Result<ExitCode, String> {
+    let name = args.first().ok_or("missing case name")?;
+    let sys = load_case(name)?;
+    print!("{}", caseformat::write(&sys));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
+    let (case, scen) = two(args)?;
+    let sys = load_case(&case)?;
+    let model = load_scenario(&scen, &sys)?;
+    let verifier = AttackVerifier::new(&sys);
+    let report = verifier.verify_with_stats(&model);
+    match report.outcome.vector() {
+        Some(v) => {
+            println!("sat");
+            println!("{v}");
+            println!("solver: {}", report.stats);
+            Ok(ExitCode::SUCCESS)
+        }
+        None => {
+            println!("unsat — no attack satisfies the scenario");
+            println!("solver: {}", report.stats);
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
+    let (case, scen) = two(args)?;
+    let sys = load_case(&case)?;
+    let model = load_scenario(&scen, &sys)?;
+    let verifier = AttackVerifier::new(&sys);
+    match verifier.verify(&model).vector() {
+        Some(v) => {
+            println!("attack: {v}");
+            let result = validation::replay_default(&sys, v)
+                .map_err(|e| e.to_string())?;
+            println!("replay: {result}");
+            println!(
+                "stealthy: {}",
+                if result.is_stealthy(1e-6) { "yes" } else { "NO (model bug?)" }
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        None => {
+            println!("unsat — nothing to replay");
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+fn cmd_assess(args: &[String]) -> Result<ExitCode, String> {
+    let case = args.first().ok_or("missing case")?;
+    let sys = load_case(case)?;
+    let assessment = ThreatAnalyzer::new(&sys).assess();
+    print!("{assessment}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_synthesize(args: &[String]) -> Result<ExitCode, String> {
+    let (case, scen) = two(args)?;
+    let sys = load_case(&case)?;
+    let model = load_scenario(&scen, &sys)?;
+    let mut budget: Option<usize> = None;
+    let mut reference_secured = false;
+    let mut measurements = false;
+    let mut paper_blocking = false;
+    let mut it = args[2..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a value")?;
+                budget = Some(v.parse().map_err(|_| "bad --budget value")?);
+            }
+            "--reference-secured" => reference_secured = true,
+            "--measurements" => measurements = true,
+            "--paper-blocking" => paper_blocking = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let budget = budget.ok_or("missing --budget")?;
+    let synth = Synthesizer::new(&sys);
+    if measurements {
+        match synth.synthesize_measurements(&model, budget) {
+            Some((set, iters)) => {
+                let ids: Vec<String> =
+                    set.iter().map(|m| (m.0 + 1).to_string()).collect();
+                println!(
+                    "secure measurements {{{}}} ({iters} iterations)",
+                    ids.join(", ")
+                );
+                Ok(ExitCode::SUCCESS)
+            }
+            None => {
+                println!("no measurement set within budget {budget} blocks the scenario");
+                Ok(ExitCode::from(1))
+            }
+        }
+    } else {
+        let mut config = SynthesisConfig::with_budget(budget);
+        if reference_secured {
+            config = config.with_reference_secured();
+        }
+        if paper_blocking {
+            config = config.paper_blocking();
+        }
+        match synth.synthesize(&model, &config) {
+            sta::core::SynthesisOutcome::Architecture(arch) => {
+                println!("{arch}");
+                Ok(ExitCode::SUCCESS)
+            }
+            sta::core::SynthesisOutcome::NoSolution { iterations } => {
+                println!(
+                    "no architecture within budget {budget} ({iterations} iterations)"
+                );
+                Ok(ExitCode::from(1))
+            }
+            sta::core::SynthesisOutcome::Inconclusive { iterations } => {
+                println!("inconclusive after {iterations} iterations");
+                Ok(ExitCode::from(1))
+            }
+        }
+    }
+}
+
+fn two(args: &[String]) -> Result<(String, String), String> {
+    match (args.first(), args.get(1)) {
+        (Some(a), Some(b)) => Ok((a.clone(), b.clone())),
+        _ => Err("expected <case> <scenario>".into()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "case" => cmd_case(rest),
+        "verify" => cmd_verify(rest),
+        "replay" => cmd_replay(rest),
+        "assess" => cmd_assess(rest),
+        "synthesize" => cmd_synthesize(rest),
+        "--help" | "-h" | "help" => return usage(),
+        other => {
+            eprintln!("unknown command {other:?}");
+            return usage();
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

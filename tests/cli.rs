@@ -1,0 +1,123 @@
+//! Integration tests of the `sta` command-line tool.
+
+use std::process::Command;
+
+fn sta(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_sta"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = sta(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn case_dumps_builtin() {
+    let out = sta(&["case", "ieee14"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("system ieee14"));
+    assert!(text.contains("buses 14"));
+    assert!(text.contains("line 1 2 16.9"));
+    assert!(text.contains("secured 1 2 6 15 25 32 41"));
+}
+
+#[test]
+fn verify_objective_two_roundtrip_through_files() {
+    let dir = std::env::temp_dir().join("sta-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let case_path = dir.join("ieee14u.case");
+    let scen_path = dir.join("obj2.scenario");
+    // Dump the built-in unsecured case into a file.
+    let out = sta(&["case", "ieee14-unsecured"]);
+    std::fs::write(&case_path, stdout(&out)).unwrap();
+    // The paper's Objective 2.
+    let mut scenario = String::from("target 12 change\nunknown-lines 3 7 17\n");
+    for j in 1..=14 {
+        if j != 12 {
+            scenario.push_str(&format!("target {j} keep\n"));
+        }
+    }
+    std::fs::write(&scen_path, &scenario).unwrap();
+
+    let out = sta(&[
+        "verify",
+        case_path.to_str().unwrap(),
+        scen_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.starts_with("sat"), "{text}");
+    // The paper's five meters (1-indexed) appear in the vector printout.
+    for m in [12, 32, 39, 46, 53] {
+        assert!(text.contains(&format!("{m}:")), "meter {m} missing in {text}");
+    }
+
+    // Securing measurement 46 flips it to unsat (exit code 1).
+    std::fs::write(&scen_path, format!("{scenario}secure-measurement 46\n")).unwrap();
+    let out = sta(&[
+        "verify",
+        case_path.to_str().unwrap(),
+        scen_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("unsat"));
+}
+
+#[test]
+fn replay_reports_stealthy() {
+    let dir = std::env::temp_dir().join("sta-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let scen_path = dir.join("replay.scenario");
+    std::fs::write(&scen_path, "target 10 change\n").unwrap();
+    let out = sta(&["replay", "ieee14-unsecured", scen_path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("stealthy: yes"), "{text}");
+}
+
+#[test]
+fn synthesize_with_budget() {
+    let dir = std::env::temp_dir().join("sta-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let scen_path = dir.join("synth.scenario");
+    std::fs::write(&scen_path, "target 12 change\nmax-measurements 8\n").unwrap();
+    let out = sta(&[
+        "synthesize",
+        "ieee14-unsecured",
+        scen_path.to_str().unwrap(),
+        "--budget",
+        "3",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("secure buses"));
+    // Budget 0 cannot work.
+    let out = sta(&[
+        "synthesize",
+        "ieee14-unsecured",
+        scen_path.to_str().unwrap(),
+        "--budget",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn bad_inputs_give_errors() {
+    let out = sta(&["verify", "/no/such/file.case", "-"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+    let out = sta(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = sta(&["synthesize", "ieee14", "-"]);
+    assert_eq!(out.status.code(), Some(2)); // missing --budget
+}
