@@ -9,6 +9,7 @@
 //! [`sta_grid::MeasurementConfig`], optionally overridden here.
 
 use sta_grid::BusId;
+use sta_smt::CertifyLevel;
 
 /// The attacker's goal for one state variable (bus angle estimate).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -77,6 +78,9 @@ pub struct AttackModel {
     /// [`crate::attack::AttackVerifier::enumerate`] to produce distinct
     /// attack vectors.
     pub blocked_alteration_sets: Vec<Vec<sta_grid::MeasurementId>>,
+    /// Minimum certification level for checks of this scenario; the
+    /// verifier uses the stricter of this and its own configured level.
+    pub certify: CertifyLevel,
 }
 
 impl AttackModel {
@@ -95,7 +99,15 @@ impl AttackModel {
             inaccessible_measurements: Vec::new(),
             strict_knowledge: false,
             blocked_alteration_sets: Vec::new(),
+            certify: CertifyLevel::Off,
         }
+    }
+
+    /// Requires at least this certification level when the scenario is
+    /// checked.
+    pub fn with_certify(mut self, level: CertifyLevel) -> Self {
+        self.certify = level;
+        self
     }
 
     /// Enables the strict reading of the knowledge constraint (see the

@@ -34,7 +34,9 @@ use crate::attack::vector::{Alteration, AttackOutcome, AttackVector, Verificatio
 use crate::decimal;
 use sta_estimator::dcflow;
 use sta_grid::{BusId, LineId, MeasurementConfig, MeasurementId, TestSystem};
-use sta_smt::{BoolVar, Formula, LinExpr, LinExprCmp, RealVar, Rational, SatResult, Solver};
+use sta_smt::{
+    BoolVar, CertifyLevel, Formula, LinExpr, LinExprCmp, RealVar, Rational, SatResult, Solver,
+};
 
 /// Verifies UFDI attack feasibility against one test system.
 ///
@@ -55,6 +57,9 @@ pub struct AttackVerifier<'a> {
     /// Base operating-point angles, exact; the anchor for topology
     /// attacks.
     base_theta: Vec<Rational>,
+    /// Certification level applied to every solver check (the stricter of
+    /// this and the scenario's own [`AttackModel::certify`]).
+    certify: CertifyLevel,
 }
 
 impl<'a> AttackVerifier<'a> {
@@ -83,7 +88,22 @@ impl<'a> AttackVerifier<'a> {
             .iter()
             .map(|&t| decimal::angle(t))
             .collect();
-        AttackVerifier { system, base_theta }
+        AttackVerifier { system, base_theta, certify: CertifyLevel::Off }
+    }
+
+    /// Sets the certification level for every subsequent check.
+    ///
+    /// Certification failures are solver bugs and abort with a
+    /// reproducible dump of the asserted formulas (see
+    /// [`sta_smt::Solver::check`]).
+    pub fn with_certify(mut self, level: CertifyLevel) -> Self {
+        self.certify = level;
+        self
+    }
+
+    /// The configured certification level.
+    pub fn certify_level(&self) -> CertifyLevel {
+        self.certify
     }
 
     /// The system under verification.
@@ -154,6 +174,7 @@ impl<'a> AttackVerifier<'a> {
         }
 
         let mut solver = Solver::new();
+        solver.set_certify(self.certify.max(model.certify));
         let dtheta: Vec<RealVar> = (0..b).map(|_| solver.new_real()).collect();
         let cz: Vec<BoolVar> = (0..2 * l + b).map(|_| solver.new_bool()).collect();
         let cb: Vec<BoolVar> = (0..b).map(|_| solver.new_bool()).collect();
@@ -578,5 +599,49 @@ mod tests {
         let report = verifier.verify_with_stats(&AttackModel::new(14));
         assert!(report.stats.sat_vars > 0);
         assert!(report.stats.estimated_bytes() > 0);
+    }
+
+    /// Full certification over the real IEEE 14-bus encoding: the deny-mode
+    /// lint must come back clean, a feasible scenario's model must
+    /// re-evaluate, and an infeasible scenario's proof must replay through
+    /// the RUP/Farkas checker. `check()` panics on any certification
+    /// failure, so reaching the assertions is the test.
+    #[test]
+    fn certified_verification_ieee14() {
+        let sys = ieee14::system();
+        let verifier =
+            AttackVerifier::new(&sys).with_certify(sta_smt::CertifyLevel::Full);
+        assert_eq!(verifier.certify_level(), sta_smt::CertifyLevel::Full);
+
+        // Feasible: certified SAT (model re-evaluation).
+        let open = AttackModel::new(14).target(BusId(11), StateTarget::MustChange);
+        let report = verifier.verify_with_stats(&open);
+        assert!(report.outcome.is_feasible());
+        assert!(report.stats.certified);
+        assert_eq!(report.stats.lint_errors, 0, "deny-mode lint must be clean");
+
+        // Infeasible: an attacker who may not alter anything cannot corrupt
+        // a state — certified UNSAT (proof replay with theory lemmas).
+        let blocked = AttackModel::new(14)
+            .target(BusId(11), StateTarget::MustChange)
+            .max_altered_measurements(0);
+        let report = verifier.verify_with_stats(&blocked);
+        assert!(!report.outcome.is_feasible());
+        assert!(report.stats.certified);
+        assert!(report.stats.proof_steps > 0);
+    }
+
+    /// The scenario-level `certify` attribute reaches the solver even when
+    /// the verifier itself is uncertified.
+    #[test]
+    fn scenario_certify_level_is_honored() {
+        let sys = ieee14::system();
+        let verifier = AttackVerifier::new(&sys);
+        let model = AttackModel::new(14)
+            .target(BusId(5), StateTarget::MustChange)
+            .with_certify(sta_smt::CertifyLevel::CheckModels);
+        let report = verifier.verify_with_stats(&model);
+        assert!(report.outcome.is_feasible());
+        assert!(report.stats.certified);
     }
 }

@@ -33,6 +33,9 @@
 //! assert!(verifier.verify(&model).is_feasible());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod analytics;
 pub mod attack;
 pub mod baselines;

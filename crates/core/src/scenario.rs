@@ -22,10 +22,12 @@
 //! secure-measurement 46    # extra protection (what-if)
 //! secure-bus 1
 //! deny-measurement 5       # attacker cannot reach this meter
+//! certify full             # certify every solver answer (off|models|full)
 //! ```
 
 use crate::attack::{AttackModel, StateTarget};
 use sta_grid::{BusId, MeasurementId};
+use sta_smt::CertifyLevel;
 use std::fmt;
 
 /// Error from [`parse`].
@@ -146,6 +148,21 @@ pub fn parse(
                     model.inaccessible_measurements.push(MeasurementId(id));
                 }
             }
+            "certify" => {
+                let level = match rest.first().copied() {
+                    Some("off") => CertifyLevel::Off,
+                    Some("models") => CertifyLevel::CheckModels,
+                    Some("full") => CertifyLevel::Full,
+                    Some(other) => {
+                        return Err(err(
+                            ln,
+                            format!("certify needs off|models|full, got {other:?}"),
+                        ))
+                    }
+                    None => return Err(err(ln, "certify needs off|models|full")),
+                };
+                model.certify = level;
+            }
             other => return Err(err(ln, format!("unknown keyword {other:?}"))),
         }
     }
@@ -201,6 +218,15 @@ pub fn write(model: &AttackModel) -> String {
     }
     for id in &model.inaccessible_measurements {
         let _ = writeln!(out, "deny-measurement {}", id.0 + 1);
+    }
+    match model.certify {
+        CertifyLevel::Off => {}
+        CertifyLevel::CheckModels => {
+            let _ = writeln!(out, "certify models");
+        }
+        CertifyLevel::Full => {
+            let _ = writeln!(out, "certify full");
+        }
     }
     out
 }
@@ -268,6 +294,22 @@ mod tests {
         assert_eq!(back.max_altered_measurements, model.max_altered_measurements);
         assert_eq!(back.allow_topology_attack, model.allow_topology_attack);
         assert_eq!(back.extra_secured_buses, model.extra_secured_buses);
+    }
+
+    #[test]
+    fn parses_certify_levels() {
+        assert_eq!(parse("certify off", 14, 20).unwrap().certify, CertifyLevel::Off);
+        assert_eq!(
+            parse("certify models", 14, 20).unwrap().certify,
+            CertifyLevel::CheckModels
+        );
+        let model = parse("certify full", 14, 20).unwrap();
+        assert_eq!(model.certify, CertifyLevel::Full);
+        assert!(parse("certify maybe", 14, 20).is_err());
+        assert!(parse("certify", 14, 20).is_err());
+        // Round-trips through write().
+        let back = parse(&write(&model), 14, 20).unwrap();
+        assert_eq!(back.certify, CertifyLevel::Full);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::attack::{AttackModel, AttackVerifier};
 use sta_grid::{BusId, MeasurementConfig, MeasurementId, TestSystem};
-use sta_smt::{BoolVar, Formula, SatResult, Solver};
+use sta_smt::{BoolVar, CertifyLevel, Formula, SatResult, Solver};
 use std::fmt;
 
 /// How failed candidates are excluded from the search.
@@ -169,13 +169,26 @@ impl SynthesisOutcome {
 pub struct Synthesizer<'a> {
     system: &'a TestSystem,
     verifier: AttackVerifier<'a>,
+    certify: CertifyLevel,
 }
 
 impl<'a> Synthesizer<'a> {
     /// Creates a synthesizer over `system` with the default operating
     /// point.
     pub fn new(system: &'a TestSystem) -> Self {
-        Synthesizer { system, verifier: AttackVerifier::new(system) }
+        Synthesizer {
+            system,
+            verifier: AttackVerifier::new(system),
+            certify: CertifyLevel::Off,
+        }
+    }
+
+    /// Certifies every solver answer in the loop — both the candidate
+    /// selection model and the attack verification calls.
+    pub fn with_certify(mut self, level: CertifyLevel) -> Self {
+        self.certify = level;
+        self.verifier = self.verifier.with_certify(level);
+        self
     }
 
     /// Runs Algorithm 1 for the given attack model and operator
@@ -187,6 +200,7 @@ impl<'a> Synthesizer<'a> {
     ) -> SynthesisOutcome {
         let b = self.system.grid.num_buses();
         let mut selection = Solver::new();
+        selection.set_certify(self.certify.max(attacker.certify));
         let sb: Vec<BoolVar> = (0..b).map(|_| selection.new_bool()).collect();
         // Eq. 27: the budget.
         selection.assert_formula(&Formula::at_most(
@@ -339,6 +353,7 @@ impl<'a> Synthesizer<'a> {
             })
             .collect();
         let mut selection = Solver::new();
+        selection.set_certify(self.certify.max(attacker.certify));
         let sm: Vec<BoolVar> =
             candidates.iter().map(|_| selection.new_bool()).collect();
         let index_of: std::collections::HashMap<MeasurementId, usize> = candidates

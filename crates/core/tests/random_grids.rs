@@ -6,11 +6,11 @@
 //! ones: witnesses replay stealthily, protection is monotone, and the
 //! cut-attack baseline never beats the SMT optimum.
 
-use proptest::prelude::*;
 use sta_core::attack::{AttackModel, AttackVerifier, StateTarget};
 use sta_core::cutattack;
 use sta_core::validation;
 use sta_grid::{synthetic, BusId, MeasurementId, TestSystem};
+use sta_linalg::rng::Pcg32;
 
 fn random_system(buses: usize, extra_lines: usize, seed: u64) -> TestSystem {
     let l = (buses - 1 + extra_lines).min(buses * (buses - 1) / 2);
@@ -18,43 +18,40 @@ fn random_system(buses: usize, extra_lines: usize, seed: u64) -> TestSystem {
     TestSystem::fully_metered(format!("prop-{seed}"), grid)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Every feasible witness replays stealthily and moves its target.
-    #[test]
-    fn witnesses_replay_stealthily(
-        buses in 6usize..14,
-        extra in 2usize..6,
-        seed in 0u64..40,
-        target_raw in 1usize..14,
-    ) {
+/// Every feasible witness replays stealthily and moves its target.
+#[test]
+fn witnesses_replay_stealthily() {
+    let mut rng = Pcg32::new(0xA001);
+    for _ in 0..12 {
+        let buses = rng.range_usize(6, 14);
+        let extra = rng.range_usize(2, 6);
+        let seed = rng.next_u64() % 40;
         let sys = random_system(buses, extra, seed);
-        let target = 1 + (target_raw % (buses - 1));
+        let target = 1 + (rng.range_usize(1, 14) % (buses - 1));
         let verifier = AttackVerifier::new(&sys);
-        let model = AttackModel::new(buses)
-            .target(BusId(target), StateTarget::MustChange);
+        let model =
+            AttackModel::new(buses).target(BusId(target), StateTarget::MustChange);
         if let Some(attack) = verifier.verify(&model).vector() {
             let replay = validation::replay_default(&sys, attack).unwrap();
-            prop_assert!(replay.is_stealthy(1e-6), "{replay}");
-            prop_assert!(replay.state_shifts[target].abs() > 1e-9);
+            assert!(replay.is_stealthy(1e-6), "{replay}");
+            assert!(replay.state_shifts[target].abs() > 1e-9);
         }
     }
+}
 
-    /// Securing more buses never helps the attacker (monotonicity).
-    #[test]
-    fn protection_is_monotone(
-        buses in 6usize..12,
-        extra in 2usize..5,
-        seed in 0u64..30,
-        secure_a in 0usize..12,
-        secure_b in 0usize..12,
-    ) {
+/// Securing more buses never helps the attacker (monotonicity).
+#[test]
+fn protection_is_monotone() {
+    let mut rng = Pcg32::new(0xA002);
+    for _ in 0..12 {
+        let buses = rng.range_usize(6, 12);
+        let extra = rng.range_usize(2, 5);
+        let seed = rng.next_u64() % 30;
         let sys = random_system(buses, extra, seed);
         let verifier = AttackVerifier::new(&sys);
         let target = BusId(buses / 2);
-        let a = BusId(secure_a % buses);
-        let b = BusId(secure_b % buses);
+        let a = BusId(rng.below(buses));
+        let b = BusId(rng.below(buses));
         let small = AttackModel::new(buses)
             .target(target, StateTarget::MustChange)
             .secure_buses(&[a]);
@@ -64,18 +61,20 @@ proptest! {
         // feasible(big) → feasible(small): adding protection can only
         // remove attacks.
         if verifier.verify(&big).is_feasible() {
-            prop_assert!(verifier.verify(&small).is_feasible());
+            assert!(verifier.verify(&small).is_feasible());
         }
     }
+}
 
-    /// The greedy cut attack is a valid attack, so the SMT minimal
-    /// measurement count never exceeds its cost.
-    #[test]
-    fn cut_bound_holds(
-        buses in 6usize..12,
-        extra in 2usize..5,
-        seed in 0u64..30,
-    ) {
+/// The greedy cut attack is a valid attack, so the SMT minimal
+/// measurement count never exceeds its cost.
+#[test]
+fn cut_bound_holds() {
+    let mut rng = Pcg32::new(0xA003);
+    for _ in 0..12 {
+        let buses = rng.range_usize(6, 12);
+        let extra = rng.range_usize(2, 5);
+        let seed = rng.next_u64() % 30;
         let sys = random_system(buses, extra, seed);
         let target = BusId(buses / 2);
         if let Some(cut) = cutattack::best_cut_attack(&sys, target, 0.1) {
@@ -83,22 +82,24 @@ proptest! {
             let model = AttackModel::new(buses)
                 .target(target, StateTarget::MustChange)
                 .max_altered_measurements(cut.cost);
-            prop_assert!(
+            assert!(
                 verifier.verify(&model).is_feasible(),
                 "cut with {} alterations exists but SMT says infeasible",
                 cut.cost
             );
         }
     }
+}
 
-    /// Resource monotonicity: if an attack fits budget k, it fits k+1.
-    #[test]
-    fn budget_monotonicity(
-        buses in 6usize..12,
-        extra in 2usize..5,
-        seed in 0u64..30,
-        k in 3usize..10,
-    ) {
+/// Resource monotonicity: if an attack fits budget k, it fits k+1.
+#[test]
+fn budget_monotonicity() {
+    let mut rng = Pcg32::new(0xA004);
+    for _ in 0..12 {
+        let buses = rng.range_usize(6, 12);
+        let extra = rng.range_usize(2, 5);
+        let seed = rng.next_u64() % 30;
+        let k = rng.range_usize(3, 10);
         let sys = random_system(buses, extra, seed);
         let verifier = AttackVerifier::new(&sys);
         let target = BusId(buses / 2);
@@ -109,18 +110,20 @@ proptest! {
             .target(target, StateTarget::MustChange)
             .max_altered_measurements(k + 1);
         if verifier.verify(&tight).is_feasible() {
-            prop_assert!(verifier.verify(&loose).is_feasible());
+            assert!(verifier.verify(&loose).is_feasible());
         }
     }
+}
 
-    /// Untaken measurements never appear in a witness.
-    #[test]
-    fn untaken_meters_never_altered(
-        buses in 6usize..12,
-        extra in 2usize..5,
-        seed in 0u64..30,
-        drop_stride in 2usize..5,
-    ) {
+/// Untaken measurements never appear in a witness.
+#[test]
+fn untaken_meters_never_altered() {
+    let mut rng = Pcg32::new(0xA005);
+    for _ in 0..12 {
+        let buses = rng.range_usize(6, 12);
+        let extra = rng.range_usize(2, 5);
+        let seed = rng.next_u64() % 30;
+        let drop_stride = rng.range_usize(2, 5);
         let mut sys = random_system(buses, extra, seed);
         // Drop a deterministic subset of meters.
         for m in (0..sys.measurements.len()).step_by(drop_stride) {
@@ -130,7 +133,7 @@ proptest! {
         let model = AttackModel::new(buses);
         if let Some(v) = verifier.verify(&model).vector() {
             for alt in &v.alterations {
-                prop_assert!(sys.measurements.is_taken(alt.measurement));
+                assert!(sys.measurements.is_taken(alt.measurement));
             }
         }
     }

@@ -26,6 +26,9 @@
 //! assert_eq!(h.num_cols(), 14);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod caseformat;
 pub mod ieee14;
 pub mod measurement;
@@ -40,64 +43,72 @@ pub use system::TestSystem;
 pub use topology::Topology;
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use sta_linalg::rng::Pcg32;
 
-    proptest! {
-        /// Any generated synthetic grid is connected and has the requested
-        /// dimensions.
-        #[test]
-        fn synthetic_grids_always_connected(
-            b in 4usize..40,
-            extra in 0usize..12,
-            seed in 0u64..1000,
-        ) {
+    /// Any generated synthetic grid is connected and has the requested
+    /// dimensions.
+    #[test]
+    fn synthetic_grids_always_connected() {
+        let mut rng = Pcg32::new(0x6161);
+        for _ in 0..64 {
+            let b = rng.range_usize(4, 40);
+            let extra = rng.below(12);
+            let seed = rng.next_u64() % 1000;
             let l = (b - 1 + extra).min(b * (b - 1) / 2);
             let grid = synthetic::generate(b, l, seed);
-            prop_assert_eq!(grid.num_buses(), b);
-            prop_assert_eq!(grid.num_lines(), l);
-            prop_assert!(Topology::all_closed(&grid).is_connected(&grid));
+            assert_eq!(grid.num_buses(), b);
+            assert_eq!(grid.num_lines(), l);
+            assert!(Topology::all_closed(&grid).is_connected(&grid));
         }
+    }
 
-        /// Each H-matrix consumption column block sums to zero (power
-        /// balance) for random synthetic grids.
-        #[test]
-        fn h_consumption_rows_balance(seed in 0u64..200) {
+    /// Each H-matrix consumption column block sums to zero (power
+    /// balance) for random synthetic grids.
+    #[test]
+    fn h_consumption_rows_balance() {
+        for seed in 0..64u64 {
             let grid = synthetic::generate(10, 14, seed);
             let topo = Topology::all_closed(&grid);
             let h = topology::h_matrix(&grid, &topo);
             for col in 0..10 {
                 let total: f64 = (28..38).map(|r| h[(r, col)]).sum();
-                prop_assert!(total.abs() < 1e-9);
+                assert!(total.abs() < 1e-9);
             }
         }
+    }
 
-        /// Opening a single line leaves at most two islands.
-        #[test]
-        fn single_cut_makes_at_most_two_islands(seed in 0u64..200) {
+    /// Opening a single line leaves at most two islands.
+    #[test]
+    fn single_cut_makes_at_most_two_islands() {
+        for seed in 0..64u64 {
             let grid = synthetic::generate(12, 16, seed);
             let base = Topology::all_closed(&grid);
             for i in 0..grid.num_lines() {
                 let cut = base.with_line_open(LineId(i));
                 let islands = cut.island_count(&grid);
-                prop_assert!(islands == 1 || islands == 2);
+                assert!(islands == 1 || islands == 2);
             }
         }
+    }
 
-        /// measurement_bus is consistent with MeasurementConfig::kind.
-        #[test]
-        fn measurement_bus_matches_kind(seed in 0u64..100) {
+    /// measurement_bus is consistent with MeasurementConfig::kind.
+    #[test]
+    fn measurement_bus_matches_kind() {
+        for seed in 0..32u64 {
             let grid = synthetic::generate(8, 11, seed);
             for m in 0..grid.num_potential_measurements() {
                 let id = MeasurementId(m);
                 let bus = MeasurementConfig::bus_of(&grid, id);
                 match MeasurementConfig::kind(&grid, id) {
-                    MeasurementKind::FlowForward(l) =>
-                        prop_assert_eq!(bus, grid.line(l).from),
-                    MeasurementKind::FlowBackward(l) =>
-                        prop_assert_eq!(bus, grid.line(l).to),
-                    MeasurementKind::Injection(b) => prop_assert_eq!(bus, b),
+                    MeasurementKind::FlowForward(l) => {
+                        assert_eq!(bus, grid.line(l).from)
+                    }
+                    MeasurementKind::FlowBackward(l) => {
+                        assert_eq!(bus, grid.line(l).to)
+                    }
+                    MeasurementKind::Injection(b) => assert_eq!(bus, b),
                 }
             }
         }

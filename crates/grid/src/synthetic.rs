@@ -11,8 +11,7 @@
 use crate::measurement::MeasurementConfig;
 use crate::model::{BusId, Grid, Line};
 use crate::system::TestSystem;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sta_linalg::rng::Pcg32;
 use std::collections::HashSet;
 
 /// Standard `(buses, branches)` dimensions of the IEEE test cases used in
@@ -38,20 +37,20 @@ pub fn generate(num_buses: usize, num_lines: usize, seed: u64) -> Grid {
         num_lines <= num_buses * (num_buses - 1) / 2,
         "too many lines for a simple graph"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::new(seed);
     let mut edges: HashSet<(usize, usize)> = HashSet::new();
     let mut lines = Vec::with_capacity(num_lines);
     let mut degree = vec![0usize; num_buses];
-    let admittance = |rng: &mut StdRng| -> f64 {
-        let raw: f64 = rng.gen_range(2.0..25.0);
+    let admittance = |rng: &mut Pcg32| -> f64 {
+        let raw: f64 = rng.uniform_f64(2.0, 25.0);
         (raw * 100.0).round() / 100.0
     };
     // Random spanning tree: attach each new bus to a random earlier bus,
     // biased toward low-degree attachment points.
     for b in 1..num_buses {
-        let mut parent = rng.gen_range(0..b);
+        let mut parent = rng.below(b);
         for _ in 0..2 {
-            let candidate = rng.gen_range(0..b);
+            let candidate = rng.below(b);
             if degree[candidate] < degree[parent] {
                 parent = candidate;
             }
@@ -63,10 +62,10 @@ pub fn generate(num_buses: usize, num_lines: usize, seed: u64) -> Grid {
     }
     // Extra branches up to the target count.
     while lines.len() < num_lines {
-        let a = rng.gen_range(0..num_buses);
-        let mut c = rng.gen_range(0..num_buses);
+        let a = rng.below(num_buses);
+        let mut c = rng.below(num_buses);
         // Prefer a low-degree second endpoint.
-        let alt = rng.gen_range(0..num_buses);
+        let alt = rng.below(num_buses);
         if degree[alt] < degree[c] {
             c = alt;
         }

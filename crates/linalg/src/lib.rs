@@ -24,10 +24,14 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod cholesky;
 pub mod lu;
 pub mod qr;
 pub mod matrix;
+pub mod rng;
 pub mod vector;
 
 pub use cholesky::{Cholesky, NotPositiveDefiniteError};
@@ -37,70 +41,83 @@ pub use matrix::Matrix;
 pub use vector::Vector;
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use rng::Pcg32;
 
-    fn small_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
-        proptest::collection::vec(-10.0f64..10.0, n)
+    fn small_vec(rng: &mut Pcg32, n: usize) -> Vec<f64> {
+        (0..n).map(|_| rng.uniform_f64(-10.0, 10.0)).collect()
     }
 
-    proptest! {
-        /// LU solve then multiply round-trips for well-conditioned matrices.
-        #[test]
-        fn lu_roundtrip(rows in proptest::collection::vec(small_vec(4), 4),
-                        b in small_vec(4)) {
-            let mut a = Matrix::from_rows(&rows);
+    fn small_matrix(rng: &mut Pcg32, rows: usize, cols: usize) -> Matrix {
+        let data: Vec<Vec<f64>> =
+            (0..rows).map(|_| small_vec(rng, cols)).collect();
+        Matrix::from_rows(&data)
+    }
+
+    /// LU solve then multiply round-trips for well-conditioned matrices.
+    #[test]
+    fn lu_roundtrip() {
+        let mut rng = Pcg32::new(0x1a1a);
+        for _ in 0..64 {
+            let mut a = small_matrix(&mut rng, 4, 4);
             // Diagonal dominance guarantees nonsingularity.
             for i in 0..4 {
                 a[(i, i)] += 50.0;
             }
-            let bv = Vector::from(b);
+            let bv = Vector::from(small_vec(&mut rng, 4));
             let x = Lu::factor(&a).unwrap().solve(&bv).unwrap();
             let back = a.mul_vec(&x);
             for i in 0..4 {
-                prop_assert!((back[i] - bv[i]).abs() < 1e-8);
+                assert!((back[i] - bv[i]).abs() < 1e-8);
             }
         }
+    }
 
-        /// AᵀA + λI is SPD; Cholesky solves agree with LU solves.
-        #[test]
-        fn cholesky_matches_lu(rows in proptest::collection::vec(small_vec(3), 5),
-                               b in small_vec(3)) {
-            let a = Matrix::from_rows(&rows);
+    /// AᵀA + λI is SPD; Cholesky solves agree with LU solves.
+    #[test]
+    fn cholesky_matches_lu() {
+        let mut rng = Pcg32::new(0x2b2b);
+        for _ in 0..64 {
+            let a = small_matrix(&mut rng, 5, 3);
             let mut ata = a.transpose().mul_mat(&a);
             for i in 0..3 {
                 ata[(i, i)] += 1.0;
             }
-            let bv = Vector::from(b);
+            let bv = Vector::from(small_vec(&mut rng, 3));
             let x1 = Cholesky::factor(&ata).unwrap().solve(&bv).unwrap();
             let x2 = Lu::factor(&ata).unwrap().solve(&bv).unwrap();
             for i in 0..3 {
-                prop_assert!((x1[i] - x2[i]).abs() < 1e-7);
+                assert!((x1[i] - x2[i]).abs() < 1e-7);
             }
         }
+    }
 
-        /// (A·B)ᵀ = Bᵀ·Aᵀ.
-        #[test]
-        fn transpose_of_product(ra in proptest::collection::vec(small_vec(3), 2),
-                                rb in proptest::collection::vec(small_vec(4), 3)) {
-            let a = Matrix::from_rows(&ra);
-            let b = Matrix::from_rows(&rb);
+    /// (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_of_product() {
+        let mut rng = Pcg32::new(0x3c3c);
+        for _ in 0..64 {
+            let a = small_matrix(&mut rng, 2, 3);
+            let b = small_matrix(&mut rng, 3, 4);
             let left = a.mul_mat(&b).transpose();
             let right = b.transpose().mul_mat(&a.transpose());
             for i in 0..left.num_rows() {
                 for j in 0..left.num_cols() {
-                    prop_assert!((left[(i, j)] - right[(i, j)]).abs() < 1e-9);
+                    assert!((left[(i, j)] - right[(i, j)]).abs() < 1e-9);
                 }
             }
         }
+    }
 
-        /// Triangle inequality for the l2 norm.
-        #[test]
-        fn norm_triangle(xa in small_vec(6), xb in small_vec(6)) {
-            let a = Vector::from(xa);
-            let b = Vector::from(xb);
-            prop_assert!((&a + &b).norm2() <= a.norm2() + b.norm2() + 1e-9);
+    /// Triangle inequality for the l2 norm.
+    #[test]
+    fn norm_triangle() {
+        let mut rng = Pcg32::new(0x4d4d);
+        for _ in 0..128 {
+            let a = Vector::from(small_vec(&mut rng, 6));
+            let b = Vector::from(small_vec(&mut rng, 6));
+            assert!((&a + &b).norm2() <= a.norm2() + b.norm2() + 1e-9);
         }
     }
 }

@@ -44,18 +44,29 @@
 //! assert!(model.bool_value(p));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod bigint;
+pub mod certify;
 pub mod cnf;
 pub mod expr;
 pub mod formula;
+pub mod lint;
 pub mod rational;
+pub mod rng;
 pub mod sat;
 pub mod simplex;
 pub mod solver;
 pub mod stats;
 
+pub use certify::{
+    check_theory_lemma, check_unsat_proof, eval_formula, AtomSemantics, CertifyError,
+    CertifyLevel, RupChecker, TheoryContext,
+};
 pub use expr::{LinExpr, RealVar};
 pub use formula::{BoolVar, CmpOp, Formula, LinExprCmp};
+pub use lint::{lint, lint_clauses, LintFinding, LintKind, LintReport, Severity};
 pub use rational::{DeltaRational, Rational};
 pub use solver::{Model, SatResult, Solver};
 pub use stats::SolverStats;

@@ -1,0 +1,567 @@
+//! Static analysis of formulas before solving.
+//!
+//! [`lint`] inspects a set of asserted [`Formula`]s without solving them:
+//! unused variables, trivially contradictory bound pairs on a single
+//! variable (`x < c ∧ x > c`), constant assertions, duplicate assertions,
+//! and malformed cardinality constraints. [`lint_clauses`] runs a second,
+//! encoding-level pass over the Tseitin clause database looking for
+//! duplicate and subsumed clauses.
+//!
+//! Findings carry a [`Severity`]; *deny mode* (used by
+//! `Solver::check_certified` under [`crate::CertifyLevel::Full`]) fails
+//! only on [`Severity::Error`] findings — warnings and notes are
+//! informational, since legitimate encodings (e.g. a knowledge limit and
+//! an accessibility limit pinning the same switch) can assert the same
+//! formula twice.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::expr::RealVar;
+use crate::formula::{CmpOp, Formula, Node};
+use crate::rational::{DeltaRational, Rational};
+use crate::sat::Lit;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Cosmetic or redundancy note; never fails a run.
+    Info,
+    /// Suspicious but possibly intentional.
+    Warning,
+    /// Almost certainly an encoding bug; fails deny mode.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The category of a lint finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintKind {
+    /// A Boolean variable was allocated but appears in no assertion.
+    UnusedBoolVar,
+    /// A real variable was allocated but appears in no assertion.
+    UnusedRealVar,
+    /// Top-level single-variable bounds admit no value (`x < c ∧ x > c`).
+    ContradictoryBounds,
+    /// An assertion is the constant `true` (adds nothing).
+    TrivialAssertion,
+    /// An assertion is the constant `false` (the problem is trivially
+    /// unsat — almost always an encoding bug rather than intent).
+    AssertedFalse,
+    /// The same formula is asserted more than once.
+    DuplicateAssertion,
+    /// Two stored clauses are identical after Tseitin encoding.
+    DuplicateClause,
+    /// A stored clause is a superset of another (implied by it).
+    SubsumedClause,
+    /// A cardinality constraint with duplicate or constant members.
+    MalformedCardinality,
+}
+
+/// One static-analysis finding.
+#[derive(Debug, Clone)]
+pub struct LintFinding {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// What category of problem was found.
+    pub kind: LintKind,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The set of findings from one lint pass.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings, in discovery order.
+    pub findings: Vec<LintFinding>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        LintReport::default()
+    }
+
+    fn push(&mut self, severity: Severity, kind: LintKind, message: String) {
+        self.findings.push(LintFinding { severity, kind, message });
+    }
+
+    /// Appends all findings from `other`.
+    pub fn merge(&mut self, other: LintReport) {
+        self.findings.extend(other.findings);
+    }
+
+    /// The most severe finding, if any.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// Whether any finding is an error (deny mode fails on these).
+    pub fn has_errors(&self) -> bool {
+        self.max_severity() == Some(Severity::Error)
+    }
+
+    /// Number of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings.iter().filter(|f| f.severity == severity).count()
+    }
+
+    /// Whether the report is empty.
+    pub fn is_empty(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl std::fmt::Display for LintReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{}: {}", finding.severity, finding.message)?;
+        }
+        Ok(())
+    }
+}
+
+/// Interval bounds on one real variable, accumulated over top-level
+/// conjuncts. Strictness rides in the delta component, matching the
+/// solver's own convention (upper δ ≤ 0, lower δ ≥ 0).
+#[derive(Debug, Default)]
+struct VarInterval {
+    lower: Option<DeltaRational>,
+    upper: Option<DeltaRational>,
+}
+
+/// Lints a set of asserted formulas.
+///
+/// `n_bools` / `n_reals` are the allocation counts (variables `0..n`);
+/// variables outside every assertion are reported unused.
+pub fn lint(formulas: &[Formula], n_bools: u32, n_reals: u32) -> LintReport {
+    let mut report = LintReport::new();
+    let mut used_bools: HashSet<u32> = HashSet::new();
+    let mut used_reals: HashSet<u32> = HashSet::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut intervals: HashMap<RealVar, VarInterval> = HashMap::new();
+
+    for f in formulas {
+        collect_usage(f, &mut used_bools, &mut used_reals);
+        check_cardinalities(f, &mut report);
+        match &*f.0 {
+            Node::True => report.push(
+                Severity::Info,
+                LintKind::TrivialAssertion,
+                "assertion is the constant true".to_string(),
+            ),
+            Node::False => report.push(
+                Severity::Error,
+                LintKind::AssertedFalse,
+                "assertion is the constant false (trivially unsat)".to_string(),
+            ),
+            _ => {}
+        }
+        let key = f.to_string();
+        if !seen.insert(key.clone()) {
+            report.push(
+                Severity::Warning,
+                LintKind::DuplicateAssertion,
+                format!("formula asserted more than once: {key}"),
+            );
+        }
+        for conjunct in conjuncts(f) {
+            accumulate_bounds(conjunct, &mut intervals);
+        }
+    }
+
+    for (rv, iv) in &intervals {
+        if let (Some(lb), Some(ub)) = (&iv.lower, &iv.upper) {
+            if lb > ub {
+                report.push(
+                    Severity::Error,
+                    LintKind::ContradictoryBounds,
+                    format!(
+                        "contradictory bounds on r{}: lower {} exceeds upper {}",
+                        rv.0,
+                        show_delta(lb),
+                        show_delta(ub)
+                    ),
+                );
+            }
+        }
+    }
+
+    for v in 0..n_bools {
+        if !used_bools.contains(&v) {
+            report.push(
+                Severity::Warning,
+                LintKind::UnusedBoolVar,
+                format!("boolean variable b{v} is never used in an assertion"),
+            );
+        }
+    }
+    for v in 0..n_reals {
+        if !used_reals.contains(&v) {
+            report.push(
+                Severity::Warning,
+                LintKind::UnusedRealVar,
+                format!("real variable r{v} is never used in an assertion"),
+            );
+        }
+    }
+    report
+}
+
+/// Caps for the quadratic subsumption scan in [`lint_clauses`]: skipped
+/// beyond `MAX_CLAUSES_FOR_SUBSUMPTION` stored clauses, and clauses longer
+/// than `MAX_SUBSUMPTION_LEN` literals are never compared. The IEEE
+/// 14-bus case studies stay well under both.
+const MAX_CLAUSES_FOR_SUBSUMPTION: usize = 2000;
+const MAX_SUBSUMPTION_LEN: usize = 8;
+
+/// Encoding-level lint over the stored Tseitin clause database
+/// (from [`crate::sat::CdclSolver::clause_list`]).
+///
+/// Duplicate and subsumed clauses are redundancy notes ([`Severity::Info`])
+/// — the encoder is expected to avoid them, but they cost memory, not
+/// correctness.
+pub fn lint_clauses(clauses: &[Vec<Lit>]) -> LintReport {
+    let mut report = LintReport::new();
+    let mut normalized: Vec<Vec<Lit>> = Vec::with_capacity(clauses.len());
+    let mut seen: HashSet<Vec<Lit>> = HashSet::new();
+    for c in clauses {
+        let mut key = c.clone();
+        key.sort_unstable();
+        key.dedup();
+        if !seen.insert(key.clone()) {
+            report.push(
+                Severity::Info,
+                LintKind::DuplicateClause,
+                format!("duplicate clause in encoding: {}", display_clause(&key)),
+            );
+        }
+        normalized.push(key);
+    }
+    if normalized.len() <= MAX_CLAUSES_FOR_SUBSUMPTION {
+        for (i, a) in normalized.iter().enumerate() {
+            if a.len() > MAX_SUBSUMPTION_LEN {
+                continue;
+            }
+            for (j, b) in normalized.iter().enumerate() {
+                if i == j || b.len() > MAX_SUBSUMPTION_LEN || a.len() >= b.len() {
+                    continue;
+                }
+                // a ⊂ b (both sorted): b is implied by a.
+                if is_subset(a, b) {
+                    report.push(
+                        Severity::Info,
+                        LintKind::SubsumedClause,
+                        format!(
+                            "clause {} is subsumed by {}",
+                            display_clause(b),
+                            display_clause(a)
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    report
+}
+
+fn show_delta(d: &DeltaRational) -> String {
+    if d.delta.is_zero() {
+        d.value.to_string()
+    } else if d.delta.is_positive() {
+        format!("{}+δ", d.value)
+    } else {
+        format!("{}−δ", d.value)
+    }
+}
+
+fn is_subset(a: &[Lit], b: &[Lit]) -> bool {
+    let mut it = b.iter();
+    a.iter().all(|x| it.any(|y| y == x))
+}
+
+fn display_clause(lits: &[Lit]) -> String {
+    let parts: Vec<String> = lits.iter().map(|l| l.to_string()).collect();
+    format!("({})", parts.join(" ∨ "))
+}
+
+fn collect_usage(f: &Formula, bools: &mut HashSet<u32>, reals: &mut HashSet<u32>) {
+    match &*f.0 {
+        Node::True | Node::False => {}
+        Node::Var(v) => {
+            bools.insert(v.0);
+        }
+        Node::Atom(expr, _) => {
+            for (rv, _) in expr.iter() {
+                reals.insert(rv.0);
+            }
+        }
+        Node::Not(g) => collect_usage(g, bools, reals),
+        Node::And(gs) | Node::Or(gs) | Node::AtMost(gs, _) | Node::AtLeast(gs, _) => {
+            for g in gs {
+                collect_usage(g, bools, reals);
+            }
+        }
+        Node::Implies(a, b) | Node::Iff(a, b) => {
+            collect_usage(a, bools, reals);
+            collect_usage(b, bools, reals);
+        }
+    }
+}
+
+fn check_cardinalities(f: &Formula, report: &mut LintReport) {
+    match &*f.0 {
+        Node::True | Node::False | Node::Var(_) | Node::Atom(_, _) => {}
+        Node::Not(g) => check_cardinalities(g, report),
+        Node::And(gs) | Node::Or(gs) => {
+            for g in gs {
+                check_cardinalities(g, report);
+            }
+        }
+        Node::Implies(a, b) | Node::Iff(a, b) => {
+            check_cardinalities(a, report);
+            check_cardinalities(b, report);
+        }
+        Node::AtMost(gs, k) | Node::AtLeast(gs, k) => {
+            let name = if matches!(&*f.0, Node::AtMost(_, _)) { "at-most" } else { "at-least" };
+            let mut members: HashSet<String> = HashSet::new();
+            for g in gs {
+                check_cardinalities(g, report);
+                if matches!(&*g.0, Node::True | Node::False) {
+                    report.push(
+                        Severity::Warning,
+                        LintKind::MalformedCardinality,
+                        format!("{name}({k}) has a constant member {g}"),
+                    );
+                }
+                if !members.insert(g.to_string()) {
+                    report.push(
+                        Severity::Error,
+                        LintKind::MalformedCardinality,
+                        format!("{name}({k}) counts duplicate member {g}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Flattens nested conjunctions into a list of conjunct formulas.
+fn conjuncts(f: &Formula) -> Vec<&Formula> {
+    fn walk<'a>(f: &'a Formula, out: &mut Vec<&'a Formula>) {
+        match &*f.0 {
+            Node::And(gs) => {
+                for g in gs {
+                    walk(g, out);
+                }
+            }
+            _ => out.push(f),
+        }
+    }
+    let mut out = Vec::new();
+    walk(f, &mut out);
+    out
+}
+
+/// If `conjunct` constrains a single real variable, tightens its interval.
+/// Handles `Atom` and `Not(Atom)`; `Ne` contributes nothing.
+fn accumulate_bounds(conjunct: &Formula, intervals: &mut HashMap<RealVar, VarInterval>) {
+    let (expr, op) = match &*conjunct.0 {
+        Node::Atom(expr, op) => (expr, *op),
+        Node::Not(inner) => match &*inner.0 {
+            Node::Atom(expr, op) => (expr, negate_op(*op)),
+            _ => return,
+        },
+        _ => return,
+    };
+    if expr.len() != 1 {
+        return;
+    }
+    let Some((rv, a)) = expr.iter().next().map(|(v, c)| (v, c.clone())) else {
+        return;
+    };
+    if a.is_zero() {
+        return;
+    }
+    // a·x + k op 0  ⇔  x op' −k/a, flipping the comparison when a < 0.
+    let c = &(-expr.constant_term()) * &a.recip();
+    let op = if a.is_negative() { flip_op(op) } else { op };
+    let iv = intervals.entry(rv).or_default();
+    match op {
+        CmpOp::Le => tighten_upper(iv, DeltaRational::real(c)),
+        CmpOp::Lt => tighten_upper(iv, DeltaRational::with_delta(c, -&Rational::one())),
+        CmpOp::Ge => tighten_lower(iv, DeltaRational::real(c)),
+        CmpOp::Gt => tighten_lower(iv, DeltaRational::with_delta(c, Rational::one())),
+        CmpOp::Eq => {
+            tighten_upper(iv, DeltaRational::real(c.clone()));
+            tighten_lower(iv, DeltaRational::real(c));
+        }
+        CmpOp::Ne => {}
+    }
+}
+
+fn tighten_upper(iv: &mut VarInterval, value: DeltaRational) {
+    if iv.upper.as_ref().map_or(true, |u| value < *u) {
+        iv.upper = Some(value);
+    }
+}
+
+fn tighten_lower(iv: &mut VarInterval, value: DeltaRational) {
+    if iv.lower.as_ref().map_or(true, |l| value > *l) {
+        iv.lower = Some(value);
+    }
+}
+
+fn negate_op(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Le => CmpOp::Gt,
+        CmpOp::Lt => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Lt,
+        CmpOp::Gt => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Ne,
+        CmpOp::Ne => CmpOp::Eq,
+    }
+}
+
+fn flip_op(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Eq | CmpOp::Ne => op,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::formula::{BoolVar, LinExprCmp};
+
+    fn x() -> LinExpr {
+        LinExpr::var(RealVar(0))
+    }
+
+    #[test]
+    fn flags_contradictory_bound_pair() {
+        // x < 1 ∧ x > 1 — infeasible.
+        let fs = [x().lt(LinExpr::from(1)), x().gt(LinExpr::from(1))];
+        let report = lint(&fs, 0, 1);
+        assert!(report.has_errors());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == LintKind::ContradictoryBounds));
+
+        // x ≤ 1 ∧ x ≥ 1 — feasible point, must not be flagged.
+        let ok = [x().le(LinExpr::from(1)), x().ge(LinExpr::from(1))];
+        assert!(!lint(&ok, 0, 1).has_errors());
+
+        // Negative coefficient flips the comparison: −2x ≤ −4 means x ≥ 2,
+        // contradictory with x < 2.
+        let neg = [
+            LinExpr::term(Rational::new(-2, 1), RealVar(0)).le(LinExpr::from(-4)),
+            x().lt(LinExpr::from(2)),
+        ];
+        assert!(lint(&neg, 0, 1).has_errors());
+
+        // A negated atom contributes the flipped bound: ¬(x ≤ 1) is x > 1.
+        let negated = [x().le(LinExpr::from(0)), x().le(LinExpr::from(1)).not()];
+        assert!(lint(&negated, 0, 1).has_errors());
+    }
+
+    #[test]
+    fn flags_unused_variables() {
+        let fs = [Formula::var(BoolVar(0)), x().le(LinExpr::from(1))];
+        let report = lint(&fs, 2, 2);
+        assert!(!report.has_errors());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == LintKind::UnusedBoolVar && f.message.contains("b1")));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == LintKind::UnusedRealVar && f.message.contains("r1")));
+    }
+
+    #[test]
+    fn flags_malformed_cardinality() {
+        let p = Formula::var(BoolVar(0));
+        let q = Formula::var(BoolVar(1));
+        let dup = Formula::at_most(vec![p.clone(), p.clone(), q.clone()], 1);
+        let report = lint(&[dup], 2, 0);
+        assert!(report.has_errors());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == LintKind::MalformedCardinality));
+
+        let clean = Formula::at_most(vec![p, q], 1);
+        assert!(!lint(&[clean], 2, 0).has_errors());
+    }
+
+    #[test]
+    fn flags_constants_and_duplicates() {
+        let p = Formula::var(BoolVar(0));
+        let fs = [Formula::top(), Formula::bottom(), p.clone(), p];
+        let report = lint(&fs, 1, 0);
+        assert!(report.has_errors()); // bottom
+        assert!(report.findings.iter().any(|f| f.kind == LintKind::AssertedFalse));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == LintKind::TrivialAssertion && f.severity == Severity::Info));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == LintKind::DuplicateAssertion && f.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn bounds_inside_conjunctions_are_seen() {
+        let f = Formula::and(vec![x().lt(LinExpr::from(0)), x().gt(LinExpr::from(0))]);
+        assert!(lint(&[f], 0, 1).has_errors());
+    }
+
+    #[test]
+    fn clause_lint_finds_duplicates_and_subsumption() {
+        let p = |v| Lit::positive(v);
+        let clauses = vec![
+            vec![p(0), p(1)],
+            vec![p(1), p(0)],       // duplicate modulo order
+            vec![p(0), p(1), p(2)], // subsumed by the first
+            vec![p(3)],
+        ];
+        let report = lint_clauses(&clauses);
+        assert!(report.findings.iter().any(|f| f.kind == LintKind::DuplicateClause));
+        assert!(report.findings.iter().any(|f| f.kind == LintKind::SubsumedClause));
+        assert_eq!(report.max_severity(), Some(Severity::Info));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn report_helpers() {
+        let mut r = LintReport::new();
+        assert!(r.is_empty());
+        assert_eq!(r.max_severity(), None);
+        r.push(Severity::Info, LintKind::DuplicateClause, "a".into());
+        r.push(Severity::Warning, LintKind::UnusedBoolVar, "b".into());
+        assert_eq!(r.max_severity(), Some(Severity::Warning));
+        assert_eq!(r.count(Severity::Info), 1);
+        let mut other = LintReport::new();
+        other.push(Severity::Error, LintKind::AssertedFalse, "c".into());
+        r.merge(other);
+        assert!(r.has_errors());
+        assert_eq!(format!("{r}").lines().count(), 3);
+    }
+}

@@ -1,0 +1,120 @@
+//! Small deterministic PRNG (PCG-XSH-RR 64/32) for randomized solver
+//! tests.
+//!
+//! `sta-smt` is dependency-free by design, so it carries its own copy of
+//! the generator also found in `sta_linalg::rng` (the two crates sit at
+//! the bottom of the dependency graph and deliberately do not depend on
+//! each other). Not cryptographic; streams are fully determined by the
+//! `u64` seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use sta_smt::rng::Pcg32;
+//!
+//! let mut r = Pcg32::new(0xDEADBEEF);
+//! let k = r.below(10);
+//! assert!(k < 10);
+//! ```
+
+/// A PCG-XSH-RR 64/32 generator: 64-bit LCG state, 32-bit permuted output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+const PCG_INIT_INC: u64 = 1442695040888963407;
+
+impl Pcg32 {
+    /// Seeds the generator; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: PCG_INIT_INC | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Next 32 raw bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 raw bits (two 32-bit draws).
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Uniform draw from `0..n` (rejection-sampled, unbiased).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        let n = n as u64;
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let draw = self.next_u64();
+            if draw < zone {
+                return (draw % n) as usize;
+            }
+        }
+    }
+
+    /// Uniform draw from the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform draw from the closed integer range `lo..=hi`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range");
+        let span = (hi - lo) as usize + 1;
+        lo + self.below(span) as i64
+    }
+
+    /// Fair coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.next_u32() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_stream_shape() {
+        let mut a = Pcg32::new(99);
+        let mut b = Pcg32::new(99);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn bounded_draws_stay_in_range() {
+        let mut r = Pcg32::new(5);
+        for _ in 0..500 {
+            assert!(r.below(7) < 7);
+            let y = r.range_i64(-3, 3);
+            assert!((-3..=3).contains(&y));
+        }
+    }
+}

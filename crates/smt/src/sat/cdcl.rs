@@ -8,6 +8,7 @@
 //! standard DPLL(T) integration used by the LRA solver in [`crate::simplex`].
 
 use super::lit::{LBool, Lit, SatVar};
+use super::proof::{FarkasCertificate, ProofLog};
 
 /// Result of a theory callback.
 #[derive(Debug)]
@@ -32,6 +33,13 @@ pub trait Theory {
     fn on_assert(&mut self, lit: Lit) -> TheoryResult;
     /// Full consistency check (may pivot); called at propagation fixpoints.
     fn check(&mut self) -> TheoryResult;
+    /// Certificate for the most recent conflict this theory reported,
+    /// consumed by proof logging. Theories that cannot certify their
+    /// lemmas return `None` (the default), which a full proof replay
+    /// rejects — certification requires certifying theories.
+    fn take_certificate(&mut self) -> Option<FarkasCertificate> {
+        None
+    }
 }
 
 /// A theory that accepts everything — turns the solver into plain SAT.
@@ -114,6 +122,8 @@ pub struct CdclSolver {
     counters: SatCounters,
     /// Variables the theory cares about; others skip the theory feed.
     is_theory_var: Vec<bool>,
+    /// DRAT-style proof trace, recorded when enabled before clause loading.
+    proof: Option<ProofLog>,
 }
 
 impl Default for CdclSolver {
@@ -145,7 +155,19 @@ impl CdclSolver {
             unsat_at_root: false,
             counters: SatCounters::default(),
             is_theory_var: Vec::new(),
+            proof: None,
         }
+    }
+
+    /// Turns on proof logging. Call before any [`CdclSolver::add_clause`]
+    /// so the log captures the complete original CNF.
+    pub fn enable_proof(&mut self) {
+        self.proof = Some(ProofLog::new());
+    }
+
+    /// Takes the recorded proof, leaving logging disabled.
+    pub fn take_proof(&mut self) -> Option<ProofLog> {
+        self.proof.take()
     }
 
     /// Allocates a fresh variable and returns its index.
@@ -180,6 +202,13 @@ impl CdclSolver {
         self.clauses.len()
     }
 
+    /// Snapshot of the stored clause database (root-simplified originals
+    /// plus learned clauses; root units are not included). Used by the
+    /// encoding-level linter to look for duplicate and subsumed clauses.
+    pub fn clause_list(&self) -> Vec<Vec<Lit>> {
+        self.clauses.iter().map(|c| c.lits.clone()).collect()
+    }
+
     /// Solver counters (decisions, conflicts, …).
     pub fn counters(&self) -> SatCounters {
         self.counters
@@ -210,6 +239,12 @@ impl CdclSolver {
                 return; // p ∨ ¬p — tautology
             }
             i += 1;
+        }
+        // Log the clause before root-level simplification: the proof's
+        // axioms must be the original CNF, not the simplified one (the
+        // dropped literals are rederivable from logged unit clauses).
+        if let Some(p) = &mut self.proof {
+            p.log_original(lits.clone());
         }
         // Drop literals already false at root, satisfied clause check.
         lits.retain(|&l| self.lit_value(l) != LBool::False);
@@ -529,6 +564,11 @@ impl CdclSolver {
         if remove.is_empty() {
             return;
         }
+        if let Some(p) = &mut self.proof {
+            for &i in &remove {
+                p.log_delete(self.clauses[i].lits.clone());
+            }
+        }
         // Compact the clause database and remap indices.
         let mut remap = vec![usize::MAX; self.clauses.len()];
         let mut new_clauses = Vec::with_capacity(self.clauses.len() - remove.len());
@@ -556,6 +596,13 @@ impl CdclSolver {
         }
         self.counters.learned_clauses =
             self.clauses.iter().filter(|c| c.learned).count() as u64;
+    }
+
+    /// Closes the proof with the empty clause (every `Unsat` return).
+    fn log_refutation(&mut self) {
+        if let Some(p) = &mut self.proof {
+            p.log_learned(Vec::new());
+        }
     }
 
     fn is_reason(&self, ci: usize) -> bool {
@@ -630,6 +677,7 @@ impl CdclSolver {
         theory_steps: &mut u64,
     ) -> SatOutcome {
         if self.unsat_at_root {
+            self.log_refutation();
             return SatOutcome::Unsat;
         }
         // Feed root-level units to the theory before starting.
@@ -658,7 +706,11 @@ impl CdclSolver {
                         self.counters.theory_conflicts += 1;
                         // Explanation lits are all true; the conflict clause
                         // is their negation.
-                        Some(expl.into_iter().map(|l| !l).collect())
+                        let cl: Vec<Lit> = expl.into_iter().map(|l| !l).collect();
+                        if let Some(p) = &mut self.proof {
+                            p.log_theory_lemma(cl.clone(), theory.take_certificate());
+                        }
+                        Some(cl)
                     }
                 }
             };
@@ -667,6 +719,7 @@ impl CdclSolver {
                     self.counters.conflicts += 1;
                     conflicts_since_restart += 1;
                     if self.trail_lim.is_empty() {
+                        self.log_refutation();
                         return SatOutcome::Unsat;
                     }
                     // Guard: ensure the conflict involves the current level
@@ -678,12 +731,16 @@ impl CdclSolver {
                         .max()
                         .unwrap_or(0);
                     if max_level == 0 {
+                        self.log_refutation();
                         return SatOutcome::Unsat;
                     }
                     if max_level < self.trail_lim.len() {
                         self.backtrack(max_level, theory);
                     }
                     let (learnt, bj) = self.analyze(cl);
+                    if let Some(p) = &mut self.proof {
+                        p.log_learned(learnt.clone());
+                    }
                     self.backtrack(bj, theory);
                     if learnt.len() == 1 {
                         self.enqueue(learnt[0], None);

@@ -6,7 +6,9 @@
 pub mod cdcl;
 pub mod dimacs;
 pub mod lit;
+pub mod proof;
 
 pub use cdcl::{CdclSolver, NullTheory, SatCounters, SatOutcome, Theory, TheoryResult};
 pub use dimacs::{DimacsInstance, ParseDimacsError};
 pub use lit::{LBool, Lit, SatVar};
+pub use proof::{FarkasCertificate, ProofLog, ProofStep};

@@ -13,8 +13,10 @@
 //! Pivoting uses Bland's rule (smallest-index selection for both leaving and
 //! entering variables), which guarantees termination.
 
+use crate::certify::{AtomSemantics, TheoryContext};
 use crate::expr::{LinExpr, RealVar};
 use crate::rational::{DeltaRational, Rational};
+use crate::sat::proof::FarkasCertificate;
 use crate::sat::{Lit, SatVar, Theory, TheoryResult};
 use std::collections::BTreeMap;
 use std::collections::HashMap;
@@ -86,6 +88,9 @@ pub struct Simplex {
     trail: Vec<Vec<Undo>>,
     /// Number of pivots performed (statistics).
     pivots: u64,
+    /// Farkas certificate for the most recent conflict, consumed by proof
+    /// logging through [`Theory::take_certificate`].
+    last_certificate: Option<FarkasCertificate>,
     /// Debug accounting (populated only when `STA_SMT_DEBUG` is set):
     /// time in `repair_nonbasic`, in the violation/entering scans, and in
     /// `pivot_and_update`, plus scan-iteration count.
@@ -256,6 +261,96 @@ impl Simplex {
             .collect()
     }
 
+    /// Exports the atom semantics needed to check Farkas certificates
+    /// independently of the tableau: each registered SAT atom resolved to
+    /// its bound and to the expansion of its solver variable over the
+    /// *problem* variables (slack forms are recorded at creation time over
+    /// problem variables only, so no tableau state is consulted).
+    pub fn certificate_context(&self) -> TheoryContext {
+        // Inverse of `real_vars`: solver variable → problem variable.
+        let mut problem_var: HashMap<SVar, RealVar> = HashMap::new();
+        for (i, &sv) in self.real_vars.iter().enumerate() {
+            problem_var.insert(sv, RealVar(i as u32));
+        }
+        // Slack expansions, mapped back into problem-variable space.
+        let mut expansion: HashMap<SVar, Vec<(RealVar, Rational)>> = HashMap::new();
+        for (form, &s) in &self.slack_by_form {
+            let terms = form
+                .iter()
+                .filter_map(|(sv, c)| {
+                    problem_var.get(sv).map(|&rv| (rv, c.clone()))
+                })
+                .collect();
+            expansion.insert(s, terms);
+        }
+        let mut atoms = HashMap::new();
+        for (&sat_var, binding) in &self.atoms {
+            let terms = match problem_var.get(&binding.var) {
+                Some(&rv) => vec![(rv, Rational::one())],
+                None => expansion.get(&binding.var).cloned().unwrap_or_default(),
+            };
+            atoms.insert(
+                sat_var,
+                AtomSemantics {
+                    expansion: terms,
+                    bound: binding.bound.clone(),
+                    strict: binding.strict,
+                },
+            );
+        }
+        TheoryContext { atoms }
+    }
+
+    /// Audits the tableau invariants; compiled only under the
+    /// `certify-debug` feature and called at pivot boundaries (after
+    /// nonbasic repair and after each pivot), where they must all hold.
+    ///
+    /// # Panics
+    /// Panics on the first violated invariant — an audit failure is a
+    /// solver bug, never an input error.
+    #[cfg(feature = "certify-debug")]
+    fn audit_invariants(&self) {
+        for (r, row) in self.rows.iter().enumerate() {
+            let b = self.basic[r];
+            assert_eq!(self.row_of[b], Some(r), "basic var {b} points to row {r}");
+            assert!(!row.contains_key(&b), "row {r} mentions its own basic var");
+            // Row consistency: β[basic] = Σ c·β[nonbasic].
+            let rhs = row.iter().fold(DeltaRational::zero(), |acc, (v, c)| {
+                &acc + &self.assignment[*v].scale(c)
+            });
+            assert!(
+                self.assignment[b] == rhs,
+                "row {r} violated: β[{b}] ≠ Σ c·β"
+            );
+        }
+        for v in 0..self.assignment.len() {
+            if let Some(r) = self.row_of[v] {
+                assert_eq!(self.basic[r], v, "row_of[{v}] inconsistent");
+            }
+            // Bound sanity in delta-rational order, and the strict-bound
+            // representation convention: upper bounds carry δ ≤ 0, lower
+            // bounds δ ≥ 0.
+            if let Some(ub) = &self.upper[v] {
+                assert!(!ub.value.delta.is_positive(), "upper bound with +δ");
+            }
+            if let Some(lb) = &self.lower[v] {
+                assert!(!lb.value.delta.is_negative(), "lower bound with -δ");
+            }
+            if let (Some(lb), Some(ub)) = (&self.lower[v], &self.upper[v]) {
+                assert!(lb.value <= ub.value, "crossed bounds on var {v}");
+            }
+            // Every nonbasic variable sits within its bounds.
+            if self.row_of[v].is_none() {
+                if let Some(lb) = &self.lower[v] {
+                    assert!(self.assignment[v] >= lb.value, "nonbasic {v} below lb");
+                }
+                if let Some(ub) = &self.upper[v] {
+                    assert!(self.assignment[v] <= ub.value, "nonbasic {v} above ub");
+                }
+            }
+        }
+    }
+
     fn assert_bound(&mut self, var: SVar, kind: BoundKind, value: DeltaRational, lit: Lit) -> TheoryResult {
         match kind {
             BoundKind::Upper => {
@@ -266,7 +361,11 @@ impl Simplex {
                 }
                 if let Some(lb) = &self.lower[var] {
                     if value < lb.value {
-                        return TheoryResult::Conflict(vec![lit, lb.lit]);
+                        let other = lb.lit;
+                        self.last_certificate = Some(FarkasCertificate {
+                            terms: vec![(lit, Rational::one()), (other, Rational::one())],
+                        });
+                        return TheoryResult::Conflict(vec![lit, other]);
                     }
                 }
                 self.record_undo(var, BoundKind::Upper);
@@ -283,7 +382,11 @@ impl Simplex {
                 }
                 if let Some(ub) = &self.upper[var] {
                     if value > ub.value {
-                        return TheoryResult::Conflict(vec![lit, ub.lit]);
+                        let other = ub.lit;
+                        self.last_certificate = Some(FarkasCertificate {
+                            terms: vec![(lit, Rational::one()), (other, Rational::one())],
+                        });
+                        return TheoryResult::Conflict(vec![lit, other]);
                     }
                 }
                 self.record_undo(var, BoundKind::Lower);
@@ -443,6 +546,8 @@ impl Simplex {
         if let Some(t) = t0 {
             self.debug_timers.repair += t.elapsed();
         }
+        #[cfg(feature = "certify-debug")]
+        self.audit_invariants();
         loop {
             self.debug_timers.iterations += 1;
             let t_scan = debug.then(std::time::Instant::now);
@@ -505,30 +610,42 @@ impl Simplex {
                     if let Some(t) = t_piv {
                         self.debug_timers.pivot += t.elapsed();
                     }
+                    #[cfg(feature = "certify-debug")]
+                    self.audit_invariants();
                 }
                 None => {
                     // Infeasible row: explanation is the violated bound of xb
                     // plus the blocking bound of every nonbasic in the row.
+                    // The same walk yields the Farkas certificate: λ = 1 on
+                    // the violated bound and λ = |c| on each blocking bound —
+                    // the row identity `xb = Σ c·xn` makes the weighted
+                    // linear forms cancel while the weighted bound values
+                    // sum to a negative delta-rational.
                     let mut expl = Vec::new();
-                    if below {
-                        expl.push(self.lower[xb].as_ref().unwrap().lit);
-                        for (&xn, c) in &self.rows[r] {
-                            if c.is_positive() {
-                                expl.push(self.upper[xn].as_ref().unwrap().lit);
-                            } else {
-                                expl.push(self.lower[xn].as_ref().unwrap().lit);
-                            }
-                        }
-                    } else {
-                        expl.push(self.upper[xb].as_ref().unwrap().lit);
-                        for (&xn, c) in &self.rows[r] {
-                            if c.is_positive() {
-                                expl.push(self.lower[xn].as_ref().unwrap().lit);
-                            } else {
-                                expl.push(self.upper[xn].as_ref().unwrap().lit);
-                            }
+                    let mut terms = Vec::new();
+                    let violated =
+                        if below { &self.lower[xb] } else { &self.upper[xb] };
+                    debug_assert!(violated.is_some(), "violated bound exists");
+                    if let Some(bv) = violated {
+                        expl.push(bv.lit);
+                        terms.push((bv.lit, Rational::one()));
+                    }
+                    for (&xn, c) in &self.rows[r] {
+                        // Raising xb is blocked by the upper bound of
+                        // positive-coefficient vars and the lower bound of
+                        // negative ones; mirrored when xb must drop.
+                        let blocking = if below == c.is_positive() {
+                            &self.upper[xn]
+                        } else {
+                            &self.lower[xn]
+                        };
+                        debug_assert!(blocking.is_some(), "entering scan saw a bound");
+                        if let Some(bb) = blocking {
+                            expl.push(bb.lit);
+                            terms.push((bb.lit, c.abs()));
                         }
                     }
+                    self.last_certificate = Some(FarkasCertificate { terms });
                     expl.sort_unstable();
                     expl.dedup();
                     return TheoryResult::Conflict(expl);
@@ -594,6 +711,10 @@ impl Theory for Simplex {
 
     fn check(&mut self) -> TheoryResult {
         self.check_internal()
+    }
+
+    fn take_certificate(&mut self) -> Option<FarkasCertificate> {
+        self.last_certificate.take()
     }
 }
 

@@ -21,9 +21,11 @@
 //! assert!(model.real_value(y).to_f64() <= 3.0);
 //! ```
 
+use crate::certify::{check_unsat_proof, eval_formula, CertifyError, CertifyLevel};
 use crate::cnf::Encoder;
 use crate::expr::RealVar;
 use crate::formula::{BoolVar, Formula};
+use crate::lint::{self, LintReport, Severity};
 use crate::rational::Rational;
 use crate::sat::{CdclSolver, LBool, SatOutcome};
 use crate::simplex::Simplex;
@@ -103,6 +105,7 @@ pub struct Solver {
     assertions: Vec<Formula>,
     scopes: Vec<usize>,
     last_stats: Option<SolverStats>,
+    certify: CertifyLevel,
 }
 
 impl Solver {
@@ -154,18 +157,88 @@ impl Solver {
         self.last_stats.as_ref()
     }
 
+    /// Sets how much certification [`Solver::check`] performs.
+    pub fn set_certify(&mut self, level: CertifyLevel) {
+        self.certify = level;
+    }
+
+    /// The configured certification level.
+    pub fn certify_level(&self) -> CertifyLevel {
+        self.certify
+    }
+
+    /// Statically analyses the current assertion set without solving.
+    pub fn lint(&self) -> LintReport {
+        lint::lint(&self.assertions, self.n_bools, self.n_reals)
+    }
+
+    /// Renders the assertion set as text, for reproducing failures.
+    pub fn dump_assertions(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "; {} bool vars, {} real vars, {} assertions",
+            self.n_bools,
+            self.n_reals,
+            self.assertions.len()
+        );
+        for f in &self.assertions {
+            let _ = writeln!(out, "(assert {f})");
+        }
+        out
+    }
+
     /// Decides satisfiability of the asserted conjunction.
+    ///
+    /// # Panics
+    /// Panics if certification is enabled (see [`Solver::set_certify`]) and
+    /// the answer fails to certify — a solver bug, reported together with a
+    /// dump of the assertion set for reproduction.
     pub fn check(&mut self) -> SatResult {
+        match self.check_certified() {
+            Ok(result) => result,
+            Err(e) => panic!("{e}\nassertions:\n{}", self.dump_assertions()),
+        }
+    }
+
+    /// Decides satisfiability, returning certification failures as errors.
+    ///
+    /// Under [`CertifyLevel::Full`] the assertion set is first linted in
+    /// deny mode (error-severity findings abort before solving), proof
+    /// logging is enabled, and an `unsat` answer is replayed through the
+    /// independent RUP/Farkas checker. Under [`CertifyLevel::CheckModels`]
+    /// (or `Full`), a `sat` answer's model is re-evaluated against every
+    /// original assertion with exact arithmetic.
+    pub fn check_certified(&mut self) -> Result<SatResult, CertifyError> {
         let start = Instant::now();
+        let full = self.certify >= CertifyLevel::Full;
+        let mut lint_report = LintReport::new();
+        if full {
+            lint_report = self.lint();
+            if lint_report.has_errors() {
+                return Err(CertifyError::new(format!(
+                    "lint errors in deny mode:\n{lint_report}"
+                )));
+            }
+        }
         let mut sat = CdclSolver::new();
         let mut simplex = Simplex::new();
         let mut encoder = Encoder::new();
+        if full {
+            sat.enable_proof();
+        }
         // Materialize every declared real variable so the model covers them.
         for i in 0..self.n_reals {
             simplex.solver_var(RealVar(i));
         }
         for f in &self.assertions {
             encoder.assert_root(f, &mut sat, &mut simplex);
+        }
+        if full {
+            // Encoding-level pass (duplicate / subsumed clauses) over the
+            // clause database before any learning happens.
+            lint_report.merge(lint::lint_clauses(&sat.clause_list()));
         }
         let encode_done = Instant::now();
         let outcome = sat.solve(&mut simplex);
@@ -183,7 +256,7 @@ impl Solver {
             );
         }
         let counters = sat.counters();
-        let stats = SolverStats {
+        let mut stats = SolverStats {
             bool_vars: self.n_bools as usize,
             real_vars: self.n_reals as usize,
             assertions: self.assertions.len(),
@@ -201,22 +274,49 @@ impl Solver {
             theory_conflicts: counters.theory_conflicts,
             restarts: counters.restarts,
             learned_clauses: counters.learned_clauses,
+            proof_steps: 0,
+            certified: false,
+            lint_errors: lint_report.count(Severity::Error),
+            lint_warnings: lint_report.count(Severity::Warning),
+            lint_infos: lint_report.count(Severity::Info),
             solve_time: start.elapsed(),
         };
-        self.last_stats = Some(stats);
-        match outcome {
-            SatOutcome::Unsat => SatResult::Unsat,
+        let result = match outcome {
+            SatOutcome::Unsat => {
+                if full {
+                    let proof = sat
+                        .take_proof()
+                        .ok_or_else(|| CertifyError::new("proof logging produced no proof"))?;
+                    stats.proof_steps = proof.num_derivations() as u64;
+                    check_unsat_proof(&proof, &simplex.certificate_context())?;
+                    stats.certified = true;
+                }
+                SatResult::Unsat
+            }
             SatOutcome::Sat => {
                 let reals = simplex.concrete_model();
-                let bools = (0..self.n_bools)
+                let bools: Vec<bool> = (0..self.n_bools)
                     .map(|i| match encoder.lookup_bool(BoolVar(i)) {
                         Some(v) => sat.value(v) == LBool::True,
                         None => false,
                     })
                     .collect();
+                if self.certify >= CertifyLevel::CheckModels {
+                    for f in &self.assertions {
+                        if !eval_formula(f, &bools, &reals) {
+                            return Err(CertifyError::new(format!(
+                                "model does not satisfy asserted formula {f}"
+                            )));
+                        }
+                    }
+                    stats.certified = true;
+                }
                 SatResult::Sat(Model { bools, reals })
             }
-        }
+        };
+        stats.solve_time = start.elapsed();
+        self.last_stats = Some(stats);
+        Ok(result)
     }
 }
 
@@ -335,6 +435,65 @@ mod tests {
         let stats = s.last_stats().expect("stats");
         assert!(stats.sat_vars > 0);
         assert!(stats.estimated_bytes() > 0);
+    }
+
+    #[test]
+    fn certified_check_sat_and_unsat() {
+        // Same mixed Boolean/arithmetic problem as above, fully certified:
+        // the unsat branch exercises theory lemmas with Farkas certificates
+        // through the proof replayer, and the sat branch re-evaluates the
+        // model against the original formulas.
+        let mut s = Solver::new();
+        s.set_certify(CertifyLevel::Full);
+        assert_eq!(s.certify_level(), CertifyLevel::Full);
+        let p = s.new_bool();
+        let x = s.new_real();
+        s.assert_formula(&Formula::var(p).implies(LinExpr::var(x).ge(LinExpr::from(5))));
+        s.assert_formula(
+            &Formula::var(p)
+                .not()
+                .implies(LinExpr::var(x).le(LinExpr::from(-5))),
+        );
+        s.push();
+        s.assert_formula(&LinExpr::var(x).eq_expr(LinExpr::from(2)));
+        assert!(!s.check().is_sat());
+        let stats = s.last_stats().expect("stats").clone();
+        assert!(stats.certified);
+        assert!(stats.proof_steps > 0);
+        s.pop();
+        let m = s.check().expect_sat();
+        assert!(s.last_stats().expect("stats").certified);
+        let v = m.real_value(x);
+        assert!(v >= &r(5, 1) || v <= &r(-5, 1));
+    }
+
+    #[test]
+    fn deny_mode_rejects_contradictory_bounds_before_solving() {
+        let mut s = Solver::new();
+        s.set_certify(CertifyLevel::Full);
+        let x = s.new_real();
+        s.assert_formula(&LinExpr::var(x).lt(LinExpr::from(1)));
+        s.assert_formula(&LinExpr::var(x).gt(LinExpr::from(1)));
+        let err = s.check_certified().unwrap_err();
+        assert!(err.message.contains("lint"), "{}", err.message);
+        // Without certification the solver still answers (unsat).
+        s.set_certify(CertifyLevel::Off);
+        assert!(!s.check().is_sat());
+    }
+
+    #[test]
+    fn corrupted_model_fails_reevaluation() {
+        let mut s = Solver::new();
+        s.set_certify(CertifyLevel::CheckModels);
+        let x = s.new_real();
+        let f = LinExpr::var(x).ge(LinExpr::from(3));
+        s.assert_formula(&f);
+        let m = s.check().expect_sat();
+        // The genuine model passes; a tampered one is caught.
+        assert!(crate::certify::eval_formula(&f, &m.bools, &m.reals));
+        let mut bad = m.clone();
+        bad.reals[x.0 as usize] = Rational::zero();
+        assert!(!crate::certify::eval_formula(&f, &bad.bools, &bad.reals));
     }
 
     #[test]

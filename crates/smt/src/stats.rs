@@ -48,6 +48,18 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Learned clauses retained.
     pub learned_clauses: u64,
+    /// Derivation steps in the logged proof (learned clauses plus theory
+    /// lemmas); zero unless proof logging was enabled by certification.
+    pub proof_steps: u64,
+    /// Whether this check's answer was certified (model re-evaluation or
+    /// proof replay, per the solver's [`crate::CertifyLevel`]).
+    pub certified: bool,
+    /// Lint findings at error severity.
+    pub lint_errors: usize,
+    /// Lint findings at warning severity.
+    pub lint_warnings: usize,
+    /// Lint findings at info severity.
+    pub lint_infos: usize,
     /// Wall-clock time of the check.
     pub solve_time: Duration,
 }
@@ -100,7 +112,21 @@ impl fmt::Display for SolverStats {
             self.pivots,
             self.estimated_mb(),
             self.solve_time,
-        )
+        )?;
+        if self.certified {
+            write!(f, " certified")?;
+            if self.proof_steps > 0 {
+                write!(f, " (proof: {} steps)", self.proof_steps)?;
+            }
+        }
+        if self.lint_errors + self.lint_warnings + self.lint_infos > 0 {
+            write!(
+                f,
+                " lint: {}E/{}W/{}I",
+                self.lint_errors, self.lint_warnings, self.lint_infos
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -126,5 +152,17 @@ mod tests {
         let s = SolverStats::default();
         let text = s.to_string();
         assert!(text.contains("mem:"));
+        assert!(!text.contains("certified"));
+    }
+
+    #[test]
+    fn display_shows_certification_and_lint() {
+        let mut s = SolverStats::default();
+        s.certified = true;
+        s.proof_steps = 7;
+        s.lint_warnings = 2;
+        let text = s.to_string();
+        assert!(text.contains("certified (proof: 7 steps)"), "{text}");
+        assert!(text.contains("lint: 0E/2W/0I"), "{text}");
     }
 }

@@ -1,0 +1,121 @@
+//! Exhaustive cross-check of the Sinz sequential-counter cardinality
+//! encoding against a popcount oracle.
+//!
+//! For every `n ≤ 8`, every threshold `k ≤ n`, and every one of the `2^n`
+//! Boolean assignments, the assignment is pinned with unit assertions and
+//! the solver must report `at_most(xs, k)` satisfiable iff `popcount ≤ k`
+//! (dually `at_least` iff `popcount ≥ k`). Checks run under
+//! [`CertifyLevel::Full`], so every SAT answer is re-evaluated against the
+//! original formulas and every UNSAT answer is replayed through the
+//! RUP/Farkas proof checker — a wrong *proof* fails the run even when the
+//! verdict happens to agree with the oracle.
+//!
+//! A companion regression test pins down the linter's view of malformed
+//! cardinality constraints (duplicate or constant members).
+
+use sta_smt::{lint, CertifyLevel, Formula, LintKind, SatResult, Severity, Solver};
+
+/// Runs one pinned cardinality query and returns whether it was SAT.
+fn pinned_check(n: u32, bits: u32, constraint_of: impl Fn(Vec<Formula>) -> Formula) -> bool {
+    let mut solver = Solver::new();
+    solver.set_certify(CertifyLevel::Full);
+    let vars: Vec<Formula> = (0..n).map(|_| Formula::var(solver.new_bool())).collect();
+    for (i, v) in vars.iter().enumerate() {
+        let pinned = if bits >> i & 1 == 1 { v.clone() } else { v.clone().not() };
+        solver.assert_formula(&pinned);
+    }
+    solver.assert_formula(&constraint_of(vars));
+    match solver.check() {
+        SatResult::Sat(_) => true,
+        SatResult::Unsat => false,
+    }
+}
+
+#[test]
+fn at_most_matches_popcount_oracle() {
+    for n in 1..=8u32 {
+        for k in 0..=n as usize {
+            for bits in 0..1u32 << n {
+                let expected = bits.count_ones() as usize <= k;
+                let got = pinned_check(n, bits, |vars| Formula::at_most(vars, k));
+                assert_eq!(
+                    got, expected,
+                    "at_most({k}) of n={n} under assignment {bits:#b} \
+                     (popcount {})",
+                    bits.count_ones()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn at_least_matches_popcount_oracle() {
+    for n in 1..=8u32 {
+        for k in 0..=n as usize {
+            for bits in 0..1u32 << n {
+                let expected = bits.count_ones() as usize >= k;
+                let got = pinned_check(n, bits, |vars| Formula::at_least(vars, k));
+                assert_eq!(
+                    got, expected,
+                    "at_least({k}) of n={n} under assignment {bits:#b} \
+                     (popcount {})",
+                    bits.count_ones()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exactly_matches_popcount_oracle() {
+    // Smaller sweep: `exactly` is just the conjunction of the two
+    // directions, so n ≤ 5 suffices to cross the encoding boundary cases
+    // (k = 0, k = n, and the Sinz counter in both directions at once).
+    for n in 1..=5u32 {
+        for k in 0..=n as usize {
+            for bits in 0..1u32 << n {
+                let expected = bits.count_ones() as usize == k;
+                let got = pinned_check(n, bits, |vars| Formula::exactly(vars, k));
+                assert_eq!(got, expected, "exactly({k}) of n={n} under {bits:#b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn linter_flags_malformed_cardinality() {
+    let mut solver = Solver::new();
+    let p = Formula::var(solver.new_bool());
+    let q = Formula::var(solver.new_bool());
+
+    // Duplicate member: `at_most 1 {p, p, q}` cannot mean what it says —
+    // the counter counts p twice. The linter must reject it outright.
+    let dup = Formula::at_most(vec![p.clone(), p.clone(), q.clone()], 1);
+    let report = lint(&[dup], 2, 0);
+    assert!(report.has_errors(), "duplicate member must be an error:\n{report}");
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.kind == LintKind::MalformedCardinality && f.severity == Severity::Error));
+
+    // Constant member: a `true`/`false` inside the member list shifts the
+    // effective threshold — suspicious, but meaningful, so a warning.
+    let constant = Formula::at_most(vec![p.clone(), Formula::top(), q.clone()], 1);
+    let report = lint(&[constant], 2, 0);
+    assert!(!report.has_errors(), "constant member is not an error:\n{report}");
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.kind == LintKind::MalformedCardinality && f.severity == Severity::Warning));
+
+    // A well-formed constraint stays clean.
+    let fine = Formula::at_most(vec![p, q], 1);
+    assert!(
+        !lint(&[fine], 2, 0)
+            .findings
+            .iter()
+            .any(|f| f.kind == LintKind::MalformedCardinality),
+        "well-formed cardinality must not be flagged"
+    );
+}

@@ -8,8 +8,8 @@
 //! procedure. The SMT solver must agree on satisfiability, and when it
 //! answers sat, its model must actually satisfy every assertion.
 
-use proptest::prelude::*;
 use sta_smt::rational::Rational;
+use sta_smt::rng::Pcg32;
 use sta_smt::{CmpOp, Formula, LinExpr, RealVar, Solver};
 
 /// One linear constraint `Σ coeffs·x ⋈ rhs` with ⋈ ∈ {≤, <}.
@@ -98,29 +98,32 @@ struct RandomAtom {
     op: CmpOp,
 }
 
-fn atom_strategy(num_vars: usize) -> impl Strategy<Value = RandomAtom> {
-    (
-        proptest::collection::vec(-3i64..=3, num_vars),
-        -6i64..=6,
-        prop_oneof![
-            Just(CmpOp::Le),
-            Just(CmpOp::Lt),
-            Just(CmpOp::Ge),
-            Just(CmpOp::Gt)
-        ],
-    )
-        .prop_filter("nontrivial atom", |(c, _, _)| c.iter().any(|&x| x != 0))
-        .prop_map(|(coeffs, rhs, op)| RandomAtom { coeffs, rhs, op })
+/// Draws a nontrivial random atom with coefficients in `[-3, 3]`.
+fn random_atom(rng: &mut Pcg32, num_vars: usize) -> RandomAtom {
+    let ops = [CmpOp::Le, CmpOp::Lt, CmpOp::Ge, CmpOp::Gt];
+    loop {
+        let coeffs: Vec<i64> =
+            (0..num_vars).map(|_| rng.range_i64(-3, 3)).collect();
+        if coeffs.iter().all(|&x| x == 0) {
+            continue;
+        }
+        return RandomAtom {
+            coeffs,
+            rhs: rng.range_i64(-6, 6),
+            op: ops[rng.below(ops.len())],
+        };
+    }
 }
 
 /// Random Boolean skeleton: a CNF over atom indices with polarities.
-fn skeleton_strategy(
-    num_atoms: usize,
-) -> impl Strategy<Value = Vec<Vec<(usize, bool)>>> {
-    proptest::collection::vec(
-        proptest::collection::vec((0..num_atoms, proptest::bool::ANY), 1..=3),
-        1..=4,
-    )
+fn random_skeleton(rng: &mut Pcg32, num_atoms: usize) -> Vec<Vec<(usize, bool)>> {
+    (0..rng.range_usize(1, 5))
+        .map(|_| {
+            (0..rng.range_usize(1, 4))
+                .map(|_| (rng.below(num_atoms), rng.flip()))
+                .collect()
+        })
+        .collect()
 }
 
 fn oracle_sat(
@@ -154,20 +157,15 @@ fn oracle_sat(
     false
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn solver_agrees_with_fourier_motzkin(
-        atoms in proptest::collection::vec(atom_strategy(3), 2..=5),
-        cnf_raw in skeleton_strategy(5),
-    ) {
+#[test]
+fn solver_agrees_with_fourier_motzkin() {
+    let mut rng = Pcg32::new(0x06A3);
+    for _ in 0..96 {
         let num_vars = 3;
-        // Clamp clause atom indices to the actual atom count.
-        let cnf: Vec<Vec<(usize, bool)>> = cnf_raw
-            .into_iter()
-            .map(|cl| cl.into_iter().map(|(i, p)| (i % atoms.len(), p)).collect())
+        let atoms: Vec<RandomAtom> = (0..rng.range_usize(2, 6))
+            .map(|_| random_atom(&mut rng, num_vars))
             .collect();
+        let cnf = random_skeleton(&mut rng, atoms.len());
 
         let expected = oracle_sat(&atoms, &cnf, num_vars);
 
@@ -198,7 +196,7 @@ proptest! {
             ));
         }
         let result = solver.check();
-        prop_assert_eq!(result.is_sat(), expected, "atoms {:?} cnf {:?}", atoms, cnf);
+        assert_eq!(result.is_sat(), expected, "atoms {atoms:?} cnf {cnf:?}");
 
         // Model soundness: every clause holds under the returned values.
         if let Some(model) = result.model() {
@@ -220,7 +218,7 @@ proptest! {
                     };
                     holds == pos
                 });
-                prop_assert!(ok, "model violates clause {:?}", clause);
+                assert!(ok, "model violates clause {clause:?}");
             }
         }
     }

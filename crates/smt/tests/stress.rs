@@ -2,7 +2,7 @@
 //! against brute force, push/pop stack discipline, and deep formula
 //! structure.
 
-use proptest::prelude::*;
+use sta_smt::rng::Pcg32;
 use sta_smt::{BoolVar, Formula, LinExpr, LinExprCmp, Solver};
 
 /// Brute-force: does any assignment of `n` Booleans with exactly the
@@ -27,22 +27,17 @@ fn brute_card_sat(n: usize, k: usize, forced: &[(usize, bool)], kind: u8) -> boo
     false
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// at-most/at-least/exactly agree with brute-force counting under
-    /// arbitrary forced sub-assignments.
-    #[test]
-    fn cardinality_matches_brute_force(
-        n in 2usize..8,
-        k_raw in 0usize..9,
-        forced_raw in proptest::collection::vec((0usize..8, proptest::bool::ANY), 0..5),
-        kind in 0u8..3,
-    ) {
-        let k = k_raw % (n + 2); // includes out-of-range k on purpose
-        let mut forced: Vec<(usize, bool)> = forced_raw
-            .into_iter()
-            .map(|(i, v)| (i % n, v))
+/// at-most/at-least/exactly agree with brute-force counting under
+/// arbitrary forced sub-assignments.
+#[test]
+fn cardinality_matches_brute_force() {
+    let mut rng = Pcg32::new(0xCA4D);
+    for _ in 0..128 {
+        let n = rng.range_usize(2, 8);
+        let k = rng.below(9) % (n + 2); // includes out-of-range k on purpose
+        let kind = rng.below(3) as u8;
+        let mut forced: Vec<(usize, bool)> = (0..rng.below(5))
+            .map(|_| (rng.below(n), rng.flip()))
             .collect();
         forced.sort_unstable();
         forced.dedup_by_key(|p| p.0);
@@ -61,7 +56,7 @@ proptest! {
         }
         let got = solver.check();
         let expected = brute_card_sat(n, k, &forced, kind);
-        prop_assert_eq!(got.is_sat(), expected, "n={} k={} kind={}", n, k, kind);
+        assert_eq!(got.is_sat(), expected, "n={} k={} kind={}", n, k, kind);
         if let Some(model) = got.model() {
             let count = vars.iter().filter(|&&v| model.bool_value(v)).count();
             let holds = match kind {
@@ -69,21 +64,24 @@ proptest! {
                 1 => count >= k,
                 _ => count == k,
             };
-            prop_assert!(holds, "model count {} violates kind {} k {}", count, kind, k);
+            assert!(holds, "model count {count} violates kind {kind} k {k}");
         }
     }
+}
 
-    /// Negated cardinality is the complementary constraint.
-    #[test]
-    fn negated_cardinality(n in 2usize..7, k_raw in 0usize..7) {
-        let k = k_raw % n;
-        let mut solver = Solver::new();
-        let vars: Vec<BoolVar> = (0..n).map(|_| solver.new_bool()).collect();
-        let fs: Vec<Formula> = vars.iter().map(|&v| Formula::var(v)).collect();
-        solver.assert_formula(&Formula::at_most(fs, k).not());
-        let model = solver.check().expect_sat();
-        let count = vars.iter().filter(|&&v| model.bool_value(v)).count();
-        prop_assert!(count > k);
+/// Negated cardinality is the complementary constraint.
+#[test]
+fn negated_cardinality() {
+    for n in 2usize..7 {
+        for k in 0..n {
+            let mut solver = Solver::new();
+            let vars: Vec<BoolVar> = (0..n).map(|_| solver.new_bool()).collect();
+            let fs: Vec<Formula> = vars.iter().map(|&v| Formula::var(v)).collect();
+            solver.assert_formula(&Formula::at_most(fs, k).not());
+            let model = solver.check().expect_sat();
+            let count = vars.iter().filter(|&&v| model.bool_value(v)).count();
+            assert!(count > k);
+        }
     }
 }
 

@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! sta case <name>                      print a built-in case file
-//! sta verify <case> <scenario>         decide attack feasibility
-//! sta replay <case> <scenario>         verify, then replay end to end
+//! sta verify <case> <scenario> [--certify L]
+//!                                      decide attack feasibility
+//! sta replay <case> <scenario> [--certify L]
+//!                                      verify, then replay end to end
 //! sta assess <case>                    grid-wide threat assessment
 //! sta synthesize <case> <scenario> --budget N [--reference-secured]
 //!                                      synthesize a security architecture
@@ -15,22 +17,52 @@
 //! name: `ieee14`, `ieee14-unsecured`, `ieee30`, `ieee57`, `ieee118`,
 //! `ieee300`. `<scenario>` is an attack-scenario file (see
 //! `sta::core::scenario`) or `-` for the empty (unconstrained) scenario.
+//! `--certify off|models|full` re-checks every solver answer: `models`
+//! re-evaluates satisfying assignments against the original formulas,
+//! `full` additionally lints the formulas (deny mode) and replays unsat
+//! proofs through an independent RUP/Farkas checker.
 
 use sta::core::analytics::ThreatAnalyzer;
 use sta::core::attack::{AttackModel, AttackVerifier};
 use sta::core::synthesis::{SynthesisConfig, Synthesizer};
 use sta::core::{scenario, validation};
 use sta::grid::{caseformat, ieee14, synthetic, TestSystem};
+use sta::smt::CertifyLevel;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sta case <name>\n  sta verify <case> <scenario>\n  \
-         sta replay <case> <scenario>\n  sta assess <case>\n  \
+        "usage:\n  sta case <name>\n  sta verify <case> <scenario> [--certify off|models|full]\n  \
+         sta replay <case> <scenario> [--certify off|models|full]\n  sta assess <case>\n  \
          sta synthesize <case> <scenario> --budget N \
-         [--reference-secured] [--measurements] [--paper-blocking]"
+         [--reference-secured] [--measurements] [--paper-blocking] [--certify off|models|full]"
     );
     ExitCode::from(2)
+}
+
+fn parse_certify(v: &str) -> Result<CertifyLevel, String> {
+    match v {
+        "off" => Ok(CertifyLevel::Off),
+        "models" => Ok(CertifyLevel::CheckModels),
+        "full" => Ok(CertifyLevel::Full),
+        other => Err(format!("--certify needs off|models|full, got {other:?}")),
+    }
+}
+
+/// Parses trailing `--certify` (the only flag verify/replay accept).
+fn certify_flag(args: &[String]) -> Result<CertifyLevel, String> {
+    let mut level = CertifyLevel::Off;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--certify" => {
+                let v = it.next().ok_or("--certify needs a value")?;
+                level = parse_certify(v)?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(level)
 }
 
 fn load_case(spec: &str) -> Result<TestSystem, String> {
@@ -67,9 +99,10 @@ fn cmd_case(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
     let (case, scen) = two(args)?;
+    let certify = certify_flag(&args[2..])?;
     let sys = load_case(&case)?;
     let model = load_scenario(&scen, &sys)?;
-    let verifier = AttackVerifier::new(&sys);
+    let verifier = AttackVerifier::new(&sys).with_certify(certify);
     let report = verifier.verify_with_stats(&model);
     match report.outcome.vector() {
         Some(v) => {
@@ -88,9 +121,10 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
     let (case, scen) = two(args)?;
+    let certify = certify_flag(&args[2..])?;
     let sys = load_case(&case)?;
     let model = load_scenario(&scen, &sys)?;
-    let verifier = AttackVerifier::new(&sys);
+    let verifier = AttackVerifier::new(&sys).with_certify(certify);
     match verifier.verify(&model).vector() {
         Some(v) => {
             println!("attack: {v}");
@@ -126,6 +160,7 @@ fn cmd_synthesize(args: &[String]) -> Result<ExitCode, String> {
     let mut reference_secured = false;
     let mut measurements = false;
     let mut paper_blocking = false;
+    let mut certify = CertifyLevel::Off;
     let mut it = args[2..].iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -136,11 +171,15 @@ fn cmd_synthesize(args: &[String]) -> Result<ExitCode, String> {
             "--reference-secured" => reference_secured = true,
             "--measurements" => measurements = true,
             "--paper-blocking" => paper_blocking = true,
+            "--certify" => {
+                let v = it.next().ok_or("--certify needs a value")?;
+                certify = parse_certify(v)?;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     let budget = budget.ok_or("missing --budget")?;
-    let synth = Synthesizer::new(&sys);
+    let synth = Synthesizer::new(&sys).with_certify(certify);
     if measurements {
         match synth.synthesize_measurements(&model, budget) {
             Some((set, iters)) => {

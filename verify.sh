@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Offline verification gate. Everything here must pass before merging:
+#
+#   1. tier-1: warning-free release build + full workspace test suite
+#   2. source lint (tests/lint.rs): no unwrap/expect in smt/core library code
+#   3. sta-smt under --features certify-debug (simplex invariant auditor on)
+#   4. end-to-end certification smoke on IEEE 14-bus: one SAT answer with
+#      model re-evaluation and one UNSAT answer with RUP proof replay,
+#      both under `--certify full`
+#
+# No network access is required; the script fails fast on the first error.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> tier-1: release build (deny warnings)"
+RUSTFLAGS="-D warnings" cargo build --release
+
+echo "==> tier-1: workspace tests"
+cargo test -q
+
+echo "==> source lint (no unwrap/expect in library code)"
+cargo test -q --test lint
+
+echo "==> sta-smt with certify-debug (simplex invariant audits)"
+cargo test -q -p sta-smt --features certify-debug
+
+echo "==> certification smoke: SAT with full certification (ieee14)"
+./target/release/sta verify ieee14 - --certify full >/dev/null
+
+echo "==> certification smoke: UNSAT with full certification (ieee14)"
+scenario="$(mktemp)"
+trap 'rm -f "$scenario"' EXIT
+cat > "$scenario" <<'EOF'
+target 12 change
+max-measurements 0
+certify full
+EOF
+# A blocked scenario must exit 1 (unsat); any other status is a failure.
+status=0
+./target/release/sta verify ieee14 "$scenario" >/dev/null || status=$?
+if [ "$status" -ne 1 ]; then
+    echo "expected certified unsat (exit 1), got exit $status" >&2
+    exit 1
+fi
+
+echo "verify.sh: all checks passed"
