@@ -2,9 +2,10 @@
 //! (counterexample-hitting vs the paper's Algorithm 1), counterexample
 //! batching, and the defense baselines compared head-to-head.
 //!
-//! Usage: `cargo run --release -p sta-bench --bin ablation`
+//! Usage: `cargo run --release -p sta-bench --bin ablation [--jobs N]`
 
-use sta_bench::{print_table, Row};
+use sta_bench::{jobs_flag, print_table, Row};
+use sta_campaign::{run, CampaignSpec, Verdict};
 use sta_core::attack::AttackModel;
 use sta_core::baselines;
 use sta_core::synthesis::{BlockingStrategy, SynthesisConfig, Synthesizer};
@@ -12,42 +13,45 @@ use sta_grid::ieee14;
 use std::time::Instant;
 
 fn main() {
-    let sys = ieee14::system_unsecured();
-    let synth = Synthesizer::new(&sys);
+    let jobs = jobs_flag();
+    let attacker = AttackModel::new(14);
 
     // --- Ablation 1: refinement strategy -------------------------------
     println!("# Ablation 1 — synthesis refinement strategy (14-bus, scenario 2)");
-    let attacker = AttackModel::new(14);
-    let mut rows = Vec::new();
     let variants: [(&str, BlockingStrategy, usize); 3] = [
         ("paper Algorithm 1 (candidate-only)", BlockingStrategy::CandidateOnly, 1),
         ("hitting, no batching", BlockingStrategy::CounterexampleHitting, 1),
         ("hitting, 4 chained (default)", BlockingStrategy::CounterexampleHitting, 4),
     ];
+    let mut spec = CampaignSpec::new("ablation-strategy");
+    let case = spec.add_case("ieee14-unsecured", ieee14::system_unsecured());
     for (label, strategy, batch) in variants {
         let mut config = SynthesisConfig::with_budget(5).with_reference_secured();
         config.blocking = strategy;
         config.counterexamples_per_round = batch;
-        let start = Instant::now();
-        let outcome = synth.synthesize(&attacker, &config);
-        let secs = start.elapsed().as_secs_f64();
-        let (found, iters) = match &outcome {
-            sta_core::SynthesisOutcome::Architecture(a) => (1.0, a.iterations),
-            sta_core::SynthesisOutcome::NoSolution { iterations } => (0.0, *iterations),
-            sta_core::SynthesisOutcome::Inconclusive { iterations } => (0.0, *iterations),
-        };
-        rows.push(
-            Row::new(label)
-                .cell("time (s)", secs)
-                .cell("iterations", iters as f64)
-                .cell("solved", found),
-        );
+        spec.synthesize(case, label, attacker.clone(), config);
     }
+    let report = run(&spec, jobs);
+    let rows: Vec<Row> = report
+        .results
+        .iter()
+        .map(|r| {
+            Row::new(r.label.clone())
+                .cell("time (s)", r.wall.as_secs_f64())
+                .cell("iterations", r.iterations.unwrap_or(0) as f64)
+                .cell(
+                    "solved",
+                    if r.verdict == Verdict::Architecture { 1.0 } else { 0.0 },
+                )
+        })
+        .collect();
     print_table("budget-5 synthesis against the unconstrained attacker", &rows);
 
     // --- Ablation 2: defenses head-to-head ------------------------------
     println!();
     println!("# Ablation 2 — defense mechanisms against the unconstrained attacker");
+    let sys = ieee14::system_unsecured();
+    let synth = Synthesizer::new(&sys);
     let mut rows = Vec::new();
 
     let start = Instant::now();
@@ -68,17 +72,29 @@ fn main() {
             .cell("time (s)", start.elapsed().as_secs_f64()),
     );
 
-    let start = Instant::now();
-    let outcome = synth.synthesize(&attacker, &SynthesisConfig::with_budget(5));
-    if let Some(arch) = outcome.architecture() {
+    // Bus-granular synthesis as a one-job campaign (same engine as the
+    // strategy ablation above).
+    let mut spec = CampaignSpec::new("ablation-defense");
+    let case = spec.add_case("ieee14-unsecured", ieee14::system_unsecured());
+    spec.synthesize(
+        case,
+        "synthesis (buses, budget 5)",
+        attacker.clone(),
+        SynthesisConfig::with_budget(5),
+    );
+    let report = run(&spec, 1);
+    let r = &report.results[0];
+    if let Some(arch) = &r.architecture {
         rows.push(
-            Row::new("synthesis (buses, budget 5)")
-                .cell("units secured", arch.secured_buses.len() as f64)
+            Row::new(r.label.clone())
+                .cell("units secured", arch.len() as f64)
                 .cell("granularity=meas", 0.0)
-                .cell("time (s)", start.elapsed().as_secs_f64()),
+                .cell("time (s)", r.wall.as_secs_f64()),
         );
     }
 
+    // Measurement-granular synthesis has no campaign job kind (it is a
+    // single call, not a sweep); time it directly.
     let start = Instant::now();
     if let Some((set, _)) = synth.synthesize_measurements(&attacker, 13) {
         rows.push(

@@ -1,15 +1,21 @@
 //! Regenerates the paper's case studies: §III-I (Table II/III example,
 //! Attack Objectives 1–2) and §IV-E (Fig. 3, synthesis Scenarios 1–3).
 //!
-//! Usage: `cargo run --release -p sta-bench --bin case_study`
+//! Both studies run as campaigns: the §III-I objectives are one
+//! verification campaign (witnesses pulled from the report for the
+//! replay checks), the §IV-E scenarios one synthesis campaign.
+//!
+//! Usage: `cargo run --release -p sta-bench --bin case_study [--jobs N]`
 
-use sta_core::attack::{AttackModel, AttackVerifier, StateTarget};
-use sta_core::synthesis::{SynthesisConfig, Synthesizer};
+use sta_bench::jobs_flag;
+use sta_campaign::{run, CampaignSpec, JobResult};
+use sta_core::attack::{AttackModel, StateTarget};
+use sta_core::synthesis::SynthesisConfig;
 use sta_core::validation;
 use sta_grid::{ieee14, BusId, MeasurementId};
 
-fn show(label: &str, outcome: &sta_core::AttackOutcome) {
-    match outcome.vector() {
+fn show(label: &str, result: &JobResult) {
+    match &result.witness {
         Some(v) => {
             let mut meters: Vec<usize> =
                 v.alterations.iter().map(|a| a.measurement.0 + 1).collect();
@@ -23,18 +29,16 @@ fn show(label: &str, outcome: &sta_core::AttackOutcome) {
                 println!("   excluded lines: {excl:?}");
             }
         }
-        None => println!("{label}: unsat"),
+        None => println!("{label}: {}", result.verdict),
     }
 }
 
 fn main() {
+    let jobs = jobs_flag();
     println!("# §III-I case study — IEEE 14-bus (Table II/III inputs)");
     let sys = ieee14::system_unsecured();
-    let verifier = AttackVerifier::new(&sys);
     let unknown = ieee14::EXAMPLE_UNKNOWN_LINES.map(|l| l - 1);
 
-    println!();
-    println!("Attack Objective 1: states 9, 10 — different amounts");
     let obj1 = |cz: usize, cb: usize, diff: bool| {
         let mut m = AttackModel::new(14)
             .unknown_lines(20, &unknown)
@@ -47,16 +51,6 @@ fn main() {
         }
         m
     };
-    show("  ≤16 meas, ≤7 buses (paper: sat)", &verifier.verify(&obj1(16, 7, true)));
-    show("  ≤13 meas, ≤6 buses (our minimum)", &verifier.verify(&obj1(13, 6, true)));
-    show("  ≤12 meas (our infeasibility point)", &verifier.verify(&obj1(12, 14, true)));
-    show(
-        "  equal change allowed, ≤15 meas, ≤6 buses (paper: sat)",
-        &verifier.verify(&obj1(15, 6, false)),
-    );
-
-    println!();
-    println!("Attack Objective 2: state 12 only");
     let mut obj2 = AttackModel::new(14)
         .unknown_lines(20, &unknown)
         .target(BusId(11), StateTarget::MustChange);
@@ -65,61 +59,95 @@ fn main() {
             obj2 = obj2.target(BusId(j), StateTarget::MustNotChange);
         }
     }
-    let base = verifier.verify(&obj2);
-    show("  baseline (paper: meters 12,32,39,46,53)", &base);
-    if let Some(v) = base.vector() {
+    let secured46 = obj2.clone().secure_measurement(MeasurementId(45));
+    let topo = secured46.clone().with_topology_attack();
+
+    let mut spec = CampaignSpec::new("case-study-verification");
+    let case = spec.add_case("ieee14-unsecured", sys.clone());
+    let labels = [
+        "  ≤16 meas, ≤7 buses (paper: sat)",
+        "  ≤13 meas, ≤6 buses (our minimum)",
+        "  ≤12 meas (our infeasibility point)",
+        "  equal change allowed, ≤15 meas, ≤6 buses (paper: sat)",
+        "  baseline (paper: meters 12,32,39,46,53)",
+        "  + measurement 46 secured (paper: unsat)",
+        "  + topology poisoning (paper: meters 12,13,32,33,39,53, line 13 out)",
+    ];
+    spec.verify(case, labels[0], obj1(16, 7, true));
+    spec.verify(case, labels[1], obj1(13, 6, true));
+    spec.verify(case, labels[2], obj1(12, 14, true));
+    spec.verify(case, labels[3], obj1(15, 6, false));
+    let base_id = spec.verify(case, labels[4], obj2);
+    spec.verify(case, labels[5], secured46);
+    let topo_id = spec.verify(case, labels[6], topo);
+    let report = run(&spec, jobs);
+
+    println!();
+    println!("Attack Objective 1: states 9, 10 — different amounts");
+    for r in &report.results[..4] {
+        show(&r.label, r);
+    }
+
+    println!();
+    println!("Attack Objective 2: state 12 only");
+    show(labels[4], &report.results[base_id]);
+    if let Some(v) = &report.results[base_id].witness {
         let replay = validation::replay_default(&sys, v).unwrap();
         println!("   replay: {replay}");
     }
-    let secured46 = obj2.clone().secure_measurement(MeasurementId(45));
-    show("  + measurement 46 secured (paper: unsat)", &verifier.verify(&secured46));
-    let topo = secured46.with_topology_attack();
-    let revived = verifier.verify(&topo);
-    show(
-        "  + topology poisoning (paper: meters 12,13,32,33,39,53, line 13 out)",
-        &revived,
-    );
-    if let Some(v) = revived.vector() {
+    show(labels[5], &report.results[base_id + 1]);
+    show(labels[6], &report.results[topo_id]);
+    if let Some(v) = &report.results[topo_id].witness {
         let replay = validation::replay_default(&sys, v).unwrap();
         println!("   replay under poisoned topology: {replay}");
     }
 
     println!();
     println!("# §IV-E case study — security architecture synthesis (Fig. 3)");
-    let synth = Synthesizer::new(&sys);
     let cfg = |b: usize| SynthesisConfig::with_budget(b).with_reference_secured();
-    let arch = |o: &sta_core::SynthesisOutcome| match o.architecture() {
-        Some(a) => a.to_string(),
-        None => "no architecture".into(),
-    };
-
     let s1 = AttackModel::new(14)
         .unknown_lines(20, &[2, 16])
         .max_altered_measurements(12);
-    println!(
-        "Scenario 1 (limited attacker, budget 4; paper: {{1,6,7,10}}): {}",
-        arch(&synth.synthesize(&s1, &cfg(4)))
-    );
-
     let s2 = AttackModel::new(14);
-    println!(
-        "Scenario 2 (full knowledge, budget 4; paper: none): {}",
-        arch(&synth.synthesize(&s2, &cfg(4)))
-    );
-    println!(
-        "Scenario 2 (full knowledge, budget 5; paper: {{1,3,6,8,9}}): {}",
-        arch(&synth.synthesize(&s2, &cfg(5)))
-    );
-
     let s3 = AttackModel::new(14).with_topology_attack();
-    println!(
-        "Scenario 3 (+ topology, budget 4; paper at 5: none): {}",
-        arch(&synth.synthesize(&s3, &cfg(4)))
+
+    let mut spec = CampaignSpec::new("case-study-synthesis");
+    let case = spec.add_case("ieee14-unsecured", sys);
+    spec.synthesize(
+        case,
+        "Scenario 1 (limited attacker, budget 4; paper: {1,6,7,10})",
+        s1,
+        cfg(4),
     );
-    println!(
-        "Scenario 3 (+ topology, budget 5; paper needs 6: {{1,4,6,8,10,14}}): {}",
-        arch(&synth.synthesize(&s3, &cfg(5)))
+    spec.synthesize(case, "Scenario 2 (full knowledge, budget 4; paper: none)", s2.clone(), cfg(4));
+    spec.synthesize(
+        case,
+        "Scenario 2 (full knowledge, budget 5; paper: {1,3,6,8,9})",
+        s2,
+        cfg(5),
     );
+    spec.synthesize(case, "Scenario 3 (+ topology, budget 4; paper at 5: none)", s3.clone(), cfg(4));
+    spec.synthesize(
+        case,
+        "Scenario 3 (+ topology, budget 5; paper needs 6: {1,4,6,8,10,14})",
+        s3,
+        cfg(5),
+    );
+    let report = run(&spec, jobs);
+    for r in &report.results {
+        let arch = match &r.architecture {
+            Some(buses) => {
+                let ids: Vec<String> = buses.iter().map(|b| (b.0 + 1).to_string()).collect();
+                format!(
+                    "secured buses {{{}}} ({} iterations)",
+                    ids.join(", "),
+                    r.iterations.unwrap_or(0)
+                )
+            }
+            None => "no architecture".into(),
+        };
+        println!("{}: {}", r.label, arch);
+    }
     println!();
     println!("(Divergences from the paper's exact thresholds trace to the");
     println!(" unpublished accessibility column of Table III; see EXPERIMENTS.md.)");

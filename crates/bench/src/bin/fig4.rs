@@ -1,33 +1,36 @@
 //! Regenerates the paper's Figure 4 (verification-model scaling).
 //!
-//! Usage: `cargo run --release -p sta-bench --bin fig4 [--full]`
+//! Usage: `cargo run --release -p sta-bench --bin fig4 [--full] [--jobs N]`
 //!
 //! `--full` extends the bus-count sweeps to the 118- and 300-bus cases
-//! (minutes of runtime); the default covers 14/30/57.
+//! (minutes of runtime); the default covers 14/30/57. `--jobs N` runs
+//! the underlying campaigns on N workers (default 1: serial timing is
+//! what the figures measure).
 
-use sta_bench::{fig4a, fig4b, fig4c, fig4d, print_table, ALL_SIZES, DEFAULT_SIZES};
+use sta_bench::{fig4a, fig4b, fig4c, fig4d, jobs_flag, print_table, ALL_SIZES, DEFAULT_SIZES};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let sizes: &[usize] = if full { &ALL_SIZES } else { &DEFAULT_SIZES };
+    let jobs = jobs_flag();
 
     println!("# Figure 4 — UFDI attack verification model scaling");
     println!("(paper §V-B; shapes, not absolute times, are the comparison)");
 
     print_table(
         "Fig 4(a): execution time vs number of buses (3 experiments each)",
-        &fig4a(sizes),
+        &fig4a(sizes, jobs),
     );
     print_table(
         "Fig 4(b): execution time vs % of taken measurements",
-        &fig4b(&[30, 57], &[0.5, 0.6, 0.7, 0.8, 0.9, 1.0]),
+        &fig4b(&[30, 57], &[0.5, 0.6, 0.7, 0.8, 0.9, 1.0], jobs),
     );
     print_table(
         "Fig 4(c): execution time vs attacker resource limit T_CZ",
-        &fig4c(&[14, 30], &[4, 8, 12, 16, 20, 24]),
+        &fig4c(&[14, 30], &[4, 8, 12, 16, 20, 24], jobs),
     );
     print_table(
         "Fig 4(d): satisfiable vs unsatisfiable execution time",
-        &fig4d(sizes),
+        &fig4d(sizes, jobs),
     );
 }

@@ -1,30 +1,31 @@
 //! Regenerates the paper's Figure 5 (synthesis-mechanism scaling).
 //!
-//! Usage: `cargo run --release -p sta-bench --bin fig5 [--full]`
+//! Usage: `cargo run --release -p sta-bench --bin fig5 [--full] [--jobs N]`
 
-use sta_bench::{fig5a, fig5b, fig5c, fig5d, print_table};
+use sta_bench::{fig5a, fig5b, fig5c, fig5d, jobs_flag, print_table};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let sizes: &[usize] = if full { &[14, 30, 57] } else { &[14, 30] };
+    let jobs = jobs_flag();
 
     println!("# Figure 5 — security architecture synthesis scaling");
     println!("(paper §V-C; shapes, not absolute times, are the comparison)");
 
     print_table(
         "Fig 5(a): synthesis time vs number of buses (90% / 100% taken)",
-        &fig5a(sizes),
+        &fig5a(sizes, jobs),
     );
     print_table(
         "Fig 5(b): synthesis time vs % of taken measurements",
-        &fig5b(&[14, 30], &[0.7, 0.8, 0.9, 1.0]),
+        &fig5b(&[14, 30], &[0.7, 0.8, 0.9, 1.0], jobs),
     );
     print_table(
         "Fig 5(c): synthesis time vs attacker resource limit (% of measurements)",
-        &fig5c(&[14, 30], &[0.1, 0.15, 0.2, 0.3, 0.4]),
+        &fig5c(&[14, 30], &[0.1, 0.15, 0.2, 0.3, 0.4], jobs),
     );
     print_table(
         "Fig 5(d): unsat synthesis time vs operator budget (30-bus)",
-        &fig5d(),
+        &fig5d(jobs),
     );
 }

@@ -1,8 +1,8 @@
 //! Regenerates the paper's Table IV (solver memory per system size).
 //!
-//! Usage: `cargo run --release -p sta-bench --bin table4 [--full]`
+//! Usage: `cargo run --release -p sta-bench --bin table4 [--full] [--jobs N]`
 
-use sta_bench::{print_table, table4, ALL_SIZES, DEFAULT_SIZES};
+use sta_bench::{jobs_flag, print_table, table4, ALL_SIZES, DEFAULT_SIZES};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -11,5 +11,5 @@ fn main() {
     println!("# Table IV — memory requirement (MB) of the two formal models");
     println!("(Z3's telemetry replaced by explicit allocation accounting;");
     println!(" the reproduced claim is near-linear growth in bus count)");
-    print_table("Table IV", &table4(sizes));
+    print_table("Table IV", &table4(sizes, jobs_flag()));
 }

@@ -1,13 +1,21 @@
 //! Shared harness for regenerating every figure and table of the paper's
 //! evaluation (§V).
 //!
-//! Each `fig*`/`table*` function returns printable rows; the `fig4`,
-//! `fig5`, `table4` and `case_study` binaries render them, and the
+//! Each `fig*`/`table*` function builds a declarative [`CampaignSpec`]
+//! and hands it to the campaign engine (`sta-campaign`), then folds the
+//! per-job results back into printable rows; the `fig4`, `fig5`,
+//! `table4`, `ablation` and `case_study` binaries render them, and the
 //! Criterion benches in `benches/` wrap the same scenario builders for
 //! statistically sound timing. Absolute numbers will differ from the
 //! paper's Core-i5/Z3 testbed; the reproduced object is the *shape* of
 //! each curve (see `EXPERIMENTS.md`).
+//!
+//! All sweep functions take a `workers` count for the campaign pool.
+//! The binaries default to 1 — serial execution keeps per-job wall
+//! times free of scheduling contention, which is what the figures
+//! measure — and accept `--jobs N` for quick shape checks.
 
+use sta_campaign::{run, CampaignReport, CampaignSpec, Verdict};
 use sta_core::attack::{AttackModel, AttackVerifier, StateTarget};
 use sta_core::synthesis::{SynthesisConfig, Synthesizer};
 use sta_grid::{synthetic, BusId, TestSystem};
@@ -74,6 +82,20 @@ pub fn print_table(title: &str, rows: &[Row]) {
         }
         println!();
     }
+}
+
+/// Parses the shared `--jobs N` flag of the bench binaries (campaign
+/// worker count). Defaults to 1.
+pub fn jobs_flag() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            if let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) {
+                return n.max(1);
+            }
+        }
+    }
+    1
 }
 
 /// Loads the test system for a paper case size (14 exact, others
@@ -144,80 +166,119 @@ pub fn synthesis_attacker(sys: &TestSystem, fraction: f64) -> AttackModel {
 }
 
 // ---------------------------------------------------------------------
+// Campaign plumbing shared by the sweep builders
+// ---------------------------------------------------------------------
+
+/// Finds (or creates) the row with `label`.
+fn row_mut<'a>(rows: &'a mut Vec<Row>, label: &str) -> &'a mut Row {
+    if let Some(i) = rows.iter().position(|r| r.label == label) {
+        &mut rows[i]
+    } else {
+        rows.push(Row::new(label));
+        rows.last_mut().expect("just pushed")
+    }
+}
+
+/// Folds per-job wall times into rows; `keys[id]` gives each job's
+/// `(row label, column label)` cell address.
+fn collect_wall_rows(report: &CampaignReport, keys: &[(String, String)]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for r in &report.results {
+        let (row, col) = &keys[r.id];
+        row_mut(&mut rows, row).cells.push((col.clone(), r.wall.as_secs_f64()));
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
 // Figure 4: verification-model scaling
 // ---------------------------------------------------------------------
 
 /// Fig. 4(a): execution time vs bus count, three target choices each.
-pub fn fig4a(sizes: &[usize]) -> Vec<Row> {
-    sizes
-        .iter()
-        .map(|&b| {
-            let sys = system_for(b);
-            let mut row = Row::new(format!("{b}-bus"));
-            let mut total = 0.0;
-            for (k, &t) in target_states(b).iter().enumerate() {
-                let (secs, sat, _) = time_verification(&sys, &sat_scenario(&sys, t));
-                assert!(sat, "fig4a scenarios are satisfiable");
-                total += secs;
-                row = row.cell(format!("exp{} (s)", k + 1), secs);
-            }
-            row.cell("avg (s)", total / 3.0)
-        })
-        .collect()
+pub fn fig4a(sizes: &[usize], workers: usize) -> Vec<Row> {
+    let mut spec = CampaignSpec::new("fig4a");
+    let mut keys: Vec<(String, String)> = Vec::new();
+    for &b in sizes {
+        let sys = system_for(b);
+        let models: Vec<AttackModel> =
+            target_states(b).iter().map(|&t| sat_scenario(&sys, t)).collect();
+        let case = spec.add_case(format!("{b}-bus"), sys);
+        for (k, model) in models.into_iter().enumerate() {
+            spec.verify(case, format!("{b}-bus exp{}", k + 1), model);
+            keys.push((format!("{b}-bus"), format!("exp{} (s)", k + 1)));
+        }
+    }
+    let report = run(&spec, workers);
+    for r in &report.results {
+        assert_eq!(r.verdict, Verdict::Sat, "fig4a scenarios are satisfiable");
+    }
+    let mut rows = collect_wall_rows(&report, &keys);
+    for row in &mut rows {
+        let total: f64 = row.cells.iter().map(|(_, v)| v).sum();
+        let avg = total / row.cells.len() as f64;
+        row.cells.push(("avg (s)".into(), avg));
+    }
+    rows
 }
 
 /// Fig. 4(b): execution time vs % of taken measurements (30/57-bus).
-pub fn fig4b(sizes: &[usize], fractions: &[f64]) -> Vec<Row> {
-    fractions
-        .iter()
-        .map(|&f| {
-            let mut row = Row::new(format!("{:.0}%", f * 100.0));
-            for &b in sizes {
-                let sys = with_taken_fraction(&system_for(b), f);
-                let model = sat_scenario(&sys, target_states(b)[1]);
-                let (secs, _, _) = time_verification(&sys, &model);
-                row = row.cell(format!("{b}-bus (s)"), secs);
-            }
-            row
-        })
-        .collect()
+pub fn fig4b(sizes: &[usize], fractions: &[f64], workers: usize) -> Vec<Row> {
+    let mut spec = CampaignSpec::new("fig4b");
+    let mut keys = Vec::new();
+    for &f in fractions {
+        for &b in sizes {
+            let sys = with_taken_fraction(&system_for(b), f);
+            let model = sat_scenario(&sys, target_states(b)[1]);
+            let case = spec.add_case(format!("{b}-bus@{:.0}%", f * 100.0), sys);
+            spec.verify(case, format!("{b}-bus {:.0}%", f * 100.0), model);
+            keys.push((format!("{:.0}%", f * 100.0), format!("{b}-bus (s)")));
+        }
+    }
+    collect_wall_rows(&run(&spec, workers), &keys)
 }
 
 /// Fig. 4(c): execution time vs attacker resource limit `T_CZ`
 /// (14/30-bus).
-pub fn fig4c(sizes: &[usize], limits: &[usize]) -> Vec<Row> {
-    limits
+pub fn fig4c(sizes: &[usize], limits: &[usize], workers: usize) -> Vec<Row> {
+    let mut spec = CampaignSpec::new("fig4c");
+    let mut keys = Vec::new();
+    let cases: Vec<usize> = sizes
         .iter()
-        .map(|&t_cz| {
-            let mut row = Row::new(format!("T_CZ={t_cz}"));
-            for &b in sizes {
-                let sys = system_for(b);
-                let model = sat_scenario(&sys, target_states(b)[1])
-                    .max_altered_measurements(t_cz);
-                let (secs, _, _) = time_verification(&sys, &model);
-                row = row.cell(format!("{b}-bus (s)"), secs);
-            }
-            row
-        })
-        .collect()
+        .map(|&b| spec.add_case(format!("{b}-bus"), system_for(b)))
+        .collect();
+    for &t_cz in limits {
+        for (i, &b) in sizes.iter().enumerate() {
+            let model = sat_scenario(&spec.cases[cases[i]].system, target_states(b)[1])
+                .max_altered_measurements(t_cz);
+            spec.verify(cases[i], format!("T_CZ={t_cz} {b}-bus"), model);
+            keys.push((format!("T_CZ={t_cz}"), format!("{b}-bus (s)")));
+        }
+    }
+    collect_wall_rows(&run(&spec, workers), &keys)
 }
 
 /// Fig. 4(d): satisfiable vs unsatisfiable execution time per system.
-pub fn fig4d(sizes: &[usize]) -> Vec<Row> {
-    sizes
-        .iter()
-        .map(|&b| {
-            let sys = system_for(b);
-            let t = target_states(b)[1];
-            let (sat_secs, sat, _) = time_verification(&sys, &sat_scenario(&sys, t));
-            let (unsat_secs, unsat, _) =
-                time_verification(&sys, &unsat_scenario(&sys, t));
-            assert!(sat && !unsat, "fig4d polarity");
-            Row::new(format!("{b}-bus"))
-                .cell("sat (s)", sat_secs)
-                .cell("unsat (s)", unsat_secs)
-        })
-        .collect()
+pub fn fig4d(sizes: &[usize], workers: usize) -> Vec<Row> {
+    let mut spec = CampaignSpec::new("fig4d");
+    let mut keys = Vec::new();
+    let mut want_sat = Vec::new();
+    for &b in sizes {
+        let sys = system_for(b);
+        let t = target_states(b)[1];
+        let (sat_model, unsat_model) = (sat_scenario(&sys, t), unsat_scenario(&sys, t));
+        let case = spec.add_case(format!("{b}-bus"), sys);
+        spec.verify(case, format!("{b}-bus sat"), sat_model);
+        keys.push((format!("{b}-bus"), "sat (s)".to_string()));
+        want_sat.push(true);
+        spec.verify(case, format!("{b}-bus unsat"), unsat_model);
+        keys.push((format!("{b}-bus"), "unsat (s)".to_string()));
+        want_sat.push(false);
+    }
+    let report = run(&spec, workers);
+    for r in &report.results {
+        assert_eq!(r.verdict == Verdict::Sat, want_sat[r.id], "fig4d polarity");
+    }
+    collect_wall_rows(&report, &keys)
 }
 
 // ---------------------------------------------------------------------
@@ -231,101 +292,154 @@ pub fn synthesis_budget(num_buses: usize) -> usize {
 
 /// Fig. 5(a): synthesis time vs bus count, at 90% and 100% taken
 /// measurements.
-pub fn fig5a(sizes: &[usize]) -> Vec<Row> {
-    sizes
-        .iter()
-        .map(|&b| {
-            let mut row = Row::new(format!("{b}-bus"));
-            for &f in &[0.9, 1.0] {
-                let sys = with_taken_fraction(&system_for(b), f);
-                let attacker = synthesis_attacker(&sys, 0.15);
-                let config = SynthesisConfig::with_budget(synthesis_budget(b));
-                let (secs, found, _) = time_synthesis(&sys, &attacker, &config);
-                assert!(found, "fig5a budget must admit a solution ({b}-bus {f})");
-                row = row.cell(format!("{:.0}% taken (s)", f * 100.0), secs);
-            }
-            row
-        })
-        .collect()
+pub fn fig5a(sizes: &[usize], workers: usize) -> Vec<Row> {
+    let mut spec = CampaignSpec::new("fig5a");
+    let mut keys = Vec::new();
+    for &b in sizes {
+        for &f in &[0.9, 1.0] {
+            let sys = with_taken_fraction(&system_for(b), f);
+            let attacker = synthesis_attacker(&sys, 0.15);
+            let config = SynthesisConfig::with_budget(synthesis_budget(b));
+            let case = spec.add_case(format!("{b}-bus@{:.0}%", f * 100.0), sys);
+            spec.synthesize(case, format!("{b}-bus {:.0}%", f * 100.0), attacker, config);
+            keys.push((format!("{b}-bus"), format!("{:.0}% taken (s)", f * 100.0)));
+        }
+    }
+    let report = run(&spec, workers);
+    for r in &report.results {
+        assert_eq!(
+            r.verdict,
+            Verdict::Architecture,
+            "fig5a budget must admit a solution ({})",
+            r.label
+        );
+    }
+    collect_wall_rows(&report, &keys)
 }
 
 /// Fig. 5(b): synthesis time vs % taken measurements (30/57-bus).
-pub fn fig5b(sizes: &[usize], fractions: &[f64]) -> Vec<Row> {
-    fractions
-        .iter()
-        .map(|&f| {
-            let mut row = Row::new(format!("{:.0}%", f * 100.0));
-            for &b in sizes {
-                let sys = with_taken_fraction(&system_for(b), f);
-                let attacker = synthesis_attacker(&sys, 0.15);
-                let config = SynthesisConfig::with_budget(synthesis_budget(b));
-                let (secs, _, _) = time_synthesis(&sys, &attacker, &config);
-                row = row.cell(format!("{b}-bus (s)"), secs);
-            }
-            row
-        })
-        .collect()
+pub fn fig5b(sizes: &[usize], fractions: &[f64], workers: usize) -> Vec<Row> {
+    let mut spec = CampaignSpec::new("fig5b");
+    let mut keys = Vec::new();
+    for &f in fractions {
+        for &b in sizes {
+            let sys = with_taken_fraction(&system_for(b), f);
+            let attacker = synthesis_attacker(&sys, 0.15);
+            let config = SynthesisConfig::with_budget(synthesis_budget(b));
+            let case = spec.add_case(format!("{b}-bus@{:.0}%", f * 100.0), sys);
+            spec.synthesize(case, format!("{b}-bus {:.0}%", f * 100.0), attacker, config);
+            keys.push((format!("{:.0}%", f * 100.0), format!("{b}-bus (s)")));
+        }
+    }
+    collect_wall_rows(&run(&spec, workers), &keys)
 }
 
 /// Fig. 5(c): synthesis time vs attacker resource limit (as % of total
 /// measurements; 14/30-bus).
-pub fn fig5c(sizes: &[usize], fractions: &[f64]) -> Vec<Row> {
-    fractions
+pub fn fig5c(sizes: &[usize], fractions: &[f64], workers: usize) -> Vec<Row> {
+    let mut spec = CampaignSpec::new("fig5c");
+    let mut keys = Vec::new();
+    let cases: Vec<usize> = sizes
         .iter()
-        .map(|&f| {
-            let mut row = Row::new(format!("{:.0}%", f * 100.0));
-            for &b in sizes {
-                let sys = system_for(b);
-                let attacker = synthesis_attacker(&sys, f);
-                let config = SynthesisConfig::with_budget(synthesis_budget(b));
-                let (secs, _, _) = time_synthesis(&sys, &attacker, &config);
-                row = row.cell(format!("{b}-bus (s)"), secs);
-            }
-            row
-        })
-        .collect()
+        .map(|&b| spec.add_case(format!("{b}-bus"), system_for(b)))
+        .collect();
+    for &f in fractions {
+        for (i, &b) in sizes.iter().enumerate() {
+            let attacker = synthesis_attacker(&spec.cases[cases[i]].system, f);
+            let config = SynthesisConfig::with_budget(synthesis_budget(b));
+            spec.synthesize(
+                cases[i],
+                format!("{:.0}% {b}-bus", f * 100.0),
+                attacker,
+                config,
+            );
+            keys.push((format!("{:.0}%", f * 100.0), format!("{b}-bus (s)")));
+        }
+    }
+    collect_wall_rows(&run(&spec, workers), &keys)
 }
 
 /// Fig. 5(d): unsatisfiable synthesis time vs operator budget, for two
 /// attacker strengths on the 30-bus system. The paper's scenarios have
 /// feasibility minima of 10 and 12 buses; ours are discovered at run
-/// time and the sweep walks the budgets below each minimum.
-pub fn fig5d() -> Vec<Row> {
+/// time — a generous-budget campaign bounds each minimum `b*` from
+/// above, parallel budget grids walk downward until the first unsat
+/// budget pins `b*` (budgets are monotone), and a final campaign times
+/// the unsat regime just below it.
+pub fn fig5d(workers: usize) -> Vec<Row> {
     let sys = system_for(30);
     // Two attacker strengths: the stronger one needs more secured buses.
     let attackers = [
         ("weaker", synthesis_attacker(&sys, 0.2)),
         ("stronger", synthesis_attacker(&sys, 0.3)),
     ];
+    let generous = SynthesisConfig::with_budget(sys.grid.num_buses() / 2);
+    let mut bound_spec = CampaignSpec::new("fig5d-bounds");
+    let case = bound_spec.add_case("30-bus", sys.clone());
+    for (label, attacker) in &attackers {
+        bound_spec.synthesize(case, *label, attacker.clone(), generous.clone());
+    }
+    let bounds = run(&bound_spec, workers);
+
     let mut rows = Vec::new();
-    for (label, attacker) in attackers {
-        // A generous-budget run bounds the feasibility minimum b* from
-        // above by its architecture size; walk downward with sat runs
-        // until the first unsat budget (monotone, so that is b* − 1).
-        let generous = SynthesisConfig::with_budget(sys.grid.num_buses() / 2);
-        let synth = Synthesizer::new(&sys);
-        let arch = match synth.synthesize(&attacker, &generous) {
-            sta_core::SynthesisOutcome::Architecture(a) => a,
-            _ => panic!("half the buses always suffice here"),
-        };
-        let mut b_star = arch.secured_buses.len();
+    for (i, (label, attacker)) in attackers.iter().enumerate() {
+        let upper = bounds.results[i]
+            .architecture
+            .as_ref()
+            .expect("half the buses always suffice here")
+            .len();
+        let mut seen: Vec<(usize, bool)> = Vec::new();
+        let mut hi = upper;
         loop {
-            let config = SynthesisConfig::with_budget(b_star - 1);
-            let (_, found, _) = time_synthesis(&sys, &attacker, &config);
-            if !found {
+            let lo = hi.saturating_sub(3).max(1);
+            let mut grid = CampaignSpec::new("fig5d-grid");
+            let case = grid.add_case("30-bus", sys.clone());
+            for budget in lo..hi {
+                grid.synthesize(
+                    case,
+                    format!("{label} budget={budget}"),
+                    attacker.clone(),
+                    SynthesisConfig::with_budget(budget),
+                );
+            }
+            let report = run(&grid, workers);
+            for (budget, r) in (lo..hi).zip(&report.results) {
+                seen.push((budget, r.verdict == Verdict::Architecture));
+            }
+            if seen.iter().any(|&(_, sat)| !sat) || lo == 1 {
                 break;
             }
-            b_star -= 1;
+            hi = lo;
         }
+        let b_star = seen
+            .iter()
+            .filter(|&&(_, sat)| sat)
+            .map(|&(b, _)| b)
+            .min()
+            .unwrap_or(upper);
+
         // Time the unsat regime just below b*.
-        for budget in (b_star.saturating_sub(2).max(1)..b_star).rev() {
-            let config = SynthesisConfig::with_budget(budget);
-            let (secs, found, iterations) = time_synthesis(&sys, &attacker, &config);
-            assert!(!found);
+        let lo = b_star.saturating_sub(2).max(1);
+        if lo >= b_star {
+            continue;
+        }
+        let mut timing = CampaignSpec::new("fig5d-unsat");
+        let case = timing.add_case("30-bus", sys.clone());
+        for budget in (lo..b_star).rev() {
+            timing.synthesize(
+                case,
+                format!("{label} b*={b_star} budget={budget}"),
+                attacker.clone(),
+                SynthesisConfig::with_budget(budget),
+            );
+        }
+        let report = run(&timing, workers);
+        for r in &report.results {
+            assert_ne!(r.verdict, Verdict::Architecture, "budgets below b* are unsat");
             rows.push(
-                Row::new(format!("{label} b*={b_star} budget={budget}"))
-                    .cell("unsat time (s)", secs)
-                    .cell("iterations", iterations as f64),
+                Row::new(r.label.clone())
+                    .cell("unsat time (s)", r.wall.as_secs_f64())
+                    .cell("iterations", r.iterations.unwrap_or(0) as f64),
             );
         }
     }
@@ -338,14 +452,22 @@ pub fn fig5d() -> Vec<Row> {
 
 /// Table IV: estimated solver memory (MB) for the verification model and
 /// the candidate-selection model, per system size.
-pub fn table4(sizes: &[usize]) -> Vec<Row> {
-    sizes
+pub fn table4(sizes: &[usize], workers: usize) -> Vec<Row> {
+    let mut spec = CampaignSpec::new("table4");
+    for &b in sizes {
+        let sys = system_for(b);
+        let model = sat_scenario(&sys, target_states(b)[1]);
+        let case = spec.add_case(format!("{b}-bus"), sys);
+        spec.verify(case, format!("{b}-bus"), model);
+    }
+    let report = run(&spec, workers);
+    report
+        .results
         .iter()
-        .map(|&b| {
-            let sys = system_for(b);
-            let model = sat_scenario(&sys, target_states(b)[1]);
-            let (_, _, stats) = time_verification(&sys, &model);
-            let selection_mb = candidate_selection_memory(&sys);
+        .zip(sizes)
+        .map(|(r, &b)| {
+            let stats = r.stats.as_ref().expect("verification jobs carry stats");
+            let selection_mb = candidate_selection_memory(&spec.cases[r.id].system);
             Row::new(format!("{b}-bus"))
                 .cell("verification (MB)", stats.estimated_mb())
                 .cell("selection (MB)", selection_mb)
@@ -408,15 +530,24 @@ mod tests {
 
     #[test]
     fn fig4a_smallest_case_runs() {
-        let rows = fig4a(&[14]);
+        let rows = fig4a(&[14], 2);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].cells.len(), 4);
         assert!(rows[0].cells.iter().all(|(_, v)| *v >= 0.0));
     }
 
     #[test]
+    fn fig4d_smallest_case_has_both_polarities() {
+        let rows = fig4d(&[14], 2);
+        assert_eq!(rows.len(), 1);
+        let cols: Vec<&str> =
+            rows[0].cells.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(cols, ["sat (s)", "unsat (s)"]);
+    }
+
+    #[test]
     fn table4_reports_positive_memory() {
-        let rows = table4(&[14]);
+        let rows = table4(&[14], 1);
         assert!(rows[0].cells.iter().all(|(_, v)| *v > 0.0));
     }
 }

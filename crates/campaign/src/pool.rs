@@ -1,0 +1,245 @@
+//! The work-stealing execution engine.
+//!
+//! Jobs are distributed round-robin over per-worker deques; a worker pops
+//! its own deque from the front and, when empty, steals from the *back*
+//! of a sibling's deque (the classic stealing discipline: owners and
+//! thieves contend on opposite ends). Everything is standard-library —
+//! scoped threads plus per-deque mutexes — because the job granularity
+//! (whole SMT checks, milliseconds to seconds) makes lock-free deques
+//! pointless here.
+//!
+//! # Instance reuse
+//!
+//! Each worker keeps one [`VerifySession`] per `(case, topology)` pair it
+//! encounters, so the scenario-independent base encoding (line semantics,
+//! alteration linking, `cz → cb`) is asserted once per worker and every
+//! job only pays for its own variant delta — the solver's incremental
+//! base cache does the heavy lifting underneath.
+//!
+//! # Determinism
+//!
+//! A job's deterministic outputs (verdict, witness, stats) depend only on
+//! its spec: sessions hand every check a fresh clone of the same base
+//! encoding, so neither the executing worker nor the order of jobs on
+//! that worker can leak into the results. The aggregated report is sorted
+//! by job id. Only the `timing` fields (wall clock, worker id) vary
+//! between runs.
+//!
+//! # Deadlines
+//!
+//! A verification job's deadline becomes a [`Budget`] checked inside the
+//! CDCL conflict loop and the simplex pivot loop; an exhausted budget
+//! surfaces as `unknown(timeout)` rather than a hung worker. Synthesis
+//! jobs apply the deadline to each embedded verification check (the
+//! CEGIS loop re-checks feasibility many times; a per-check deadline
+//! bounds each step, and a timed-out check ends the job as
+//! `inconclusive`).
+
+use crate::report::{CampaignReport, JobResult, Verdict};
+use crate::spec::{CampaignSpec, JobKind};
+use sta_core::attack::{AttackOutcome, AttackVerifier, VerifySession};
+use sta_core::synthesis::{Synthesizer, SynthesisOutcome};
+use sta_smt::Budget;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Runs every job of `spec` on a pool of `workers` threads and aggregates
+/// the results by job id.
+///
+/// `workers` is clamped to `1..=jobs`; `run(spec, 1)` executes the whole
+/// campaign on one worker thread (the baseline the determinism tests
+/// compare against).
+pub fn run(spec: &CampaignSpec, workers: usize) -> CampaignReport {
+    let start = Instant::now();
+    let n_jobs = spec.jobs.len();
+    let workers = workers.clamp(1, n_jobs.max(1));
+    // Round-robin initial distribution: job j starts on worker j % W.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..n_jobs).step_by(workers).collect()))
+        .collect();
+    let buckets: Vec<Mutex<Vec<JobResult>>> =
+        (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let buckets = &buckets;
+            scope.spawn(move || {
+                let mut sessions: HashMap<(usize, bool), VerifySession<'_>> =
+                    HashMap::new();
+                let mut done = Vec::new();
+                while let Some(job) = next_job(queues, w) {
+                    done.push(execute(spec, job, w, &mut sessions));
+                }
+                let mut bucket = lock(&buckets[w]);
+                bucket.extend(done);
+            });
+        }
+    });
+
+    let mut results: Vec<JobResult> = buckets
+        .into_iter()
+        .flat_map(|b| b.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .collect();
+    results.sort_unstable_by_key(|r| r.id);
+    CampaignReport {
+        name: spec.name.clone(),
+        workers,
+        total_wall: start.elapsed(),
+        results,
+    }
+}
+
+/// Locks a mutex, shrugging off poisoning: a panicking sibling worker
+/// already propagates through the thread scope, and job results are
+/// append-only, so the guarded data is never half-updated.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Pops the next job: own deque front first, then steal a sibling's back.
+fn next_job(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(job) = lock(&queues[me]).pop_front() {
+        return Some(job);
+    }
+    for offset in 1..queues.len() {
+        let victim = (me + offset) % queues.len();
+        if let Some(job) = lock(&queues[victim]).pop_back() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+/// Executes one job on this worker, reusing or creating the worker's
+/// session for the job's `(case, topology)` key.
+fn execute<'a>(
+    spec: &'a CampaignSpec,
+    job_id: usize,
+    worker: usize,
+    sessions: &mut HashMap<(usize, bool), VerifySession<'a>>,
+) -> JobResult {
+    let job = &spec.jobs[job_id];
+    let case = &spec.cases[job.case];
+    let timeout = spec.effective_timeout_ms(job);
+    let started = Instant::now();
+    let mut result = JobResult {
+        id: job_id,
+        label: job.label.clone(),
+        case: case.name.clone(),
+        verdict: Verdict::Unsat,
+        witness: None,
+        architecture: None,
+        iterations: None,
+        stats: None,
+        wall: Duration::ZERO,
+        worker,
+    };
+    match &job.kind {
+        JobKind::Verify(model) => {
+            let key = (job.case, model.allow_topology_attack);
+            let session = sessions.entry(key).or_insert_with(|| {
+                VerifySession::with_verifier(
+                    AttackVerifier::new(&case.system).with_certify(spec.certify),
+                    model.allow_topology_attack,
+                )
+            });
+            // The budget starts ticking at job start, not spec build.
+            let budget = match timeout {
+                Some(ms) => Budget::with_timeout(Duration::from_millis(ms)),
+                None => Budget::unlimited(),
+            };
+            let report = session.verify_with_budget(model, &budget);
+            result.stats = Some(report.stats);
+            result.verdict = match report.outcome {
+                AttackOutcome::Feasible(v) => {
+                    result.witness = Some(*v);
+                    Verdict::Sat
+                }
+                AttackOutcome::Infeasible => Verdict::Unsat,
+                AttackOutcome::Unknown(why) => Verdict::Unknown(why),
+            };
+        }
+        JobKind::Synthesize { attacker, config } => {
+            let synth = Synthesizer::new(&case.system).with_certify(spec.certify);
+            let mut attacker = attacker.clone();
+            if attacker.timeout_ms.is_none() {
+                attacker.timeout_ms = timeout;
+            }
+            result.verdict = match synth.synthesize(&attacker, config) {
+                SynthesisOutcome::Architecture(a) => {
+                    result.iterations = Some(a.iterations);
+                    result.architecture = Some(a.secured_buses);
+                    Verdict::Architecture
+                }
+                SynthesisOutcome::NoSolution { iterations } => {
+                    result.iterations = Some(iterations);
+                    Verdict::NoSolution
+                }
+                SynthesisOutcome::Inconclusive { iterations } => {
+                    result.iterations = Some(iterations);
+                    Verdict::Inconclusive
+                }
+            };
+        }
+    }
+    result.wall = started.elapsed();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sta_core::attack::{AttackModel, StateTarget};
+    use sta_grid::{ieee14, BusId};
+
+    fn tiny_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::new("tiny");
+        let c = spec.add_case("ieee14", ieee14::system());
+        spec.verify(
+            c,
+            "open",
+            AttackModel::new(14).target(BusId(11), StateTarget::MustChange),
+        );
+        spec.verify(c, "blocked", AttackModel::new(14).max_altered_measurements(0));
+        spec.verify(
+            c,
+            "capped",
+            AttackModel::new(14)
+                .target(BusId(7), StateTarget::MustChange)
+                .max_altered_measurements(10),
+        );
+        spec
+    }
+
+    #[test]
+    fn runs_all_jobs_and_sorts_by_id() {
+        let spec = tiny_spec();
+        let report = run(&spec, 2);
+        assert_eq!(report.results.len(), 3);
+        let ids: Vec<usize> = report.results.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(report.results[0].verdict, Verdict::Sat);
+        assert!(report.results[0].witness.is_some());
+        assert_eq!(report.results[1].verdict, Verdict::Unsat);
+        assert_eq!(report.results[2].verdict, Verdict::Sat);
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        let spec = tiny_spec();
+        let report = run(&spec, 64);
+        assert_eq!(report.workers, 3);
+        let report = run(&spec, 0);
+        assert_eq!(report.workers, 1);
+    }
+
+    #[test]
+    fn empty_campaign_yields_empty_report() {
+        let spec = CampaignSpec::new("empty");
+        let report = run(&spec, 4);
+        assert!(report.results.is_empty());
+        assert_eq!(report.summary(), Vec::<(&str, usize)>::new());
+    }
+}

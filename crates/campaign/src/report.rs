@@ -1,0 +1,391 @@
+//! Campaign results: deterministic aggregation, JSON and table rendering.
+//!
+//! A [`CampaignReport`] is ordered by job id regardless of how the worker
+//! pool scheduled the jobs, and every nondeterministic quantity (wall
+//! times, worker assignment) lives under a `timing` key. Serializing with
+//! `to_json(false)` therefore yields byte-identical output for the same
+//! spec at any worker count — the determinism contract the campaign tests
+//! pin down.
+
+use sta_core::attack::AttackVector;
+use sta_grid::BusId;
+use sta_smt::{Interrupt, SolverStats};
+use std::fmt;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// The conclusion of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Verification: the scenario admits an attack.
+    Sat,
+    /// Verification: no attack satisfies the scenario.
+    Unsat,
+    /// The job's budget ran out before a verdict.
+    Unknown(Interrupt),
+    /// Synthesis: an architecture was found.
+    Architecture,
+    /// Synthesis: the candidate space is exhausted.
+    NoSolution,
+    /// Synthesis: the iteration cap (or a timed-out check) stopped the
+    /// loop early.
+    Inconclusive,
+}
+
+impl Verdict {
+    /// Stable lowercase token used in JSON and exit-code mapping.
+    pub fn token(&self) -> &'static str {
+        match self {
+            Verdict::Sat => "sat",
+            Verdict::Unsat => "unsat",
+            Verdict::Unknown(Interrupt::Timeout) => "unknown(timeout)",
+            Verdict::Unknown(Interrupt::Cancelled) => "unknown(cancelled)",
+            Verdict::Architecture => "architecture",
+            Verdict::NoSolution => "no-solution",
+            Verdict::Inconclusive => "inconclusive",
+        }
+    }
+
+    /// Whether the job ran out of budget.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Verdict::Unknown(_))
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// One job's outcome with its deterministic payload and its timing.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Job id (index in the spec's job list).
+    pub id: usize,
+    /// The job's label from the spec.
+    pub label: String,
+    /// The case name the job ran against.
+    pub case: String,
+    /// The conclusion.
+    pub verdict: Verdict,
+    /// Verification witness, when feasible.
+    pub witness: Option<AttackVector>,
+    /// Synthesized architecture, when found.
+    pub architecture: Option<Vec<BusId>>,
+    /// Synthesis round trips, for synthesis jobs.
+    pub iterations: Option<usize>,
+    /// Solver statistics (verification jobs; synthesis aggregates its own
+    /// loop and reports none).
+    pub stats: Option<SolverStats>,
+    /// Wall-clock time of the job (nondeterministic; `timing` key only).
+    pub wall: Duration,
+    /// Worker that executed the job (nondeterministic; `timing` key only).
+    pub worker: usize,
+}
+
+/// Deterministically aggregated results of one campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The campaign name from the spec.
+    pub name: String,
+    /// Worker-pool size of this run (nondeterministic context; only
+    /// serialized under `timing`).
+    pub workers: usize,
+    /// Total wall clock of the run.
+    pub total_wall: Duration,
+    /// Per-job results, sorted by job id.
+    pub results: Vec<JobResult>,
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_f64(v: f64, out: &mut String) {
+    // JSON has no NaN/Inf; clamp to null (never produced by the solver's
+    // exact arithmetic, but the format must stay valid regardless).
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn witness_json(w: &AttackVector, out: &mut String) {
+    out.push_str("{\"alterations\":[");
+    for (i, a) in w.alterations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"measurement\":{},\"delta\":", a.measurement.0 + 1);
+        json_f64(a.delta, out);
+        out.push('}');
+    }
+    out.push_str("],\"compromised_buses\":[");
+    for (i, b) in w.compromised_buses.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", b.0 + 1);
+    }
+    out.push_str("],\"excluded_lines\":[");
+    for (i, l) in w.excluded_lines.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", l.0 + 1);
+    }
+    out.push_str("],\"included_lines\":[");
+    for (i, l) in w.included_lines.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", l.0 + 1);
+    }
+    out.push_str("]}");
+}
+
+fn stats_json(s: &SolverStats, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"sat_vars\":{},\"clauses\":{},\"decisions\":{},\"propagations\":{},\
+         \"conflicts\":{},\"theory_conflicts\":{},\"restarts\":{},\
+         \"learned_clauses\":{},\"pivots\":{},\"proof_steps\":{},\
+         \"certified\":{},\"lint_errors\":{},\"estimated_bytes\":{}}}",
+        s.sat_vars,
+        s.clauses,
+        s.decisions,
+        s.propagations,
+        s.conflicts,
+        s.theory_conflicts,
+        s.restarts,
+        s.learned_clauses,
+        s.pivots,
+        s.proof_steps,
+        s.certified,
+        s.lint_errors,
+        s.estimated_bytes(),
+    );
+}
+
+impl CampaignReport {
+    /// Counts per verdict token, ordered by first occurrence of the
+    /// token in the fixed token list (deterministic).
+    pub fn summary(&self) -> Vec<(&'static str, usize)> {
+        let tokens = [
+            "sat",
+            "unsat",
+            "unknown(timeout)",
+            "unknown(cancelled)",
+            "architecture",
+            "no-solution",
+            "inconclusive",
+        ];
+        tokens
+            .iter()
+            .map(|&t| {
+                (t, self.results.iter().filter(|r| r.verdict.token() == t).count())
+            })
+            .filter(|(_, n)| *n > 0)
+            .collect()
+    }
+
+    /// Whether any job ran out of budget.
+    pub fn any_unknown(&self) -> bool {
+        self.results.iter().any(|r| r.verdict.is_unknown())
+    }
+
+    /// Serializes the report as JSON. With `include_timing` false, every
+    /// `timing` object (per-job wall/worker, run totals) is omitted and
+    /// the output depends only on the spec — not on worker count or
+    /// scheduling.
+    pub fn to_json(&self, include_timing: bool) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"campaign\":");
+        escape_json(&self.name, &mut out);
+        let _ = write!(out, ",\"jobs\":{},\"results\":[", self.results.len());
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"id\":{},\"label\":", r.id);
+            escape_json(&r.label, &mut out);
+            out.push_str(",\"case\":");
+            escape_json(&r.case, &mut out);
+            out.push_str(",\"verdict\":");
+            escape_json(r.verdict.token(), &mut out);
+            if let Some(w) = &r.witness {
+                out.push_str(",\"witness\":");
+                witness_json(w, &mut out);
+            }
+            if let Some(arch) = &r.architecture {
+                out.push_str(",\"architecture\":[");
+                for (k, b) in arch.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{}", b.0 + 1);
+                }
+                out.push(']');
+            }
+            if let Some(iters) = r.iterations {
+                let _ = write!(out, ",\"iterations\":{iters}");
+            }
+            if let Some(s) = &r.stats {
+                out.push_str(",\"stats\":");
+                stats_json(s, &mut out);
+            }
+            if include_timing {
+                let _ = write!(
+                    out,
+                    ",\"timing\":{{\"wall_ms\":{:.3},\"worker\":{}}}",
+                    r.wall.as_secs_f64() * 1e3,
+                    r.worker
+                );
+            }
+            out.push('}');
+        }
+        out.push_str("],\"summary\":{");
+        for (i, (token, n)) in self.summary().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_json(token, &mut out);
+            let _ = write!(out, ":{n}");
+        }
+        out.push('}');
+        if include_timing {
+            let _ = write!(
+                out,
+                ",\"timing\":{{\"total_wall_ms\":{:.3},\"workers\":{}}}",
+                self.total_wall.as_secs_f64() * 1e3,
+                self.workers
+            );
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders the human-readable results table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<14} {:<32} {:<18} {:>9} {:>11} {:>9}",
+            "id", "case", "label", "verdict", "conflicts", "props", "ms"
+        );
+        for r in &self.results {
+            let (conflicts, props) = match &r.stats {
+                Some(s) => (s.conflicts.to_string(), s.propagations.to_string()),
+                None => ("-".into(), "-".into()),
+            };
+            let _ = writeln!(
+                out,
+                "{:>4}  {:<14} {:<32} {:<18} {:>9} {:>11} {:>9.1}",
+                r.id,
+                r.case,
+                r.label,
+                r.verdict.token(),
+                conflicts,
+                props,
+                r.wall.as_secs_f64() * 1e3,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} jobs in {:.1} ms on {} worker(s): {}",
+            self.results.len(),
+            self.total_wall.as_secs_f64() * 1e3,
+            self.workers,
+            self.summary()
+                .iter()
+                .map(|(t, n)| format!("{n} {t}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CampaignReport {
+        CampaignReport {
+            name: "t".into(),
+            workers: 2,
+            total_wall: Duration::from_millis(5),
+            results: vec![
+                JobResult {
+                    id: 0,
+                    label: "a \"quoted\"".into(),
+                    case: "ieee14".into(),
+                    verdict: Verdict::Sat,
+                    witness: Some(AttackVector::default()),
+                    architecture: None,
+                    iterations: None,
+                    stats: Some(SolverStats::default()),
+                    wall: Duration::from_millis(3),
+                    worker: 1,
+                },
+                JobResult {
+                    id: 1,
+                    label: "b".into(),
+                    case: "ieee14".into(),
+                    verdict: Verdict::Unknown(Interrupt::Timeout),
+                    witness: None,
+                    architecture: Some(vec![BusId(0), BusId(5)]),
+                    iterations: Some(3),
+                    stats: None,
+                    wall: Duration::from_millis(2),
+                    worker: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_with_and_without_timing() {
+        let report = sample();
+        let full = report.to_json(true);
+        let bare = report.to_json(false);
+        assert!(full.contains("\"timing\""));
+        assert!(!bare.contains("\"timing\""));
+        assert!(bare.contains("\"verdict\":\"sat\""));
+        assert!(bare.contains("\"verdict\":\"unknown(timeout)\""));
+        assert!(bare.contains("\\\"quoted\\\""));
+        assert!(bare.contains("\"architecture\":[1,6]"));
+        assert!(report.any_unknown());
+    }
+
+    #[test]
+    fn table_lists_every_job() {
+        let report = sample();
+        let table = report.table();
+        assert!(table.contains("unknown(timeout)"));
+        assert!(table.contains("2 jobs"));
+        assert!(table.contains("1 sat, 1 unknown(timeout)"));
+    }
+
+    #[test]
+    fn summary_counts_by_token() {
+        let s = sample().summary();
+        assert_eq!(s, vec![("sat", 1), ("unknown(timeout)", 1)]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Campaign-engine integration tests: scheduling determinism and deadline
+//! behavior over the real IEEE 14-bus encoding.
+
+use sta_campaign::{run, CampaignSpec, Verdict};
+use sta_core::attack::{AttackModel, AttackVerifier, StateTarget};
+use sta_core::synthesis::SynthesisConfig;
+use sta_grid::{ieee14, BusId};
+use std::time::Instant;
+
+/// A mixed campaign touching every job shape: sat/unsat verification,
+/// topology poisoning, knowledge limits, and a synthesis job.
+fn mixed_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("mixed");
+    let case = spec.add_case("ieee14", ieee14::system());
+    let unsecured = spec.add_case("ieee14-unsecured", ieee14::system_unsecured());
+    for (i, t) in [3usize, 7, 11].into_iter().enumerate() {
+        spec.verify(
+            case,
+            format!("open-{i}"),
+            AttackModel::new(14).target(BusId(t), StateTarget::MustChange),
+        );
+        spec.verify(
+            case,
+            format!("capped-{i}"),
+            AttackModel::new(14)
+                .target(BusId(t), StateTarget::MustChange)
+                .max_altered_measurements(10)
+                .max_compromised_buses(4),
+        );
+    }
+    spec.verify(case, "blocked", AttackModel::new(14).max_altered_measurements(0));
+    spec.verify(
+        case,
+        "limited-knowledge",
+        AttackModel::new(14).unknown_lines(20, &[2, 16]),
+    );
+    spec.verify(
+        unsecured,
+        "topology",
+        AttackModel::new(14)
+            .target(BusId(11), StateTarget::MustChange)
+            .with_topology_attack(),
+    );
+    spec.synthesize(
+        case,
+        "synth-budget-3",
+        AttackModel::new(14)
+            .target(BusId(11), StateTarget::MustChange)
+            .max_altered_measurements(8),
+        SynthesisConfig::with_budget(3),
+    );
+    spec
+}
+
+/// Satellite: the same spec at 1 worker and at 8 workers must produce
+/// byte-identical reports once the `timing` keys are stripped — witness
+/// bytes, stats and ordering included.
+#[test]
+fn reports_are_byte_identical_across_worker_counts() {
+    let spec = mixed_spec();
+    let serial = run(&spec, 1);
+    let parallel = run(&spec, 8);
+    assert_eq!(serial.workers, 1);
+    assert!(parallel.workers > 1);
+    let a = serial.to_json(false);
+    let b = parallel.to_json(false);
+    assert_eq!(a, b, "deterministic JSON must not depend on scheduling");
+    // Sanity: the timing-bearing form really differs in content shape.
+    assert!(serial.to_json(true).contains("\"timing\""));
+    // And the campaign actually exercised both polarities.
+    assert!(a.contains("\"verdict\":\"sat\""));
+    assert!(a.contains("\"verdict\":\"unsat\""));
+    assert!(a.contains("\"verdict\":\"architecture\""));
+}
+
+/// Campaign verdicts agree with the one-shot verifier path.
+#[test]
+fn campaign_verdicts_match_one_shot_verification() {
+    let spec = mixed_spec();
+    let report = run(&spec, 4);
+    for (job, result) in spec.jobs.iter().zip(&report.results) {
+        if let sta_campaign::JobKind::Verify(model) = &job.kind {
+            let sys = &spec.cases[job.case].system;
+            let expected = AttackVerifier::new(sys).verify(model).is_feasible();
+            assert_eq!(
+                result.verdict == Verdict::Sat,
+                expected,
+                "job {} ({})",
+                result.id,
+                result.label
+            );
+        }
+    }
+}
+
+/// A job with an already-expired deadline reports `unknown(timeout)`
+/// promptly, and its worker carries on with the remaining jobs.
+#[test]
+fn expired_deadline_job_times_out_and_pool_continues() {
+    let mut spec = CampaignSpec::new("deadline");
+    let case = spec.add_case("ieee14", ieee14::system());
+    let doomed = spec.verify(case, "doomed", AttackModel::new(14));
+    spec.verify(
+        case,
+        "fine",
+        AttackModel::new(14).target(BusId(11), StateTarget::MustChange),
+    );
+    spec.set_job_timeout_ms(doomed, 0);
+    let start = Instant::now();
+    let report = run(&spec, 1);
+    assert!(report.results[0].verdict.is_unknown(), "{:?}", report.results[0].verdict);
+    assert_eq!(report.results[1].verdict, Verdict::Sat);
+    assert!(report.any_unknown());
+    // The doomed job must die at the first budget poll, not after a full
+    // solve; the whole 2-job campaign staying under 30 s (debug builds
+    // are slow, but the doomed job itself is near-instant) is ample.
+    assert!(start.elapsed().as_secs() < 30, "{:?}", start.elapsed());
+    let json = report.to_json(true);
+    assert!(json.contains("\"verdict\":\"unknown(timeout)\""));
+}
+
+/// A campaign-wide default deadline applies to jobs without their own,
+/// and a generous deadline changes nothing about the verdicts.
+#[test]
+fn campaign_default_timeout_is_inherited_and_generous_deadline_is_harmless() {
+    let mut spec = CampaignSpec::new("inherit");
+    let case = spec.add_case("ieee14", ieee14::system());
+    spec.verify(case, "a", AttackModel::new(14));
+    spec.verify(case, "b", AttackModel::new(14).max_altered_measurements(0));
+    let spec = spec.with_timeout_ms(600_000);
+    let report = run(&spec, 2);
+    assert_eq!(report.results[0].verdict, Verdict::Sat);
+    assert_eq!(report.results[1].verdict, Verdict::Unsat);
+    assert!(!report.any_unknown());
+}
+
+/// Certified campaigns: every verification job's answer is certified and
+/// the deny-mode lint stays clean, across both worker counts.
+#[test]
+fn certified_campaign_certifies_every_job() {
+    let mut spec = CampaignSpec::new("certified");
+    let case = spec.add_case("ieee14", ieee14::system());
+    spec.verify(
+        case,
+        "sat",
+        AttackModel::new(14).target(BusId(11), StateTarget::MustChange),
+    );
+    spec.verify(case, "unsat", AttackModel::new(14).max_altered_measurements(0));
+    let spec = spec.with_certify(sta_smt::CertifyLevel::Full);
+    for workers in [1, 2] {
+        let report = run(&spec, workers);
+        for r in &report.results {
+            let stats = r.stats.as_ref().expect("verification jobs carry stats");
+            assert!(stats.certified, "job {} uncertified", r.id);
+            assert_eq!(stats.lint_errors, 0);
+            if r.verdict == Verdict::Unsat {
+                assert!(stats.proof_steps > 0, "unsat proof must replay");
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Incremental verification sessions: many scenarios, one base encoding.
+//!
+//! A sweep over attack-model variants (the paper's Figs. 4–5 grids, the
+//! campaign engine's job lists) re-verifies the *same* test system under
+//! different attributes. Rebuilding the full §III encoding for every
+//! variant wastes most of the work: the line semantics, alteration
+//! linking, protection and `cz → cb` constraints depend only on the
+//! system. A [`VerifySession`] asserts that scenario-independent base
+//! once, then runs each variant inside a solver push/pop scope, letting
+//! [`sta_smt::Solver`]'s incremental base cache reuse the encoded CNF and
+//! simplex tableau across checks.
+//!
+//! Sessions are keyed by topology support: a base built with `el`/`il`
+//! variables serves both topology and non-topology scenarios (the latter
+//! pin the variables false), but the extra variables and conditional
+//! constraints make every check in the session pay the topology encoding.
+//! Callers that mix both kinds heavily should hold one session per kind —
+//! the campaign worker pool does exactly that.
+
+use crate::attack::model::AttackModel;
+use crate::attack::vector::{AttackOutcome, VerificationReport};
+use crate::attack::verifier::{AttackEncoding, AttackVerifier};
+use sta_grid::TestSystem;
+use sta_smt::{Budget, SatResult, Solver};
+use std::time::Duration;
+
+/// A reusable verification context over one test system.
+///
+/// # Examples
+///
+/// ```
+/// use sta_core::attack::{AttackModel, StateTarget, VerifySession};
+/// use sta_grid::{ieee14, BusId};
+///
+/// let sys = ieee14::system();
+/// let mut session = VerifySession::new(&sys, false);
+/// let open = AttackModel::new(14).target(BusId(11), StateTarget::MustChange);
+/// let blocked = open.clone().max_altered_measurements(0);
+/// assert!(session.verify(&open).outcome.is_feasible());
+/// assert!(!session.verify(&blocked).outcome.is_feasible());
+/// ```
+#[derive(Debug)]
+pub struct VerifySession<'a> {
+    verifier: AttackVerifier<'a>,
+    solver: Solver,
+    enc: AttackEncoding,
+}
+
+impl<'a> VerifySession<'a> {
+    /// Builds a session over `system` with the default operating point.
+    /// With `topology` set, the base encoding carries the `el`/`il`
+    /// machinery so scenarios may enable topology poisoning.
+    pub fn new(system: &'a TestSystem, topology: bool) -> Self {
+        Self::with_verifier(AttackVerifier::new(system), topology)
+    }
+
+    /// Builds a session around a configured verifier (operating point,
+    /// certification level).
+    pub fn with_verifier(verifier: AttackVerifier<'a>, topology: bool) -> Self {
+        let mut solver = Solver::new();
+        solver.set_certify(verifier.certify_level());
+        let enc = verifier.encode_base(&mut solver, topology);
+        VerifySession { verifier, solver, enc }
+    }
+
+    /// The underlying verifier.
+    pub fn verifier(&self) -> &AttackVerifier<'a> {
+        &self.verifier
+    }
+
+    /// Whether the base encoding supports topology-attack scenarios.
+    pub fn supports_topology(&self) -> bool {
+        self.enc.topology
+    }
+
+    /// Verifies one scenario, honoring its [`AttackModel::timeout_ms`].
+    ///
+    /// # Panics
+    /// Panics on scenario/system shape mismatches and on scenarios that
+    /// enable topology attacks in a session built without them (see
+    /// [`VerifySession::new`]).
+    pub fn verify(&mut self, model: &AttackModel) -> VerificationReport {
+        let budget = match model.timeout_ms {
+            Some(ms) => Budget::with_timeout(Duration::from_millis(ms)),
+            None => Budget::unlimited(),
+        };
+        self.verify_with_budget(model, &budget)
+    }
+
+    /// Verifies one scenario under an explicit budget. The scenario's
+    /// constraints live in a push/pop scope, so the session is immediately
+    /// reusable afterwards — including after an `Unknown` verdict.
+    ///
+    /// # Panics
+    /// See [`VerifySession::verify`].
+    pub fn verify_with_budget(
+        &mut self,
+        model: &AttackModel,
+        budget: &Budget,
+    ) -> VerificationReport {
+        self.solver
+            .set_certify(self.verifier.certify_level().max(model.certify));
+        self.solver.push();
+        self.verifier
+            .assert_scenario(&mut self.solver, &self.enc, model);
+        self.solver.set_budget(budget.clone());
+        let result = self.solver.check();
+        let stats = self.solver.last_stats().cloned().unwrap_or_default();
+        let outcome = match result {
+            SatResult::Unsat => AttackOutcome::Infeasible,
+            SatResult::Unknown(why) => AttackOutcome::Unknown(why),
+            SatResult::Sat(m) => AttackOutcome::Feasible(Box::new(
+                self.verifier.extract_vector(&self.enc, &m),
+            )),
+        };
+        self.solver.set_budget(Budget::unlimited());
+        self.solver.pop();
+        VerificationReport { outcome, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{AttackVerifier, StateTarget};
+    use sta_grid::{ieee14, BusId, MeasurementId};
+
+    /// Session verdicts must agree with one-shot verification across a
+    /// mixed sweep of variants.
+    #[test]
+    fn session_matches_one_shot_verdicts() {
+        let sys = ieee14::system();
+        let mut session = VerifySession::new(&sys, false);
+        let one_shot = AttackVerifier::new(&sys);
+        let variants = [
+            AttackModel::new(14),
+            AttackModel::new(14).target(BusId(11), StateTarget::MustChange),
+            AttackModel::new(14).max_altered_measurements(0),
+            AttackModel::new(14)
+                .target(BusId(11), StateTarget::MustChange)
+                .max_altered_measurements(10)
+                .max_compromised_buses(4),
+            AttackModel::new(14)
+                .target(BusId(0), StateTarget::MustChange),
+            AttackModel::new(14).unknown_lines(20, &[2, 16]),
+        ];
+        for model in &variants {
+            let incremental = session.verify(model).outcome.is_feasible();
+            let fresh = one_shot.verify(model).is_feasible();
+            assert_eq!(incremental, fresh, "{model:?}");
+        }
+    }
+
+    /// A topology-capable session must serve plain scenarios (pinning
+    /// el/il false) with unchanged verdicts, and still find topology
+    /// attacks when asked.
+    #[test]
+    fn topology_session_serves_both_scenario_kinds() {
+        let sys = ieee14::system_unsecured();
+        let mut session = VerifySession::new(&sys, true);
+        assert!(session.supports_topology());
+        let mut pinned = AttackModel::new(14)
+            .target(BusId(11), StateTarget::MustChange)
+            .secure_measurement(MeasurementId(45));
+        for j in 0..14 {
+            if j != 11 {
+                pinned = pinned.target(BusId(j), StateTarget::MustNotChange);
+            }
+        }
+        let poisoned = pinned.clone().with_topology_attack();
+        // Without meter 46 and without topology poisoning this goal is
+        // infeasible; poisoning the topology unlocks it (paper §III-E).
+        let plain = session.verify(&pinned);
+        assert!(!plain.outcome.is_feasible());
+        let topo = session.verify(&poisoned).outcome.expect_feasible();
+        assert!(topo.uses_topology_attack());
+        // And the verdicts match the one-shot paths.
+        let verifier = AttackVerifier::new(&sys);
+        assert!(!verifier.verify(&pinned).is_feasible());
+        assert!(verifier.verify(&poisoned).is_feasible());
+    }
+
+    /// An exhausted budget yields Unknown and leaves the session usable.
+    #[test]
+    fn timed_out_job_leaves_session_reusable() {
+        let sys = ieee14::system();
+        let mut session = VerifySession::new(&sys, false);
+        let model = AttackModel::new(14);
+        let report =
+            session.verify_with_budget(&model, &Budget::with_timeout(Duration::ZERO));
+        assert!(report.outcome.is_unknown(), "{:?}", report.outcome);
+        // Next job on the same session, unlimited: decidable again.
+        assert!(session.verify(&model).outcome.is_feasible());
+    }
+
+    /// Certified checks work inside a session, including proof replay for
+    /// unsat variants after earlier sat variants (the push/pop proof-state
+    /// regression this PR fixes at the solver level).
+    #[test]
+    fn session_certifies_across_variants() {
+        let sys = ieee14::system();
+        let verifier =
+            AttackVerifier::new(&sys).with_certify(sta_smt::CertifyLevel::Full);
+        let mut session = VerifySession::with_verifier(verifier, false);
+        let open = AttackModel::new(14).target(BusId(11), StateTarget::MustChange);
+        let blocked = open.clone().max_altered_measurements(0);
+        for _ in 0..2 {
+            let sat = session.verify(&open);
+            assert!(sat.outcome.is_feasible());
+            assert!(sat.stats.certified);
+            let unsat = session.verify(&blocked);
+            assert!(!unsat.outcome.is_feasible());
+            assert!(unsat.stats.certified);
+            assert!(unsat.stats.proof_steps > 0);
+        }
+    }
+}

@@ -6,12 +6,16 @@
 //! * [`AttackVerifier`] — the SMT encoding and feasibility check
 //!   ([`verifier`]);
 //! * [`AttackVector`] / [`AttackOutcome`] — extracted witnesses
-//!   ([`vector`]).
+//!   ([`vector`]);
+//! * [`VerifySession`] — incremental verification of many scenarios over
+//!   one base encoding ([`batch`]).
 
+pub mod batch;
 pub mod model;
 pub mod vector;
 pub mod verifier;
 
+pub use batch::VerifySession;
 pub use model::{AttackModel, StateTarget};
 pub use vector::{Alteration, AttackOutcome, AttackVector, VerificationReport};
 pub use verifier::AttackVerifier;

@@ -81,6 +81,12 @@ pub struct AttackModel {
     /// Minimum certification level for checks of this scenario; the
     /// verifier uses the stricter of this and its own configured level.
     pub certify: CertifyLevel,
+    /// Wall-clock deadline for the feasibility check, in milliseconds;
+    /// `None` = unlimited. When the deadline passes before the solver
+    /// reaches a verdict, verification returns
+    /// [`crate::attack::AttackOutcome::Unknown`] — which is *not*
+    /// infeasibility.
+    pub timeout_ms: Option<u64>,
 }
 
 impl AttackModel {
@@ -100,7 +106,14 @@ impl AttackModel {
             strict_knowledge: false,
             blocked_alteration_sets: Vec::new(),
             certify: CertifyLevel::Off,
+            timeout_ms: None,
         }
+    }
+
+    /// Bounds the feasibility check to `ms` milliseconds of wall clock.
+    pub fn with_timeout_ms(mut self, ms: u64) -> Self {
+        self.timeout_ms = Some(ms);
+        self
     }
 
     /// Requires at least this certification level when the scenario is

@@ -1,7 +1,7 @@
 //! Attack vectors: the witnesses extracted from satisfiable models.
 
 use sta_grid::{BusId, LineId, MeasurementId};
-use sta_smt::SolverStats;
+use sta_smt::{Interrupt, SolverStats};
 use std::fmt;
 
 /// One measurement alteration: inject `delta` into the meter reading.
@@ -96,6 +96,10 @@ pub enum AttackOutcome {
     Feasible(Box<AttackVector>),
     /// No attack satisfies the scenario's constraints.
     Infeasible,
+    /// The verification's budget ran out before a verdict — the scenario is
+    /// undecided, which is *not* the same as infeasible (see
+    /// [`crate::attack::AttackVerifier::verify_with_budget`]).
+    Unknown(Interrupt),
 }
 
 impl AttackOutcome {
@@ -104,22 +108,30 @@ impl AttackOutcome {
         matches!(self, AttackOutcome::Feasible(_))
     }
 
+    /// Whether the verification ran out of budget before a verdict.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, AttackOutcome::Unknown(_))
+    }
+
     /// The witness, if feasible.
     pub fn vector(&self) -> Option<&AttackVector> {
         match self {
             AttackOutcome::Feasible(v) => Some(v),
-            AttackOutcome::Infeasible => None,
+            AttackOutcome::Infeasible | AttackOutcome::Unknown(_) => None,
         }
     }
 
     /// Extracts the witness.
     ///
     /// # Panics
-    /// Panics if infeasible.
+    /// Panics if infeasible or unknown.
     pub fn expect_feasible(self) -> AttackVector {
         match self {
             AttackOutcome::Feasible(v) => *v,
             AttackOutcome::Infeasible => panic!("expected a feasible attack"),
+            AttackOutcome::Unknown(why) => {
+                panic!("expected a feasible attack, got unknown ({why})")
+            }
         }
     }
 }

@@ -28,6 +28,17 @@
 //! is already gated through its `cz`s). Accessibility/security (Eq. 19),
 //! resource cardinalities (Eqs. 22/24), and the attack goal (Eqs. 25/26)
 //! complete the model.
+//!
+//! # Base/scenario split
+//!
+//! The encoding is built in two stages so that sweeps can reuse work:
+//! [`AttackVerifier::encode_base`] asserts everything that depends only on
+//! the test system (line semantics, alteration linking, system-level
+//! protection, the `cz → cb` chain), and `assert_scenario` layers the
+//! scenario-specific attributes (knowledge, budgets, goals, extra
+//! protection) on top. [`crate::attack::VerifySession`] combines the two
+//! with the solver's push/pop scopes so a whole campaign of variants pays
+//! for the base exactly once.
 
 use crate::attack::model::{AttackModel, StateTarget};
 use crate::attack::vector::{Alteration, AttackOutcome, AttackVector, VerificationReport};
@@ -35,8 +46,34 @@ use crate::decimal;
 use sta_estimator::dcflow;
 use sta_grid::{BusId, LineId, MeasurementConfig, MeasurementId, TestSystem};
 use sta_smt::{
-    BoolVar, CertifyLevel, Formula, LinExpr, LinExprCmp, RealVar, Rational, SatResult, Solver,
+    BoolVar, Budget, CertifyLevel, Formula, LinExpr, LinExprCmp, Model, RealVar, Rational,
+    SatResult, Solver,
 };
+use std::time::Duration;
+
+/// The variable layout of one base encoding, produced by
+/// [`AttackVerifier::encode_base`] and consumed when asserting scenarios
+/// and extracting witnesses.
+#[derive(Debug, Clone)]
+pub(crate) struct AttackEncoding {
+    /// `Δθ_j` per bus.
+    pub(crate) dtheta: Vec<RealVar>,
+    /// `cz_i` per potential measurement (`2l + b` of them).
+    pub(crate) cz: Vec<BoolVar>,
+    /// `cb_j` per bus.
+    pub(crate) cb: Vec<BoolVar>,
+    /// `el_i` for excludable lines (when built with topology support).
+    pub(crate) el: Vec<Option<BoolVar>>,
+    /// `il_i` for includable lines (when built with topology support).
+    pub(crate) il: Vec<Option<BoolVar>>,
+    /// Inlined `ΔPL_i` forms (a plain linear form for ordinary lines, a
+    /// constrained real variable for topology-attackable ones).
+    pub(crate) dpl_expr: Vec<LinExpr>,
+    /// Inlined `ΔPB_j` forms.
+    pub(crate) dpb_expr: Vec<LinExpr>,
+    /// Whether the base was built with topology-attack variables.
+    pub(crate) topology: bool,
+}
 
 /// Verifies UFDI attack feasibility against one test system.
 ///
@@ -142,6 +179,9 @@ impl<'a> AttackVerifier<'a> {
     /// Enumerates up to `limit` attacks with pairwise distinct
     /// altered-measurement sets (the analytics counterpart of the paper's
     /// remark that the synthesis "can synthesize all of these sets").
+    ///
+    /// Stops early if a check runs out of budget — the vectors found so
+    /// far are still valid.
     pub fn enumerate(&self, model: &AttackModel, limit: usize) -> Vec<AttackVector> {
         let mut found = Vec::new();
         let mut working = model.clone();
@@ -153,41 +193,82 @@ impl<'a> AttackVerifier<'a> {
                     );
                     found.push(*v);
                 }
-                AttackOutcome::Infeasible => break,
+                AttackOutcome::Infeasible | AttackOutcome::Unknown(_) => break,
             }
         }
         found
     }
 
-    /// Checks feasibility and returns solver statistics alongside.
+    /// Checks feasibility and returns solver statistics alongside,
+    /// honoring the scenario's own [`AttackModel::timeout_ms`].
     ///
     /// # Panics
     /// Panics if `model.targets.len()` does not match the system's bus
     /// count, or a knowledge vector has the wrong length.
     pub fn verify_with_stats(&self, model: &AttackModel) -> VerificationReport {
+        let budget = match model.timeout_ms {
+            Some(ms) => Budget::with_timeout(Duration::from_millis(ms)),
+            None => Budget::unlimited(),
+        };
+        self.verify_with_budget(model, &budget)
+    }
+
+    /// Checks feasibility under an explicit wall-clock/cancellation
+    /// budget. An exhausted budget yields
+    /// [`AttackOutcome::Unknown`] — the scenario is *undecided*, not
+    /// infeasible.
+    ///
+    /// # Panics
+    /// Panics if `model.targets.len()` does not match the system's bus
+    /// count, or a knowledge vector has the wrong length.
+    pub fn verify_with_budget(
+        &self,
+        model: &AttackModel,
+        budget: &Budget,
+    ) -> VerificationReport {
+        let mut solver = Solver::new();
+        solver.set_certify(self.certify.max(model.certify));
+        let enc = self.encode_base(&mut solver, model.allow_topology_attack);
+        self.assert_scenario(&mut solver, &enc, model);
+        solver.set_budget(budget.clone());
+        let result = solver.check();
+        let stats = solver.last_stats().cloned().unwrap_or_default();
+        let outcome = match result {
+            SatResult::Unsat => AttackOutcome::Infeasible,
+            SatResult::Unknown(why) => AttackOutcome::Unknown(why),
+            SatResult::Sat(m) => {
+                AttackOutcome::Feasible(Box::new(self.extract_vector(&enc, &m)))
+            }
+        };
+        VerificationReport { outcome, stats }
+    }
+
+    /// Asserts every scenario-independent constraint into `solver` and
+    /// returns the variable layout. With `topology` set, excludable and
+    /// includable lines get their `el`/`il` variables (scenarios that
+    /// disallow topology attacks then pin them false).
+    pub(crate) fn encode_base(
+        &self,
+        solver: &mut Solver,
+        topology: bool,
+    ) -> AttackEncoding {
         let grid = &self.system.grid;
         let b = grid.num_buses();
         let l = grid.num_lines();
-        assert_eq!(model.targets.len(), b, "one target per bus");
-        if let Some(bd) = &model.known_admittances {
-            assert_eq!(bd.len(), l, "one knowledge flag per line");
-        }
 
-        let mut solver = Solver::new();
-        solver.set_certify(self.certify.max(model.certify));
         let dtheta: Vec<RealVar> = (0..b).map(|_| solver.new_real()).collect();
         let cz: Vec<BoolVar> = (0..2 * l + b).map(|_| solver.new_bool()).collect();
         let cb: Vec<BoolVar> = (0..b).map(|_| solver.new_bool()).collect();
         // el/il only exist when topology attacks are possible for a line.
         let el: Vec<Option<BoolVar>> = (0..l)
             .map(|i| {
-                (model.allow_topology_attack && self.system.excludable(LineId(i)))
+                (topology && self.system.excludable(LineId(i)))
                     .then(|| solver.new_bool())
             })
             .collect();
         let il: Vec<Option<BoolVar>> = (0..l)
             .map(|i| {
-                (model.allow_topology_attack && self.system.includable(LineId(i)))
+                (topology && self.system.includable(LineId(i)))
                     .then(|| solver.new_bool())
             })
             .collect();
@@ -286,6 +367,62 @@ impl<'a> AttackVerifier<'a> {
             }
         }
 
+        // System-level protection and accessibility (Eq. 19, the part
+        // every scenario shares): cz_i → az_i ∧ ¬sz_i.
+        for m in 0..2 * l + b {
+            if self.base_blocked(m) {
+                solver.assert_formula(&Formula::var(cz[m]).not());
+            }
+        }
+
+        // Altering a measurement requires compromising its substation
+        // (Eq. 23).
+        for m in 0..2 * l + b {
+            let bus = MeasurementConfig::bus_of(grid, MeasurementId(m));
+            solver.assert_formula(
+                &Formula::var(cz[m]).implies(Formula::var(cb[bus.0])),
+            );
+        }
+
+        AttackEncoding { dtheta, cz, cb, el, il, dpl_expr, dpb_expr, topology }
+    }
+
+    /// Layers one scenario's attributes on top of a base encoding:
+    /// knowledge, extra protection/accessibility, resource budgets, the
+    /// attack goal and enumeration blocks.
+    ///
+    /// # Panics
+    /// Panics if the scenario enables topology attacks but `enc` was built
+    /// without them, if `model.targets.len()` does not match the system's
+    /// bus count, or if a knowledge vector has the wrong length.
+    pub(crate) fn assert_scenario(
+        &self,
+        solver: &mut Solver,
+        enc: &AttackEncoding,
+        model: &AttackModel,
+    ) {
+        let grid = &self.system.grid;
+        let b = grid.num_buses();
+        let l = grid.num_lines();
+        assert_eq!(model.targets.len(), b, "one target per bus");
+        if let Some(bd) = &model.known_admittances {
+            assert_eq!(bd.len(), l, "one knowledge flag per line");
+        }
+        assert!(
+            enc.topology || !model.allow_topology_attack,
+            "scenario enables topology attacks but the base encoding was \
+             built without them"
+        );
+
+        // A base with topology variables serving a scenario without
+        // topology attacks: pin every el/il false so the line semantics
+        // collapse to the plain encoding.
+        if enc.topology && !model.allow_topology_attack {
+            for v in enc.el.iter().chain(enc.il.iter()).flatten() {
+                solver.assert_formula(&Formula::var(*v).not());
+            }
+        }
+
         // Knowledge (Eq. 17): unknown admittance forbids altering the
         // line's flow meters and including the line. Under strict
         // knowledge the line's measured flow must stay unchanged
@@ -294,49 +431,45 @@ impl<'a> AttackVerifier<'a> {
         if let Some(bd) = &model.known_admittances {
             for i in 0..l {
                 if !bd[i] {
-                    solver.assert_formula(&Formula::var(cz[i]).not());
-                    solver.assert_formula(&Formula::var(cz[l + i]).not());
-                    if let Some(v) = il[i] {
-                        solver.assert_formula(&Formula::var(v).not());
+                    solver.assert_formula(&Formula::var(enc.cz[i]).not());
+                    solver.assert_formula(&Formula::var(enc.cz[l + i]).not());
+                    if model.allow_topology_attack {
+                        if let Some(v) = enc.il[i] {
+                            solver.assert_formula(&Formula::var(v).not());
+                        }
                     }
                     if model.strict_knowledge {
                         solver.assert_formula(
-                            &dpl_expr[i].clone().eq_expr(LinExpr::zero()),
+                            &enc.dpl_expr[i].clone().eq_expr(LinExpr::zero()),
                         );
                     }
                 }
             }
         }
 
-        // Accessibility and protection (Eq. 19): cz_i → az_i ∧ ¬sz_i.
+        // Scenario-level protection and accessibility deltas (Eqs. 19/28)
+        // — only for measurements the base does not already block.
         let secured = self.effective_secured(model);
         for m in 0..2 * l + b {
             let blocked = secured[m]
-                || !self.system.measurements.is_accessible(MeasurementId(m))
                 || model
                     .inaccessible_measurements
                     .contains(&MeasurementId(m));
-            if blocked {
-                solver.assert_formula(&Formula::var(cz[m]).not());
+            if blocked && !self.base_blocked(m) {
+                solver.assert_formula(&Formula::var(enc.cz[m]).not());
             }
         }
 
-        // Resource limits (Eqs. 22 and 23–24).
+        // Resource limits (Eqs. 22 and 24).
         if let Some(t_cz) = model.max_altered_measurements {
             solver.assert_formula(&Formula::at_most(
-                cz.iter().map(|&v| Formula::var(v)).collect(),
+                enc.cz.iter().map(|&v| Formula::var(v)).collect(),
                 t_cz,
             ));
         }
-        for m in 0..2 * l + b {
-            let bus = MeasurementConfig::bus_of(grid, MeasurementId(m));
-            solver.assert_formula(
-                &Formula::var(cz[m]).implies(Formula::var(cb[bus.0])),
-            );
-        }
         if let Some(t_cb) = model.max_compromised_buses {
             solver.assert_formula(&Formula::at_most(
-                cb.iter().map(|&v| Formula::var(v)).collect(),
+                enc.cb.iter().map(|&v| Formula::var(v)).collect(),
                 t_cb,
             ));
         }
@@ -348,11 +481,11 @@ impl<'a> AttackVerifier<'a> {
                 StateTarget::MustChange => {
                     any_must = true;
                     solver.assert_formula(
-                        &LinExpr::var(dtheta[j]).ne_expr(LinExpr::zero()),
+                        &LinExpr::var(enc.dtheta[j]).ne_expr(LinExpr::zero()),
                     );
                 }
                 StateTarget::MustNotChange => solver.assert_formula(
-                    &LinExpr::var(dtheta[j]).eq_expr(LinExpr::zero()),
+                    &LinExpr::var(enc.dtheta[j]).eq_expr(LinExpr::zero()),
                 ),
                 StateTarget::Free => {}
             }
@@ -360,7 +493,7 @@ impl<'a> AttackVerifier<'a> {
         for &(a, c) in &model.different_changes {
             any_must = true;
             solver.assert_formula(
-                &LinExpr::var(dtheta[a.0]).ne_expr(LinExpr::var(dtheta[c.0])),
+                &LinExpr::var(enc.dtheta[a.0]).ne_expr(LinExpr::var(enc.dtheta[c.0])),
             );
         }
         if !any_must {
@@ -369,7 +502,7 @@ impl<'a> AttackVerifier<'a> {
             solver.assert_formula(&Formula::or(
                 (0..b)
                     .filter(|&j| j != self.system.reference_bus.0)
-                    .map(|j| LinExpr::var(dtheta[j]).ne_expr(LinExpr::zero()))
+                    .map(|j| LinExpr::var(enc.dtheta[j]).ne_expr(LinExpr::zero()))
                     .collect(),
             ));
         }
@@ -383,74 +516,80 @@ impl<'a> AttackVerifier<'a> {
                 (0..2 * l + b)
                     .map(|m| {
                         if in_set(m) {
-                            Formula::var(cz[m]).not()
+                            Formula::var(enc.cz[m]).not()
                         } else {
-                            Formula::var(cz[m])
+                            Formula::var(enc.cz[m])
                         }
                     })
                     .collect(),
             ));
         }
+    }
 
-        let result = solver.check();
-        let stats = solver.last_stats().cloned().unwrap_or_default();
-        let outcome = match result {
-            SatResult::Unsat => AttackOutcome::Infeasible,
-            SatResult::Sat(m) => {
-                let mut vector = AttackVector {
-                    state_changes: dtheta
-                        .iter()
-                        .map(|&v| m.real_value(v).to_f64())
-                        .collect(),
-                    ..AttackVector::default()
-                };
-                // Exact evaluation of an inlined delta form under the model.
-                let eval = |e: &LinExpr| e.eval(|v| m.real_value(v).clone()).to_f64();
-                for i in 0..l {
-                    let d = eval(&dpl_expr[i]);
-                    if m.bool_value(cz[i]) {
-                        vector.alterations.push(Alteration {
-                            measurement: MeasurementId(i),
-                            delta: d,
-                        });
-                    }
-                    if m.bool_value(cz[l + i]) {
-                        vector.alterations.push(Alteration {
-                            measurement: MeasurementId(l + i),
-                            delta: -d,
-                        });
-                    }
-                    if let Some(v) = el[i] {
-                        if m.bool_value(v) {
-                            vector.excluded_lines.push(LineId(i));
-                        }
-                    }
-                    if let Some(v) = il[i] {
-                        if m.bool_value(v) {
-                            vector.included_lines.push(LineId(i));
-                        }
-                    }
-                }
-                for j in 0..b {
-                    if m.bool_value(cz[2 * l + j]) {
-                        vector.alterations.push(Alteration {
-                            measurement: MeasurementId(2 * l + j),
-                            delta: eval(&dpb_expr[j]),
-                        });
-                    }
-                }
-                let mut buses: Vec<BusId> = vector
-                    .alterations
-                    .iter()
-                    .map(|a| MeasurementConfig::bus_of(grid, a.measurement))
-                    .collect();
-                buses.sort_unstable();
-                buses.dedup();
-                vector.compromised_buses = buses;
-                AttackOutcome::Feasible(Box::new(vector))
-            }
+    /// Reads an attack vector out of a satisfying model.
+    pub(crate) fn extract_vector(&self, enc: &AttackEncoding, m: &Model) -> AttackVector {
+        let grid = &self.system.grid;
+        let b = grid.num_buses();
+        let l = grid.num_lines();
+        let mut vector = AttackVector {
+            state_changes: enc
+                .dtheta
+                .iter()
+                .map(|&v| m.real_value(v).to_f64())
+                .collect(),
+            ..AttackVector::default()
         };
-        VerificationReport { outcome, stats }
+        // Exact evaluation of an inlined delta form under the model.
+        let eval = |e: &LinExpr| e.eval(|v| m.real_value(v).clone()).to_f64();
+        for i in 0..l {
+            let d = eval(&enc.dpl_expr[i]);
+            if m.bool_value(enc.cz[i]) {
+                vector.alterations.push(Alteration {
+                    measurement: MeasurementId(i),
+                    delta: d,
+                });
+            }
+            if m.bool_value(enc.cz[l + i]) {
+                vector.alterations.push(Alteration {
+                    measurement: MeasurementId(l + i),
+                    delta: -d,
+                });
+            }
+            if let Some(v) = enc.el[i] {
+                if m.bool_value(v) {
+                    vector.excluded_lines.push(LineId(i));
+                }
+            }
+            if let Some(v) = enc.il[i] {
+                if m.bool_value(v) {
+                    vector.included_lines.push(LineId(i));
+                }
+            }
+        }
+        for j in 0..b {
+            if m.bool_value(enc.cz[2 * l + j]) {
+                vector.alterations.push(Alteration {
+                    measurement: MeasurementId(2 * l + j),
+                    delta: eval(&enc.dpb_expr[j]),
+                });
+            }
+        }
+        let mut buses: Vec<BusId> = vector
+            .alterations
+            .iter()
+            .map(|a| MeasurementConfig::bus_of(grid, a.measurement))
+            .collect();
+        buses.sort_unstable();
+        buses.dedup();
+        vector.compromised_buses = buses;
+        vector
+    }
+
+    /// Whether the system configuration alone forbids altering `m`
+    /// (secured or inaccessible regardless of scenario).
+    fn base_blocked(&self, m: usize) -> bool {
+        self.system.measurements.is_secured(MeasurementId(m))
+            || !self.system.measurements.is_accessible(MeasurementId(m))
     }
 
     /// The effective `sz` vector: system configuration plus the model's
@@ -643,5 +782,21 @@ mod tests {
         let report = verifier.verify_with_stats(&model);
         assert!(report.outcome.is_feasible());
         assert!(report.stats.certified);
+    }
+
+    /// A scenario with an already-expired deadline comes back Unknown —
+    /// never a spurious sat/unsat verdict.
+    #[test]
+    fn expired_timeout_is_unknown_not_infeasible() {
+        let sys = ieee14::system();
+        let verifier = AttackVerifier::new(&sys);
+        let model = AttackModel::new(14).with_timeout_ms(0);
+        let outcome = verifier.verify(&model);
+        assert!(outcome.is_unknown(), "{outcome:?}");
+        assert!(!outcome.is_feasible());
+        assert!(outcome.vector().is_none());
+        // The same scenario without the deadline is decidable.
+        let model = AttackModel::new(14);
+        assert!(verifier.verify(&model).is_feasible());
     }
 }

@@ -148,6 +148,14 @@ pub fn parse(
                     model.inaccessible_measurements.push(MeasurementId(id));
                 }
             }
+            "timeout-ms" => {
+                let v: u64 = rest
+                    .first()
+                    .ok_or_else(|| err(ln, "missing timeout"))?
+                    .parse()
+                    .map_err(|_| err(ln, "bad timeout"))?;
+                model.timeout_ms = Some(v);
+            }
             "certify" => {
                 let level = match rest.first().copied() {
                     Some("off") => CertifyLevel::Off,
@@ -218,6 +226,9 @@ pub fn write(model: &AttackModel) -> String {
     }
     for id in &model.inaccessible_measurements {
         let _ = writeln!(out, "deny-measurement {}", id.0 + 1);
+    }
+    if let Some(v) = model.timeout_ms {
+        let _ = writeln!(out, "timeout-ms {v}");
     }
     match model.certify {
         CertifyLevel::Off => {}

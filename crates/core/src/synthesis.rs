@@ -245,6 +245,10 @@ impl<'a> Synthesizer<'a> {
                 SatResult::Unsat => {
                     return SynthesisOutcome::NoSolution { iterations };
                 }
+                // An exhausted budget on the selection model: undecided.
+                SatResult::Unknown(_) => {
+                    return SynthesisOutcome::Inconclusive { iterations };
+                }
                 SatResult::Sat(m) => (0..b)
                     .filter(|&j| m.bool_value(sb[j]))
                     .map(BusId)
@@ -255,6 +259,11 @@ impl<'a> Synthesizer<'a> {
             let mut hardened = attacker.clone();
             hardened.extra_secured_buses.extend(candidate.iter().copied());
             let outcome = self.verifier.verify(&hardened);
+            if outcome.is_unknown() {
+                // A timed-out verification can certify nothing about the
+                // candidate — treating it as "blocked" would be unsound.
+                return SynthesisOutcome::Inconclusive { iterations };
+            }
             let Some(vector) = outcome.vector() else {
                 return SynthesisOutcome::Architecture(SecurityArchitecture {
                     secured_buses: candidate,
@@ -369,7 +378,9 @@ impl<'a> Synthesizer<'a> {
         loop {
             iterations += 1;
             let chosen: Vec<MeasurementId> = match selection.check() {
-                sta_smt::SatResult::Unsat => return None,
+                sta_smt::SatResult::Unsat | sta_smt::SatResult::Unknown(_) => {
+                    return None
+                }
                 sta_smt::SatResult::Sat(model) => candidates
                     .iter()
                     .enumerate()
@@ -381,7 +392,12 @@ impl<'a> Synthesizer<'a> {
             hardened
                 .extra_secured_measurements
                 .extend(chosen.iter().copied());
-            match self.verifier.verify(&hardened).vector() {
+            let outcome = self.verifier.verify(&hardened);
+            if outcome.is_unknown() {
+                // Undecided verification: no sound conclusion either way.
+                return None;
+            }
+            match outcome.vector() {
                 None => return Some((chosen, iterations)),
                 Some(vector) => {
                     // Hit at least one altered measurement of the attack.

@@ -1,0 +1,155 @@
+//! Wall-clock deadlines and cooperative cancellation for solver calls.
+//!
+//! Campaign-style workloads (many verification instances swept over attack
+//! parameters) need individual instances to give up instead of hanging: a
+//! [`Budget`] carries an optional deadline and an optional shared cancel
+//! flag, and the CDCL search loop and the simplex pivot loop poll it at
+//! conflict/pivot boundaries. An exhausted budget surfaces as a first-class
+//! `Unknown` verdict (see [`crate::SatResult`]) carrying the [`Interrupt`]
+//! reason, so a timed-out instance is distinguishable from `Unsat`.
+//!
+//! Polling is cooperative and cheap: an unlimited budget (the default) is
+//! never consulted, and limited budgets are checked every few dozen search
+//! steps, so a zero-millisecond deadline still interrupts promptly while a
+//! generous one costs a handful of clock reads per thousand conflicts.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a solver call stopped without an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Interrupt {
+    /// The wall-clock deadline passed.
+    Timeout,
+    /// The shared cancel flag was raised.
+    Cancelled,
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interrupt::Timeout => write!(f, "timeout"),
+            Interrupt::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// A resource budget for one solver call: an optional wall-clock deadline
+/// plus an optional shared cancellation flag.
+///
+/// The default budget is unlimited. Budgets are cheap to clone — the cancel
+/// flag is shared, so cloning a budget across worker threads lets one
+/// [`Budget::cancel`] call stop them all.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Budget {
+    /// A budget with no deadline and no cancel flag.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// A budget that times out `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Budget { deadline: Some(Instant::now() + timeout), cancel: None }
+    }
+
+    /// Sets an absolute deadline.
+    pub fn with_deadline(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Attaches a shared cancellation flag (raised with [`Budget::cancel`]
+    /// or by storing `true` from any thread).
+    pub fn with_cancel_token(mut self, token: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Creates and attaches a fresh cancellation flag, returning it.
+    pub fn new_cancel_token(&mut self) -> Arc<AtomicBool> {
+        let token = Arc::new(AtomicBool::new(false));
+        self.cancel = Some(Arc::clone(&token));
+        token
+    }
+
+    /// Raises the cancellation flag, if one is attached.
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.cancel {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether this budget can ever interrupt a solve (fast pre-check so
+    /// unlimited budgets cost nothing in the search loops).
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.cancel.is_some()
+    }
+
+    /// Checks the budget; `Some` means the current solve must stop.
+    ///
+    /// Cancellation takes precedence over the deadline, and both conditions
+    /// are monotone: once exhausted, a budget stays exhausted.
+    pub fn exhausted(&self) -> Option<Interrupt> {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Some(Interrupt::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(Interrupt::Timeout);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let b = Budget::unlimited();
+        assert!(!b.is_limited());
+        assert!(b.exhausted().is_none());
+    }
+
+    #[test]
+    fn zero_timeout_exhausts_immediately() {
+        let b = Budget::with_timeout(Duration::ZERO);
+        assert!(b.is_limited());
+        assert_eq!(b.exhausted(), Some(Interrupt::Timeout));
+    }
+
+    #[test]
+    fn generous_timeout_not_yet_exhausted() {
+        let b = Budget::with_timeout(Duration::from_secs(3600));
+        assert!(b.is_limited());
+        assert!(b.exhausted().is_none());
+    }
+
+    #[test]
+    fn cancel_token_wins_over_deadline() {
+        let mut b = Budget::with_timeout(Duration::from_secs(3600));
+        let token = b.new_cancel_token();
+        assert!(b.exhausted().is_none());
+        token.store(true, Ordering::Relaxed);
+        assert_eq!(b.exhausted(), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let mut b = Budget::unlimited();
+        let _ = b.new_cancel_token();
+        let c = b.clone();
+        b.cancel();
+        assert_eq!(c.exhausted(), Some(Interrupt::Cancelled));
+    }
+}

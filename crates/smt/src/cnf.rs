@@ -29,8 +29,9 @@ struct AtomKey {
 /// Incremental Tseitin encoder.
 ///
 /// Owns maps from [`BoolVar`]s and atoms to SAT variables; feed it formulas
-/// with [`Encoder::assert_root`].
-#[derive(Debug, Default)]
+/// with [`Encoder::assert_root`]. `Clone` pairs with cloning the solver and
+/// theory it encoded into (see [`crate::Solver`]'s incremental reuse).
+#[derive(Debug, Default, Clone)]
 pub struct Encoder {
     bool_map: HashMap<u32, SatVar>,
     atom_map: HashMap<AtomKey, SatVar>,

@@ -48,6 +48,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod bigint;
+pub mod budget;
 pub mod certify;
 pub mod cnf;
 pub mod expr;
@@ -60,6 +61,7 @@ pub mod simplex;
 pub mod solver;
 pub mod stats;
 
+pub use budget::{Budget, Interrupt};
 pub use certify::{
     check_theory_lemma, check_unsat_proof, eval_formula, AtomSemantics, CertifyError,
     CertifyLevel, RupChecker, TheoryContext,

@@ -9,6 +9,7 @@
 
 use super::lit::{LBool, Lit, SatVar};
 use super::proof::{FarkasCertificate, ProofLog};
+use crate::budget::{Budget, Interrupt};
 
 /// Result of a theory callback.
 #[derive(Debug)]
@@ -18,6 +19,10 @@ pub enum TheoryResult {
     /// The given literals (all currently assigned true) are jointly
     /// inconsistent with the theory.
     Conflict(Vec<Lit>),
+    /// The theory's budget ran out mid-check; no verdict. The SAT core must
+    /// abort the solve — the theory state may be only partially repaired,
+    /// so neither `Ok` nor `Conflict` would be sound to report.
+    Interrupted,
 }
 
 /// A decision-procedure plugin for DPLL(T).
@@ -64,6 +69,9 @@ pub enum SatOutcome {
     Sat,
     /// The clauses are unsatisfiable modulo the theory.
     Unsat,
+    /// The budget ran out before a verdict (see [`CdclSolver::set_budget`]).
+    /// The solver and theory are mid-search and must not be reused.
+    Unknown(Interrupt),
 }
 
 #[derive(Debug, Clone)]
@@ -100,7 +108,11 @@ pub struct SatCounters {
 ///
 /// Typical use: create, [`CdclSolver::new_var`] as many times as needed,
 /// [`CdclSolver::add_clause`] the CNF, then [`CdclSolver::solve`].
-#[derive(Debug)]
+///
+/// The solver is `Clone`: a never-solved solver holding an encoded clause
+/// database can serve as a reusable template, with each clone solved
+/// independently (how [`crate::Solver`] implements incremental reuse).
+#[derive(Debug, Clone)]
 pub struct CdclSolver {
     clauses: Vec<Clause>,
     watches: Vec<Vec<Watch>>,
@@ -124,6 +136,8 @@ pub struct CdclSolver {
     is_theory_var: Vec<bool>,
     /// DRAT-style proof trace, recorded when enabled before clause loading.
     proof: Option<ProofLog>,
+    /// Deadline / cancellation budget polled in the search loop.
+    budget: Budget,
 }
 
 impl Default for CdclSolver {
@@ -156,7 +170,15 @@ impl CdclSolver {
             counters: SatCounters::default(),
             is_theory_var: Vec::new(),
             proof: None,
+            budget: Budget::default(),
         }
+    }
+
+    /// Installs the budget polled by [`CdclSolver::solve`]. The default is
+    /// unlimited; a limited budget makes the search loop return
+    /// [`SatOutcome::Unknown`] once it is exhausted.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     /// Turns on proof logging. Call before any [`CdclSolver::add_clause`]
@@ -685,7 +707,18 @@ impl CdclSolver {
         let mut conflicts_until_restart = 100 * Self::luby(1);
         let mut conflicts_since_restart = 0u64;
         let mut max_learned = 4000usize;
+        // Budget polling: every 64th propagate/decide round, starting with
+        // the very first so an already-expired deadline interrupts before
+        // any search happens.
+        let limited = self.budget.is_limited();
+        let mut rounds = 0u64;
         loop {
+            if limited && rounds & 63 == 0 {
+                if let Some(why) = self.budget.exhausted() {
+                    return SatOutcome::Unknown(why);
+                }
+            }
+            rounds += 1;
             let prop_start = debug.then(std::time::Instant::now);
             let boolean_conflict = self.propagate();
             if let Some(s) = prop_start {
@@ -702,6 +735,14 @@ impl CdclSolver {
                 }
                 match result {
                     TheoryResult::Ok => None,
+                    TheoryResult::Interrupted => {
+                        // The theory's own budget check fired (shared with
+                        // ours, so re-reading it names the reason; both
+                        // conditions are monotone).
+                        let why =
+                            self.budget.exhausted().unwrap_or(Interrupt::Timeout);
+                        return SatOutcome::Unknown(why);
+                    }
                     TheoryResult::Conflict(expl) => {
                         self.counters.theory_conflicts += 1;
                         // Explanation lits are all true; the conflict clause

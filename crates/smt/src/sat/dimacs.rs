@@ -44,7 +44,9 @@ impl DimacsInstance {
     pub fn solve(&self) -> Option<Vec<i64>> {
         let mut solver = self.into_solver();
         match solver.solve(&mut NullTheory) {
-            SatOutcome::Unsat => None,
+            // A fresh solver with the default unlimited budget never
+            // interrupts.
+            SatOutcome::Unsat | SatOutcome::Unknown(_) => None,
             SatOutcome::Sat => Some(
                 (0..self.num_vars)
                     .map(|i| {

@@ -13,6 +13,7 @@
 //! Pivoting uses Bland's rule (smallest-index selection for both leaving and
 //! entering variables), which guarantees termination.
 
+use crate::budget::Budget;
 use crate::certify::{AtomSemantics, TheoryContext};
 use crate::expr::{LinExpr, RealVar};
 use crate::rational::{DeltaRational, Rational};
@@ -40,7 +41,7 @@ struct Bound {
 }
 
 /// Undo record for one bound overwrite.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Undo {
     var: SVar,
     kind: BoundKind,
@@ -64,7 +65,11 @@ struct AtomBinding {
 ///
 /// Create one, register slack definitions and atoms while encoding the
 /// formula, then hand it to [`crate::sat::CdclSolver::solve`].
-#[derive(Debug, Default)]
+///
+/// `Clone` supports the template-and-clone incremental scheme of
+/// [`crate::Solver`]: a tableau built during encoding (but never solved)
+/// clones cheaply, and each clone is solved independently.
+#[derive(Debug, Default, Clone)]
 pub struct Simplex {
     /// `β`: the candidate assignment.
     assignment: Vec<DeltaRational>,
@@ -91,6 +96,8 @@ pub struct Simplex {
     /// Farkas certificate for the most recent conflict, consumed by proof
     /// logging through [`Theory::take_certificate`].
     last_certificate: Option<FarkasCertificate>,
+    /// Deadline / cancellation budget polled in the pivot loop.
+    budget: Budget,
     /// Debug accounting (populated only when `STA_SMT_DEBUG` is set):
     /// time in `repair_nonbasic`, in the violation/entering scans, and in
     /// `pivot_and_update`, plus scan-iteration count.
@@ -134,6 +141,13 @@ impl Simplex {
     /// Number of pivot operations performed so far.
     pub fn pivots(&self) -> u64 {
         self.pivots
+    }
+
+    /// Installs the budget polled by the pivot loop. An exhausted budget
+    /// makes [`Theory::check`] return [`TheoryResult::Interrupted`], which
+    /// the SAT core converts into an `Unknown` outcome.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     fn new_svar(&mut self) -> SVar {
@@ -548,7 +562,16 @@ impl Simplex {
         }
         #[cfg(feature = "certify-debug")]
         self.audit_invariants();
+        let limited = self.budget.is_limited();
+        let mut iters = 0u64;
         loop {
+            // Pivot-boundary budget poll: a clock read per 16 iterations is
+            // noise next to a tableau scan, and the first iteration checks
+            // so an already-expired deadline never pivots at all.
+            if limited && iters & 15 == 0 && self.budget.exhausted().is_some() {
+                return TheoryResult::Interrupted;
+            }
+            iters += 1;
             self.debug_timers.iterations += 1;
             let t_scan = debug.then(std::time::Instant::now);
             // Leaving: smallest-index basic variable violating a bound.

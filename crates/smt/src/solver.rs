@@ -2,10 +2,26 @@
 //!
 //! [`Solver`] collects [`Formula`] assertions with [`Solver::push`] /
 //! [`Solver::pop`] scoping, and [`Solver::check`] decides their conjunction
-//! over QF_LRA. Each check encodes the current assertion set from scratch —
-//! the paper's Algorithm 1 uses push/pop around whole verification calls, so
-//! re-encoding (rather than incremental clause retraction) keeps the solver
-//! simple without changing any observable behavior.
+//! over QF_LRA.
+//!
+//! # Incremental reuse
+//!
+//! Checks reuse work across the assertion stack without ever reusing solver
+//! *search* state: the assertions below the first open scope (the "base")
+//! are encoded once into a cached, never-solved CDCL/simplex/encoder trio,
+//! and each check clones that trio and encodes only the scoped deltas into
+//! the clone before solving it. The push/pop-heavy campaign pattern (assert
+//! the grid constraints once, push a per-variant delta, check, pop) thus
+//! pays base encoding once per solver instead of once per check, while
+//! learned clauses, theory state and proof-log steps stay strictly
+//! per-check — popping a scope can never leak retracted constraints or
+//! out-of-scope proof steps into later answers. A [`Solver::pop`] that
+//! retracts assertions the cache has already encoded (possible only when
+//! certification levels changed mid-stack) drains the cache entirely.
+//!
+//! Checks accept a [`Budget`]: deadlines and cooperative cancellation are
+//! polled inside the CDCL and pivot loops, surfacing as
+//! [`SatResult::Unknown`] instead of hanging.
 //!
 //! # Examples
 //!
@@ -21,6 +37,7 @@
 //! assert!(model.real_value(y).to_f64() <= 3.0);
 //! ```
 
+use crate::budget::{Budget, Interrupt};
 use crate::certify::{check_unsat_proof, eval_formula, CertifyError, CertifyLevel};
 use crate::cnf::Encoder;
 use crate::expr::RealVar;
@@ -67,6 +84,10 @@ pub enum SatResult {
     Sat(Model),
     /// Unsatisfiable.
     Unsat,
+    /// The check's [`Budget`] ran out before a verdict. The assertion stack
+    /// is untouched — raise the budget and re-check, or treat the instance
+    /// as undecided.
+    Unknown(Interrupt),
 }
 
 impl SatResult {
@@ -75,14 +96,20 @@ impl SatResult {
         matches!(self, SatResult::Sat(_))
     }
 
+    /// Whether the result is `Unknown` (budget exhausted).
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, SatResult::Unknown(_))
+    }
+
     /// Extracts the model.
     ///
     /// # Panics
-    /// Panics if the result is `Unsat`.
+    /// Panics if the result is not `Sat`.
     pub fn expect_sat(self) -> Model {
         match self {
             SatResult::Sat(m) => m,
             SatResult::Unsat => panic!("expected sat, got unsat"),
+            SatResult::Unknown(why) => panic!("expected sat, got unknown ({why})"),
         }
     }
 
@@ -90,9 +117,27 @@ impl SatResult {
     pub fn model(self) -> Option<Model> {
         match self {
             SatResult::Sat(m) => Some(m),
-            SatResult::Unsat => None,
+            SatResult::Unsat | SatResult::Unknown(_) => None,
         }
     }
+}
+
+/// The cached base encoding: the assertion-stack prefix below the first
+/// open scope, encoded into a CDCL/simplex/encoder trio that is *never*
+/// solved. Checks clone it and solve the clone (see the module docs).
+#[derive(Debug, Clone)]
+struct BaseEncoding {
+    sat: CdclSolver,
+    simplex: Simplex,
+    encoder: Encoder,
+    /// Leading assertions already encoded (`assertions[..encoded]`).
+    encoded: usize,
+    /// Problem reals materialized into the tableau so far.
+    reals: u32,
+    /// Whether proof logging was on when the base was built; a mismatch
+    /// with the current certification level forces a rebuild, since proofs
+    /// must log the complete original CNF.
+    proof: bool,
 }
 
 /// An SMT solver for Boolean combinations of linear real arithmetic.
@@ -106,6 +151,8 @@ pub struct Solver {
     scopes: Vec<usize>,
     last_stats: Option<SolverStats>,
     certify: CertifyLevel,
+    budget: Budget,
+    base: Option<BaseEncoding>,
 }
 
 impl Solver {
@@ -145,6 +192,14 @@ impl Solver {
     pub fn pop(&mut self) {
         let mark = self.scopes.pop().expect("pop without matching push");
         self.assertions.truncate(mark);
+        // Drain the cached base if the pop retracted assertions it has
+        // encoded — its clause database and proof log would otherwise leak
+        // out-of-scope constraints and proof steps into later checks. (The
+        // cache only ever covers the prefix below the first open scope, so
+        // this fires only on caches built before that scope was opened.)
+        if self.base.as_ref().is_some_and(|b| b.encoded > mark) {
+            self.base = None;
+        }
     }
 
     /// Number of assertions currently active.
@@ -160,6 +215,18 @@ impl Solver {
     /// Sets how much certification [`Solver::check`] performs.
     pub fn set_certify(&mut self, level: CertifyLevel) {
         self.certify = level;
+    }
+
+    /// Sets the budget applied to every subsequent check. The default is
+    /// unlimited; with a deadline or cancel token installed, checks return
+    /// [`SatResult::Unknown`] instead of running past the budget.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
+    }
+
+    /// The budget applied to checks.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// The configured certification level.
@@ -222,17 +289,46 @@ impl Solver {
                 )));
             }
         }
-        let mut sat = CdclSolver::new();
-        let mut simplex = Simplex::new();
-        let mut encoder = Encoder::new();
-        if full {
-            sat.enable_proof();
+        // Base cache maintenance: rebuild on a proof-enablement change,
+        // otherwise extend it over any new below-scope assertions. Only the
+        // prefix below the first open scope is ever cached, so scoped
+        // deltas never enter the template.
+        let base_limit = self.scopes.first().copied().unwrap_or(self.assertions.len());
+        if self.base.as_ref().is_some_and(|b| b.proof != full) {
+            self.base = None;
         }
-        // Materialize every declared real variable so the model covers them.
-        for i in 0..self.n_reals {
-            simplex.solver_var(RealVar(i));
+        let base = self.base.get_or_insert_with(|| {
+            let mut sat = CdclSolver::new();
+            if full {
+                sat.enable_proof();
+            }
+            BaseEncoding {
+                sat,
+                simplex: Simplex::new(),
+                encoder: Encoder::new(),
+                encoded: 0,
+                reals: 0,
+                proof: full,
+            }
+        });
+        // Materialize every declared real variable so models cover them and
+        // the clone sees a stable tableau layout.
+        for i in base.reals..self.n_reals {
+            base.simplex.solver_var(RealVar(i));
         }
-        for f in &self.assertions {
+        base.reals = self.n_reals;
+        while base.encoded < base_limit {
+            let f = &self.assertions[base.encoded];
+            base.encoder.assert_root(f, &mut base.sat, &mut base.simplex);
+            base.encoded += 1;
+        }
+        // Per-check clone: scoped deltas are encoded into it and it alone
+        // is solved, keeping learned clauses, theory state and proof steps
+        // isolated to this check.
+        let mut sat = base.sat.clone();
+        let mut simplex = base.simplex.clone();
+        let mut encoder = base.encoder.clone();
+        for f in &self.assertions[base_limit..] {
             encoder.assert_root(f, &mut sat, &mut simplex);
         }
         if full {
@@ -240,6 +336,8 @@ impl Solver {
             // clause database before any learning happens.
             lint_report.merge(lint::lint_clauses(&sat.clause_list()));
         }
+        sat.set_budget(self.budget.clone());
+        simplex.set_budget(self.budget.clone());
         let encode_done = Instant::now();
         let outcome = sat.solve(&mut simplex);
         if std::env::var_os("STA_SMT_DEBUG").is_some() {
@@ -313,6 +411,7 @@ impl Solver {
                 }
                 SatResult::Sat(Model { bools, reals })
             }
+            SatOutcome::Unknown(why) => SatResult::Unknown(why),
         };
         stats.solve_time = start.elapsed();
         self.last_stats = Some(stats);
@@ -508,6 +607,130 @@ mod tests {
         let m = s.check().expect_sat();
         assert!(m.real_value(x).is_negative());
         assert_eq!(m.real_value(x), m.real_value(y));
+    }
+
+    #[test]
+    fn base_cache_extends_across_checks() {
+        // Sequential assert/check/assert/check reuses the cached base
+        // encoding; answers must match from-scratch solving.
+        let mut s = Solver::new();
+        let x = s.new_real();
+        s.assert_formula(&LinExpr::var(x).ge(LinExpr::from(1)));
+        assert!(s.check().is_sat());
+        s.assert_formula(&LinExpr::var(x).le(LinExpr::from(3)));
+        let m = s.check().expect_sat();
+        let v = m.real_value(x);
+        assert!(v >= &r(1, 1) && v <= &r(3, 1), "got {v}");
+        s.assert_formula(&LinExpr::var(x).ge(LinExpr::from(5)));
+        assert!(!s.check().is_sat());
+    }
+
+    /// Regression for incremental reuse under full certification: checks
+    /// clone the cached base encoding, so a popped scope's learned clauses
+    /// and proof steps must never reach a later check — each unsat answer
+    /// replays a proof containing only in-scope steps.
+    #[test]
+    fn push_pop_recheck_certifies_with_in_scope_proof_only() {
+        let mut s = Solver::new();
+        s.set_certify(CertifyLevel::Full);
+        let p = s.new_bool();
+        let x = s.new_real();
+        s.assert_formula(&Formula::var(p).implies(LinExpr::var(x).ge(LinExpr::from(5))));
+        s.assert_formula(
+            &Formula::var(p)
+                .not()
+                .implies(LinExpr::var(x).le(LinExpr::from(-5))),
+        );
+        // Build and cache the base with a certified sat check.
+        assert!(s.check().is_sat());
+        assert!(s.last_stats().expect("stats").certified);
+        for _ in 0..2 {
+            // Scoped contradiction: certified unsat (replayed proof must be
+            // self-contained — base clauses plus this scope's delta only).
+            s.push();
+            s.assert_formula(&LinExpr::var(x).eq_expr(LinExpr::from(2)));
+            assert!(!s.check().is_sat());
+            let stats = s.last_stats().expect("stats").clone();
+            assert!(stats.certified);
+            assert!(stats.proof_steps > 0);
+            s.pop();
+            // Re-solve after pop: certifies again, with the popped scope's
+            // clauses and proof steps drained.
+            let m = s.check().expect_sat();
+            assert!(s.last_stats().expect("stats").certified);
+            let v = m.real_value(x);
+            assert!(v >= &r(5, 1) || v <= &r(-5, 1), "got {v}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_returns_unknown_and_solver_stays_usable() {
+        let mut s = Solver::new();
+        let x = s.new_real();
+        s.assert_formula(&LinExpr::var(x).ge(LinExpr::from(1)));
+        s.set_budget(Budget::with_timeout(std::time::Duration::ZERO));
+        let result = s.check();
+        assert!(matches!(result, SatResult::Unknown(Interrupt::Timeout)), "{result:?}");
+        assert!(result.is_unknown());
+        assert!(result.model().is_none());
+        // Lifting the budget decides the untouched assertion stack.
+        s.set_budget(Budget::unlimited());
+        assert!(s.check().is_sat());
+    }
+
+    #[test]
+    fn raised_cancel_token_returns_unknown_cancelled() {
+        let mut s = Solver::new();
+        let x = s.new_real();
+        s.assert_formula(&LinExpr::var(x).ge(LinExpr::from(1)));
+        let mut budget = Budget::unlimited();
+        let token = budget.new_cancel_token();
+        s.set_budget(budget);
+        token.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(matches!(s.check(), SatResult::Unknown(Interrupt::Cancelled)));
+    }
+
+    /// A deliberately hard instance (pigeonhole, exponential for CDCL) with
+    /// a 50 ms deadline: the check must come back `Unknown(Timeout)` well
+    /// within 10× the deadline, and popping the hard scope must leave the
+    /// solver usable for the next job.
+    #[test]
+    fn hard_instance_times_out_promptly() {
+        let n = 10; // 11 pigeons into 10 holes
+        let mut s = Solver::new();
+        let vars: Vec<Vec<BoolVar>> = (0..n + 1)
+            .map(|_| (0..n).map(|_| s.new_bool()).collect())
+            .collect();
+        s.push();
+        for pigeon in &vars {
+            s.assert_formula(&Formula::or(
+                pigeon.iter().map(|&v| Formula::var(v)).collect(),
+            ));
+        }
+        for hole in 0..n {
+            for p1 in 0..n + 1 {
+                for p2 in p1 + 1..n + 1 {
+                    s.assert_formula(&Formula::or(vec![
+                        Formula::var(vars[p1][hole]).not(),
+                        Formula::var(vars[p2][hole]).not(),
+                    ]));
+                }
+            }
+        }
+        s.set_budget(Budget::with_timeout(std::time::Duration::from_millis(50)));
+        let start = Instant::now();
+        let result = s.check();
+        let elapsed = start.elapsed();
+        assert!(matches!(result, SatResult::Unknown(Interrupt::Timeout)), "{result:?}");
+        assert!(
+            elapsed < std::time::Duration::from_millis(500),
+            "timeout took {elapsed:?}, over 10x the 50ms deadline"
+        );
+        // The solver is immediately reusable for the next job.
+        s.pop();
+        s.set_budget(Budget::unlimited());
+        s.assert_formula(&Formula::var(vars[0][0]));
+        assert!(s.check().is_sat());
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn pinned_check(n: u32, bits: u32, constraint_of: impl Fn(Vec<Formula>) -> Formu
     match solver.check() {
         SatResult::Sat(_) => true,
         SatResult::Unsat => false,
+        SatResult::Unknown(why) => panic!("unlimited budget interrupted: {why}"),
     }
 }
 

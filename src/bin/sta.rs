@@ -2,15 +2,18 @@
 //!
 //! ```text
 //! sta case <name>                      print a built-in case file
-//! sta verify <case> <scenario> [--certify L]
+//! sta verify <case> <scenario> [--certify L] [--timeout-ms MS]
 //!                                      decide attack feasibility
-//! sta replay <case> <scenario> [--certify L]
+//! sta replay <case> <scenario> [--certify L] [--timeout-ms MS]
 //!                                      verify, then replay end to end
 //! sta assess <case>                    grid-wide threat assessment
 //! sta synthesize <case> <scenario> --budget N [--reference-secured]
 //!                                      synthesize a security architecture
 //! sta synthesize <case> <scenario> --budget N --measurements
 //!                                      measurement-granular variant
+//! sta campaign [<case>] [--jobs N] [--timeout-ms MS] [--certify L]
+//!              [--topology] [--force-timeout] [--out FILE] [--strip-timing]
+//!                                      parallel sweep of attack variants
 //! ```
 //!
 //! `<case>` is a case file (see `sta::grid::caseformat`) or a built-in
@@ -21,9 +24,19 @@
 //! re-evaluates satisfying assignments against the original formulas,
 //! `full` additionally lints the formulas (deny mode) and replays unsat
 //! proofs through an independent RUP/Farkas checker.
+//!
+//! # Exit codes
+//!
+//! | code | meaning |
+//! |---|---|
+//! | 0 | success (`verify`/`replay`: attack found; `synthesize`: architecture found; `campaign`: every job concluded) |
+//! | 1 | conclusive negative: `unsat` (no attack) / no architecture within budget |
+//! | 2 | usage or input error |
+//! | 3 | undecided: the solver's wall-clock budget ran out (`unknown`), or at least one campaign job did — **not** the same as unsat |
 
+use sta::campaign::{run as run_campaign, CampaignSpec};
 use sta::core::analytics::ThreatAnalyzer;
-use sta::core::attack::{AttackModel, AttackVerifier};
+use sta::core::attack::{AttackModel, AttackOutcome, AttackVerifier, StateTarget};
 use sta::core::synthesis::{SynthesisConfig, Synthesizer};
 use sta::core::{scenario, validation};
 use sta::grid::{caseformat, ieee14, synthetic, TestSystem};
@@ -32,10 +45,13 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sta case <name>\n  sta verify <case> <scenario> [--certify off|models|full]\n  \
-         sta replay <case> <scenario> [--certify off|models|full]\n  sta assess <case>\n  \
+        "usage:\n  sta case <name>\n  sta verify <case> <scenario> [--certify off|models|full] [--timeout-ms MS]\n  \
+         sta replay <case> <scenario> [--certify off|models|full] [--timeout-ms MS]\n  sta assess <case>\n  \
          sta synthesize <case> <scenario> --budget N \
-         [--reference-secured] [--measurements] [--paper-blocking] [--certify off|models|full]"
+         [--reference-secured] [--measurements] [--paper-blocking] [--certify off|models|full]\n  \
+         sta campaign [<case>] [--jobs N] [--timeout-ms MS] [--certify off|models|full] \
+         [--topology] [--force-timeout] [--out FILE] [--strip-timing]\n\
+         exit codes: 0 = sat/success, 1 = unsat/no solution, 2 = usage error, 3 = unknown (budget exhausted)"
     );
     ExitCode::from(2)
 }
@@ -49,9 +65,12 @@ fn parse_certify(v: &str) -> Result<CertifyLevel, String> {
     }
 }
 
-/// Parses trailing `--certify` (the only flag verify/replay accept).
-fn certify_flag(args: &[String]) -> Result<CertifyLevel, String> {
+/// Parses the trailing flags verify/replay accept: `--certify` and
+/// `--timeout-ms` (a CLI-level deadline overriding the scenario file's
+/// own `timeout-ms`).
+fn verify_flags(args: &[String]) -> Result<(CertifyLevel, Option<u64>), String> {
     let mut level = CertifyLevel::Off;
+    let mut timeout_ms = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -59,10 +78,15 @@ fn certify_flag(args: &[String]) -> Result<CertifyLevel, String> {
                 let v = it.next().ok_or("--certify needs a value")?;
                 level = parse_certify(v)?;
             }
+            "--timeout-ms" => {
+                let v = it.next().ok_or("--timeout-ms needs a value")?;
+                timeout_ms =
+                    Some(v.parse().map_err(|_| "bad --timeout-ms value")?);
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok(level)
+    Ok((level, timeout_ms))
 }
 
 fn load_case(spec: &str) -> Result<TestSystem, String> {
@@ -99,36 +123,47 @@ fn cmd_case(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
     let (case, scen) = two(args)?;
-    let certify = certify_flag(&args[2..])?;
+    let (certify, timeout_ms) = verify_flags(&args[2..])?;
     let sys = load_case(&case)?;
-    let model = load_scenario(&scen, &sys)?;
+    let mut model = load_scenario(&scen, &sys)?;
+    if timeout_ms.is_some() {
+        model.timeout_ms = timeout_ms;
+    }
     let verifier = AttackVerifier::new(&sys).with_certify(certify);
     let report = verifier.verify_with_stats(&model);
-    match report.outcome.vector() {
-        Some(v) => {
+    match &report.outcome {
+        AttackOutcome::Feasible(v) => {
             println!("sat");
             println!("{v}");
             println!("solver: {}", report.stats);
             Ok(ExitCode::SUCCESS)
         }
-        None => {
+        AttackOutcome::Infeasible => {
             println!("unsat — no attack satisfies the scenario");
             println!("solver: {}", report.stats);
             Ok(ExitCode::from(1))
+        }
+        AttackOutcome::Unknown(why) => {
+            println!("unknown ({why}) — budget exhausted before a verdict; NOT unsat");
+            println!("solver: {}", report.stats);
+            Ok(ExitCode::from(3))
         }
     }
 }
 
 fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
     let (case, scen) = two(args)?;
-    let certify = certify_flag(&args[2..])?;
+    let (certify, timeout_ms) = verify_flags(&args[2..])?;
     let sys = load_case(&case)?;
-    let model = load_scenario(&scen, &sys)?;
+    let mut model = load_scenario(&scen, &sys)?;
+    if timeout_ms.is_some() {
+        model.timeout_ms = timeout_ms;
+    }
     let verifier = AttackVerifier::new(&sys).with_certify(certify);
-    match verifier.verify(&model).vector() {
-        Some(v) => {
+    match verifier.verify(&model) {
+        AttackOutcome::Feasible(v) => {
             println!("attack: {v}");
-            let result = validation::replay_default(&sys, v)
+            let result = validation::replay_default(&sys, &v)
                 .map_err(|e| e.to_string())?;
             println!("replay: {result}");
             println!(
@@ -137,9 +172,13 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
             );
             Ok(ExitCode::SUCCESS)
         }
-        None => {
+        AttackOutcome::Infeasible => {
             println!("unsat — nothing to replay");
             Ok(ExitCode::from(1))
+        }
+        AttackOutcome::Unknown(why) => {
+            println!("unknown ({why}) — budget exhausted; nothing to replay, but NOT unsat");
+            Ok(ExitCode::from(3))
         }
     }
 }
@@ -223,6 +262,87 @@ fn cmd_synthesize(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
+    let mut case_name = "ieee14".to_string();
+    let mut jobs: usize = 4;
+    let mut timeout_ms: Option<u64> = None;
+    let mut certify = CertifyLevel::Off;
+    let mut topology = false;
+    let mut force_timeout = false;
+    let mut out_file: Option<String> = None;
+    let mut strip_timing = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = v.parse().map_err(|_| "bad --jobs value")?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--timeout-ms" => {
+                let v = it.next().ok_or("--timeout-ms needs a value")?;
+                timeout_ms =
+                    Some(v.parse().map_err(|_| "bad --timeout-ms value")?);
+            }
+            "--certify" => {
+                let v = it.next().ok_or("--certify needs a value")?;
+                certify = parse_certify(v)?;
+            }
+            "--topology" => topology = true,
+            "--force-timeout" => force_timeout = true,
+            "--out" => {
+                out_file = Some(it.next().ok_or("--out needs a file")?.clone());
+            }
+            "--strip-timing" => strip_timing = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            name => case_name = name.to_string(),
+        }
+    }
+    let sys = load_case(&case_name)?;
+    let num_buses = sys.grid.num_buses();
+    let mut spec = CampaignSpec::standard_sweep(&case_name, sys);
+    if topology {
+        // Extend the sweep with topology-poisoning variants of each target.
+        for t in [num_buses / 4, num_buses / 2, (3 * num_buses) / 4, num_buses - 1] {
+            spec.verify(
+                0,
+                format!("state={} topology", t + 1),
+                AttackModel::new(num_buses)
+                    .target(sta::grid::BusId(t), StateTarget::MustChange)
+                    .with_topology_attack(),
+            );
+        }
+    }
+    if force_timeout {
+        // An unconstrained scenario with an already-expired deadline:
+        // exercises cancellation without slowing the sweep down.
+        let doomed = spec.verify(0, "forced-timeout", AttackModel::new(num_buses));
+        spec.set_job_timeout_ms(doomed, 0);
+    }
+    if let Some(ms) = timeout_ms {
+        spec = spec.with_timeout_ms(ms);
+    }
+    spec = spec.with_certify(certify);
+    let report = run_campaign(&spec, jobs);
+    print!("{}", report.table());
+    if let Some(path) = out_file {
+        let json = report.to_json(!strip_timing);
+        std::fs::write(&path, json)
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        println!("report written to {path}");
+    }
+    if report.any_unknown() {
+        println!("at least one job ran out of budget (unknown) — NOT unsat");
+        Ok(ExitCode::from(3))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
 fn two(args: &[String]) -> Result<(String, String), String> {
     match (args.first(), args.get(1)) {
         (Some(a), Some(b)) => Ok((a.clone(), b.clone())),
@@ -242,6 +362,7 @@ fn main() -> ExitCode {
         "replay" => cmd_replay(rest),
         "assess" => cmd_assess(rest),
         "synthesize" => cmd_synthesize(rest),
+        "campaign" => cmd_campaign(rest),
         "--help" | "-h" | "help" => return usage(),
         other => {
             eprintln!("unknown command {other:?}");

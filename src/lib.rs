@@ -17,6 +17,7 @@
 //! | [`grid`] | `sta-grid` | Grid model, topology processor, measurements, IEEE cases |
 //! | [`estimator`] | `sta-estimator` | DC power flow, WLS estimation, bad-data detection |
 //! | [`core`] | `sta-core` | UFDI attack verification, synthesis, baselines, validation |
+//! | [`campaign`] | `sta-campaign` | Parallel campaign engine: sweeps, deadlines, deterministic reports |
 //!
 //! # Quickstart
 //!
@@ -42,6 +43,7 @@
 //! `crates/bench` for the harness regenerating every figure and table of
 //! the paper's evaluation.
 
+pub use sta_campaign as campaign;
 pub use sta_core as core;
 pub use sta_estimator as estimator;
 pub use sta_grid as grid;

@@ -1,5 +1,5 @@
 //! Source-level lint: no `.unwrap()` / `.expect(` in non-test library code
-//! of `crates/smt` and `crates/core`.
+//! of `crates/smt`, `crates/core` and `crates/campaign`.
 //!
 //! Both crates sit on the trusted path of the threat analytics — a stray
 //! panic in the solver or the attack encoder aborts a whole verification
@@ -18,7 +18,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Library roots the lint covers, relative to the workspace root.
-const ROOTS: &[&str] = &["crates/smt/src", "crates/core/src"];
+const ROOTS: &[&str] = &["crates/smt/src", "crates/core/src", "crates/campaign/src"];
 
 /// Allowlisted `(file suffix, line substring)` pairs, each justified by a
 /// local invariant:

@@ -7,6 +7,11 @@
 #   4. end-to-end certification smoke on IEEE 14-bus: one SAT answer with
 #      model re-evaluation and one UNSAT answer with RUP proof replay,
 #      both under `--certify full`
+#   5. campaign smoke: a certified 33-job IEEE 14-bus sweep on 4 workers
+#      with one forced-timeout job (must exit 3 = at least one unknown),
+#      whose timing-stripped report is byte-identical to a 1-worker run;
+#      on machines with >= 4 CPUs the 4-worker run must also be >= 2x
+#      faster than the 1-worker run
 #
 # No network access is required; the script fails fast on the first error.
 set -euo pipefail
@@ -41,6 +46,51 @@ status=0
 if [ "$status" -ne 1 ]; then
     echo "expected certified unsat (exit 1), got exit $status" >&2
     exit 1
+fi
+
+echo "==> campaign smoke: certified 33-job sweep, 4 workers, one forced timeout"
+report1="$(mktemp)" report4="$(mktemp)"
+trap 'rm -f "$scenario" "$report1" "$report4"' EXIT
+status=0
+./target/release/sta campaign ieee14 --jobs 4 --certify full --force-timeout \
+    --out "$report4" --strip-timing >/dev/null || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "expected exit 3 (forced-timeout job is unknown), got exit $status" >&2
+    exit 1
+fi
+grep -q '"verdict":"unknown(timeout)"' "$report4" || {
+    echo "campaign report is missing the forced unknown(timeout) verdict" >&2
+    exit 1
+}
+
+echo "==> campaign determinism: 1-worker stripped report must match"
+status=0
+./target/release/sta campaign ieee14 --jobs 1 --certify full --force-timeout \
+    --out "$report1" --strip-timing >/dev/null || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "expected exit 3 from the 1-worker run, got exit $status" >&2
+    exit 1
+fi
+cmp -s "$report1" "$report4" || {
+    echo "timing-stripped campaign reports differ between 1 and 4 workers" >&2
+    exit 1
+}
+
+if [ "$(nproc)" -ge 4 ]; then
+    echo "==> campaign speedup: --jobs 4 must halve the 32-job sweep wall clock"
+    t1_start=$(date +%s%N)
+    ./target/release/sta campaign ieee14 --jobs 1 >/dev/null
+    t1=$((($(date +%s%N) - t1_start) / 1000000))
+    t4_start=$(date +%s%N)
+    ./target/release/sta campaign ieee14 --jobs 4 >/dev/null
+    t4=$((($(date +%s%N) - t4_start) / 1000000))
+    echo "    1 worker: ${t1} ms, 4 workers: ${t4} ms"
+    if [ $((t4 * 2)) -gt "$t1" ]; then
+        echo "expected >= 2x speedup at --jobs 4 (got ${t1} ms -> ${t4} ms)" >&2
+        exit 1
+    fi
+else
+    echo "==> campaign speedup check skipped ($(nproc) CPU(s) available)"
 fi
 
 echo "verify.sh: all checks passed"
