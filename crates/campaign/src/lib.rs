@@ -13,8 +13,11 @@
 //!   ([`sta_core::attack::VerifySession`]), so the grid constraints are
 //!   encoded once per worker and each variant only pays its own delta;
 //! * results aggregate deterministically by job id into a
-//!   [`CampaignReport`] whose JSON form is byte-identical across worker
-//!   counts once the `timing` keys are stripped.
+//!   [`CampaignReport`] whose JSON form — per-job phase counters and
+//!   their campaign-wide rollup included — is byte-identical across
+//!   worker counts once the `timing` keys are stripped;
+//! * [`run_traced`] additionally streams [`sta_smt::TraceEvent`]s into a
+//!   shared sink as jobs finish (the `--trace` JSONL backend).
 //!
 //! The `sta campaign` CLI subcommand and every `sta-bench` binary are
 //! thin builders over this crate.
@@ -45,6 +48,6 @@ pub mod pool;
 pub mod report;
 pub mod spec;
 
-pub use pool::run;
+pub use pool::{run, run_traced};
 pub use report::{CampaignReport, JobResult, Verdict};
 pub use spec::{CampaignSpec, CaseSpec, JobKind, JobSpec};

@@ -27,9 +27,11 @@
 //!
 //! # Deadlines
 //!
-//! A verification job's deadline becomes a [`Budget`] checked inside the
-//! CDCL conflict loop and the simplex pivot loop; an exhausted budget
-//! surfaces as `unknown(timeout)` rather than a hung worker. Synthesis
+//! A verification job's deadline becomes a [`Budget`] polled in every
+//! solver phase — Tseitin/cardinality encoding, the CDCL conflict and
+//! decision loops, and the simplex pivot loop — so an exhausted budget
+//! surfaces as `unknown(timeout)` rather than a hung worker, even when
+//! the job never leaves the encoding phase. Synthesis
 //! jobs apply the deadline to each embedded verification check (the
 //! CEGIS loop re-checks feasibility many times; a per-check deadline
 //! bounds each step, and a timed-out check ends the job as
@@ -39,7 +41,7 @@ use crate::report::{CampaignReport, JobResult, Verdict};
 use crate::spec::{CampaignSpec, JobKind};
 use sta_core::attack::{AttackOutcome, AttackVerifier, VerifySession};
 use sta_core::synthesis::{Synthesizer, SynthesisOutcome};
-use sta_smt::Budget;
+use sta_smt::{Budget, SharedSink, TraceEvent};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -51,9 +53,28 @@ use std::time::{Duration, Instant};
 /// campaign on one worker thread (the baseline the determinism tests
 /// compare against).
 pub fn run(spec: &CampaignSpec, workers: usize) -> CampaignReport {
+    run_traced(spec, workers, None)
+}
+
+/// Like [`run`], additionally streaming [`TraceEvent`]s into `sink` as
+/// jobs complete (the `--trace` JSONL backend).
+///
+/// Each finished job's events — `job-start`, three `phase` records, and
+/// `job-end` — are emitted in one batch so they stay contiguous in the
+/// stream; the relative order of *different* jobs follows completion and
+/// is therefore nondeterministic, like every other timing-class quantity.
+/// The report itself is identical to [`run`]'s.
+pub fn run_traced(
+    spec: &CampaignSpec,
+    workers: usize,
+    sink: Option<&SharedSink>,
+) -> CampaignReport {
     let start = Instant::now();
     let n_jobs = spec.jobs.len();
     let workers = workers.clamp(1, n_jobs.max(1));
+    if let Some(sink) = sink {
+        sink.emit(&TraceEvent::RunStart { name: spec.name.clone(), jobs: n_jobs });
+    }
     // Round-robin initial distribution: job j starts on worker j % W.
     let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
         .map(|w| Mutex::new((w..n_jobs).step_by(workers).collect()))
@@ -70,7 +91,11 @@ pub fn run(spec: &CampaignSpec, workers: usize) -> CampaignReport {
                     HashMap::new();
                 let mut done = Vec::new();
                 while let Some(job) = next_job(queues, w) {
-                    done.push(execute(spec, job, w, &mut sessions));
+                    let result = execute(spec, job, w, &mut sessions);
+                    if let Some(sink) = sink {
+                        sink.emit_all(&job_events(&result));
+                    }
+                    done.push(result);
                 }
                 let mut bucket = lock(&buckets[w]);
                 bucket.extend(done);
@@ -83,12 +108,52 @@ pub fn run(spec: &CampaignSpec, workers: usize) -> CampaignReport {
         .flat_map(|b| b.into_inner().unwrap_or_else(|e| e.into_inner()))
         .collect();
     results.sort_unstable_by_key(|r| r.id);
-    CampaignReport {
+    let report = CampaignReport {
         name: spec.name.clone(),
         workers,
         total_wall: start.elapsed(),
         results,
+    };
+    if let Some(sink) = sink {
+        sink.emit(&TraceEvent::RunEnd {
+            name: spec.name.clone(),
+            wall_us: report.total_wall.as_micros() as u64,
+        });
     }
+    report
+}
+
+/// The trace-event batch of one finished job: `job-start`, a `phase`
+/// record per phase (with wall clock where tracked), `job-end`.
+fn job_events(result: &JobResult) -> Vec<TraceEvent> {
+    let mut events = vec![TraceEvent::JobStart {
+        job: result.id,
+        label: result.label.clone(),
+        case: result.case.clone(),
+    }];
+    if let Some(metrics) = &result.metrics {
+        for (phase, mut counters) in metrics.grouped() {
+            let wall_us = result
+                .phase_wall
+                .as_ref()
+                .and_then(|pw| pw.wall_of(phase))
+                .map(|d| d.as_micros() as u64);
+            // The trace is observational, so the scheduling-dependent
+            // cache counters belong here even though the deterministic
+            // report excludes them.
+            if let (sta_smt::Phase::Encode, Some(pw)) = (phase, &result.phase_wall) {
+                counters.push(("cache_hits", pw.cache_hits));
+                counters.push(("cache_misses", pw.cache_misses));
+            }
+            events.push(TraceEvent::Phase { job: result.id, phase, counters, wall_us });
+        }
+    }
+    events.push(TraceEvent::JobEnd {
+        job: result.id,
+        verdict: result.verdict.token().to_string(),
+        wall_us: result.wall.as_micros() as u64,
+    });
+    events
 }
 
 /// Locks a mutex, shrugging off poisoning: a panicking sibling worker
@@ -133,6 +198,8 @@ fn execute<'a>(
         architecture: None,
         iterations: None,
         stats: None,
+        metrics: None,
+        phase_wall: None,
         wall: Duration::ZERO,
         worker,
     };
@@ -151,6 +218,8 @@ fn execute<'a>(
                 None => Budget::unlimited(),
             };
             let report = session.verify_with_budget(model, &budget);
+            result.metrics = Some(report.stats.phase_metrics());
+            result.phase_wall = Some(report.stats.phase_timings());
             result.stats = Some(report.stats);
             result.verdict = match report.outcome {
                 AttackOutcome::Feasible(v) => {
@@ -167,7 +236,10 @@ fn execute<'a>(
             if attacker.timeout_ms.is_none() {
                 attacker.timeout_ms = timeout;
             }
-            result.verdict = match synth.synthesize(&attacker, config) {
+            let (outcome, obs) = synth.synthesize_with_metrics(&attacker, config);
+            result.metrics = Some(obs.metrics);
+            result.phase_wall = Some(obs.timings);
+            result.verdict = match outcome {
                 SynthesisOutcome::Architecture(a) => {
                     result.iterations = Some(a.iterations);
                     result.architecture = Some(a.secured_buses);

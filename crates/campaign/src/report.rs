@@ -9,7 +9,7 @@
 
 use sta_core::attack::AttackVector;
 use sta_grid::BusId;
-use sta_smt::{Interrupt, SolverStats};
+use sta_smt::{Interrupt, PhaseMetrics, PhaseTimings, SolverStats};
 use std::fmt;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -78,6 +78,12 @@ pub struct JobResult {
     /// Solver statistics (verification jobs; synthesis aggregates its own
     /// loop and reports none).
     pub stats: Option<SolverStats>,
+    /// Deterministic per-phase counters of the job's solver work — for
+    /// synthesis jobs the aggregate over the whole CEGIS loop. These roll
+    /// up byte-identically at any worker count.
+    pub metrics: Option<PhaseMetrics>,
+    /// Per-phase wall clock (nondeterministic; `timing` key only).
+    pub phase_wall: Option<PhaseTimings>,
     /// Wall-clock time of the job (nondeterministic; `timing` key only).
     pub wall: Duration,
     /// Worker that executed the job (nondeterministic; `timing` key only).
@@ -210,6 +216,21 @@ impl CampaignReport {
         self.results.iter().any(|r| r.verdict.is_unknown())
     }
 
+    /// Sums every job's deterministic phase counters. Addition over `u64`
+    /// is associative and commutative and the results are sorted by job
+    /// id, so the rollup (and its JSON) is byte-identical regardless of
+    /// how many workers ran the campaign — the property that makes the
+    /// phase breakdown trustworthy as a cross-run comparison baseline.
+    pub fn metrics_rollup(&self) -> PhaseMetrics {
+        let mut total = PhaseMetrics::default();
+        for r in &self.results {
+            if let Some(m) = &r.metrics {
+                total.merge(m);
+            }
+        }
+        total
+    }
+
     /// Serializes the report as JSON. With `include_timing` false, every
     /// `timing` object (per-job wall/worker, run totals) is omitted and
     /// the output depends only on the spec — not on worker count or
@@ -250,13 +271,22 @@ impl CampaignReport {
                 out.push_str(",\"stats\":");
                 stats_json(s, &mut out);
             }
+            if let Some(m) = &r.metrics {
+                out.push_str(",\"metrics\":");
+                m.to_json_into(&mut out);
+            }
             if include_timing {
                 let _ = write!(
                     out,
-                    ",\"timing\":{{\"wall_ms\":{:.3},\"worker\":{}}}",
+                    ",\"timing\":{{\"wall_ms\":{:.3},\"worker\":{}",
                     r.wall.as_secs_f64() * 1e3,
                     r.worker
                 );
+                if let Some(pw) = &r.phase_wall {
+                    out.push(',');
+                    pw.to_json_into(&mut out);
+                }
+                out.push('}');
             }
             out.push('}');
         }
@@ -269,6 +299,13 @@ impl CampaignReport {
             let _ = write!(out, ":{n}");
         }
         out.push('}');
+        if self.results.iter().any(|r| r.metrics.is_some()) {
+            // Deterministic rollup: part of the timing-stripped output on
+            // purpose, so the 1-vs-N-worker byte comparison also pins the
+            // aggregation down.
+            out.push_str(",\"metrics\":");
+            self.metrics_rollup().to_json_into(&mut out);
+        }
         if include_timing {
             let _ = write!(
                 out,
@@ -341,6 +378,8 @@ mod tests {
                     architecture: None,
                     iterations: None,
                     stats: Some(SolverStats::default()),
+                    metrics: Some(PhaseMetrics { decisions: 4, pivots: 2, ..PhaseMetrics::default() }),
+                    phase_wall: Some(PhaseTimings::default()),
                     wall: Duration::from_millis(3),
                     worker: 1,
                 },
@@ -353,6 +392,8 @@ mod tests {
                     architecture: Some(vec![BusId(0), BusId(5)]),
                     iterations: Some(3),
                     stats: None,
+                    metrics: Some(PhaseMetrics { decisions: 6, clauses: 9, ..PhaseMetrics::default() }),
+                    phase_wall: None,
                     wall: Duration::from_millis(2),
                     worker: 0,
                 },
@@ -387,5 +428,21 @@ mod tests {
     fn summary_counts_by_token() {
         let s = sample().summary();
         assert_eq!(s, vec![("sat", 1), ("unknown(timeout)", 1)]);
+    }
+
+    #[test]
+    fn metrics_rollup_sums_jobs_and_serializes_without_timing() {
+        let report = sample();
+        let rollup = report.metrics_rollup();
+        assert_eq!(rollup.decisions, 10);
+        assert_eq!(rollup.pivots, 2);
+        assert_eq!(rollup.clauses, 9);
+        let bare = report.to_json(false);
+        // Per-job and campaign-level metrics are deterministic content.
+        assert!(bare.contains("\"metrics\":{\"encode\":"));
+        assert!(bare.contains("\"decisions\":10"));
+        // Phase wall clock appears only under timing.
+        assert!(!bare.contains("encode_ms"));
+        assert!(report.to_json(true).contains("\"encode_ms\":"));
     }
 }

@@ -5,7 +5,11 @@
 //! solver. The engine ([`crate::pool::run`]) turns each [`JobSpec`] into
 //! one independent solver check (or synthesis loop) and aggregates the
 //! results deterministically by job id, so a spec is also a reproducible
-//! record of an experiment.
+//! record of an experiment: re-running it reproduces every verdict,
+//! witness, and per-phase solver counter byte for byte at any worker
+//! count (only wall clocks, worker ids, and base-cache reuse — the
+//! observational data — vary; see [`crate::report`] and
+//! [`sta_smt::trace`]).
 
 use sta_core::attack::AttackModel;
 use sta_core::synthesis::SynthesisConfig;

@@ -1,10 +1,11 @@
 //! Campaign-engine integration tests: scheduling determinism and deadline
 //! behavior over the real IEEE 14-bus encoding.
 
-use sta_campaign::{run, CampaignSpec, Verdict};
+use sta_campaign::{run, run_traced, CampaignSpec, Verdict};
 use sta_core::attack::{AttackModel, AttackVerifier, StateTarget};
 use sta_core::synthesis::SynthesisConfig;
 use sta_grid::{ieee14, BusId};
+use sta_smt::{CollectSink, SharedSink, TraceEvent};
 use std::time::Instant;
 
 /// A mixed campaign touching every job shape: sat/unsat verification,
@@ -71,6 +72,87 @@ fn reports_are_byte_identical_across_worker_counts() {
     assert!(a.contains("\"verdict\":\"sat\""));
     assert!(a.contains("\"verdict\":\"unsat\""));
     assert!(a.contains("\"verdict\":\"architecture\""));
+}
+
+/// Satellite: the per-phase counter rollup is part of the deterministic
+/// report — identical at 1 and 4 workers, both as a struct and byte for
+/// byte in the stripped JSON, and nontrivial (the campaign really ran).
+#[test]
+fn metrics_rollup_is_byte_identical_across_worker_counts() {
+    let spec = mixed_spec();
+    let serial = run(&spec, 1);
+    let parallel = run(&spec, 4);
+    let a = serial.metrics_rollup();
+    let b = parallel.metrics_rollup();
+    assert_eq!(a, b, "counter rollup must not depend on scheduling");
+    assert_eq!(a.to_json(), b.to_json());
+    assert!(a.decisions > 0 && a.clauses > 0 && a.pivots > 0, "{a:?}");
+    // Every job carries its own metrics, and the deterministic JSON
+    // embeds both the per-job objects and the campaign rollup.
+    assert!(serial.results.iter().all(|r| r.metrics.is_some()));
+    let json = serial.to_json(false);
+    assert!(json.contains("\"metrics\":{\"encode\":"));
+    assert!(json.ends_with(&format!(",\"metrics\":{}}}", a.to_json())));
+}
+
+/// Tentpole: `run_traced` streams a well-formed event sequence — one
+/// run-start/run-end bracket, and a contiguous job-start → phase× →
+/// job-end batch per job.
+#[test]
+fn traced_run_emits_contiguous_job_batches() {
+    let spec = mixed_spec();
+    let collect = CollectSink::new();
+    let sink = SharedSink::new(Box::new(collect.clone()));
+    let report = run_traced(&spec, 4, Some(&sink));
+    let events = collect.events();
+    assert!(matches!(&events[0], TraceEvent::RunStart { jobs, .. } if *jobs == spec.jobs.len()));
+    assert!(matches!(events.last(), Some(TraceEvent::RunEnd { .. })));
+    // Each job's batch is contiguous: job-start, its phase records, then
+    // its job-end, with no other job's events interleaved.
+    let mut open: Option<usize> = None;
+    let mut ended = 0usize;
+    for ev in &events[1..events.len() - 1] {
+        match ev {
+            TraceEvent::JobStart { job, .. } => {
+                assert_eq!(open, None, "job {job} started inside another batch");
+                open = Some(*job);
+            }
+            TraceEvent::Phase { job, .. } => assert_eq!(open, Some(*job)),
+            TraceEvent::JobEnd { job, verdict, .. } => {
+                assert_eq!(open, Some(*job));
+                assert!(!verdict.is_empty());
+                open = None;
+                ended += 1;
+            }
+            other => panic!("unexpected event inside run: {other:?}"),
+        }
+    }
+    assert_eq!(open, None);
+    assert_eq!(ended, spec.jobs.len());
+    // The trace carries real counters and the cache behavior the
+    // deterministic report deliberately omits.
+    let phase_json: Vec<String> = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Phase { .. }))
+        .map(|e| e.to_json())
+        .collect();
+    assert!(phase_json.iter().any(|j| j.contains("\"phase\":\"search\"")));
+    assert!(phase_json.iter().any(|j| j.contains("\"cache_hits\":")));
+    // The traced report matches the untraced one byte for byte.
+    assert_eq!(report.to_json(false), run(&spec, 1).to_json(false));
+}
+
+/// Satellite: worker-count edge cases — one worker, and more workers than
+/// jobs — complete every job and agree with each other.
+#[test]
+fn worker_count_edge_cases_complete_all_jobs() {
+    let spec = mixed_spec();
+    let one = run(&spec, 1);
+    let many = run(&spec, spec.jobs.len() + 50);
+    assert_eq!(one.results.len(), spec.jobs.len());
+    assert_eq!(many.results.len(), spec.jobs.len());
+    assert_eq!(many.workers, spec.jobs.len(), "workers clamp to the job count");
+    assert_eq!(one.to_json(false), many.to_json(false));
 }
 
 /// Campaign verdicts agree with the one-shot verifier path.

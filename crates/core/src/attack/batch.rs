@@ -44,6 +44,10 @@ pub struct VerifySession<'a> {
     verifier: AttackVerifier<'a>,
     solver: Solver,
     enc: AttackEncoding,
+    /// Checks that reused the solver's cached base encoding.
+    cache_hits: u64,
+    /// Checks that (re)built the base encoding from scratch.
+    cache_misses: u64,
 }
 
 impl<'a> VerifySession<'a> {
@@ -60,7 +64,18 @@ impl<'a> VerifySession<'a> {
         let mut solver = Solver::new();
         solver.set_certify(verifier.certify_level());
         let enc = verifier.encode_base(&mut solver, topology);
-        VerifySession { verifier, solver, enc }
+        VerifySession { verifier, solver, enc, cache_hits: 0, cache_misses: 0 }
+    }
+
+    /// Checks so far that reused the cached base encoding (the session's
+    /// raison d'être — a healthy sweep shows one miss, then all hits).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Checks so far that built (or rebuilt) the base encoding.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
     }
 
     /// The underlying verifier.
@@ -106,6 +121,11 @@ impl<'a> VerifySession<'a> {
         self.solver.set_budget(budget.clone());
         let result = self.solver.check();
         let stats = self.solver.last_stats().cloned().unwrap_or_default();
+        if stats.base_cache_hit {
+            self.cache_hits += 1;
+        } else {
+            self.cache_misses += 1;
+        }
         let outcome = match result {
             SatResult::Unsat => AttackOutcome::Infeasible,
             SatResult::Unknown(why) => AttackOutcome::Unknown(why),
@@ -178,6 +198,26 @@ mod tests {
         let verifier = AttackVerifier::new(&sys);
         assert!(!verifier.verify(&pinned).is_feasible());
         assert!(verifier.verify(&poisoned).is_feasible());
+    }
+
+    /// The first check in a session builds the base (one miss); every
+    /// later variant reuses it (hits). This is the observability signal
+    /// rolled into the campaign trace.
+    #[test]
+    fn session_counts_base_cache_hits() {
+        let sys = ieee14::system();
+        let mut session = VerifySession::new(&sys, false);
+        let open = AttackModel::new(14).target(BusId(11), StateTarget::MustChange);
+        let blocked = open.clone().max_altered_measurements(0);
+        assert_eq!((session.cache_hits(), session.cache_misses()), (0, 0));
+        let first = session.verify(&open);
+        assert!(!first.stats.base_cache_hit);
+        assert_eq!((session.cache_hits(), session.cache_misses()), (0, 1));
+        let second = session.verify(&blocked);
+        assert!(second.stats.base_cache_hit);
+        let third = session.verify(&open);
+        assert!(third.stats.base_cache_hit);
+        assert_eq!((session.cache_hits(), session.cache_misses()), (2, 1));
     }
 
     /// An exhausted budget yields Unknown and leaves the session usable.

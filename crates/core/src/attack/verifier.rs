@@ -216,7 +216,11 @@ impl<'a> AttackVerifier<'a> {
     /// Checks feasibility under an explicit wall-clock/cancellation
     /// budget. An exhausted budget yields
     /// [`AttackOutcome::Unknown`] — the scenario is *undecided*, not
-    /// infeasible.
+    /// infeasible. The budget covers *every* solver phase, including the
+    /// Tseitin/cardinality encoding of the §III constraints: a large
+    /// system whose CNF expansion alone exceeds the deadline still comes
+    /// back `Unknown` on time. The returned report's stats carry the
+    /// per-phase observability counters (see [`sta_smt::PhaseMetrics`]).
     ///
     /// # Panics
     /// Panics if `model.targets.len()` does not match the system's bus

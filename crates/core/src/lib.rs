@@ -50,5 +50,7 @@ pub use analytics::{StateThreat, ThreatAnalyzer, ThreatAssessment};
 pub use cutattack::{best_cut_attack, CutAttack};
 pub use impact::{ImpactReport, LineImpact};
 pub use attack::{AttackModel, AttackOutcome, AttackVector, AttackVerifier, StateTarget};
-pub use synthesis::{BlockingStrategy, SynthesisConfig, SynthesisOutcome, Synthesizer};
+pub use synthesis::{
+    BlockingStrategy, SynthesisConfig, SynthesisObservation, SynthesisOutcome, Synthesizer,
+};
 pub use validation::{replay, replay_default, replay_noisy, NoisyReplayResult, ReplayResult};

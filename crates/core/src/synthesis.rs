@@ -15,8 +15,28 @@
 
 use crate::attack::{AttackModel, AttackVerifier};
 use sta_grid::{BusId, MeasurementConfig, MeasurementId, TestSystem};
-use sta_smt::{BoolVar, CertifyLevel, Formula, SatResult, Solver};
+use sta_smt::{
+    BoolVar, CertifyLevel, Formula, PhaseMetrics, PhaseTimings, SatResult, Solver, SolverStats,
+};
 use std::fmt;
+
+/// Aggregated solver observability over one synthesis run: every selection
+/// check and every verification call folds its per-phase counters (and,
+/// separately, wall-clock timings) into this accumulator.
+#[derive(Debug, Default, Clone)]
+pub struct SynthesisObservation {
+    /// Deterministic per-phase counters summed over all solver calls.
+    pub metrics: PhaseMetrics,
+    /// Wall-clock per-phase timings summed over all solver calls.
+    pub timings: PhaseTimings,
+}
+
+impl SynthesisObservation {
+    fn record(&mut self, stats: &SolverStats) {
+        self.metrics.merge(&stats.phase_metrics());
+        self.timings.merge(&stats.phase_timings());
+    }
+}
 
 /// How failed candidates are excluded from the search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -198,6 +218,29 @@ impl<'a> Synthesizer<'a> {
         attacker: &AttackModel,
         config: &SynthesisConfig,
     ) -> SynthesisOutcome {
+        let mut obs = SynthesisObservation::default();
+        self.synthesize_observed(attacker, config, &mut obs)
+    }
+
+    /// Like [`Synthesizer::synthesize`], additionally returning the
+    /// aggregated per-phase solver observability of the whole CEGIS loop
+    /// (selection checks plus every verification round trip).
+    pub fn synthesize_with_metrics(
+        &self,
+        attacker: &AttackModel,
+        config: &SynthesisConfig,
+    ) -> (SynthesisOutcome, SynthesisObservation) {
+        let mut obs = SynthesisObservation::default();
+        let outcome = self.synthesize_observed(attacker, config, &mut obs);
+        (outcome, obs)
+    }
+
+    fn synthesize_observed(
+        &self,
+        attacker: &AttackModel,
+        config: &SynthesisConfig,
+        obs: &mut SynthesisObservation,
+    ) -> SynthesisOutcome {
         let b = self.system.grid.num_buses();
         let mut selection = Solver::new();
         selection.set_certify(self.certify.max(attacker.certify));
@@ -241,7 +284,11 @@ impl<'a> Synthesizer<'a> {
                 }
             }
             iterations += 1;
-            let candidate: Vec<BusId> = match selection.check() {
+            let selection_result = selection.check();
+            if let Some(stats) = selection.last_stats() {
+                obs.record(stats);
+            }
+            let candidate: Vec<BusId> = match selection_result {
                 SatResult::Unsat => {
                     return SynthesisOutcome::NoSolution { iterations };
                 }
@@ -258,7 +305,9 @@ impl<'a> Synthesizer<'a> {
             // candidate secured?
             let mut hardened = attacker.clone();
             hardened.extra_secured_buses.extend(candidate.iter().copied());
-            let outcome = self.verifier.verify(&hardened);
+            let report = self.verifier.verify_with_stats(&hardened);
+            obs.record(&report.stats);
+            let outcome = report.outcome;
             if outcome.is_unknown() {
                 // A timed-out verification can certify nothing about the
                 // candidate — treating it as "blocked" would be unsound.
@@ -296,7 +345,9 @@ impl<'a> Synthesizer<'a> {
                             break;
                         }
                         chained.extra_secured_buses.extend(buses.iter().copied());
-                        match self.verifier.verify(&chained).vector() {
+                        let chained_report = self.verifier.verify_with_stats(&chained);
+                        obs.record(&chained_report.stats);
+                        match chained_report.outcome.vector() {
                             Some(v) => buses = v.compromised_buses.clone(),
                             None => break,
                         }

@@ -9,7 +9,13 @@
 //! Cardinality nodes use the Sinz sequential-counter encoding, guarded by
 //! the definition literal in both polarities so they remain correct under
 //! arbitrary Boolean structure.
+//!
+//! Encoding honors the solver [`Budget`]: Tseitin recursion and the
+//! sequential-counter expansion poll the deadline/cancel flag (masked, every
+//! 64th poll site) and abort with [`Interrupt`], so a huge encoding cannot
+//! blow past `--timeout-ms` before the search loop ever runs.
 
+use crate::budget::{Budget, Interrupt};
 use crate::expr::LinExpr;
 use crate::formula::{BoolVar, CmpOp, Formula, Node};
 use crate::rational::Rational;
@@ -41,10 +47,16 @@ pub struct Encoder {
     pub clauses: u64,
     /// Total literal count over pushed clauses (memory statistic).
     pub clause_lits: u64,
+    /// Deadline/cancellation budget polled while encoding.
+    budget: Budget,
+    /// Cached `budget.is_limited()` so the unlimited path stays branch-cheap.
+    limited: bool,
+    /// Poll-site counter for masked clock reads.
+    polls: u64,
 }
 
 impl Encoder {
-    /// Creates an empty encoder.
+    /// Creates an empty encoder (unlimited budget).
     pub fn new() -> Self {
         Encoder::default()
     }
@@ -54,52 +66,95 @@ impl Encoder {
         self.atom_map.len()
     }
 
-    /// Encodes `f` and asserts it at the root level.
+    /// Installs the budget polled during encoding. The first poll site hit
+    /// after installation always reads the clock, so a zero-duration budget
+    /// interrupts before any clause is pushed.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.limited = budget.is_limited();
+        self.budget = budget;
+        self.polls = 0;
+    }
+
+    /// Masked budget poll: reads the clock on the first call after
+    /// [`Encoder::set_budget`] and every 64th poll site thereafter.
+    fn poll(&mut self) -> Result<(), Interrupt> {
+        if !self.limited {
+            return Ok(());
+        }
+        let check = self.polls & 63 == 0;
+        self.polls = self.polls.wrapping_add(1);
+        if check {
+            if let Some(why) = self.budget.exhausted() {
+                return Err(why);
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes `f` and asserts it at the root level, or aborts with the
+    /// budget's [`Interrupt`] mid-encode (a partially asserted formula is
+    /// meaningless — the caller must discard the solver/encoder pair).
     ///
     /// Top-level conjunctions are flattened, and top-level cardinality
     /// constraints are emitted in their asserted polarity only: a full
     /// Tseitin `t ↔ at-most-k` costs an extra `O(n·(n−k))` counter for
     /// the never-used negative direction, which dominated the CNF for
     /// small `k` over many variables.
-    pub fn assert_root(&mut self, f: &Formula, sat: &mut CdclSolver, simplex: &mut Simplex) {
+    pub fn assert_root(
+        &mut self,
+        f: &Formula,
+        sat: &mut CdclSolver,
+        simplex: &mut Simplex,
+    ) -> Result<(), Interrupt> {
         match &*f.0 {
             Node::And(fs) => {
                 for g in fs {
-                    self.assert_root(g, sat, simplex);
+                    self.assert_root(g, sat, simplex)?;
                 }
             }
             Node::AtMost(fs, k) => {
-                let lits: Vec<Lit> =
-                    fs.iter().map(|g| self.encode(g, sat, simplex)).collect();
-                self.assert_at_most(&lits, *k, sat);
+                let lits = fs
+                    .iter()
+                    .map(|g| self.encode(g, sat, simplex))
+                    .collect::<Result<Vec<Lit>, Interrupt>>()?;
+                self.assert_at_most(&lits, *k, sat)?;
             }
             Node::AtLeast(fs, k) => {
-                let lits: Vec<Lit> =
-                    fs.iter().map(|g| !self.encode(g, sat, simplex)).collect();
+                let lits = fs
+                    .iter()
+                    .map(|g| self.encode(g, sat, simplex).map(|l| !l))
+                    .collect::<Result<Vec<Lit>, Interrupt>>()?;
                 let n = lits.len();
-                self.assert_at_most(&lits, n - *k, sat);
+                self.assert_at_most(&lits, n - *k, sat)?;
             }
             _ => {
-                let lit = self.encode(f, sat, simplex);
+                let lit = self.encode(f, sat, simplex)?;
                 self.push_clause(sat, vec![lit]);
             }
         }
+        Ok(())
     }
 
     /// Asserts `at-most-k(lits)` directly (no definition literal).
-    fn assert_at_most(&mut self, lits: &[Lit], k: usize, sat: &mut CdclSolver) {
+    fn assert_at_most(
+        &mut self,
+        lits: &[Lit],
+        k: usize,
+        sat: &mut CdclSolver,
+    ) -> Result<(), Interrupt> {
         let n = lits.len();
         if k >= n {
-            return;
+            return Ok(());
         }
         if k == 0 {
             for &l in lits {
+                self.poll()?;
                 self.push_clause(sat, vec![!l]);
             }
-            return;
+            return Ok(());
         }
         let always_false = !self.true_lit(sat);
-        self.guarded_sequential_counter(lits, k, always_false, sat);
+        self.guarded_sequential_counter(lits, k, always_false, sat)
     }
 
     /// The SAT variable backing problem Boolean `v` (created on demand).
@@ -128,33 +183,42 @@ impl Encoder {
         Lit::positive(v)
     }
 
-    fn encode(&mut self, f: &Formula, sat: &mut CdclSolver, simplex: &mut Simplex) -> Lit {
-        match &*f.0 {
+    fn encode(
+        &mut self,
+        f: &Formula,
+        sat: &mut CdclSolver,
+        simplex: &mut Simplex,
+    ) -> Result<Lit, Interrupt> {
+        self.poll()?;
+        Ok(match &*f.0 {
             Node::True => self.true_lit(sat),
             Node::False => !self.true_lit(sat),
             Node::Var(v) => Lit::positive(self.sat_var_of_bool(*v, sat)),
             Node::Atom(e, op) => self.encode_atom(e, *op, sat, simplex),
-            Node::Not(g) => !self.encode(g, sat, simplex),
+            Node::Not(g) => !self.encode(g, sat, simplex)?,
             Node::And(fs) => {
-                let lits: Vec<Lit> =
-                    fs.iter().map(|g| self.encode(g, sat, simplex)).collect();
+                let lits = fs
+                    .iter()
+                    .map(|g| self.encode(g, sat, simplex))
+                    .collect::<Result<Vec<Lit>, Interrupt>>()?;
                 self.define_and(&lits, sat)
             }
             Node::Or(fs) => {
-                let lits: Vec<Lit> =
-                    fs.iter().map(|g| self.encode(g, sat, simplex)).collect();
-                let neg: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+                let neg = fs
+                    .iter()
+                    .map(|g| self.encode(g, sat, simplex).map(|l| !l))
+                    .collect::<Result<Vec<Lit>, Interrupt>>()?;
                 !self.define_and(&neg, sat)
             }
             Node::Implies(a, b) => {
-                let la = self.encode(a, sat, simplex);
-                let lb = self.encode(b, sat, simplex);
+                let la = self.encode(a, sat, simplex)?;
+                let lb = self.encode(b, sat, simplex)?;
                 let neg = vec![la, !lb];
                 !self.define_and(&neg, sat)
             }
             Node::Iff(a, b) => {
-                let la = self.encode(a, sat, simplex);
-                let lb = self.encode(b, sat, simplex);
+                let la = self.encode(a, sat, simplex)?;
+                let lb = self.encode(b, sat, simplex)?;
                 let t = Lit::positive(sat.new_var());
                 self.push_clause(sat, vec![!t, !la, lb]);
                 self.push_clause(sat, vec![!t, la, !lb]);
@@ -163,18 +227,22 @@ impl Encoder {
                 t
             }
             Node::AtMost(fs, k) => {
-                let lits: Vec<Lit> =
-                    fs.iter().map(|g| self.encode(g, sat, simplex)).collect();
-                self.define_at_most(&lits, *k, sat)
+                let lits = fs
+                    .iter()
+                    .map(|g| self.encode(g, sat, simplex))
+                    .collect::<Result<Vec<Lit>, Interrupt>>()?;
+                self.define_at_most(&lits, *k, sat)?
             }
             Node::AtLeast(fs, k) => {
                 // at-least-k(xs) ≡ at-most-(n−k)(¬xs)
-                let lits: Vec<Lit> =
-                    fs.iter().map(|g| !self.encode(g, sat, simplex)).collect();
+                let lits = fs
+                    .iter()
+                    .map(|g| self.encode(g, sat, simplex).map(|l| !l))
+                    .collect::<Result<Vec<Lit>, Interrupt>>()?;
                 let n = lits.len();
-                self.define_at_most(&lits, n - *k, sat)
+                self.define_at_most(&lits, n - *k, sat)?
             }
-        }
+        })
     }
 
     /// Returns `t` with `t ↔ (l1 ∧ … ∧ ln)`.
@@ -193,10 +261,15 @@ impl Encoder {
     /// Returns `t` with `t ↔ at-most-k(lits)`, via two guarded sequential
     /// counters: `t → ≤k` and `¬t → ≥k+1` (the latter as `≤ n−k−1` over the
     /// negated literals).
-    fn define_at_most(&mut self, lits: &[Lit], k: usize, sat: &mut CdclSolver) -> Lit {
+    fn define_at_most(
+        &mut self,
+        lits: &[Lit],
+        k: usize,
+        sat: &mut CdclSolver,
+    ) -> Result<Lit, Interrupt> {
         let n = lits.len();
         if k >= n {
-            return self.true_lit(sat);
+            return Ok(self.true_lit(sat));
         }
         let t = Lit::positive(sat.new_var());
         if k == 0 {
@@ -204,13 +277,14 @@ impl Encoder {
             let mut long = Vec::with_capacity(n + 1);
             long.push(t);
             for &l in lits {
+                self.poll()?;
                 self.push_clause(sat, vec![!t, !l]);
                 long.push(l);
             }
             self.push_clause(sat, long);
-            return t;
+            return Ok(t);
         }
-        self.guarded_sequential_counter(lits, k, !t, sat);
+        self.guarded_sequential_counter(lits, k, !t, sat)?;
         let negated: Vec<Lit> = lits.iter().map(|&l| !l).collect();
         // ¬t → at-least-(k+1)(lits) ≡ at-most-(n−k−1)(¬lits).
         let nk = n - k - 1;
@@ -219,20 +293,22 @@ impl Encoder {
                 self.push_clause(sat, vec![t, l]);
             }
         } else {
-            self.guarded_sequential_counter(&negated, nk, t, sat);
+            self.guarded_sequential_counter(&negated, nk, t, sat)?;
         }
-        t
+        Ok(t)
     }
 
     /// Sinz LT-SEQ: `guard ∨ at-most-k(lits)` — i.e. the constraint holds
-    /// whenever `guard` is false.
+    /// whenever `guard` is false. Polls the budget once per counter row:
+    /// each row is `O(k)` clauses, so the `O(n·k)` expansion stays
+    /// interruptible without a clock read per clause.
     fn guarded_sequential_counter(
         &mut self,
         lits: &[Lit],
         k: usize,
         guard: Lit,
         sat: &mut CdclSolver,
-    ) {
+    ) -> Result<(), Interrupt> {
         let n = lits.len();
         debug_assert!(k >= 1 && k < n);
         // s[i][j]: among lits[0..=i] at least j+1 are true (i < n−1, j < k).
@@ -247,6 +323,7 @@ impl Encoder {
             self.push_clause(sat, vec![guard, !s[0][j]]);
         }
         for i in 1..n - 1 {
+            self.poll()?;
             self.push_clause(sat, vec![guard, !lits[i], s[i][0]]);
             self.push_clause(sat, vec![guard, !s[i - 1][0], s[i][0]]);
             for j in 1..k {
@@ -256,6 +333,7 @@ impl Encoder {
             self.push_clause(sat, vec![guard, !lits[i], !s[i - 1][k - 1]]);
         }
         self.push_clause(sat, vec![guard, !lits[n - 1], !s[n - 2][k - 1]]);
+        Ok(())
     }
 
     /// Encodes an arithmetic atom `e op 0` (constant already folded into
@@ -346,7 +424,7 @@ mod tests {
         let mut sat = CdclSolver::new();
         let mut simplex = Simplex::new();
         let mut enc = Encoder::new();
-        enc.assert_root(f, &mut sat, &mut simplex);
+        enc.assert_root(f, &mut sat, &mut simplex).expect("unlimited encode");
         if sat.solve(&mut simplex) == SatOutcome::Unsat {
             return None;
         }
@@ -463,8 +541,8 @@ mod tests {
         let mut enc = Encoder::new();
         let a = LinExpr::var(x).le(LinExpr::from(3));
         let b = LinExpr::var(x).gt(LinExpr::from(3)).not();
-        enc.assert_root(&a, &mut sat, &mut simplex);
-        enc.assert_root(&b, &mut sat, &mut simplex);
+        enc.assert_root(&a, &mut sat, &mut simplex).expect("encode");
+        enc.assert_root(&b, &mut sat, &mut simplex).expect("encode");
         assert_eq!(enc.num_atoms(), 1);
         assert_eq!(sat.solve(&mut simplex), SatOutcome::Sat);
     }
@@ -481,17 +559,69 @@ mod tests {
             &LinExpr::var(x).eq_expr(LinExpr::var(y)),
             &mut sat,
             &mut simplex,
-        );
+        )
+        .expect("encode");
         enc.assert_root(
             &LinExpr::var(y).eq_expr(LinExpr::from(3)),
             &mut sat,
             &mut simplex,
-        );
+        )
+        .expect("encode");
         enc.assert_root(
             &LinExpr::var(x).ne_expr(LinExpr::from(3)),
             &mut sat,
             &mut simplex,
-        );
+        )
+        .expect("encode");
         assert_eq!(sat.solve(&mut simplex), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn zero_budget_interrupts_before_any_clause() {
+        use crate::budget::{Budget, Interrupt};
+        use std::time::Duration;
+        let ps: Vec<Formula> = (0..400).map(|i| Formula::var(BoolVar(i))).collect();
+        let f = Formula::at_most(ps, 3);
+        let mut sat = CdclSolver::new();
+        let mut simplex = Simplex::new();
+        let mut enc = Encoder::new();
+        enc.set_budget(Budget::with_timeout(Duration::ZERO));
+        let err = enc.assert_root(&f, &mut sat, &mut simplex);
+        assert_eq!(err, Err(Interrupt::Timeout));
+        // The very first poll fires before any clause is pushed.
+        assert_eq!(enc.clauses, 0);
+    }
+
+    #[test]
+    fn cancellation_mid_encode_is_surfaced() {
+        use crate::budget::{Budget, Interrupt};
+        let ps: Vec<Formula> = (0..50).map(|i| Formula::var(BoolVar(i))).collect();
+        let f = Formula::at_most(ps, 2);
+        let mut sat = CdclSolver::new();
+        let mut simplex = Simplex::new();
+        let mut enc = Encoder::new();
+        let mut budget = Budget::unlimited();
+        let token = budget.new_cancel_token();
+        enc.set_budget(budget);
+        enc.assert_root(&f, &mut sat, &mut simplex)
+            .expect("token not raised yet");
+        let before = enc.clauses;
+        assert!(before > 0);
+        token.store(true, std::sync::atomic::Ordering::Relaxed);
+        let err = enc.assert_root(&f, &mut sat, &mut simplex);
+        assert_eq!(err, Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn unlimited_budget_costs_nothing_and_finishes() {
+        // A default encoder never reads the clock and encodes to completion.
+        let ps: Vec<Formula> = (0..100).map(|i| Formula::var(BoolVar(i))).collect();
+        let f = Formula::at_most(ps, 5);
+        let mut sat = CdclSolver::new();
+        let mut simplex = Simplex::new();
+        let mut enc = Encoder::new();
+        enc.assert_root(&f, &mut sat, &mut simplex).expect("unlimited");
+        assert!(enc.clauses > 0);
+        assert_eq!(sat.solve(&mut simplex), SatOutcome::Sat);
     }
 }

@@ -60,6 +60,7 @@ pub mod sat;
 pub mod simplex;
 pub mod solver;
 pub mod stats;
+pub mod trace;
 
 pub use budget::{Budget, Interrupt};
 pub use certify::{
@@ -72,3 +73,6 @@ pub use lint::{lint, lint_clauses, LintFinding, LintKind, LintReport, Severity};
 pub use rational::{DeltaRational, Rational};
 pub use solver::{Model, SatResult, Solver};
 pub use stats::SolverStats;
+pub use trace::{
+    CollectSink, JsonlSink, Phase, PhaseMetrics, PhaseTimings, SharedSink, TraceEvent, TraceSink,
+};

@@ -12,7 +12,7 @@ use super::proof::{FarkasCertificate, ProofLog};
 use crate::budget::{Budget, Interrupt};
 
 /// Result of a theory callback.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TheoryResult {
     /// Consistent so far.
     Ok,
@@ -809,6 +809,16 @@ impl CdclSolver {
                         self.reduce_db();
                         max_learned += 500;
                     }
+                    // Decision-boundary budget poll (same masked trick as the
+                    // simplex pivot loop): a satisfiable instance that makes
+                    // millions of decisions with few conflicts must still
+                    // observe its deadline, and the round counter alone can
+                    // lag when propagation queues run long.
+                    if limited && self.counters.decisions & 63 == 0 {
+                        if let Some(why) = self.budget.exhausted() {
+                            return SatOutcome::Unknown(why);
+                        }
+                    }
                     theory.on_new_level();
                     if !self.decide() {
                         // Fully assigned and theory-consistent.
@@ -841,6 +851,27 @@ mod tests {
         assert_eq!(s.solve(&mut NullTheory), SatOutcome::Sat);
         assert_eq!(s.value(a), LBool::False);
         assert_eq!(s.value(b), LBool::True);
+    }
+
+    /// Regression: a zero-duration budget must return `Unknown` before the
+    /// search makes a single decision — both the round-counter poll at the
+    /// loop top and the decision-boundary poll fire on their first pass.
+    #[test]
+    fn zero_budget_interrupts_before_any_search() {
+        let mut s = CdclSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(vec![lp(a), lp(b)]);
+        s.add_clause(vec![lp(a), ln(b)]);
+        s.set_budget(Budget::with_timeout(std::time::Duration::ZERO));
+        assert_eq!(
+            s.solve(&mut NullTheory),
+            SatOutcome::Unknown(Interrupt::Timeout)
+        );
+        assert_eq!(s.counters().decisions, 0);
+        // With the budget lifted the same solver finishes the search.
+        s.set_budget(Budget::unlimited());
+        assert_eq!(s.solve(&mut NullTheory), SatOutcome::Sat);
     }
 
     #[test]

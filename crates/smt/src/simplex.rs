@@ -93,6 +93,10 @@ pub struct Simplex {
     trail: Vec<Vec<Undo>>,
     /// Number of pivots performed (statistics).
     pivots: u64,
+    /// Number of bound assertions received from the SAT core (statistics).
+    bound_asserts: u64,
+    /// Number of full consistency checks run (statistics).
+    theory_checks: u64,
     /// Farkas certificate for the most recent conflict, consumed by proof
     /// logging through [`Theory::take_certificate`].
     last_certificate: Option<FarkasCertificate>,
@@ -141,6 +145,16 @@ impl Simplex {
     /// Number of pivot operations performed so far.
     pub fn pivots(&self) -> u64 {
         self.pivots
+    }
+
+    /// Number of bound assertions received from the SAT core so far.
+    pub fn bound_asserts(&self) -> u64 {
+        self.bound_asserts
+    }
+
+    /// Number of full consistency checks run so far.
+    pub fn theory_checks(&self) -> u64 {
+        self.theory_checks
     }
 
     /// Installs the budget polled by the pivot loop. An exhausted budget
@@ -366,6 +380,7 @@ impl Simplex {
     }
 
     fn assert_bound(&mut self, var: SVar, kind: BoundKind, value: DeltaRational, lit: Lit) -> TheoryResult {
+        self.bound_asserts += 1;
         match kind {
             BoundKind::Upper => {
                 if let Some(ub) = &self.upper[var] {
@@ -554,6 +569,7 @@ impl Simplex {
     /// The main `Check()` loop: Bland's rule pivoting until all basic
     /// variables respect their bounds, or a row proves infeasibility.
     fn check_internal(&mut self) -> TheoryResult {
+        self.theory_checks += 1;
         let debug = std::env::var_os("STA_SMT_DEBUG").is_some();
         let t0 = debug.then(std::time::Instant::now);
         self.repair_nonbasic();
@@ -764,6 +780,32 @@ mod tests {
         sat.add_clause(vec![Lit::positive(a)]);
         sat.add_clause(vec![Lit::negative(b)]);
         assert_eq!(sat.solve(&mut simplex), SatOutcome::Unsat);
+    }
+
+    /// The pivot loop polls on its first iteration, so an already-expired
+    /// budget interrupts a theory check before any pivot happens.
+    #[test]
+    fn zero_budget_interrupts_check_before_any_pivot() {
+        let mut simplex = Simplex::new();
+        let _ = simplex.solver_var(RealVar(0));
+        simplex.set_budget(Budget::with_timeout(std::time::Duration::ZERO));
+        assert_eq!(simplex.check(), TheoryResult::Interrupted);
+        assert_eq!(simplex.pivots(), 0);
+        assert_eq!(simplex.theory_checks(), 1);
+    }
+
+    #[test]
+    fn counters_track_bound_asserts_and_checks() {
+        let mut simplex = Simplex::new();
+        let mut sat = CdclSolver::new();
+        let x = simplex.solver_var(RealVar(0));
+        let a = sat.new_var(); // x ≤ 3
+        sat.set_theory_var(a);
+        simplex.register_atom(a, x, Rational::new(3, 1), false);
+        sat.add_clause(vec![Lit::positive(a)]);
+        assert_eq!(sat.solve(&mut simplex), SatOutcome::Sat);
+        assert!(simplex.bound_asserts() >= 1);
+        assert!(simplex.theory_checks() >= 1);
     }
 
     #[test]

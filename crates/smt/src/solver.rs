@@ -20,8 +20,12 @@
 //! certification levels changed mid-stack) drains the cache entirely.
 //!
 //! Checks accept a [`Budget`]: deadlines and cooperative cancellation are
-//! polled inside the CDCL and pivot loops, surfacing as
-//! [`SatResult::Unknown`] instead of hanging.
+//! polled at every phase — Tseitin/cardinality encoding (including base
+//! extension), the CDCL decision and conflict loops, and simplex pivoting —
+//! surfacing as [`SatResult::Unknown`] instead of hanging. An interrupt
+//! during base extension drains the cache (the half-encoded assertion
+//! would poison the template); an interrupt while encoding scoped deltas
+//! only discards the per-check clone.
 //!
 //! # Examples
 //!
@@ -297,6 +301,7 @@ impl Solver {
         if self.base.as_ref().is_some_and(|b| b.proof != full) {
             self.base = None;
         }
+        let cache_hit = self.base.is_some();
         let base = self.base.get_or_insert_with(|| {
             let mut sat = CdclSolver::new();
             if full {
@@ -317,10 +322,37 @@ impl Solver {
             base.simplex.solver_var(RealVar(i));
         }
         base.reals = self.n_reals;
+        // The encoder honors the budget: a huge Tseitin/cardinality
+        // expansion must not blow past the deadline before the search loop
+        // ever polls. The base template is encoded under the budget and
+        // reset to unlimited afterwards so later unlimited checks reuse it.
+        base.encoder.set_budget(self.budget.clone());
+        let mut base_interrupt = None;
         while base.encoded < base_limit {
             let f = &self.assertions[base.encoded];
-            base.encoder.assert_root(f, &mut base.sat, &mut base.simplex);
+            if let Err(why) = base.encoder.assert_root(f, &mut base.sat, &mut base.simplex) {
+                base_interrupt = Some(why);
+                break;
+            }
             base.encoded += 1;
+        }
+        base.encoder.set_budget(Budget::unlimited());
+        if let Some(why) = base_interrupt {
+            // The interrupted assertion is half-encoded into the template —
+            // drop the cache so the next check rebuilds it cleanly.
+            self.base = None;
+            let mut stats = SolverStats::default();
+            stats.bool_vars = self.n_bools as usize;
+            stats.real_vars = self.n_reals as usize;
+            stats.assertions = self.assertions.len();
+            stats.base_cache_hit = cache_hit;
+            stats.lint_errors = lint_report.count(Severity::Error);
+            stats.lint_warnings = lint_report.count(Severity::Warning);
+            stats.lint_infos = lint_report.count(Severity::Info);
+            stats.encode_time = start.elapsed();
+            stats.solve_time = start.elapsed();
+            self.last_stats = Some(stats);
+            return Ok(SatResult::Unknown(why));
         }
         // Per-check clone: scoped deltas are encoded into it and it alone
         // is solved, keeping learned clauses, theory state and proof steps
@@ -328,8 +360,32 @@ impl Solver {
         let mut sat = base.sat.clone();
         let mut simplex = base.simplex.clone();
         let mut encoder = base.encoder.clone();
+        encoder.set_budget(self.budget.clone());
+        let mut delta_interrupt = None;
         for f in &self.assertions[base_limit..] {
-            encoder.assert_root(f, &mut sat, &mut simplex);
+            if let Err(why) = encoder.assert_root(f, &mut sat, &mut simplex) {
+                delta_interrupt = Some(why);
+                break;
+            }
+        }
+        if let Some(why) = delta_interrupt {
+            // Only the clone saw the partial delta; the base stays valid.
+            let mut stats = SolverStats::default();
+            stats.bool_vars = self.n_bools as usize;
+            stats.real_vars = self.n_reals as usize;
+            stats.assertions = self.assertions.len();
+            stats.sat_vars = sat.num_vars();
+            stats.clauses = encoder.clauses;
+            stats.clause_lits = encoder.clause_lits;
+            stats.atoms = encoder.num_atoms();
+            stats.base_cache_hit = cache_hit;
+            stats.lint_errors = lint_report.count(Severity::Error);
+            stats.lint_warnings = lint_report.count(Severity::Warning);
+            stats.lint_infos = lint_report.count(Severity::Info);
+            stats.encode_time = start.elapsed();
+            stats.solve_time = start.elapsed();
+            self.last_stats = Some(stats);
+            return Ok(SatResult::Unknown(why));
         }
         if full {
             // Encoding-level pass (duplicate / subsumed clauses) over the
@@ -340,6 +396,7 @@ impl Solver {
         simplex.set_budget(self.budget.clone());
         let encode_done = Instant::now();
         let outcome = sat.solve(&mut simplex);
+        let search_time = encode_done.elapsed();
         if std::env::var_os("STA_SMT_DEBUG").is_some() {
             let t = &simplex.debug_timers;
             eprintln!(
@@ -372,12 +429,18 @@ impl Solver {
             theory_conflicts: counters.theory_conflicts,
             restarts: counters.restarts,
             learned_clauses: counters.learned_clauses,
+            clause_db: sat.num_clauses() as u64,
+            bound_asserts: simplex.bound_asserts(),
+            theory_checks: simplex.theory_checks(),
+            base_cache_hit: cache_hit,
             proof_steps: 0,
             certified: false,
             lint_errors: lint_report.count(Severity::Error),
             lint_warnings: lint_report.count(Severity::Warning),
             lint_infos: lint_report.count(Severity::Info),
             solve_time: start.elapsed(),
+            encode_time: encode_done - start,
+            search_time,
         };
         let result = match outcome {
             SatOutcome::Unsat => {
@@ -688,6 +751,64 @@ mod tests {
         s.set_budget(budget);
         token.store(true, std::sync::atomic::Ordering::Relaxed);
         assert!(matches!(s.check(), SatResult::Unknown(Interrupt::Cancelled)));
+    }
+
+    /// Regression for the encode-phase budget gap: a zero-duration budget
+    /// must interrupt *inside* the encoder — before a single clause is
+    /// pushed — not merely before the search loop.
+    #[test]
+    fn zero_budget_interrupts_base_encoding_before_any_clause() {
+        let mut s = Solver::new();
+        let ps: Vec<Formula> = (0..200).map(|_| Formula::var(s.new_bool())).collect();
+        s.assert_formula(&Formula::at_most(ps, 3));
+        s.set_budget(Budget::with_timeout(std::time::Duration::ZERO));
+        let result = s.check();
+        assert!(matches!(result, SatResult::Unknown(Interrupt::Timeout)), "{result:?}");
+        let stats = s.last_stats().expect("stats").clone();
+        assert_eq!(stats.clauses, 0, "encoder ran past an expired deadline");
+        assert_eq!(stats.decisions, 0);
+        // The poisoned base template was dropped; an unlimited re-check
+        // rebuilds it and decides the instance.
+        s.set_budget(Budget::unlimited());
+        assert!(s.check().is_sat());
+        assert!(!s.last_stats().expect("stats").base_cache_hit);
+    }
+
+    /// An interrupt while encoding a *scoped* delta must discard only the
+    /// per-check clone: the cached base survives for the next check.
+    #[test]
+    fn zero_budget_delta_encode_interrupt_keeps_base_cache() {
+        let mut s = Solver::new();
+        let x = s.new_real();
+        s.assert_formula(&LinExpr::var(x).ge(LinExpr::from(1)));
+        assert!(s.check().is_sat()); // builds and caches the base
+        s.push();
+        let ps: Vec<Formula> = (0..200).map(|_| Formula::var(s.new_bool())).collect();
+        s.assert_formula(&Formula::at_most(ps, 3));
+        s.set_budget(Budget::with_timeout(std::time::Duration::ZERO));
+        let result = s.check();
+        assert!(matches!(result, SatResult::Unknown(Interrupt::Timeout)), "{result:?}");
+        assert!(s.last_stats().expect("stats").base_cache_hit);
+        s.pop();
+        s.set_budget(Budget::unlimited());
+        assert!(s.check().is_sat());
+        // The base was reused, not rebuilt, after the delta interrupt.
+        assert!(s.last_stats().expect("stats").base_cache_hit);
+    }
+
+    /// Cancellation raised mid-run is observed at the next encode poll.
+    #[test]
+    fn cancellation_interrupts_encoding_phase() {
+        let mut s = Solver::new();
+        let ps: Vec<Formula> = (0..200).map(|_| Formula::var(s.new_bool())).collect();
+        s.assert_formula(&Formula::at_most(ps, 3));
+        let mut budget = Budget::unlimited();
+        let token = budget.new_cancel_token();
+        s.set_budget(budget);
+        token.store(true, std::sync::atomic::Ordering::Relaxed);
+        let result = s.check();
+        assert!(matches!(result, SatResult::Unknown(Interrupt::Cancelled)), "{result:?}");
+        assert_eq!(s.last_stats().expect("stats").clauses, 0);
     }
 
     /// A deliberately hard instance (pigeonhole, exponential for CDCL) with

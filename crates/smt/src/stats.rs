@@ -8,6 +8,7 @@
 //! but scales exactly with problem structure, which is what the table is
 //! meant to demonstrate.
 
+use crate::trace::{PhaseMetrics, PhaseTimings};
 use std::fmt;
 use std::time::Duration;
 
@@ -48,6 +49,15 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Learned clauses retained.
     pub learned_clauses: u64,
+    /// Clause-database size (original + learned) at end of search.
+    pub clause_db: u64,
+    /// Theory bound assertions fed to the simplex.
+    pub bound_asserts: u64,
+    /// Full simplex consistency checks.
+    pub theory_checks: u64,
+    /// Whether this check reused an already-encoded base (the solver's
+    /// incremental base-encoding cache).
+    pub base_cache_hit: bool,
     /// Derivation steps in the logged proof (learned clauses plus theory
     /// lemmas); zero unless proof logging was enabled by certification.
     pub proof_steps: u64,
@@ -62,6 +72,10 @@ pub struct SolverStats {
     pub lint_infos: usize,
     /// Wall-clock time of the check.
     pub solve_time: Duration,
+    /// Wall-clock time spent encoding (base extension + per-check delta).
+    pub encode_time: Duration,
+    /// Wall-clock time spent in the DPLL(T) search.
+    pub search_time: Duration,
 }
 
 impl SolverStats {
@@ -90,6 +104,41 @@ impl SolverStats {
     /// Estimated memory in mebibytes (Table IV's unit).
     pub fn estimated_mb(&self) -> f64 {
         self.estimated_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// The deterministic per-phase counters of this check (the observability
+    /// layer's unit of aggregation — see [`crate::trace`]).
+    pub fn phase_metrics(&self) -> PhaseMetrics {
+        PhaseMetrics {
+            clauses: self.clauses,
+            clause_lits: self.clause_lits,
+            sat_vars: self.sat_vars as u64,
+            atoms: self.atoms as u64,
+            decisions: self.decisions,
+            propagations: self.propagations,
+            conflicts: self.conflicts,
+            theory_conflicts: self.theory_conflicts,
+            restarts: self.restarts,
+            learned_clauses: self.learned_clauses,
+            clause_db: self.clause_db,
+            pivots: self.pivots,
+            bound_asserts: self.bound_asserts,
+            theory_checks: self.theory_checks,
+        }
+    }
+
+    /// The observational side of the phase breakdown — wall clocks and
+    /// base-cache behavior — kept apart from
+    /// [`SolverStats::phase_metrics`] so deterministic aggregation stays
+    /// byte-identical across worker counts (cache reuse depends on which
+    /// worker ran which job).
+    pub fn phase_timings(&self) -> PhaseTimings {
+        PhaseTimings {
+            encode: self.encode_time,
+            search: self.search_time,
+            cache_hits: u64::from(self.base_cache_hit),
+            cache_misses: u64::from(!self.base_cache_hit),
+        }
     }
 }
 
@@ -153,6 +202,32 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("mem:"));
         assert!(!text.contains("certified"));
+    }
+
+    #[test]
+    fn phase_metrics_carry_counters_but_never_wall_clock() {
+        let mut s = SolverStats::default();
+        s.clauses = 9;
+        s.decisions = 4;
+        s.pivots = 2;
+        s.bound_asserts = 11;
+        s.theory_checks = 3;
+        s.base_cache_hit = true;
+        s.encode_time = Duration::from_millis(5);
+        s.search_time = Duration::from_millis(7);
+        let m = s.phase_metrics();
+        assert_eq!(m.clauses, 9);
+        assert_eq!(m.decisions, 4);
+        assert_eq!(m.pivots, 2);
+        assert_eq!(m.bound_asserts, 11);
+        assert_eq!(m.theory_checks, 3);
+        // Wall clock and cache behavior live only in the timings struct.
+        assert!(!m.to_json().contains("_ms"));
+        assert!(!m.to_json().contains("cache"));
+        let t = s.phase_timings();
+        assert_eq!(t.encode, Duration::from_millis(5));
+        assert_eq!(t.search, Duration::from_millis(7));
+        assert_eq!((t.cache_hits, t.cache_misses), (1, 0));
     }
 
     #[test]

@@ -3,18 +3,24 @@
 //! ```text
 //! sta case <name>                      print a built-in case file
 //! sta verify <case> <scenario> [--certify L] [--timeout-ms MS]
-//!                                      decide attack feasibility
+//!            [--trace FILE] [--metrics]   decide attack feasibility
 //! sta replay <case> <scenario> [--certify L] [--timeout-ms MS]
 //!                                      verify, then replay end to end
 //! sta assess <case>                    grid-wide threat assessment
 //! sta synthesize <case> <scenario> --budget N [--reference-secured]
-//!                                      synthesize a security architecture
+//!            [--trace FILE] [--metrics]   synthesize a security architecture
 //! sta synthesize <case> <scenario> --budget N --measurements
 //!                                      measurement-granular variant
 //! sta campaign [<case>] [--jobs N] [--timeout-ms MS] [--certify L]
 //!              [--topology] [--force-timeout] [--out FILE] [--strip-timing]
+//!              [--trace FILE] [--metrics]
 //!                                      parallel sweep of attack variants
 //! ```
+//!
+//! `--trace FILE` streams the run's observability events (run/job
+//! brackets plus per-phase solver counters) as JSON Lines to `FILE`;
+//! `--metrics` prints the end-of-run phase table (deterministic counters
+//! only — wall clocks stay in the trace). See `DESIGN.md` §10.
 //!
 //! `<case>` is a case file (see `sta::grid::caseformat`) or a built-in
 //! name: `ieee14`, `ieee14-unsecured`, `ieee30`, `ieee57`, `ieee118`,
@@ -34,23 +40,92 @@
 //! | 2 | usage or input error |
 //! | 3 | undecided: the solver's wall-clock budget ran out (`unknown`), or at least one campaign job did — **not** the same as unsat |
 
-use sta::campaign::{run as run_campaign, CampaignSpec};
+use sta::campaign::{run_traced as run_campaign, CampaignSpec};
 use sta::core::analytics::ThreatAnalyzer;
 use sta::core::attack::{AttackModel, AttackOutcome, AttackVerifier, StateTarget};
 use sta::core::synthesis::{SynthesisConfig, Synthesizer};
 use sta::core::{scenario, validation};
 use sta::grid::{caseformat, ieee14, synthetic, TestSystem};
-use sta::smt::CertifyLevel;
+use sta::smt::{
+    CertifyLevel, JsonlSink, Phase, PhaseMetrics, PhaseTimings, SharedSink, TraceEvent,
+    TraceSink,
+};
+use std::fs::File;
+use std::io::BufWriter;
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Opens the `--trace` JSONL sink over a buffered file writer.
+fn open_trace(path: &str) -> Result<JsonlSink<BufWriter<File>>, String> {
+    let file = File::create(path)
+        .map_err(|e| format!("cannot create trace file {path:?}: {e}"))?;
+    Ok(JsonlSink::new(BufWriter::new(file)))
+}
+
+/// The trace-event sequence of a one-shot run (one verify or synthesize
+/// invocation): run/job brackets around the per-phase counter records.
+/// The trace is observational, so the scheduling-dependent cache counters
+/// ride on the encode phase here, mirroring the campaign engine.
+fn one_shot_events(
+    name: &str,
+    label: &str,
+    case: &str,
+    verdict: &str,
+    metrics: &PhaseMetrics,
+    timings: &PhaseTimings,
+) -> Vec<TraceEvent> {
+    let mut events = vec![
+        TraceEvent::RunStart { name: name.to_string(), jobs: 1 },
+        TraceEvent::JobStart { job: 0, label: label.to_string(), case: case.to_string() },
+    ];
+    for (phase, mut counters) in metrics.grouped() {
+        if phase == Phase::Encode {
+            counters.push(("cache_hits", timings.cache_hits));
+            counters.push(("cache_misses", timings.cache_misses));
+        }
+        let wall_us = timings.wall_of(phase).map(|d| d.as_micros() as u64);
+        events.push(TraceEvent::Phase { job: 0, phase, counters, wall_us });
+    }
+    let wall: Duration = timings.encode + timings.search;
+    let wall_us = wall.as_micros() as u64;
+    events.push(TraceEvent::JobEnd { job: 0, verdict: verdict.to_string(), wall_us });
+    events.push(TraceEvent::RunEnd { name: name.to_string(), wall_us });
+    events
+}
+
+/// Writes a one-shot trace file and/or prints the phase table, per flags.
+fn observe_one_shot(
+    trace: Option<&str>,
+    metrics_flag: bool,
+    name: &str,
+    label: &str,
+    case: &str,
+    verdict: &str,
+    metrics: &PhaseMetrics,
+    timings: &PhaseTimings,
+) -> Result<(), String> {
+    if let Some(path) = trace {
+        let mut sink = open_trace(path)?;
+        for ev in one_shot_events(name, label, case, verdict, metrics, timings) {
+            sink.emit(&ev);
+        }
+    }
+    if metrics_flag {
+        print!("{}", metrics.table());
+    }
+    Ok(())
+}
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sta case <name>\n  sta verify <case> <scenario> [--certify off|models|full] [--timeout-ms MS]\n  \
+        "usage:\n  sta case <name>\n  sta verify <case> <scenario> [--certify off|models|full] [--timeout-ms MS] \
+         [--trace FILE] [--metrics]\n  \
          sta replay <case> <scenario> [--certify off|models|full] [--timeout-ms MS]\n  sta assess <case>\n  \
          sta synthesize <case> <scenario> --budget N \
-         [--reference-secured] [--measurements] [--paper-blocking] [--certify off|models|full]\n  \
+         [--reference-secured] [--measurements] [--paper-blocking] [--certify off|models|full] \
+         [--trace FILE] [--metrics]\n  \
          sta campaign [<case>] [--jobs N] [--timeout-ms MS] [--certify off|models|full] \
-         [--topology] [--force-timeout] [--out FILE] [--strip-timing]\n\
+         [--topology] [--force-timeout] [--out FILE] [--strip-timing] [--trace FILE] [--metrics]\n\
          exit codes: 0 = sat/success, 1 = unsat/no solution, 2 = usage error, 3 = unknown (budget exhausted)"
     );
     ExitCode::from(2)
@@ -65,28 +140,46 @@ fn parse_certify(v: &str) -> Result<CertifyLevel, String> {
     }
 }
 
-/// Parses the trailing flags verify/replay accept: `--certify` and
+/// Trailing flags of `verify` (and, minus observability, `replay`).
+struct VerifyFlags {
+    certify: CertifyLevel,
+    timeout_ms: Option<u64>,
+    trace: Option<String>,
+    metrics: bool,
+}
+
+/// Parses the trailing flags verify/replay accept: `--certify`,
 /// `--timeout-ms` (a CLI-level deadline overriding the scenario file's
-/// own `timeout-ms`).
-fn verify_flags(args: &[String]) -> Result<(CertifyLevel, Option<u64>), String> {
-    let mut level = CertifyLevel::Off;
-    let mut timeout_ms = None;
+/// own `timeout-ms`), and — when `observability` is allowed — `--trace`
+/// and `--metrics`.
+fn verify_flags(args: &[String], observability: bool) -> Result<VerifyFlags, String> {
+    let mut flags = VerifyFlags {
+        certify: CertifyLevel::Off,
+        timeout_ms: None,
+        trace: None,
+        metrics: false,
+    };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--certify" => {
                 let v = it.next().ok_or("--certify needs a value")?;
-                level = parse_certify(v)?;
+                flags.certify = parse_certify(v)?;
             }
             "--timeout-ms" => {
                 let v = it.next().ok_or("--timeout-ms needs a value")?;
-                timeout_ms =
+                flags.timeout_ms =
                     Some(v.parse().map_err(|_| "bad --timeout-ms value")?);
             }
+            "--trace" if observability => {
+                flags.trace =
+                    Some(it.next().ok_or("--trace needs a file")?.clone());
+            }
+            "--metrics" if observability => flags.metrics = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok((level, timeout_ms))
+    Ok(flags)
 }
 
 fn load_case(spec: &str) -> Result<TestSystem, String> {
@@ -123,14 +216,29 @@ fn cmd_case(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
     let (case, scen) = two(args)?;
-    let (certify, timeout_ms) = verify_flags(&args[2..])?;
+    let flags = verify_flags(&args[2..], true)?;
     let sys = load_case(&case)?;
     let mut model = load_scenario(&scen, &sys)?;
-    if timeout_ms.is_some() {
-        model.timeout_ms = timeout_ms;
+    if flags.timeout_ms.is_some() {
+        model.timeout_ms = flags.timeout_ms;
     }
-    let verifier = AttackVerifier::new(&sys).with_certify(certify);
+    let verifier = AttackVerifier::new(&sys).with_certify(flags.certify);
     let report = verifier.verify_with_stats(&model);
+    let verdict = match &report.outcome {
+        AttackOutcome::Feasible(_) => "sat".to_string(),
+        AttackOutcome::Infeasible => "unsat".to_string(),
+        AttackOutcome::Unknown(why) => format!("unknown({why})"),
+    };
+    observe_one_shot(
+        flags.trace.as_deref(),
+        flags.metrics,
+        &format!("verify:{case}"),
+        &scen,
+        &case,
+        &verdict,
+        &report.stats.phase_metrics(),
+        &report.stats.phase_timings(),
+    )?;
     match &report.outcome {
         AttackOutcome::Feasible(v) => {
             println!("sat");
@@ -153,13 +261,13 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
     let (case, scen) = two(args)?;
-    let (certify, timeout_ms) = verify_flags(&args[2..])?;
+    let flags = verify_flags(&args[2..], false)?;
     let sys = load_case(&case)?;
     let mut model = load_scenario(&scen, &sys)?;
-    if timeout_ms.is_some() {
-        model.timeout_ms = timeout_ms;
+    if flags.timeout_ms.is_some() {
+        model.timeout_ms = flags.timeout_ms;
     }
-    let verifier = AttackVerifier::new(&sys).with_certify(certify);
+    let verifier = AttackVerifier::new(&sys).with_certify(flags.certify);
     match verifier.verify(&model) {
         AttackOutcome::Feasible(v) => {
             println!("attack: {v}");
@@ -200,6 +308,8 @@ fn cmd_synthesize(args: &[String]) -> Result<ExitCode, String> {
     let mut measurements = false;
     let mut paper_blocking = false;
     let mut certify = CertifyLevel::Off;
+    let mut trace: Option<String> = None;
+    let mut metrics = false;
     let mut it = args[2..].iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -214,10 +324,17 @@ fn cmd_synthesize(args: &[String]) -> Result<ExitCode, String> {
                 let v = it.next().ok_or("--certify needs a value")?;
                 certify = parse_certify(v)?;
             }
+            "--trace" => {
+                trace = Some(it.next().ok_or("--trace needs a file")?.clone());
+            }
+            "--metrics" => metrics = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     let budget = budget.ok_or("missing --budget")?;
+    if measurements && (trace.is_some() || metrics) {
+        return Err("--trace/--metrics are not supported with --measurements".into());
+    }
     let synth = Synthesizer::new(&sys).with_certify(certify);
     if measurements {
         match synth.synthesize_measurements(&model, budget) {
@@ -243,7 +360,23 @@ fn cmd_synthesize(args: &[String]) -> Result<ExitCode, String> {
         if paper_blocking {
             config = config.paper_blocking();
         }
-        match synth.synthesize(&model, &config) {
+        let (outcome, obs) = synth.synthesize_with_metrics(&model, &config);
+        let verdict = match &outcome {
+            sta::core::SynthesisOutcome::Architecture(_) => "architecture",
+            sta::core::SynthesisOutcome::NoSolution { .. } => "no-solution",
+            sta::core::SynthesisOutcome::Inconclusive { .. } => "inconclusive",
+        };
+        observe_one_shot(
+            trace.as_deref(),
+            metrics,
+            &format!("synthesize:{case}"),
+            &scen,
+            &case,
+            verdict,
+            &obs.metrics,
+            &obs.timings,
+        )?;
+        match outcome {
             sta::core::SynthesisOutcome::Architecture(arch) => {
                 println!("{arch}");
                 Ok(ExitCode::SUCCESS)
@@ -271,9 +404,15 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
     let mut force_timeout = false;
     let mut out_file: Option<String> = None;
     let mut strip_timing = false;
+    let mut trace: Option<String> = None;
+    let mut metrics = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--trace" => {
+                trace = Some(it.next().ok_or("--trace needs a file")?.clone());
+            }
+            "--metrics" => metrics = true,
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 jobs = v.parse().map_err(|_| "bad --jobs value")?;
@@ -327,8 +466,16 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
         spec = spec.with_timeout_ms(ms);
     }
     spec = spec.with_certify(certify);
-    let report = run_campaign(&spec, jobs);
+    let sink = match &trace {
+        Some(path) => Some(SharedSink::new(Box::new(open_trace(path)?))),
+        None => None,
+    };
+    let report = run_campaign(&spec, jobs, sink.as_ref());
+    drop(sink); // flush the trace file before reporting
     print!("{}", report.table());
+    if metrics {
+        print!("{}", report.metrics_rollup().table());
+    }
     if let Some(path) = out_file {
         let json = report.to_json(!strip_timing);
         std::fs::write(&path, json)

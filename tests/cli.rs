@@ -121,3 +121,49 @@ fn bad_inputs_give_errors() {
     let out = sta(&["synthesize", "ieee14", "-"]);
     assert_eq!(out.status.code(), Some(2)); // missing --budget
 }
+
+/// Satellite: worker-count usage errors are exit code 2, not a panic or a
+/// hung pool — `--jobs 0` and a non-numeric `--jobs` both refuse cleanly
+/// before any solver work starts.
+#[test]
+fn campaign_bad_jobs_flag_is_a_usage_error() {
+    let out = sta(&["campaign", "ieee14", "--jobs", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
+    let out = sta(&["campaign", "ieee14", "--jobs", "abc"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
+    let out = sta(&["campaign", "ieee14", "--jobs"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// Tentpole: `--trace` writes parseable JSON Lines bracketed by
+/// run-start/run-end with non-zero phase counters, and `--metrics` prints
+/// the phase table.
+#[test]
+fn verify_trace_and_metrics_emit_observability() {
+    let dir = std::env::temp_dir().join("sta-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("verify.jsonl");
+    let out = sta(&[
+        "verify",
+        "ieee14",
+        "-",
+        "--metrics",
+        "--trace",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("phase"), "{text}");
+    assert!(text.contains("decisions"), "{text}");
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    let lines: Vec<&str> = trace.lines().collect();
+    assert!(lines.len() >= 5, "{trace}");
+    assert!(lines.iter().all(|l| l.starts_with("{\"event\":\"") && l.ends_with('}')));
+    assert!(lines[0].contains("\"event\":\"run-start\""));
+    assert!(lines.last().unwrap().contains("\"event\":\"run-end\""));
+    assert!(trace.contains("\"phase\":\"encode\""));
+    assert!(trace.contains("\"phase\":\"search\""));
+    assert!(trace.contains("\"verdict\":\"sat\""));
+}

@@ -10,6 +10,7 @@
 #   5. campaign smoke: a certified 33-job IEEE 14-bus sweep on 4 workers
 #      with one forced-timeout job (must exit 3 = at least one unknown),
 #      whose timing-stripped report is byte-identical to a 1-worker run;
+#      its --trace JSONL must be well-formed with non-zero phase counters;
 #      on machines with >= 4 CPUs the 4-worker run must also be >= 2x
 #      faster than the 1-worker run
 #
@@ -49,17 +50,39 @@ if [ "$status" -ne 1 ]; then
 fi
 
 echo "==> campaign smoke: certified 33-job sweep, 4 workers, one forced timeout"
-report1="$(mktemp)" report4="$(mktemp)"
-trap 'rm -f "$scenario" "$report1" "$report4"' EXIT
+report1="$(mktemp)" report4="$(mktemp)" trace4="$(mktemp)"
+trap 'rm -f "$scenario" "$report1" "$report4" "$trace4"' EXIT
 status=0
 ./target/release/sta campaign ieee14 --jobs 4 --certify full --force-timeout \
-    --out "$report4" --strip-timing >/dev/null || status=$?
+    --out "$report4" --strip-timing --trace "$trace4" --metrics >/dev/null || status=$?
 if [ "$status" -ne 3 ]; then
     echo "expected exit 3 (forced-timeout job is unknown), got exit $status" >&2
     exit 1
 fi
 grep -q '"verdict":"unknown(timeout)"' "$report4" || {
     echo "campaign report is missing the forced unknown(timeout) verdict" >&2
+    exit 1
+}
+
+echo "==> trace smoke: --trace JSONL is well-formed with non-zero counters"
+bad_lines=$(grep -c -v '^{"event":"' "$trace4" || true)
+if [ "$bad_lines" -ne 0 ]; then
+    echo "trace file has $bad_lines line(s) not starting with {\"event\":\"" >&2
+    exit 1
+fi
+for pattern in '"event":"run-start"' '"event":"job-start"' '"event":"run-end"' \
+               '"phase":"encode"' '"phase":"search"' '"phase":"simplex"'; do
+    grep -q -- "$pattern" "$trace4" || {
+        echo "trace file is missing $pattern" >&2
+        exit 1
+    }
+done
+grep -q '"decisions":[1-9]' "$trace4" || {
+    echo "trace file has no job with non-zero decisions" >&2
+    exit 1
+}
+grep -q '"clauses":[1-9]' "$trace4" || {
+    echo "trace file has no job with non-zero clauses" >&2
     exit 1
 }
 
