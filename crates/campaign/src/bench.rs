@@ -1,0 +1,615 @@
+//! The `sta bench` perf-trajectory harness.
+//!
+//! Performance work on a solver is only trustworthy against a pinned
+//! workload measured the same way every time. This module provides:
+//!
+//! * named, pinned campaign suites ([`suite`]) — the job lists never
+//!   change shape, so two `BENCH_*.json` files measure the same work;
+//! * [`run_suite`] — runs a suite `reps` times, takes per-job *medians*
+//!   of wall/encode/search time (medians shrug off one noisy rep), and
+//!   merges the per-rep latency histograms;
+//! * a schema-versioned JSON format ([`BenchResult::to_json`] /
+//!   [`parse_result`]) with an environment block (CPU count, OS/arch,
+//!   commit) so a trajectory file records where it came from;
+//! * [`diff`] — compares a candidate against a baseline file and flags
+//!   per-job wall-time regressions past a percentage threshold (with an
+//!   absolute floor so microsecond jitter on trivial jobs cannot trip
+//!   it), plus verdict changes, which are always flagged.
+//!
+//! The CLI wires this to `sta bench` (see `src/bin/sta.rs`); `verify.sh`
+//! runs the smoke suite once per commit and self-diffs the checked-in
+//! baseline to keep the schema and the diff path honest.
+
+use crate::histogram::LatencyHistogram;
+use crate::pool::{run_with, RunOptions};
+use crate::report::CampaignReport;
+use crate::spec::CampaignSpec;
+use sta_core::attack::{AttackModel, StateTarget};
+use sta_core::synthesis::SynthesisConfig;
+use sta_grid::{ieee14, BusId};
+use sta_smt::json::{escape_into, parse, Json};
+use std::fmt::Write as _;
+
+/// Version tag of the `BENCH_*.json` schema. Bump on any breaking field
+/// change; [`parse_result`] rejects files from other schema versions.
+pub const SCHEMA: &str = "sta-bench/v1";
+
+/// Jitter floor for regression flagging: a job must slow down by more
+/// than this many microseconds *and* by more than the percentage
+/// threshold to count as regressed.
+pub const MIN_REGRESSION_US: u64 = 1000;
+
+/// Returns the pinned campaign spec of a named bench suite, or `None`
+/// for unknown names. Suites are part of the measurement contract:
+/// editing one invalidates every existing baseline file for it.
+pub fn suite(name: &str) -> Option<CampaignSpec> {
+    match name {
+        "smoke" => {
+            let mut spec = CampaignSpec::new("bench-smoke");
+            let case = spec.add_case("ieee14", ieee14::system());
+            spec.verify(
+                case,
+                "open-11",
+                AttackModel::new(14).target(BusId(11), StateTarget::MustChange),
+            );
+            spec.verify(
+                case,
+                "capped-7",
+                AttackModel::new(14)
+                    .target(BusId(7), StateTarget::MustChange)
+                    .max_altered_measurements(10)
+                    .max_compromised_buses(4),
+            );
+            spec.verify(
+                case,
+                "blocked",
+                AttackModel::new(14).max_altered_measurements(0),
+            );
+            spec.verify(
+                case,
+                "limited-knowledge",
+                AttackModel::new(14).unknown_lines(20, &[2, 16]),
+            );
+            spec.synthesize(
+                case,
+                "synth-budget-3",
+                AttackModel::new(14)
+                    .target(BusId(11), StateTarget::MustChange)
+                    .max_altered_measurements(8),
+                SynthesisConfig::with_budget(3),
+            );
+            Some(spec)
+        }
+        "sweep" => Some(CampaignSpec::standard_sweep("ieee14", ieee14::system())),
+        _ => None,
+    }
+}
+
+/// Names of the available suites (for usage messages).
+pub fn suite_names() -> &'static [&'static str] {
+    &["smoke", "sweep"]
+}
+
+/// Where a trajectory file was measured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchEnv {
+    /// Logical CPUs available to the process.
+    pub cpus: u64,
+    /// `std::env::consts::OS` at measurement time.
+    pub os: String,
+    /// `std::env::consts::ARCH` at measurement time.
+    pub arch: String,
+    /// Short git commit of the working tree, or `"unknown"`.
+    pub commit: String,
+}
+
+impl BenchEnv {
+    /// Captures the current environment. The commit comes from `git
+    /// rev-parse --short HEAD` and degrades to `"unknown"` anywhere git
+    /// or the repository is unavailable.
+    pub fn capture() -> Self {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1);
+        let commit = std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        BenchEnv {
+            cpus,
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            commit,
+        }
+    }
+}
+
+/// One job's measurement: medians over the run's repetitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobMeasurement {
+    /// Job id within the suite.
+    pub id: u64,
+    /// The job's label (stable across runs of the same suite).
+    pub label: String,
+    /// The case the job ran against.
+    pub case: String,
+    /// The verdict token (deterministic; a change is always flagged).
+    pub verdict: String,
+    /// Median whole-job wall time in microseconds.
+    pub wall_us: u64,
+    /// Median encode-phase wall time in microseconds.
+    pub encode_us: u64,
+    /// Median search-phase wall time in microseconds.
+    pub search_us: u64,
+}
+
+/// A measured perf trajectory point: one suite, one environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchResult {
+    /// Schema tag (always [`SCHEMA`] for files this code writes).
+    pub schema: String,
+    /// Suite name.
+    pub suite: String,
+    /// Repetitions the medians were taken over.
+    pub reps: u64,
+    /// Worker count the suite ran with.
+    pub workers: u64,
+    /// Measurement environment.
+    pub env: BenchEnv,
+    /// Per-job medians, in job-id order.
+    pub jobs: Vec<JobMeasurement>,
+    /// Per-phase latency histograms merged over all repetitions.
+    pub latency: Vec<(&'static str, LatencyHistogram)>,
+}
+
+/// Median of a slice of samples (even lengths average the middle pair).
+fn median(samples: &mut [u64]) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] / 2) + (samples[mid] / 2) + (samples[mid - 1] % 2 + samples[mid] % 2) / 2
+    }
+}
+
+/// Runs `spec` `reps` times on `workers` threads and folds the runs into
+/// one [`BenchResult`]. Verdicts are deterministic, so they are taken
+/// from the first repetition; wall clocks are per-job medians.
+///
+/// # Panics
+/// Panics if `reps` is zero (the CLI rejects `--reps 0` as a usage
+/// error before getting here).
+pub fn run_suite(
+    suite_name: &str,
+    spec: &CampaignSpec,
+    reps: usize,
+    workers: usize,
+) -> BenchResult {
+    assert!(reps > 0, "reps must be positive");
+    let mut reports: Vec<CampaignReport> = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        reports.push(run_with(spec, &RunOptions::with_workers(workers), None));
+    }
+    let mut jobs = Vec::with_capacity(spec.jobs.len());
+    for (id, _) in spec.jobs.iter().enumerate() {
+        let first = &reports[0].results[id];
+        let mut walls: Vec<u64> = reports
+            .iter()
+            .map(|r| r.results[id].wall.as_micros() as u64)
+            .collect();
+        let phase_us = |f: fn(&sta_smt::PhaseTimings) -> std::time::Duration| {
+            let mut v: Vec<u64> = reports
+                .iter()
+                .filter_map(|r| r.results[id].phase_wall.as_ref())
+                .map(|pw| f(pw).as_micros() as u64)
+                .collect();
+            median(&mut v)
+        };
+        jobs.push(JobMeasurement {
+            id: id as u64,
+            label: first.label.clone(),
+            case: first.case.clone(),
+            verdict: first.verdict.token().to_string(),
+            wall_us: median(&mut walls),
+            encode_us: phase_us(|pw| pw.encode),
+            search_us: phase_us(|pw| pw.search),
+        });
+    }
+    let mut latency: Vec<(&'static str, LatencyHistogram)> = Vec::new();
+    for report in &reports {
+        for (phase, hist) in report.latency_rollup() {
+            match latency.iter_mut().find(|(p, _)| *p == phase) {
+                Some((_, existing)) => existing.merge(&hist),
+                None => latency.push((phase, hist)),
+            }
+        }
+    }
+    BenchResult {
+        schema: SCHEMA.to_string(),
+        suite: suite_name.to_string(),
+        reps: reps as u64,
+        workers: workers.max(1) as u64,
+        env: BenchEnv::capture(),
+        jobs,
+        latency,
+    }
+}
+
+impl BenchResult {
+    /// Serializes the trajectory point as schema-versioned JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\"schema\":");
+        escape_into(&self.schema, &mut out);
+        out.push_str(",\"suite\":");
+        escape_into(&self.suite, &mut out);
+        let _ = write!(
+            out,
+            ",\"reps\":{},\"workers\":{},\"env\":{{\"cpus\":{},\"os\":",
+            self.reps, self.workers, self.env.cpus
+        );
+        escape_into(&self.env.os, &mut out);
+        out.push_str(",\"arch\":");
+        escape_into(&self.env.arch, &mut out);
+        out.push_str(",\"commit\":");
+        escape_into(&self.env.commit, &mut out);
+        out.push_str("},\"jobs\":[");
+        for (i, j) in self.jobs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"id\":{},\"label\":", j.id);
+            escape_into(&j.label, &mut out);
+            out.push_str(",\"case\":");
+            escape_into(&j.case, &mut out);
+            out.push_str(",\"verdict\":");
+            escape_into(&j.verdict, &mut out);
+            let _ = write!(
+                out,
+                ",\"wall_us\":{},\"encode_us\":{},\"search_us\":{}}}",
+                j.wall_us, j.encode_us, j.search_us
+            );
+        }
+        out.push_str("],\"latency\":{");
+        for (i, (phase, hist)) in self.latency.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{phase}\":");
+            hist.to_json_into(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Reads a required string field off a JSON object.
+fn str_field(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(|v| v.as_str())
+        .map(|s| s.to_string())
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+/// Reads a required unsigned-integer field off a JSON object.
+fn u64_field(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+/// Parses and schema-validates a `BENCH_*.json` document. The latency
+/// histograms are not reconstructed (diffing works on the per-job
+/// medians); only their presence is checked.
+pub fn parse_result(text: &str) -> Result<BenchResult, String> {
+    let doc = parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let schema = str_field(&doc, "schema")?;
+    if schema != SCHEMA {
+        return Err(format!("unsupported schema {schema:?} (expected {SCHEMA:?})"));
+    }
+    let env_doc = doc.get("env").ok_or("missing field \"env\"")?;
+    let env = BenchEnv {
+        cpus: u64_field(env_doc, "cpus")?,
+        os: str_field(env_doc, "os")?,
+        arch: str_field(env_doc, "arch")?,
+        commit: str_field(env_doc, "commit")?,
+    };
+    let jobs_doc = doc
+        .get("jobs")
+        .and_then(|v| v.as_arr())
+        .ok_or("missing or non-array field \"jobs\"")?;
+    let mut jobs = Vec::with_capacity(jobs_doc.len());
+    for j in jobs_doc {
+        jobs.push(JobMeasurement {
+            id: u64_field(j, "id")?,
+            label: str_field(j, "label")?,
+            case: str_field(j, "case")?,
+            verdict: str_field(j, "verdict")?,
+            wall_us: u64_field(j, "wall_us")?,
+            encode_us: u64_field(j, "encode_us")?,
+            search_us: u64_field(j, "search_us")?,
+        });
+    }
+    if doc.get("latency").is_none() {
+        return Err("missing field \"latency\"".into());
+    }
+    Ok(BenchResult {
+        schema,
+        suite: str_field(&doc, "suite")?,
+        reps: u64_field(&doc, "reps")?,
+        workers: u64_field(&doc, "workers")?,
+        env,
+        jobs,
+        latency: Vec::new(),
+    })
+}
+
+/// One row of a trajectory comparison.
+#[derive(Debug, Clone)]
+pub struct DiffLine {
+    /// The job's label.
+    pub label: String,
+    /// Baseline median wall, microseconds.
+    pub base_us: u64,
+    /// Candidate median wall, microseconds.
+    pub cand_us: u64,
+    /// Signed change in percent of the baseline (0 when the baseline
+    /// is zero and the candidate is too).
+    pub change_pct: f64,
+    /// Whether this row trips the regression gate: the verdict changed,
+    /// or the slowdown exceeds both the percentage threshold and the
+    /// [`MIN_REGRESSION_US`] floor.
+    pub regressed: bool,
+    /// Human-readable note (`"verdict sat -> unsat"`, `"missing in
+    /// candidate"`, empty for plain timing rows).
+    pub note: String,
+}
+
+/// A full baseline-vs-candidate comparison.
+#[derive(Debug, Clone)]
+pub struct BenchDiff {
+    /// Per-job rows, baseline order.
+    pub lines: Vec<DiffLine>,
+    /// The threshold the comparison ran with, in percent.
+    pub threshold_pct: f64,
+}
+
+impl BenchDiff {
+    /// Whether any row regressed.
+    pub fn regressed(&self) -> bool {
+        self.lines.iter().any(|l| l.regressed)
+    }
+
+    /// Renders the comparison as an aligned table.
+    pub fn table(&self) -> String {
+        let mut table = sta_smt::Table::new(&[
+            ("job", sta_smt::Align::Left),
+            ("base ms", sta_smt::Align::Right),
+            ("cand ms", sta_smt::Align::Right),
+            ("change", sta_smt::Align::Right),
+            ("status", sta_smt::Align::Left),
+        ]);
+        for l in &self.lines {
+            let status = if l.regressed {
+                if l.note.is_empty() { "REGRESSED".to_string() } else { l.note.clone() }
+            } else if !l.note.is_empty() {
+                l.note.clone()
+            } else {
+                "ok".to_string()
+            };
+            table.row(&[
+                l.label.clone(),
+                format!("{:.3}", l.base_us as f64 / 1e3),
+                format!("{:.3}", l.cand_us as f64 / 1e3),
+                format!("{:+.1}%", l.change_pct),
+                status,
+            ]);
+        }
+        table.render()
+    }
+}
+
+/// Compares `candidate` against `baseline`, flagging wall-time
+/// regressions beyond `threshold_pct` (and beyond the absolute
+/// [`MIN_REGRESSION_US`] floor) and any verdict change. Jobs are matched
+/// by `(case, label)`; a job present in only one file is flagged.
+pub fn diff(baseline: &BenchResult, candidate: &BenchResult, threshold_pct: f64) -> BenchDiff {
+    let mut lines = Vec::with_capacity(baseline.jobs.len());
+    for b in &baseline.jobs {
+        let Some(c) = candidate
+            .jobs
+            .iter()
+            .find(|c| c.case == b.case && c.label == b.label)
+        else {
+            lines.push(DiffLine {
+                label: b.label.clone(),
+                base_us: b.wall_us,
+                cand_us: 0,
+                change_pct: 0.0,
+                regressed: true,
+                note: "missing in candidate".to_string(),
+            });
+            continue;
+        };
+        let change_pct = if b.wall_us == 0 {
+            if c.wall_us == 0 { 0.0 } else { 100.0 }
+        } else {
+            (c.wall_us as f64 - b.wall_us as f64) / b.wall_us as f64 * 100.0
+        };
+        let verdict_changed = b.verdict != c.verdict;
+        let slowed = c.wall_us > b.wall_us
+            && c.wall_us - b.wall_us > MIN_REGRESSION_US
+            && change_pct > threshold_pct;
+        lines.push(DiffLine {
+            label: b.label.clone(),
+            base_us: b.wall_us,
+            cand_us: c.wall_us,
+            change_pct,
+            regressed: verdict_changed || slowed,
+            note: if verdict_changed {
+                format!("verdict {} -> {}", b.verdict, c.verdict)
+            } else {
+                String::new()
+            },
+        });
+    }
+    for c in &candidate.jobs {
+        if !baseline.jobs.iter().any(|b| b.case == c.case && b.label == c.label) {
+            lines.push(DiffLine {
+                label: c.label.clone(),
+                base_us: 0,
+                cand_us: c.wall_us,
+                change_pct: 0.0,
+                regressed: false,
+                note: "new in candidate".to_string(),
+            });
+        }
+    }
+    BenchDiff { lines, threshold_pct }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(label: &str, wall_us: u64, verdict: &str) -> JobMeasurement {
+        JobMeasurement {
+            id: 0,
+            label: label.to_string(),
+            case: "ieee14".to_string(),
+            verdict: verdict.to_string(),
+            wall_us,
+            encode_us: wall_us / 2,
+            search_us: wall_us / 2,
+        }
+    }
+
+    fn result(jobs: Vec<JobMeasurement>) -> BenchResult {
+        BenchResult {
+            schema: SCHEMA.to_string(),
+            suite: "smoke".to_string(),
+            reps: 1,
+            workers: 1,
+            env: BenchEnv {
+                cpus: 4,
+                os: "linux".to_string(),
+                arch: "x86_64".to_string(),
+                commit: "abc1234".to_string(),
+            },
+            jobs,
+            latency: vec![("wall", LatencyHistogram::new())],
+        }
+    }
+
+    #[test]
+    fn median_handles_edges() {
+        assert_eq!(median(&mut []), 0);
+        assert_eq!(median(&mut [7]), 7);
+        assert_eq!(median(&mut [1, 3]), 2);
+        assert_eq!(median(&mut [5, 1, 9]), 5);
+        assert_eq!(median(&mut [4, 2, 8, 6]), 5);
+        // No overflow near u64::MAX.
+        assert_eq!(median(&mut [u64::MAX, u64::MAX]), u64::MAX);
+    }
+
+    #[test]
+    fn json_round_trips_through_the_shared_parser() {
+        let original = result(vec![job("open-11", 5000, "sat"), job("blocked", 800, "unsat")]);
+        let text = original.to_json();
+        let parsed = parse_result(&text).expect("round trip");
+        assert_eq!(parsed.schema, SCHEMA);
+        assert_eq!(parsed.suite, "smoke");
+        assert_eq!(parsed.env, original.env);
+        assert_eq!(parsed.jobs, original.jobs);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_malformed_files() {
+        let mut r = result(vec![]);
+        r.schema = "sta-bench/v0".to_string();
+        let err = parse_result(&r.to_json()).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+        assert!(parse_result("not json").is_err());
+        assert!(parse_result("{}").is_err());
+    }
+
+    #[test]
+    fn self_diff_never_regresses() {
+        let r = result(vec![job("open-11", 5000, "sat"), job("blocked", 0, "unsat")]);
+        let d = diff(&r, &r, 10.0);
+        assert!(!d.regressed(), "{:?}", d.lines);
+        assert!(d.lines.iter().all(|l| l.change_pct == 0.0));
+    }
+
+    #[test]
+    fn slowdowns_past_threshold_and_floor_regress() {
+        let base = result(vec![job("a", 10_000, "sat"), job("b", 100, "sat")]);
+        // Job a: +50% and +5000 µs — regression. Job b: +500% but only
+        // +500 µs — under the absolute floor, not flagged.
+        let cand = result(vec![job("a", 15_000, "sat"), job("b", 600, "sat")]);
+        let d = diff(&base, &cand, 20.0);
+        assert!(d.lines[0].regressed);
+        assert!(!d.lines[1].regressed);
+        assert!(d.regressed());
+        // A generous threshold lets the same slowdown pass.
+        assert!(!diff(&base, &cand, 60.0).regressed());
+    }
+
+    #[test]
+    fn verdict_changes_always_regress() {
+        let base = result(vec![job("a", 1000, "sat")]);
+        let cand = result(vec![job("a", 900, "unsat")]);
+        let d = diff(&base, &cand, 50.0);
+        assert!(d.regressed());
+        assert!(d.lines[0].note.contains("verdict sat -> unsat"));
+        assert!(d.table().contains("verdict sat -> unsat"));
+    }
+
+    #[test]
+    fn missing_and_new_jobs_are_reported() {
+        let base = result(vec![job("gone", 1000, "sat")]);
+        let cand = result(vec![job("fresh", 1000, "sat")]);
+        let d = diff(&base, &cand, 50.0);
+        assert_eq!(d.lines.len(), 2);
+        assert!(d.lines[0].regressed, "dropped jobs must fail the gate");
+        assert!(d.lines[0].note.contains("missing"));
+        assert!(!d.lines[1].regressed, "added jobs are informational");
+        assert!(d.lines[1].note.contains("new"));
+    }
+
+    #[test]
+    fn suites_are_pinned_and_named() {
+        let smoke = suite("smoke").expect("smoke suite");
+        assert_eq!(smoke.jobs.len(), 5);
+        assert!(suite("sweep").is_some());
+        assert!(suite("nope").is_none());
+        assert!(suite_names().contains(&"smoke"));
+    }
+
+    #[test]
+    fn run_suite_measures_every_job() {
+        let spec = {
+            let mut s = CampaignSpec::new("mini");
+            let c = s.add_case("ieee14", ieee14::system());
+            s.verify(c, "blocked", AttackModel::new(14).max_altered_measurements(0));
+            s
+        };
+        let r = run_suite("mini", &spec, 2, 1);
+        assert_eq!(r.reps, 2);
+        assert_eq!(r.jobs.len(), 1);
+        assert_eq!(r.jobs[0].verdict, "unsat");
+        assert_eq!(r.latency.len(), 3);
+        assert_eq!(r.latency[0].1.count(), 2, "one wall sample per rep");
+        // And its serialization is immediately diffable against itself.
+        let parsed = parse_result(&r.to_json()).expect("schema-valid");
+        assert!(!diff(&parsed, &parsed, 10.0).regressed());
+    }
+}

@@ -1,0 +1,297 @@
+//! Log-bucketed latency histograms with deterministic merges.
+//!
+//! Per-job wall clocks are nondeterministic, but their *aggregation
+//! structure* need not be: this histogram uses fixed power-of-two bucket
+//! boundaries (bucket `b ≥ 1` covers `[2^(b-1), 2^b)` microseconds;
+//! bucket 0 holds exact zeros), so merging is element-wise `u64`
+//! addition — associative, commutative, and independent of worker count
+//! or job order. The campaign report records one sample per job per
+//! phase, merges the per-job histograms into a campaign-level rollup,
+//! and derives p50/p90/p99/max from the buckets.
+//!
+//! Sample *counts* depend only on the spec and live in the
+//! timing-stripped report; bucket contents and percentiles are wall
+//! clock and stay under the `timing` key (see [`crate::report`]).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Number of buckets: one for exact zero plus one per bit of a `u64`
+/// microsecond value.
+const BUCKETS: usize = 65;
+
+/// A latency histogram over power-of-two microsecond buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: [0; BUCKETS], count: 0, max_us: 0 }
+    }
+}
+
+/// The bucket index of a microsecond value: 0 for 0, else the value's
+/// bit length (so 1 µs → bucket 1, 100 µs → bucket 7, covering
+/// `[64, 128)`).
+fn bucket_index(us: u64) -> usize {
+    (u64::BITS - us.leading_zeros()) as usize
+}
+
+/// The `[lower, upper)` microsecond bounds of bucket `index`; the last
+/// bucket's upper bound saturates at `u64::MAX`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index out of range");
+    if index == 0 {
+        (0, 1)
+    } else {
+        let lower = 1u64 << (index - 1);
+        let upper = if index == BUCKETS - 1 { u64::MAX } else { 1u64 << index };
+        (lower, upper)
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration (truncated to whole microseconds).
+    pub fn record(&mut self, d: Duration) {
+        self.record_us(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Records one raw microsecond sample.
+    pub fn record_us(&mut self, us: u64) {
+        self.buckets[bucket_index(us)] = self.buckets[bucket_index(us)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Merges `other` into `self`: element-wise saturating addition plus
+    /// count/max combination. Associative and commutative, so any merge
+    /// tree over any partition of the samples yields the same histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The largest sample seen, in microseconds (exact, not bucketed).
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The `p`-th percentile in microseconds, `0.0 < p ≤ 1.0`: the upper
+    /// edge of the bucket containing the sample of that rank, clamped to
+    /// the exact maximum (so a single-sample histogram reports its one
+    /// value exactly). Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return bucket_bounds(i).1.min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Non-empty buckets as `(lower_bound_us, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_bounds(i).0, n))
+            .collect()
+    }
+
+    /// Serializes the histogram with its derived percentiles:
+    /// `{"count":…,"max_us":…,"p50_us":…,"p90_us":…,"p99_us":…,
+    ///   "buckets":[[lower_us,count],…]}`.
+    pub fn to_json_into(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"max_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"buckets\":[",
+            self.count,
+            self.max_us,
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+        );
+        for (i, (lower, n)) in self.nonzero_buckets().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{lower},{n}]");
+        }
+        out.push_str("]}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny deterministic PRNG (xorshift) for the merge property tests.
+    fn samples(seed: u64, n: usize) -> Vec<u64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                // Spread across many buckets, including zero.
+                state % 3_000_000
+            })
+            .collect()
+    }
+
+    fn from_samples(values: &[u64]) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for &v in values {
+            h.record_us(v);
+        }
+        h
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_bounds(0), (0, 1));
+        assert_eq!(bucket_bounds(1), (1, 2));
+        assert_eq!(bucket_bounds(7), (64, 128));
+        assert_eq!(bucket_bounds(64).1, u64::MAX);
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(100), 7);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every value lands inside its bucket's bounds.
+        for v in [0u64, 1, 2, 3, 63, 64, 127, 1_000_000, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(v >= lo && (v < hi || hi == u64::MAX), "{v}");
+        }
+    }
+
+    /// Merging is associative and commutative, and any partition of the
+    /// samples merges to the same histogram as recording them directly —
+    /// the property that makes worker count irrelevant to rollups.
+    #[test]
+    fn merge_is_associative_commutative_and_partition_independent() {
+        let a = from_samples(&samples(11, 100));
+        let b = from_samples(&samples(22, 57));
+        let c = from_samples(&samples(33, 3));
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut a_bc = {
+            let mut bc = b.clone();
+            bc.merge(&c);
+            bc
+        };
+        a_bc.merge(&a);
+        // (a+b)+c == (b+c)+a covers both associativity and commutativity.
+        assert_eq!(ab_c, a_bc);
+
+        // Recording everything into one histogram gives the same result.
+        let mut all = samples(11, 100);
+        all.extend(samples(22, 57));
+        all.extend(samples(33, 3));
+        assert_eq!(from_samples(&all), ab_c);
+    }
+
+    #[test]
+    fn percentiles_on_empty_histogram_are_zero() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.max_us(), 0);
+    }
+
+    #[test]
+    fn single_sample_reports_its_exact_value() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(100));
+        // Bucket [64,128) would report 128; the max clamp restores 100.
+        assert_eq!(h.percentile(0.5), 100);
+        assert_eq!(h.percentile(0.99), 100);
+        assert_eq!(h.max_us(), 100);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn percentiles_at_bucket_edges() {
+        let mut h = LatencyHistogram::new();
+        // 90 samples in [64,128), 10 in [1024,2048).
+        for _ in 0..90 {
+            h.record_us(100);
+        }
+        for _ in 0..10 {
+            h.record_us(1500);
+        }
+        assert_eq!(h.percentile(0.50), 128);
+        assert_eq!(h.percentile(0.90), 128); // rank 90 is the last fast one
+        assert_eq!(h.percentile(0.91), 1500); // bucket edge crossed; max clamp
+        assert_eq!(h.percentile(0.99), 1500);
+        assert_eq!(h.max_us(), 1500);
+    }
+
+    #[test]
+    fn saturating_values_land_in_the_top_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile(0.5), u64::MAX);
+        assert_eq!(h.nonzero_buckets(), vec![(1u64 << 63, 1)]);
+    }
+
+    #[test]
+    fn zero_durations_get_their_own_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::ZERO);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 2)]);
+        assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut h = LatencyHistogram::new();
+        h.record_us(0);
+        h.record_us(100);
+        h.record_us(100);
+        h.record_us(1500);
+        let mut out = String::new();
+        h.to_json_into(&mut out);
+        assert_eq!(
+            out,
+            "{\"count\":4,\"max_us\":1500,\"p50_us\":128,\"p90_us\":1500,\
+             \"p99_us\":1500,\"buckets\":[[0,1],[64,2],[1024,1]]}",
+        );
+        // Round-trips through the shared parser.
+        let doc = sta_smt::json::parse(&out).expect("valid JSON");
+        assert_eq!(doc.get("count").and_then(|v| v.as_u64()), Some(4));
+    }
+}

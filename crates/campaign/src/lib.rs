@@ -44,10 +44,14 @@
 #![deny(missing_debug_implementations)]
 #![deny(missing_docs)]
 
+pub mod bench;
+pub mod histogram;
 pub mod pool;
 pub mod report;
 pub mod spec;
 
-pub use pool::{run, run_traced};
+pub use bench::{BenchDiff, BenchEnv, BenchResult, JobMeasurement};
+pub use histogram::LatencyHistogram;
+pub use pool::{run, run_traced, run_with, RunOptions};
 pub use report::{CampaignReport, JobResult, Verdict};
 pub use spec::{CampaignSpec, CaseSpec, JobKind, JobSpec};

@@ -41,10 +41,38 @@ use crate::report::{CampaignReport, JobResult, Verdict};
 use crate::spec::{CampaignSpec, JobKind};
 use sta_core::attack::{AttackOutcome, AttackVerifier, VerifySession};
 use sta_core::synthesis::{Synthesizer, SynthesisOutcome};
-use sta_smt::{Budget, SharedSink, TraceEvent};
+use sta_smt::{flatten_spans, Budget, Clock, Profiler, SharedSink, TraceEvent};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+/// How a campaign run observes itself. All fields are timing-class: they
+/// change what the report's `timing` keys and the trace stream carry,
+/// never the deterministic results.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Worker-pool size (clamped to `1..=jobs`).
+    pub workers: usize,
+    /// The time source for every wall-clock reading the engine takes —
+    /// run total, per-job walls, and span trees. Tests inject
+    /// [`sta_smt::Clock::fake`] to make timing exact.
+    pub clock: Clock,
+    /// Attach a span profiler to every job, collecting per-job
+    /// encode/search/simplex (and CEGIS iterate/select) span trees into
+    /// [`JobResult::spans`].
+    pub profile: bool,
+    /// Enable sampled solver progress timelines on verification jobs
+    /// (conflict/restart/pivot rates over the search; see
+    /// [`sta_smt::ProgressSample`]).
+    pub progress: bool,
+}
+
+impl RunOptions {
+    /// Options for a plain run on `workers` threads.
+    pub fn with_workers(workers: usize) -> Self {
+        RunOptions { workers, ..RunOptions::default() }
+    }
+}
 
 /// Runs every job of `spec` on a pool of `workers` threads and aggregates
 /// the results by job id.
@@ -53,7 +81,7 @@ use std::time::{Duration, Instant};
 /// campaign on one worker thread (the baseline the determinism tests
 /// compare against).
 pub fn run(spec: &CampaignSpec, workers: usize) -> CampaignReport {
-    run_traced(spec, workers, None)
+    run_with(spec, &RunOptions::with_workers(workers), None)
 }
 
 /// Like [`run`], additionally streaming [`TraceEvent`]s into `sink` as
@@ -69,9 +97,20 @@ pub fn run_traced(
     workers: usize,
     sink: Option<&SharedSink>,
 ) -> CampaignReport {
-    let start = Instant::now();
+    run_with(spec, &RunOptions::with_workers(workers), sink)
+}
+
+/// The fully-optioned engine entry point: worker count, clock injection,
+/// span profiling, and progress sampling (see [`RunOptions`]), plus an
+/// optional trace sink.
+pub fn run_with(
+    spec: &CampaignSpec,
+    options: &RunOptions,
+    sink: Option<&SharedSink>,
+) -> CampaignReport {
+    let start = options.clock.now();
     let n_jobs = spec.jobs.len();
-    let workers = workers.clamp(1, n_jobs.max(1));
+    let workers = options.workers.clamp(1, n_jobs.max(1));
     if let Some(sink) = sink {
         sink.emit(&TraceEvent::RunStart { name: spec.name.clone(), jobs: n_jobs });
     }
@@ -91,7 +130,7 @@ pub fn run_traced(
                     HashMap::new();
                 let mut done = Vec::new();
                 while let Some(job) = next_job(queues, w) {
-                    let result = execute(spec, job, w, &mut sessions);
+                    let result = execute(spec, job, w, &mut sessions, options);
                     if let Some(sink) = sink {
                         sink.emit_all(&job_events(&result));
                     }
@@ -111,7 +150,7 @@ pub fn run_traced(
     let report = CampaignReport {
         name: spec.name.clone(),
         workers,
-        total_wall: start.elapsed(),
+        total_wall: options.clock.now().saturating_sub(start),
         results,
     };
     if let Some(sink) = sink {
@@ -146,6 +185,26 @@ fn job_events(result: &JobResult) -> Vec<TraceEvent> {
                 counters.push(("cache_misses", pw.cache_misses));
             }
             events.push(TraceEvent::Phase { job: result.id, phase, counters, wall_us });
+        }
+    }
+    if let Some(spans) = &result.spans {
+        for (path, node) in flatten_spans(spans) {
+            events.push(TraceEvent::Span {
+                job: result.id,
+                path,
+                count: node.count,
+                incl_us: node.inclusive.as_micros() as u64,
+                excl_us: node.exclusive().as_micros() as u64,
+            });
+        }
+    }
+    if let Some(stats) = &result.stats {
+        for sample in &stats.progress {
+            events.push(TraceEvent::Progress {
+                job: result.id,
+                at_us: sample.at.as_micros() as u64,
+                counters: sample.counters(),
+            });
         }
     }
     events.push(TraceEvent::JobEnd {
@@ -184,11 +243,20 @@ fn execute<'a>(
     job_id: usize,
     worker: usize,
     sessions: &mut HashMap<(usize, bool), VerifySession<'a>>,
+    options: &RunOptions,
 ) -> JobResult {
     let job = &spec.jobs[job_id];
     let case = &spec.cases[job.case];
     let timeout = spec.effective_timeout_ms(job);
-    let started = Instant::now();
+    // One clock read per boundary: the job wall is `end − started`, never
+    // a second `elapsed()` that could disagree with other readings taken
+    // for the same row.
+    let started = options.clock.now();
+    // A fresh per-job profiler keeps span trees attributable to one job;
+    // the report merges them by name for the campaign-level view.
+    let profiler = options
+        .profile
+        .then(|| Profiler::with_clock(options.clock.clone()));
     let mut result = JobResult {
         id: job_id,
         label: job.label.clone(),
@@ -200,6 +268,7 @@ fn execute<'a>(
         stats: None,
         metrics: None,
         phase_wall: None,
+        spans: None,
         wall: Duration::ZERO,
         worker,
     };
@@ -212,6 +281,10 @@ fn execute<'a>(
                     model.allow_topology_attack,
                 )
             });
+            if let Some(p) = &profiler {
+                session.set_profiler(p.clone());
+            }
+            session.set_progress_sampling(options.progress);
             // The budget starts ticking at job start, not spec build.
             let budget = match timeout {
                 Some(ms) => Budget::with_timeout(Duration::from_millis(ms)),
@@ -231,7 +304,11 @@ fn execute<'a>(
             };
         }
         JobKind::Synthesize { attacker, config } => {
-            let synth = Synthesizer::new(&case.system).with_certify(spec.certify);
+            let mut synth =
+                Synthesizer::new(&case.system).with_certify(spec.certify);
+            if let Some(p) = &profiler {
+                synth = synth.with_profiler(p.clone());
+            }
             let mut attacker = attacker.clone();
             if attacker.timeout_ms.is_none() {
                 attacker.timeout_ms = timeout;
@@ -256,7 +333,10 @@ fn execute<'a>(
             };
         }
     }
-    result.wall = started.elapsed();
+    if let Some(p) = &profiler {
+        result.spans = Some(p.take());
+    }
+    result.wall = options.clock.now().saturating_sub(started);
     result
 }
 

@@ -7,9 +7,11 @@
 //! spec at any worker count — the determinism contract the campaign tests
 //! pin down.
 
+use crate::histogram::LatencyHistogram;
 use sta_core::attack::AttackVector;
 use sta_grid::BusId;
-use sta_smt::{Interrupt, PhaseMetrics, PhaseTimings, SolverStats};
+use sta_smt::json::{escape_into, f64_into};
+use sta_smt::{merge_spans, Interrupt, PhaseMetrics, PhaseTimings, SolverStats, SpanNode};
 use std::fmt;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -84,6 +86,9 @@ pub struct JobResult {
     pub metrics: Option<PhaseMetrics>,
     /// Per-phase wall clock (nondeterministic; `timing` key only).
     pub phase_wall: Option<PhaseTimings>,
+    /// The job's span tree when the run profiled it (nondeterministic;
+    /// trace stream and `--profile` rendering only, never report JSON).
+    pub spans: Option<Vec<SpanNode>>,
     /// Wall-clock time of the job (nondeterministic; `timing` key only).
     pub wall: Duration,
     /// Worker that executed the job (nondeterministic; `timing` key only).
@@ -104,34 +109,6 @@ pub struct CampaignReport {
     pub results: Vec<JobResult>,
 }
 
-fn escape_json(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn json_f64(v: f64, out: &mut String) {
-    // JSON has no NaN/Inf; clamp to null (never produced by the solver's
-    // exact arithmetic, but the format must stay valid regardless).
-    if v.is_finite() {
-        let _ = write!(out, "{v}");
-    } else {
-        out.push_str("null");
-    }
-}
-
 fn witness_json(w: &AttackVector, out: &mut String) {
     out.push_str("{\"alterations\":[");
     for (i, a) in w.alterations.iter().enumerate() {
@@ -139,7 +116,7 @@ fn witness_json(w: &AttackVector, out: &mut String) {
             out.push(',');
         }
         let _ = write!(out, "{{\"measurement\":{},\"delta\":", a.measurement.0 + 1);
-        json_f64(a.delta, out);
+        f64_into(a.delta, out);
         out.push('}');
     }
     out.push_str("],\"compromised_buses\":[");
@@ -231,6 +208,57 @@ impl CampaignReport {
         total
     }
 
+    /// Campaign-level latency histograms, one per phase: the whole-job
+    /// wall plus the solver's encode and search phases. Each job
+    /// contributes one sample per phase; the merge is associative and
+    /// commutative (see [`LatencyHistogram::merge`]), so the rollup is
+    /// independent of worker count and scheduling — only the bucket
+    /// *contents* (wall clock) vary between runs.
+    pub fn latency_rollup(&self) -> Vec<(&'static str, LatencyHistogram)> {
+        let mut wall = LatencyHistogram::new();
+        let mut encode = LatencyHistogram::new();
+        let mut search = LatencyHistogram::new();
+        for r in &self.results {
+            let mut job = LatencyHistogram::new();
+            job.record(r.wall);
+            wall.merge(&job);
+            if let Some(pw) = &r.phase_wall {
+                let mut je = LatencyHistogram::new();
+                je.record(pw.encode);
+                encode.merge(&je);
+                let mut js = LatencyHistogram::new();
+                js.record(pw.search);
+                search.merge(&js);
+            }
+        }
+        vec![("wall", wall), ("encode", encode), ("search", search)]
+    }
+
+    /// Per-phase latency *sample counts*. These depend only on the spec
+    /// (one wall sample per job; one encode/search sample per job that
+    /// tracked phase timings), so they belong to the deterministic report
+    /// body — the 1-vs-N-worker byte comparison pins them down, proving
+    /// no job was dropped from or double-counted in the histograms.
+    pub fn latency_sample_counts(&self) -> Vec<(&'static str, u64)> {
+        self.latency_rollup()
+            .into_iter()
+            .map(|(phase, h)| (phase, h.count()))
+            .collect()
+    }
+
+    /// The campaign-wide span tree of a profiled run: every job's spans
+    /// merged by name in job-id order (the `--profile` view). Empty when
+    /// the run did not profile.
+    pub fn merged_spans(&self) -> Vec<SpanNode> {
+        let mut merged = Vec::new();
+        for r in &self.results {
+            if let Some(spans) = &r.spans {
+                merge_spans(&mut merged, spans);
+            }
+        }
+        merged
+    }
+
     /// Serializes the report as JSON. With `include_timing` false, every
     /// `timing` object (per-job wall/worker, run totals) is omitted and
     /// the output depends only on the spec — not on worker count or
@@ -238,18 +266,18 @@ impl CampaignReport {
     pub fn to_json(&self, include_timing: bool) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\"campaign\":");
-        escape_json(&self.name, &mut out);
+        escape_into(&self.name, &mut out);
         let _ = write!(out, ",\"jobs\":{},\"results\":[", self.results.len());
         for (i, r) in self.results.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             let _ = write!(out, "{{\"id\":{},\"label\":", r.id);
-            escape_json(&r.label, &mut out);
+            escape_into(&r.label, &mut out);
             out.push_str(",\"case\":");
-            escape_json(&r.case, &mut out);
+            escape_into(&r.case, &mut out);
             out.push_str(",\"verdict\":");
-            escape_json(r.verdict.token(), &mut out);
+            escape_into(r.verdict.token(), &mut out);
             if let Some(w) = &r.witness {
                 out.push_str(",\"witness\":");
                 witness_json(w, &mut out);
@@ -295,7 +323,7 @@ impl CampaignReport {
             if i > 0 {
                 out.push(',');
             }
-            escape_json(token, &mut out);
+            escape_into(token, &mut out);
             let _ = write!(out, ":{n}");
         }
         out.push('}');
@@ -306,13 +334,37 @@ impl CampaignReport {
             out.push_str(",\"metrics\":");
             self.metrics_rollup().to_json_into(&mut out);
         }
+        if !self.results.is_empty() {
+            // Deterministic half of the latency rollup: how many samples
+            // each phase histogram holds (bucket contents are timing).
+            out.push_str(",\"latency_samples\":{");
+            for (i, (phase, n)) in self.latency_sample_counts().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{phase}\":{n}");
+            }
+            out.push('}');
+        }
         if include_timing {
             let _ = write!(
                 out,
-                ",\"timing\":{{\"total_wall_ms\":{:.3},\"workers\":{}}}",
+                ",\"timing\":{{\"total_wall_ms\":{:.3},\"workers\":{}",
                 self.total_wall.as_secs_f64() * 1e3,
                 self.workers
             );
+            if !self.results.is_empty() {
+                out.push_str(",\"latency\":{");
+                for (i, (phase, h)) in self.latency_rollup().iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{phase}\":");
+                    h.to_json_into(&mut out);
+                }
+                out.push('}');
+            }
+            out.push('}');
         }
         out.push('}');
         out
@@ -380,6 +432,7 @@ mod tests {
                     stats: Some(SolverStats::default()),
                     metrics: Some(PhaseMetrics { decisions: 4, pivots: 2, ..PhaseMetrics::default() }),
                     phase_wall: Some(PhaseTimings::default()),
+                    spans: None,
                     wall: Duration::from_millis(3),
                     worker: 1,
                 },
@@ -394,6 +447,7 @@ mod tests {
                     stats: None,
                     metrics: Some(PhaseMetrics { decisions: 6, clauses: 9, ..PhaseMetrics::default() }),
                     phase_wall: None,
+                    spans: None,
                     wall: Duration::from_millis(2),
                     worker: 0,
                 },

@@ -1,7 +1,7 @@
 //! Campaign-engine integration tests: scheduling determinism and deadline
 //! behavior over the real IEEE 14-bus encoding.
 
-use sta_campaign::{run, run_traced, CampaignSpec, Verdict};
+use sta_campaign::{run, run_traced, run_with, CampaignSpec, RunOptions, Verdict};
 use sta_core::attack::{AttackModel, AttackVerifier, StateTarget};
 use sta_core::synthesis::SynthesisConfig;
 use sta_grid::{ieee14, BusId};
@@ -92,7 +92,24 @@ fn metrics_rollup_is_byte_identical_across_worker_counts() {
     assert!(serial.results.iter().all(|r| r.metrics.is_some()));
     let json = serial.to_json(false);
     assert!(json.contains("\"metrics\":{\"encode\":"));
-    assert!(json.ends_with(&format!(",\"metrics\":{}}}", a.to_json())));
+    assert!(json.contains(&format!(",\"metrics\":{}", a.to_json())));
+    // The latency histogram's deterministic half — per-phase sample
+    // counts — closes the stripped report: one wall sample per job, one
+    // encode/search sample per phase-tracked job.
+    let n = spec.jobs.len() as u64;
+    assert!(json.ends_with(&format!(
+        ",\"latency_samples\":{{\"wall\":{n},\"encode\":{n},\"search\":{n}}}}}"
+    )));
+    assert_eq!(
+        serial.latency_sample_counts(),
+        parallel.latency_sample_counts(),
+        "histogram sample counts must not depend on scheduling"
+    );
+    // The bucket contents are wall clock: they live under `timing` only.
+    assert!(!json.contains("\"buckets\""));
+    let timed = serial.to_json(true);
+    assert!(timed.contains("\"latency\":{\"wall\":{\"count\":"));
+    assert!(timed.contains("\"p99_us\""));
 }
 
 /// Tentpole: `run_traced` streams a well-formed event sequence — one
@@ -140,6 +157,50 @@ fn traced_run_emits_contiguous_job_batches() {
     assert!(phase_json.iter().any(|j| j.contains("\"cache_hits\":")));
     // The traced report matches the untraced one byte for byte.
     assert_eq!(report.to_json(false), run(&spec, 1).to_json(false));
+}
+
+/// Tentpole: a profiled run attaches a span tree to every job — `verify`
+/// wrapping `encode`/`search` for verification jobs, `iterate`/`select`
+/// for synthesis — streams span and progress events into the trace, and
+/// leaves the deterministic report untouched.
+#[test]
+fn profiled_run_collects_spans_and_progress() {
+    let spec = mixed_spec();
+    let collect = CollectSink::new();
+    let sink = SharedSink::new(Box::new(collect.clone()));
+    let options = RunOptions {
+        workers: 2,
+        profile: true,
+        progress: true,
+        ..RunOptions::default()
+    };
+    let report = run_with(&spec, &options, Some(&sink));
+    // Observation must not perturb the deterministic output.
+    assert_eq!(report.to_json(false), run(&spec, 1).to_json(false));
+    assert!(report.results.iter().all(|r| r.spans.is_some()));
+    let merged = report.merged_spans();
+    let verify = merged
+        .iter()
+        .find(|n| n.name == "verify")
+        .expect("verify root span");
+    assert!(verify.children.iter().any(|n| n.name == "encode"));
+    assert!(verify.children.iter().any(|n| n.name == "search"));
+    let iterate = merged
+        .iter()
+        .find(|n| n.name == "iterate")
+        .expect("synthesis iterate span");
+    assert!(iterate.children.iter().any(|n| n.name == "select"));
+    // The trace stream carries per-job span paths and sampled progress
+    // timelines alongside the usual phase records.
+    let events = collect.events();
+    assert!(events.iter().any(
+        |e| matches!(e, TraceEvent::Span { path, .. } if path == "verify/encode/delta")
+    ));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Progress { .. })));
+    // An unprofiled run attaches nothing.
+    assert!(run(&spec, 2).results.iter().all(|r| r.spans.is_none()));
 }
 
 /// Satellite: worker-count edge cases — one worker, and more workers than

@@ -63,8 +63,26 @@ impl<'a> VerifySession<'a> {
     pub fn with_verifier(verifier: AttackVerifier<'a>, topology: bool) -> Self {
         let mut solver = Solver::new();
         solver.set_certify(verifier.certify_level());
+        // Inherit the verifier's observability configuration so a
+        // profiled campaign worker sees session checks too.
+        verifier.configure_solver(&mut solver);
         let enc = verifier.encode_base(&mut solver, topology);
         VerifySession { verifier, solver, enc, cache_hits: 0, cache_misses: 0 }
+    }
+
+    /// Attaches a span profiler to the session's solver: each
+    /// [`VerifySession::verify`] records a `verify` span whose `encode`
+    /// child splits into `base` (cache extension) vs `delta` (the
+    /// scenario's scoped constraints) — the base-reuse story in time.
+    pub fn set_profiler(&mut self, profiler: sta_smt::Profiler) {
+        self.verifier.set_profiler(profiler.clone());
+        self.solver.set_profiler(profiler);
+    }
+
+    /// Enables progress-timeline sampling on the session's checks.
+    pub fn set_progress_sampling(&mut self, on: bool) {
+        self.verifier.set_progress_sampling(on);
+        self.solver.set_progress_sampling(on);
     }
 
     /// Checks so far that reused the cached base encoding (the session's
@@ -113,6 +131,10 @@ impl<'a> VerifySession<'a> {
         model: &AttackModel,
         budget: &Budget,
     ) -> VerificationReport {
+        let _sp = self
+            .verifier
+            .profiler()
+            .map(|p| p.span("verify"));
         self.solver
             .set_certify(self.verifier.certify_level().max(model.certify));
         self.solver.push();

@@ -46,8 +46,8 @@ use crate::decimal;
 use sta_estimator::dcflow;
 use sta_grid::{BusId, LineId, MeasurementConfig, MeasurementId, TestSystem};
 use sta_smt::{
-    BoolVar, Budget, CertifyLevel, Formula, LinExpr, LinExprCmp, Model, RealVar, Rational,
-    SatResult, Solver,
+    BoolVar, Budget, CertifyLevel, Formula, LinExpr, LinExprCmp, Model, Profiler, RealVar,
+    Rational, SatResult, Solver,
 };
 use std::time::Duration;
 
@@ -97,6 +97,11 @@ pub struct AttackVerifier<'a> {
     /// Certification level applied to every solver check (the stricter of
     /// this and the scenario's own [`AttackModel::certify`]).
     certify: CertifyLevel,
+    /// Span profiler handed to every solver this verifier builds; each
+    /// check records a `verify` span over the solver's phase tree.
+    profiler: Option<Profiler>,
+    /// Whether solver checks sample progress timelines into their stats.
+    progress: bool,
 }
 
 impl<'a> AttackVerifier<'a> {
@@ -125,7 +130,13 @@ impl<'a> AttackVerifier<'a> {
             .iter()
             .map(|&t| decimal::angle(t))
             .collect();
-        AttackVerifier { system, base_theta, certify: CertifyLevel::Off }
+        AttackVerifier {
+            system,
+            base_theta,
+            certify: CertifyLevel::Off,
+            profiler: None,
+            progress: false,
+        }
     }
 
     /// Sets the certification level for every subsequent check.
@@ -141,6 +152,51 @@ impl<'a> AttackVerifier<'a> {
     /// The configured certification level.
     pub fn certify_level(&self) -> CertifyLevel {
         self.certify
+    }
+
+    /// Attaches a span profiler: every subsequent check records a
+    /// `verify` span wrapping the solver's `encode`/`search`/`certify`
+    /// tree (see [`sta_smt::Profiler`]).
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// In-place form of [`AttackVerifier::with_profiler`] for verifiers
+    /// owned by a session.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = Some(profiler);
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
+    /// In-place form of [`AttackVerifier::with_progress_sampling`].
+    pub fn set_progress_sampling(&mut self, on: bool) {
+        self.progress = on;
+    }
+
+    /// Enables progress-timeline sampling on every solver this verifier
+    /// builds (see [`sta_smt::Solver::set_progress_sampling`]).
+    pub fn with_progress_sampling(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// Whether progress sampling is enabled.
+    pub fn progress_sampling(&self) -> bool {
+        self.progress
+    }
+
+    /// Applies this verifier's observability configuration (profiler,
+    /// clock, progress sampling) to a solver it is about to drive.
+    pub(crate) fn configure_solver(&self, solver: &mut Solver) {
+        if let Some(p) = &self.profiler {
+            solver.set_profiler(p.clone());
+        }
+        solver.set_progress_sampling(self.progress);
     }
 
     /// The system under verification.
@@ -230,8 +286,10 @@ impl<'a> AttackVerifier<'a> {
         model: &AttackModel,
         budget: &Budget,
     ) -> VerificationReport {
+        let _sp = self.profiler.as_ref().map(|p| p.span("verify"));
         let mut solver = Solver::new();
         solver.set_certify(self.certify.max(model.certify));
+        self.configure_solver(&mut solver);
         let enc = self.encode_base(&mut solver, model.allow_topology_attack);
         self.assert_scenario(&mut solver, &enc, model);
         solver.set_budget(budget.clone());

@@ -190,6 +190,7 @@ pub struct Synthesizer<'a> {
     system: &'a TestSystem,
     verifier: AttackVerifier<'a>,
     certify: CertifyLevel,
+    profiler: Option<sta_smt::Profiler>,
 }
 
 impl<'a> Synthesizer<'a> {
@@ -200,6 +201,7 @@ impl<'a> Synthesizer<'a> {
             system,
             verifier: AttackVerifier::new(system),
             certify: CertifyLevel::Off,
+            profiler: None,
         }
     }
 
@@ -208,6 +210,16 @@ impl<'a> Synthesizer<'a> {
     pub fn with_certify(mut self, level: CertifyLevel) -> Self {
         self.certify = level;
         self.verifier = self.verifier.with_certify(level);
+        self
+    }
+
+    /// Attaches a span profiler to the CEGIS loop. Each round records an
+    /// `iterate` span with a `select` child (the candidate-selection
+    /// check) and the verifier's `verify` spans (base/delta encode,
+    /// search, simplex self-time) nested alongside it.
+    pub fn with_profiler(mut self, profiler: sta_smt::Profiler) -> Self {
+        self.verifier = self.verifier.with_profiler(profiler.clone());
+        self.profiler = Some(profiler);
         self
     }
 
@@ -244,6 +256,9 @@ impl<'a> Synthesizer<'a> {
         let b = self.system.grid.num_buses();
         let mut selection = Solver::new();
         selection.set_certify(self.certify.max(attacker.certify));
+        if let Some(p) = &self.profiler {
+            selection.set_profiler(p.clone());
+        }
         let sb: Vec<BoolVar> = (0..b).map(|_| selection.new_bool()).collect();
         // Eq. 27: the budget.
         selection.assert_formula(&Formula::at_most(
@@ -284,7 +299,11 @@ impl<'a> Synthesizer<'a> {
                 }
             }
             iterations += 1;
-            let selection_result = selection.check();
+            let _sp_iter = self.profiler.as_ref().map(|p| p.span("iterate"));
+            let selection_result = {
+                let _sp = self.profiler.as_ref().map(|p| p.span("select"));
+                selection.check()
+            };
             if let Some(stats) = selection.last_stats() {
                 obs.record(stats);
             }
@@ -571,6 +590,49 @@ mod tests {
                 lax_ok || !strict_ok,
                 "strict feasible but lax infeasible at state {}",
                 target + 1
+            );
+        }
+    }
+
+    /// A profiled synthesis run yields the CEGIS span tree: per-round
+    /// `iterate` spans containing a `select` child (candidate check) and
+    /// the verifier's `verify` spans, with solver phases nested below.
+    #[test]
+    fn profiler_captures_cegis_span_tree() {
+        let sys = ieee14::system_unsecured();
+        let profiler = sta_smt::Profiler::new();
+        let synth = Synthesizer::new(&sys).with_profiler(profiler.clone());
+        let attacker = AttackModel::new(14)
+            .target(sta_grid::BusId(11), StateTarget::MustChange)
+            .max_altered_measurements(8);
+        let outcome = synth.synthesize(&attacker, &SynthesisConfig::with_budget(3));
+        assert!(outcome.is_solution());
+        let iterations = outcome.architecture().unwrap().iterations as u64;
+        let roots = profiler.snapshot();
+        let iterate = roots
+            .iter()
+            .find(|n| n.name == "iterate")
+            .expect("iterate span");
+        assert_eq!(iterate.count, iterations);
+        let select = iterate
+            .children
+            .iter()
+            .find(|n| n.name == "select")
+            .expect("select child");
+        assert_eq!(select.count, iterations);
+        let verify = iterate
+            .children
+            .iter()
+            .find(|n| n.name == "verify")
+            .expect("verify child");
+        assert!(verify.count >= iterations);
+        // Solver phases nest under both the selection check and the
+        // verification calls.
+        for parent in [select, verify] {
+            assert!(
+                parent.children.iter().any(|n| n.name == "search"),
+                "no search span under {}",
+                parent.name
             );
         }
     }

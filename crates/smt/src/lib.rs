@@ -53,13 +53,16 @@ pub mod certify;
 pub mod cnf;
 pub mod expr;
 pub mod formula;
+pub mod json;
 pub mod lint;
+pub mod profile;
 pub mod rational;
 pub mod rng;
 pub mod sat;
 pub mod simplex;
 pub mod solver;
 pub mod stats;
+pub mod tablefmt;
 pub mod trace;
 
 pub use budget::{Budget, Interrupt};
@@ -70,9 +73,13 @@ pub use certify::{
 pub use expr::{LinExpr, RealVar};
 pub use formula::{BoolVar, CmpOp, Formula, LinExprCmp};
 pub use lint::{lint, lint_clauses, LintFinding, LintKind, LintReport, Severity};
+pub use profile::{
+    flatten_spans, merge_spans, render_spans, Clock, FakeClock, Profiler, SpanGuard, SpanNode,
+};
 pub use rational::{DeltaRational, Rational};
 pub use solver::{Model, SatResult, Solver};
-pub use stats::SolverStats;
+pub use stats::{ProgressSample, SolverStats};
+pub use tablefmt::{Align, Table};
 pub use trace::{
     CollectSink, JsonlSink, Phase, PhaseMetrics, PhaseTimings, SharedSink, TraceEvent, TraceSink,
 };

@@ -1,0 +1,410 @@
+//! Hierarchical span profiling over an injectable clock.
+//!
+//! The deterministic counters in [`crate::trace`] say *what* the solver
+//! did; this module answers *where the wall clock went* — encode vs
+//! search vs simplex vs certification, base vs delta encoding, and the
+//! per-iteration phases of the synthesis CEGIS loop. Three pieces:
+//!
+//! * [`Clock`] — the one source of elapsed time for every profiled
+//!   subsystem. Production code uses the monotonic variant; tests inject
+//!   a [`FakeClock`] and advance it by hand, which turns timing
+//!   assertions from flaky sleeps into exact arithmetic.
+//! * [`Profiler`] + [`SpanGuard`] — an RAII span stack. A guard opens a
+//!   span when created and closes it when dropped; nesting guards nests
+//!   spans. Closed spans merge by name into their parent, so a thousand
+//!   CEGIS iterations collapse into one `iterate` node with
+//!   `count = 1000` rather than a thousand siblings.
+//! * [`SpanNode`] — the resulting tree: per-name call counts and
+//!   inclusive wall time, with exclusive (self) time derived as
+//!   inclusive minus the sum of child inclusive times. Trees from
+//!   different workers merge deterministically by name.
+//!
+//! Span times are observational (scheduling-dependent), so they follow
+//! the same discipline as [`crate::trace::PhaseTimings`]: they are
+//! rendered by `--profile` and emitted in trace files, but never enter
+//! the timing-stripped campaign report that the determinism gate
+//! byte-compares.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::tablefmt::{Align, Table};
+
+/// A monotonic time source, replaceable by a fake in tests.
+///
+/// All variants report [`Duration`] since an arbitrary epoch fixed at
+/// construction; only differences between readings are meaningful.
+/// Cloning shares the epoch (and, for fakes, the underlying counter),
+/// so every subsystem handed a clone of one clock reads consistent time.
+#[derive(Debug, Clone)]
+pub enum Clock {
+    /// Real time from [`Instant`], relative to a construction-time epoch.
+    Monotonic {
+        /// The instant all readings are measured from.
+        epoch: Instant,
+    },
+    /// Test time: a shared nanosecond counter advanced explicitly.
+    Fake(Arc<AtomicU64>),
+}
+
+impl Clock {
+    /// A real monotonic clock starting at zero now.
+    pub fn monotonic() -> Self {
+        Clock::Monotonic { epoch: Instant::now() }
+    }
+
+    /// A fake clock (starting at zero) plus the handle that advances it.
+    pub fn fake() -> (Self, FakeClock) {
+        let counter = Arc::new(AtomicU64::new(0));
+        (Clock::Fake(Arc::clone(&counter)), FakeClock(counter))
+    }
+
+    /// Time elapsed since this clock's epoch.
+    pub fn now(&self) -> Duration {
+        match self {
+            Clock::Monotonic { epoch } => epoch.elapsed(),
+            Clock::Fake(ns) => Duration::from_nanos(ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::monotonic()
+    }
+}
+
+/// The advancing half of a [`Clock::fake`] pair.
+#[derive(Debug, Clone)]
+pub struct FakeClock(Arc<AtomicU64>);
+
+impl FakeClock {
+    /// Moves the paired clock forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.0.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+/// One node of a completed span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name (static: span sites are code locations, not data).
+    pub name: &'static str,
+    /// How many spans of this name closed at this tree position.
+    pub count: u64,
+    /// Total wall time inside the span, children included.
+    pub inclusive: Duration,
+    /// Child spans, in first-opened order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Self time: inclusive minus the children's inclusive total.
+    /// Saturates at zero (a fake clock can advance during a child span
+    /// only, making the children nominally "longer" than the parent).
+    pub fn exclusive(&self) -> Duration {
+        let children: Duration = self.children.iter().map(|c| c.inclusive).sum();
+        self.inclusive.saturating_sub(children)
+    }
+}
+
+/// Merges `other` into `nodes`, matching children by name recursively.
+/// Unmatched nodes append in `other`'s order, so merging is
+/// deterministic for any fixed operand order.
+pub fn merge_spans(nodes: &mut Vec<SpanNode>, other: &[SpanNode]) {
+    for node in other {
+        if let Some(existing) = nodes.iter_mut().find(|n| n.name == node.name) {
+            existing.count += node.count;
+            existing.inclusive += node.inclusive;
+            merge_spans(&mut existing.children, &node.children);
+        } else {
+            nodes.push(node.clone());
+        }
+    }
+}
+
+/// Renders a span forest as the `--profile` table: one indented row per
+/// node with call count, inclusive, and exclusive (self) milliseconds.
+pub fn render_spans(nodes: &[SpanNode]) -> String {
+    let mut table = Table::new(&[
+        ("span", Align::Left),
+        ("count", Align::Right),
+        ("incl ms", Align::Right),
+        ("self ms", Align::Right),
+    ]);
+    fn walk(table: &mut Table, nodes: &[SpanNode], depth: usize) {
+        for node in nodes {
+            table.row(&[
+                format!("{}{}", "  ".repeat(depth), node.name),
+                node.count.to_string(),
+                format!("{:.3}", node.inclusive.as_secs_f64() * 1e3),
+                format!("{:.3}", node.exclusive().as_secs_f64() * 1e3),
+            ]);
+            walk(table, &node.children, depth + 1);
+        }
+    }
+    walk(&mut table, nodes, 0);
+    table.render()
+}
+
+/// Flattens a span forest to `(path, node)` rows in depth-first order,
+/// with `/`-joined paths (`verify/encode/delta`). This is the shape the
+/// `TraceEvent::Span` records carry.
+pub fn flatten_spans(nodes: &[SpanNode]) -> Vec<(String, SpanNode)> {
+    fn walk(nodes: &[SpanNode], prefix: &str, out: &mut Vec<(String, SpanNode)>) {
+        for node in nodes {
+            let path = if prefix.is_empty() {
+                node.name.to_string()
+            } else {
+                format!("{prefix}/{}", node.name)
+            };
+            out.push((path.clone(), node.clone()));
+            walk(&node.children, &path, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(nodes, "", &mut out);
+    out
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    name: &'static str,
+    started: Duration,
+    children: Vec<SpanNode>,
+}
+
+#[derive(Debug, Default)]
+struct ProfilerState {
+    roots: Vec<SpanNode>,
+    stack: Vec<OpenSpan>,
+}
+
+/// A cloneable handle to one span stack.
+///
+/// Clones share state, so a solver, the session driving it, and the
+/// synthesis loop above both can each hold a handle and their spans
+/// nest naturally. The handle is cheap enough to thread everywhere but
+/// profiling is opt-in: unprofiled code paths carry `Option<Profiler>`
+/// set to `None` and pay only the `is_some` check.
+///
+/// One profiler serves one logical thread of work at a time (the span
+/// stack is a stack); the campaign pool gives each worker its own and
+/// merges the resulting trees by name.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    state: Arc<Mutex<ProfilerState>>,
+    clock: Clock,
+}
+
+impl Profiler {
+    /// A profiler over the real monotonic clock.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// A profiler over an explicit clock (inject a fake in tests).
+    pub fn with_clock(clock: Clock) -> Self {
+        Profiler { state: Arc::default(), clock }
+    }
+
+    /// The clock this profiler reads. Subsystems that need raw readings
+    /// (histograms, report walls) clone this instead of calling
+    /// [`Instant::now`] themselves, so a fake clock steers everything.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Opens a span; it closes (and merges into its parent) when the
+    /// returned guard drops.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        let started = self.clock.now();
+        lock(&self.state).stack.push(OpenSpan { name, started, children: Vec::new() });
+        SpanGuard { profiler: self }
+    }
+
+    /// Records an already-measured leaf span under the innermost open
+    /// span (or at the root if none is open). Used where RAII guards
+    /// would sit in too hot a loop — e.g. simplex self-time accumulated
+    /// by the theory solver's own timers and attached once per check.
+    pub fn record_leaf(&self, name: &'static str, elapsed: Duration, count: u64) {
+        let mut state = lock(&self.state);
+        let state = &mut *state;
+        let siblings = match state.stack.last_mut() {
+            Some(open) => &mut open.children,
+            None => &mut state.roots,
+        };
+        merge_spans(
+            siblings,
+            &[SpanNode { name, count, inclusive: elapsed, children: Vec::new() }],
+        );
+    }
+
+    fn close_top(&self) {
+        let ended = self.clock.now();
+        let mut state = lock(&self.state);
+        let state = &mut *state;
+        let Some(open) = state.stack.pop() else { return };
+        let node = SpanNode {
+            name: open.name,
+            count: 1,
+            inclusive: ended.saturating_sub(open.started),
+            children: open.children,
+        };
+        let siblings = match state.stack.last_mut() {
+            Some(parent) => &mut parent.children,
+            None => &mut state.roots,
+        };
+        merge_spans(siblings, &[node]);
+    }
+
+    /// A snapshot of the completed span forest (open spans excluded).
+    pub fn snapshot(&self) -> Vec<SpanNode> {
+        lock(&self.state).roots.clone()
+    }
+
+    /// Drains and returns the completed span forest.
+    pub fn take(&self) -> Vec<SpanNode> {
+        std::mem::take(&mut lock(&self.state).roots)
+    }
+}
+
+/// RAII guard for one open span; dropping it closes the span.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    profiler: &'a Profiler,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.profiler.close_top();
+    }
+}
+
+/// Locks, shrugging off poisoning: the state is a tree of plain values
+/// with no cross-field invariant a panic could tear.
+fn lock<T: ?Sized>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fake_clock_is_exact() {
+        let (clock, handle) = Clock::fake();
+        assert_eq!(clock.now(), Duration::ZERO);
+        handle.advance(Duration::from_micros(250));
+        assert_eq!(clock.now(), Duration::from_micros(250));
+        let shared = clock.clone();
+        handle.advance(Duration::from_micros(50));
+        assert_eq!(shared.now(), Duration::from_micros(300));
+    }
+
+    #[test]
+    fn nested_spans_build_a_tree_and_merge_by_name() {
+        let (clock, handle) = Clock::fake();
+        let prof = Profiler::with_clock(clock);
+        for _ in 0..3 {
+            let _outer = prof.span("solve");
+            handle.advance(Duration::from_millis(1));
+            {
+                let _inner = prof.span("encode");
+                handle.advance(Duration::from_millis(2));
+            }
+            {
+                let _inner = prof.span("search");
+                handle.advance(Duration::from_millis(4));
+            }
+        }
+        let roots = prof.snapshot();
+        assert_eq!(roots.len(), 1);
+        let solve = &roots[0];
+        assert_eq!(solve.name, "solve");
+        assert_eq!(solve.count, 3);
+        assert_eq!(solve.inclusive, Duration::from_millis(21));
+        assert_eq!(solve.children.len(), 2);
+        assert_eq!(solve.children[0].name, "encode");
+        assert_eq!(solve.children[0].count, 3);
+        assert_eq!(solve.children[0].inclusive, Duration::from_millis(6));
+        assert_eq!(solve.children[1].inclusive, Duration::from_millis(12));
+        // Exclusive (self) time of the root is what its children do not
+        // account for, and the tree is conservation-exact.
+        assert_eq!(solve.exclusive(), Duration::from_millis(3));
+        let child_sum: Duration = solve.children.iter().map(|c| c.inclusive).sum();
+        assert_eq!(solve.exclusive() + child_sum, solve.inclusive);
+    }
+
+    #[test]
+    fn record_leaf_attaches_under_open_span() {
+        let (clock, _handle) = Clock::fake();
+        let prof = Profiler::with_clock(clock);
+        {
+            let _search = prof.span("search");
+            prof.record_leaf("simplex", Duration::from_millis(5), 2);
+            prof.record_leaf("simplex", Duration::from_millis(3), 1);
+        }
+        let roots = prof.snapshot();
+        assert_eq!(roots[0].children.len(), 1);
+        assert_eq!(roots[0].children[0].count, 3);
+        assert_eq!(roots[0].children[0].inclusive, Duration::from_millis(8));
+    }
+
+    #[test]
+    fn merge_is_by_name_and_order_preserving() {
+        let mk = |name, ms| SpanNode {
+            name,
+            count: 1,
+            inclusive: Duration::from_millis(ms),
+            children: Vec::new(),
+        };
+        let mut a = vec![mk("x", 1), mk("y", 2)];
+        merge_spans(&mut a, &[mk("y", 10), mk("z", 100)]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[1].inclusive, Duration::from_millis(12));
+        assert_eq!(a[1].count, 2);
+        assert_eq!(a[2].name, "z");
+    }
+
+    #[test]
+    fn flatten_produces_slash_paths() {
+        let (clock, handle) = Clock::fake();
+        let prof = Profiler::with_clock(clock);
+        {
+            let _a = prof.span("verify");
+            let _b = prof.span("encode");
+            handle.advance(Duration::from_millis(1));
+        }
+        let flat = flatten_spans(&prof.snapshot());
+        let paths: Vec<&str> = flat.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, ["verify", "verify/encode"]);
+    }
+
+    #[test]
+    fn render_aligns_and_indents() {
+        let (clock, handle) = Clock::fake();
+        let prof = Profiler::with_clock(clock);
+        {
+            let _a = prof.span("outer");
+            let _b = prof.span("inner");
+            handle.advance(Duration::from_millis(2));
+        }
+        let text = render_spans(&prof.snapshot());
+        assert!(text.contains("span"), "{text}");
+        assert!(text.contains("\n  inner") || text.contains(" inner"), "{text}");
+        assert!(text.contains("2.000"), "{text}");
+    }
+
+    #[test]
+    fn take_drains_state() {
+        let prof = Profiler::new();
+        {
+            let _s = prof.span("once");
+        }
+        assert_eq!(prof.take().len(), 1);
+        assert!(prof.snapshot().is_empty());
+    }
+}

@@ -10,6 +10,9 @@
 use super::lit::{LBool, Lit, SatVar};
 use super::proof::{FarkasCertificate, ProofLog};
 use crate::budget::{Budget, Interrupt};
+use crate::profile::Clock;
+use crate::stats::ProgressSample;
+use std::time::Duration;
 
 /// Result of a theory callback.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +47,12 @@ pub trait Theory {
     /// rejects — certification requires certifying theories.
     fn take_certificate(&mut self) -> Option<FarkasCertificate> {
         None
+    }
+    /// Cumulative pivot (or equivalent work-step) count, read by the
+    /// progress sampler at decision boundaries. Theories without a
+    /// pivot-like notion keep the default zero.
+    fn pivot_count(&self) -> u64 {
+        0
     }
 }
 
@@ -138,7 +147,26 @@ pub struct CdclSolver {
     proof: Option<ProofLog>,
     /// Deadline / cancellation budget polled in the search loop.
     budget: Budget,
+    /// Progress timeline sampled at decision boundaries, when enabled.
+    progress: Option<ProgressLog>,
 }
+
+/// The progress sampler piggybacking on the decision-boundary poll site:
+/// every 64th decision it may record a [`ProgressSample`]. The sample
+/// count is bounded — when the buffer fills, every other sample is
+/// dropped and the recording stride doubles, so arbitrarily long solves
+/// keep a fixed-size, evenly thinned timeline.
+#[derive(Debug, Clone)]
+struct ProgressLog {
+    clock: Clock,
+    started: Duration,
+    stride: u64,
+    next_at: u64,
+    samples: Vec<ProgressSample>,
+}
+
+/// Upper bound on retained progress samples (then thin + double stride).
+const PROGRESS_CAP: usize = 512;
 
 impl Default for CdclSolver {
     fn default() -> Self {
@@ -171,6 +199,7 @@ impl CdclSolver {
             is_theory_var: Vec::new(),
             proof: None,
             budget: Budget::default(),
+            progress: None,
         }
     }
 
@@ -185,6 +214,25 @@ impl CdclSolver {
     /// so the log captures the complete original CNF.
     pub fn enable_proof(&mut self) {
         self.proof = Some(ProofLog::new());
+    }
+
+    /// Turns on progress sampling over `clock`: the next
+    /// [`CdclSolver::solve`] records a bounded timeline of cumulative
+    /// counters at decision boundaries, retrieved afterwards with
+    /// [`CdclSolver::take_progress`].
+    pub fn enable_progress(&mut self, clock: Clock) {
+        self.progress = Some(ProgressLog {
+            clock,
+            started: Duration::ZERO,
+            stride: 64,
+            next_at: 0,
+            samples: Vec::new(),
+        });
+    }
+
+    /// Takes the sampled progress timeline, leaving sampling disabled.
+    pub fn take_progress(&mut self) -> Vec<ProgressSample> {
+        self.progress.take().map(|p| p.samples).unwrap_or_default()
     }
 
     /// Takes the recorded proof, leaving logging disabled.
@@ -672,6 +720,33 @@ impl CdclSolver {
         }
     }
 
+    /// Records one progress sample if the decision count reached the
+    /// current stride boundary. `pivots` is the theory's cumulative
+    /// pivot count at this moment.
+    fn record_progress(&mut self, pivots: u64) {
+        let Some(log) = &mut self.progress else { return };
+        if self.counters.decisions < log.next_at {
+            return;
+        }
+        log.samples.push(ProgressSample {
+            at: log.clock.now().saturating_sub(log.started),
+            decisions: self.counters.decisions,
+            conflicts: self.counters.conflicts,
+            restarts: self.counters.restarts,
+            propagations: self.counters.propagations,
+            pivots,
+        });
+        log.next_at = self.counters.decisions + log.stride;
+        if log.samples.len() >= PROGRESS_CAP {
+            let mut keep = false;
+            log.samples.retain(|_| {
+                keep = !keep;
+                keep
+            });
+            log.stride = log.stride.saturating_mul(2);
+        }
+    }
+
     /// Solves the current clause set modulo `theory`.
     ///
     /// After `Sat`, variable values are available via [`CdclSolver::value`]
@@ -701,6 +776,9 @@ impl CdclSolver {
         if self.unsat_at_root {
             self.log_refutation();
             return SatOutcome::Unsat;
+        }
+        if let Some(log) = &mut self.progress {
+            log.started = log.clock.now();
         }
         // Feed root-level units to the theory before starting.
         let mut restarts = 0u64;
@@ -813,10 +891,17 @@ impl CdclSolver {
                     // simplex pivot loop): a satisfiable instance that makes
                     // millions of decisions with few conflicts must still
                     // observe its deadline, and the round counter alone can
-                    // lag when propagation queues run long.
-                    if limited && self.counters.decisions & 63 == 0 {
-                        if let Some(why) = self.budget.exhausted() {
-                            return SatOutcome::Unknown(why);
+                    // lag when propagation queues run long. The progress
+                    // sampler shares this boundary (and its masking) so
+                    // sampling adds no clock reads to unsampled solves.
+                    if self.counters.decisions & 63 == 0 {
+                        if limited {
+                            if let Some(why) = self.budget.exhausted() {
+                                return SatOutcome::Unknown(why);
+                            }
+                        }
+                        if self.progress.is_some() {
+                            self.record_progress(theory.pivot_count());
                         }
                     }
                     theory.on_new_level();

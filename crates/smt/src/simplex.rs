@@ -102,9 +102,14 @@ pub struct Simplex {
     last_certificate: Option<FarkasCertificate>,
     /// Deadline / cancellation budget polled in the pivot loop.
     budget: Budget,
-    /// Debug accounting (populated only when `STA_SMT_DEBUG` is set):
-    /// time in `repair_nonbasic`, in the violation/entering scans, and in
-    /// `pivot_and_update`, plus scan-iteration count.
+    /// Populate [`Simplex::debug_timers`] even without `STA_SMT_DEBUG`
+    /// (turned on by the span profiler, which attaches the accumulated
+    /// simplex self-time as a leaf under the search span).
+    timing_enabled: bool,
+    /// Debug accounting (populated when `STA_SMT_DEBUG` is set or timing
+    /// was enabled by a profiler): time in `repair_nonbasic`, in the
+    /// violation/entering scans, and in `pivot_and_update`, plus
+    /// scan-iteration count.
     pub debug_timers: DebugTimers,
 }
 
@@ -162,6 +167,14 @@ impl Simplex {
     /// the SAT core converts into an `Unknown` outcome.
     pub fn set_budget(&mut self, budget: Budget) {
         self.budget = budget;
+    }
+
+    /// Turns on [`Simplex::debug_timers`] accounting unconditionally
+    /// (instead of only under `STA_SMT_DEBUG`). The per-phase `Instant`
+    /// reads cost a few percent on pivot-heavy instances, so this stays
+    /// opt-in with the profiler.
+    pub fn enable_timing(&mut self) {
+        self.timing_enabled = true;
     }
 
     fn new_svar(&mut self) -> SVar {
@@ -570,7 +583,7 @@ impl Simplex {
     /// variables respect their bounds, or a row proves infeasibility.
     fn check_internal(&mut self) -> TheoryResult {
         self.theory_checks += 1;
-        let debug = std::env::var_os("STA_SMT_DEBUG").is_some();
+        let debug = self.timing_enabled || std::env::var_os("STA_SMT_DEBUG").is_some();
         let t0 = debug.then(std::time::Instant::now);
         self.repair_nonbasic();
         if let Some(t) = t0 {
@@ -710,6 +723,10 @@ fn add_to_row(row: &mut BTreeMap<SVar, Rational>, v: SVar, c: &Rational) {
 impl Theory for Simplex {
     fn on_new_level(&mut self) {
         self.trail.push(Vec::new());
+    }
+
+    fn pivot_count(&self) -> u64 {
+        self.pivots
     }
 
     fn on_backtrack(&mut self, n_levels: usize) {

@@ -47,11 +47,11 @@ use crate::cnf::Encoder;
 use crate::expr::RealVar;
 use crate::formula::{BoolVar, Formula};
 use crate::lint::{self, LintReport, Severity};
+use crate::profile::{Clock, Profiler};
 use crate::rational::Rational;
 use crate::sat::{CdclSolver, LBool, SatOutcome};
 use crate::simplex::Simplex;
 use crate::stats::SolverStats;
-use std::time::Instant;
 
 /// A satisfying assignment for the problem variables.
 ///
@@ -157,6 +157,14 @@ pub struct Solver {
     certify: CertifyLevel,
     budget: Budget,
     base: Option<BaseEncoding>,
+    /// The single time source for every per-check wall clock in
+    /// [`SolverStats`] (tests inject a fake; see [`crate::profile`]).
+    clock: Clock,
+    /// Span profiler, when attached: checks open `encode`/`search`/
+    /// `certify` spans (with `base`/`delta` and `simplex` leaves).
+    profiler: Option<Profiler>,
+    /// Whether checks sample a progress timeline into their stats.
+    progress: bool,
 }
 
 impl Solver {
@@ -238,6 +246,29 @@ impl Solver {
         self.certify
     }
 
+    /// Attaches a span profiler (and adopts its clock, so spans and
+    /// stats timings come from the same source). Checks then record an
+    /// `encode` → `search` → `certify` span tree, with `base`/`delta`
+    /// encode children and the simplex's accumulated self-time as a
+    /// `simplex` leaf under `search`.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.clock = profiler.clock().clone();
+        self.profiler = Some(profiler);
+    }
+
+    /// Replaces the clock behind per-check wall-clock stats (tests
+    /// inject a fake). [`Solver::set_profiler`] also sets this.
+    pub fn set_clock(&mut self, clock: Clock) {
+        self.clock = clock;
+    }
+
+    /// Enables (or disables) progress-timeline sampling: when on, each
+    /// check's [`SolverStats::progress`] carries a bounded sequence of
+    /// counter samples recorded at decision boundaries.
+    pub fn set_progress_sampling(&mut self, on: bool) {
+        self.progress = on;
+    }
+
     /// Statically analyses the current assertion set without solving.
     pub fn lint(&self) -> LintReport {
         lint::lint(&self.assertions, self.n_bools, self.n_reals)
@@ -282,7 +313,12 @@ impl Solver {
     /// (or `Full`), a `sat` answer's model is re-evaluated against every
     /// original assertion with exact arithmetic.
     pub fn check_certified(&mut self) -> Result<SatResult, CertifyError> {
-        let start = Instant::now();
+        // One clock read per timing boundary, with every interval derived
+        // from those reads — never a second `elapsed()` for the same
+        // boundary, so the intervals in one stats row are consistent
+        // (encode + search never exceeds solve).
+        let start = self.clock.now();
+        let prof = self.profiler.clone();
         let full = self.certify >= CertifyLevel::Full;
         let mut lint_report = LintReport::new();
         if full {
@@ -326,15 +362,19 @@ impl Solver {
         // expansion must not blow past the deadline before the search loop
         // ever polls. The base template is encoded under the budget and
         // reset to unlimited afterwards so later unlimited checks reuse it.
+        let sp_encode = prof.as_ref().map(|p| p.span("encode"));
         base.encoder.set_budget(self.budget.clone());
         let mut base_interrupt = None;
-        while base.encoded < base_limit {
-            let f = &self.assertions[base.encoded];
-            if let Err(why) = base.encoder.assert_root(f, &mut base.sat, &mut base.simplex) {
-                base_interrupt = Some(why);
-                break;
+        {
+            let _sp_base = prof.as_ref().map(|p| p.span("base"));
+            while base.encoded < base_limit {
+                let f = &self.assertions[base.encoded];
+                if let Err(why) = base.encoder.assert_root(f, &mut base.sat, &mut base.simplex) {
+                    base_interrupt = Some(why);
+                    break;
+                }
+                base.encoded += 1;
             }
-            base.encoded += 1;
         }
         base.encoder.set_budget(Budget::unlimited());
         if let Some(why) = base_interrupt {
@@ -349,8 +389,9 @@ impl Solver {
             stats.lint_errors = lint_report.count(Severity::Error);
             stats.lint_warnings = lint_report.count(Severity::Warning);
             stats.lint_infos = lint_report.count(Severity::Info);
-            stats.encode_time = start.elapsed();
-            stats.solve_time = start.elapsed();
+            // The whole check was encoding; one clock read covers both.
+            stats.encode_time = self.clock.now().saturating_sub(start);
+            stats.solve_time = stats.encode_time;
             self.last_stats = Some(stats);
             return Ok(SatResult::Unknown(why));
         }
@@ -362,10 +403,13 @@ impl Solver {
         let mut encoder = base.encoder.clone();
         encoder.set_budget(self.budget.clone());
         let mut delta_interrupt = None;
-        for f in &self.assertions[base_limit..] {
-            if let Err(why) = encoder.assert_root(f, &mut sat, &mut simplex) {
-                delta_interrupt = Some(why);
-                break;
+        {
+            let _sp_delta = prof.as_ref().map(|p| p.span("delta"));
+            for f in &self.assertions[base_limit..] {
+                if let Err(why) = encoder.assert_root(f, &mut sat, &mut simplex) {
+                    delta_interrupt = Some(why);
+                    break;
+                }
             }
         }
         if let Some(why) = delta_interrupt {
@@ -382,11 +426,12 @@ impl Solver {
             stats.lint_errors = lint_report.count(Severity::Error);
             stats.lint_warnings = lint_report.count(Severity::Warning);
             stats.lint_infos = lint_report.count(Severity::Info);
-            stats.encode_time = start.elapsed();
-            stats.solve_time = start.elapsed();
+            stats.encode_time = self.clock.now().saturating_sub(start);
+            stats.solve_time = stats.encode_time;
             self.last_stats = Some(stats);
             return Ok(SatResult::Unknown(why));
         }
+        drop(sp_encode);
         if full {
             // Encoding-level pass (duplicate / subsumed clauses) over the
             // clause database before any learning happens.
@@ -394,16 +439,33 @@ impl Solver {
         }
         sat.set_budget(self.budget.clone());
         simplex.set_budget(self.budget.clone());
-        let encode_done = Instant::now();
-        let outcome = sat.solve(&mut simplex);
-        let search_time = encode_done.elapsed();
+        if self.progress {
+            sat.enable_progress(self.clock.clone());
+        }
+        if prof.is_some() {
+            // The per-check clone starts from the never-solved base, so
+            // its timers accumulate exactly this check's simplex work.
+            simplex.enable_timing();
+        }
+        let encode_done = self.clock.now();
+        let outcome = {
+            let _sp_search = prof.as_ref().map(|p| p.span("search"));
+            let outcome = sat.solve(&mut simplex);
+            if let Some(p) = &prof {
+                let t = &simplex.debug_timers;
+                p.record_leaf("simplex", t.repair + t.scan + t.pivot, t.iterations);
+            }
+            outcome
+        };
+        let search_done = self.clock.now();
+        let search_time = search_done.saturating_sub(encode_done);
         if std::env::var_os("STA_SMT_DEBUG").is_some() {
             let t = &simplex.debug_timers;
             eprintln!(
-                "[sta-smt] encode {:.2?} solve {:.2?} | simplex repair {:.2?} \
+                "[sta-smt] encode {:.2?} search {:.2?} | simplex repair {:.2?} \
                  scan {:.2?} pivot {:.2?} iters {}",
-                encode_done - start,
-                encode_done.elapsed(),
+                encode_done.saturating_sub(start),
+                search_time,
                 t.repair,
                 t.scan,
                 t.pivot,
@@ -411,6 +473,7 @@ impl Solver {
             );
         }
         let counters = sat.counters();
+        let progress = sat.take_progress();
         let mut stats = SolverStats {
             bool_vars: self.n_bools as usize,
             real_vars: self.n_reals as usize,
@@ -438,13 +501,15 @@ impl Solver {
             lint_errors: lint_report.count(Severity::Error),
             lint_warnings: lint_report.count(Severity::Warning),
             lint_infos: lint_report.count(Severity::Info),
-            solve_time: start.elapsed(),
-            encode_time: encode_done - start,
+            solve_time: search_done.saturating_sub(start),
+            encode_time: encode_done.saturating_sub(start),
             search_time,
+            progress,
         };
         let result = match outcome {
             SatOutcome::Unsat => {
                 if full {
+                    let _sp_certify = prof.as_ref().map(|p| p.span("certify"));
                     let proof = sat
                         .take_proof()
                         .ok_or_else(|| CertifyError::new("proof logging produced no proof"))?;
@@ -463,6 +528,7 @@ impl Solver {
                     })
                     .collect();
                 if self.certify >= CertifyLevel::CheckModels {
+                    let _sp_certify = prof.as_ref().map(|p| p.span("certify"));
                     for f in &self.assertions {
                         if !eval_formula(f, &bools, &reals) {
                             return Err(CertifyError::new(format!(
@@ -476,7 +542,8 @@ impl Solver {
             }
             SatOutcome::Unknown(why) => SatResult::Unknown(why),
         };
-        stats.solve_time = start.elapsed();
+        // Final wall clock includes certification; still one read.
+        stats.solve_time = self.clock.now().saturating_sub(start);
         self.last_stats = Some(stats);
         Ok(result)
     }
@@ -487,6 +554,7 @@ mod tests {
     use super::*;
     use crate::expr::LinExpr;
     use crate::formula::LinExprCmp;
+    use std::time::Instant;
 
     fn r(n: i64, d: i64) -> Rational {
         Rational::new(n, d)
@@ -852,6 +920,83 @@ mod tests {
         s.set_budget(Budget::unlimited());
         s.assert_formula(&Formula::var(vars[0][0]));
         assert!(s.check().is_sat());
+    }
+
+    /// The span profiler must see the solver's phase structure: `encode`
+    /// with `base`/`delta` children and `search` with a `simplex` leaf,
+    /// and progress sampling must yield a monotone timeline.
+    #[test]
+    fn profiler_records_span_tree_and_progress() {
+        let mut s = Solver::new();
+        let prof = Profiler::new();
+        s.set_profiler(prof.clone());
+        s.set_progress_sampling(true);
+        let p = s.new_bool();
+        let x = s.new_real();
+        s.assert_formula(&Formula::var(p).implies(LinExpr::var(x).ge(LinExpr::from(5))));
+        s.push();
+        s.assert_formula(&LinExpr::var(x).le(LinExpr::from(10)));
+        assert!(s.check().is_sat());
+        let spans = prof.snapshot();
+        let names: Vec<&str> = spans.iter().map(|n| n.name).collect();
+        assert_eq!(names, ["encode", "search"], "{names:?}");
+        let encode = &spans[0];
+        let kids: Vec<&str> = encode.children.iter().map(|n| n.name).collect();
+        assert!(kids.contains(&"base") && kids.contains(&"delta"), "{kids:?}");
+        let search = &spans[1];
+        assert!(
+            search.children.iter().any(|n| n.name == "simplex"),
+            "simplex leaf missing under search"
+        );
+        let stats = s.last_stats().expect("stats");
+        assert!(!stats.progress.is_empty(), "no progress samples");
+        for w in stats.progress.windows(2) {
+            assert!(w[1].decisions >= w[0].decisions);
+            assert!(w[1].at >= w[0].at);
+        }
+        // Unprofiled solver keeps an empty timeline.
+        let mut plain = Solver::new();
+        let y = plain.new_real();
+        plain.assert_formula(&LinExpr::var(y).ge(LinExpr::from(1)));
+        assert!(plain.check().is_sat());
+        assert!(plain.last_stats().expect("stats").progress.is_empty());
+    }
+
+    /// Single-read timing discipline: the phase intervals of one stats
+    /// row must nest consistently (encode + search ≤ solve), which the
+    /// old double-`elapsed()` reads did not guarantee.
+    #[test]
+    fn phase_times_are_consistent_within_one_row() {
+        let mut s = Solver::new();
+        let x = s.new_real();
+        s.assert_formula(&LinExpr::var(x).ge(LinExpr::from(1)));
+        s.assert_formula(&LinExpr::var(x).le(LinExpr::from(9)));
+        assert!(s.check().is_sat());
+        let stats = s.last_stats().expect("stats");
+        assert!(
+            stats.encode_time + stats.search_time <= stats.solve_time,
+            "encode {:?} + search {:?} > solve {:?}",
+            stats.encode_time,
+            stats.search_time,
+            stats.solve_time
+        );
+    }
+
+    /// With a fake clock the solver's wall-clock stats are exact: zero
+    /// if the clock never advances, and equal to the injected advance
+    /// when a budget interrupt consumes the whole check.
+    #[test]
+    fn fake_clock_steers_stats_timing() {
+        let (clock, _handle) = Clock::fake();
+        let mut s = Solver::new();
+        s.set_clock(clock);
+        let x = s.new_real();
+        s.assert_formula(&LinExpr::var(x).ge(LinExpr::from(1)));
+        assert!(s.check().is_sat());
+        let stats = s.last_stats().expect("stats");
+        assert_eq!(stats.solve_time, std::time::Duration::ZERO);
+        assert_eq!(stats.encode_time, std::time::Duration::ZERO);
+        assert_eq!(stats.search_time, std::time::Duration::ZERO);
     }
 
     #[test]

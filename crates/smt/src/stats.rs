@@ -12,6 +12,41 @@ use crate::trace::{PhaseMetrics, PhaseTimings};
 use std::fmt;
 use std::time::Duration;
 
+/// One point of a sampled solver progress timeline: cumulative search
+/// counters captured at a decision boundary `at` into the search. A
+/// sequence of these gives conflict/restart/pivot *rates* over time —
+/// the "is this long solve converging or thrashing" view. Samples carry
+/// wall-clock offsets, so (like all timings) they are observational:
+/// emitted in trace files, never in timing-stripped reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressSample {
+    /// Offset from the start of the search.
+    pub at: Duration,
+    /// Cumulative SAT decisions.
+    pub decisions: u64,
+    /// Cumulative conflicts (Boolean + theory).
+    pub conflicts: u64,
+    /// Cumulative restarts.
+    pub restarts: u64,
+    /// Cumulative BCP propagations.
+    pub propagations: u64,
+    /// Cumulative simplex pivots.
+    pub pivots: u64,
+}
+
+impl ProgressSample {
+    /// The counter pairs in `TraceEvent::Progress` serialization order.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("decisions", self.decisions),
+            ("conflicts", self.conflicts),
+            ("restarts", self.restarts),
+            ("propagations", self.propagations),
+            ("pivots", self.pivots),
+        ]
+    }
+}
+
 /// Resource usage of one [`crate::Solver::check`] call.
 #[derive(Debug, Default, Clone)]
 pub struct SolverStats {
@@ -76,6 +111,9 @@ pub struct SolverStats {
     pub encode_time: Duration,
     /// Wall-clock time spent in the DPLL(T) search.
     pub search_time: Duration,
+    /// Sampled progress timeline of the search; empty unless sampling
+    /// was enabled (see [`crate::Solver::set_progress_sampling`]).
+    pub progress: Vec<ProgressSample>,
 }
 
 impl SolverStats {

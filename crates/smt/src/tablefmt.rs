@@ -1,0 +1,105 @@
+//! Column-aligned plain-text tables.
+//!
+//! The CLI renders several tabular views (`--metrics` counters,
+//! `--profile` span trees, campaign summaries, `sta bench` diffs); they
+//! all share this one alignment helper so the column conventions stay
+//! uniform: single-space separation, left-aligned text, right-aligned
+//! numbers, widths fitted to content.
+
+/// Horizontal alignment of one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right (text).
+    Left,
+    /// Pad on the left (numbers).
+    Right,
+}
+
+/// An in-memory table rendered with fitted column widths.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given `(header, alignment)` columns.
+    pub fn new(columns: &[(&str, Align)]) -> Self {
+        Table {
+            headers: columns.iter().map(|(h, _)| (*h).to_string()).collect(),
+            aligns: columns.iter().map(|(_, a)| *a).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row. Missing cells render empty; extra cells are
+    /// dropped (callers pass exactly one cell per column in practice).
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        self.rows.push(
+            (0..self.headers.len())
+                .map(|i| cells.get(i).map(|c| c.as_ref().to_string()).unwrap_or_default())
+                .collect(),
+        );
+    }
+
+    /// Renders the header plus all rows, one line each, with every
+    /// column padded to its widest cell. No trailing spaces.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let mut line = |cells: &[String]| {
+            let mut text = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    text.push(' ');
+                }
+                match self.aligns[i] {
+                    Align::Left => text.push_str(&format!("{cell:<width$}", width = widths[i])),
+                    Align::Right => text.push_str(&format!("{cell:>width$}", width = widths[i])),
+                }
+            }
+            out.push_str(text.trim_end());
+            out.push('\n');
+        };
+        line(&self.headers);
+        for row in &self.rows {
+            line(row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns_to_widest_cell() {
+        let mut t = Table::new(&[("name", Align::Left), ("value", Align::Right)]);
+        t.row(&["a", "1"]);
+        t.row(&["longer-name", "123456"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "name         value");
+        assert_eq!(lines[1], "a                1");
+        assert_eq!(lines[2], "longer-name 123456");
+    }
+
+    #[test]
+    fn short_rows_pad_and_no_trailing_spaces() {
+        let mut t = Table::new(&[("a", Align::Left), ("b", Align::Left)]);
+        t.row(&["x"]);
+        let text = t.render();
+        for line in text.lines() {
+            assert_eq!(line, line.trim_end());
+        }
+        assert!(text.contains("x"));
+    }
+}

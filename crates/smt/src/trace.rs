@@ -22,6 +22,9 @@ use std::io::Write;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use crate::json::escape_into;
+use crate::tablefmt::{Align, Table};
+
 /// The solver phases metrics are broken down by.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
@@ -166,14 +169,17 @@ impl PhaseMetrics {
 
     /// Renders the end-of-run phase table (the `--metrics` output).
     pub fn table(&self) -> String {
-        let mut out = String::new();
-        let _ = writeln!(out, "{:<8} {:<18} {:>14}", "phase", "counter", "total");
+        let mut table = Table::new(&[
+            ("phase", Align::Left),
+            ("counter", Align::Left),
+            ("total", Align::Right),
+        ]);
         for (phase, counters) in self.grouped() {
             for (name, value) in counters {
-                let _ = writeln!(out, "{:<8} {:<18} {:>14}", phase.token(), name, value);
+                table.row(&[phase.token(), name, &value.to_string()]);
             }
         }
-        out
+        table.render()
     }
 }
 
@@ -229,24 +235,6 @@ impl PhaseTimings {
     }
 }
 
-fn escape_json(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
 /// One observability event. The JSONL trace file is one event per line.
 #[derive(Debug, Clone)]
 pub enum TraceEvent {
@@ -279,6 +267,35 @@ pub enum TraceEvent {
         /// Wall clock of the phase in microseconds, when tracked.
         wall_us: Option<u64>,
     },
+    /// One node of a job's profiling span tree, flattened to a
+    /// `/`-joined path (see [`crate::profile::flatten_spans`]). Span
+    /// times are wall clocks, so — like every `wall_us` here — they
+    /// appear in trace files but never in timing-stripped reports.
+    Span {
+        /// Job id within the run.
+        job: usize,
+        /// `/`-joined span path (e.g. `verify/encode/delta`).
+        path: String,
+        /// Number of spans merged into this node.
+        count: u64,
+        /// Inclusive wall time in microseconds.
+        incl_us: u64,
+        /// Exclusive (self) wall time in microseconds.
+        excl_us: u64,
+    },
+    /// A sampled point of a solver progress timeline, recorded at CDCL
+    /// decision boundaries while a check runs (conflict/restart/pivot
+    /// rates over time, for watching a long solve converge or thrash).
+    Progress {
+        /// Job id within the run.
+        job: usize,
+        /// Time since the check started, in microseconds.
+        at_us: u64,
+        /// `(name, value)` cumulative counter pairs in serialization
+        /// order (`decisions`, `conflicts`, `restarts`, `propagations`,
+        /// `pivots`).
+        counters: Vec<(&'static str, u64)>,
+    },
     /// A job finished.
     JobEnd {
         /// Job id within the run.
@@ -305,14 +322,14 @@ impl TraceEvent {
         match self {
             TraceEvent::RunStart { name, jobs } => {
                 out.push_str("{\"event\":\"run-start\",\"name\":");
-                escape_json(name, &mut out);
+                escape_into(name, &mut out);
                 let _ = write!(out, ",\"jobs\":{jobs}}}");
             }
             TraceEvent::JobStart { job, label, case } => {
                 let _ = write!(out, "{{\"event\":\"job-start\",\"job\":{job},\"label\":");
-                escape_json(label, &mut out);
+                escape_into(label, &mut out);
                 out.push_str(",\"case\":");
-                escape_json(case, &mut out);
+                escape_into(case, &mut out);
                 out.push('}');
             }
             TraceEvent::Phase { job, phase, counters, wall_us } => {
@@ -333,14 +350,35 @@ impl TraceEvent {
                 }
                 out.push('}');
             }
+            TraceEvent::Span { job, path, count, incl_us, excl_us } => {
+                let _ = write!(out, "{{\"event\":\"span\",\"job\":{job},\"path\":");
+                escape_into(path, &mut out);
+                let _ = write!(
+                    out,
+                    ",\"count\":{count},\"incl_us\":{incl_us},\"excl_us\":{excl_us}}}"
+                );
+            }
+            TraceEvent::Progress { job, at_us, counters } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"progress\",\"job\":{job},\"at_us\":{at_us},\"counters\":{{"
+                );
+                for (i, (name, value)) in counters.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{name}\":{value}");
+                }
+                out.push_str("}}");
+            }
             TraceEvent::JobEnd { job, verdict, wall_us } => {
                 let _ = write!(out, "{{\"event\":\"job-end\",\"job\":{job},\"verdict\":");
-                escape_json(verdict, &mut out);
+                escape_into(verdict, &mut out);
                 let _ = write!(out, ",\"wall_us\":{wall_us}}}");
             }
             TraceEvent::RunEnd { name, wall_us } => {
                 out.push_str("{\"event\":\"run-end\",\"name\":");
-                escape_json(name, &mut out);
+                escape_into(name, &mut out);
                 let _ = write!(out, ",\"wall_us\":{wall_us}}}");
             }
         }

@@ -13,14 +13,28 @@
 //!                                      measurement-granular variant
 //! sta campaign [<case>] [--jobs N] [--timeout-ms MS] [--certify L]
 //!              [--topology] [--force-timeout] [--out FILE] [--strip-timing]
-//!              [--trace FILE] [--metrics]
+//!              [--trace FILE] [--metrics] [--profile]
 //!                                      parallel sweep of attack variants
+//! sta bench [--suite S] [--reps N] [--jobs N] [--out FILE]
+//!           [--baseline FILE] [--against FILE] [--threshold PCT]
+//!                                      perf-trajectory harness
 //! ```
 //!
 //! `--trace FILE` streams the run's observability events (run/job
 //! brackets plus per-phase solver counters) as JSON Lines to `FILE`;
 //! `--metrics` prints the end-of-run phase table (deterministic counters
-//! only — wall clocks stay in the trace). See `DESIGN.md` §10.
+//! only — wall clocks stay in the trace); `--profile` prints the
+//! hierarchical span tree (encode base/delta, search, simplex self-time,
+//! certify; CEGIS iterate/select) with inclusive and self milliseconds.
+//! See `DESIGN.md` §10–§11.
+//!
+//! `sta bench` runs a pinned suite `--reps` times and writes per-job
+//! median wall/phase times as schema-versioned JSON (default
+//! `BENCH_<suite>.json`). With `--baseline OLD.json` the fresh run is
+//! compared against the file and the command exits 1 past the
+//! `--threshold` regression gate (default 50%). With `--against
+//! NEW.json` no suite runs: the two files are diffed directly (the
+//! self-diff `--baseline F --against F` exits 0 and validates schema).
 //!
 //! `<case>` is a case file (see `sta::grid::caseformat`) or a built-in
 //! name: `ieee14`, `ieee14-unsecured`, `ieee30`, `ieee57`, `ieee118`,
@@ -40,15 +54,16 @@
 //! | 2 | usage or input error |
 //! | 3 | undecided: the solver's wall-clock budget ran out (`unknown`), or at least one campaign job did — **not** the same as unsat |
 
-use sta::campaign::{run_traced as run_campaign, CampaignSpec};
+use sta::campaign::pool::{run_with as run_campaign, RunOptions};
+use sta::campaign::{bench, CampaignSpec};
 use sta::core::analytics::ThreatAnalyzer;
 use sta::core::attack::{AttackModel, AttackOutcome, AttackVerifier, StateTarget};
 use sta::core::synthesis::{SynthesisConfig, Synthesizer};
 use sta::core::{scenario, validation};
 use sta::grid::{caseformat, ieee14, synthetic, TestSystem};
 use sta::smt::{
-    CertifyLevel, JsonlSink, Phase, PhaseMetrics, PhaseTimings, SharedSink, TraceEvent,
-    TraceSink,
+    render_spans, CertifyLevel, JsonlSink, Phase, PhaseMetrics, PhaseTimings, Profiler,
+    SharedSink, TraceEvent, TraceSink,
 };
 use std::fs::File;
 use std::io::BufWriter;
@@ -125,8 +140,10 @@ fn usage() -> ExitCode {
          [--reference-secured] [--measurements] [--paper-blocking] [--certify off|models|full] \
          [--trace FILE] [--metrics]\n  \
          sta campaign [<case>] [--jobs N] [--timeout-ms MS] [--certify off|models|full] \
-         [--topology] [--force-timeout] [--out FILE] [--strip-timing] [--trace FILE] [--metrics]\n\
-         exit codes: 0 = sat/success, 1 = unsat/no solution, 2 = usage error, 3 = unknown (budget exhausted)"
+         [--topology] [--force-timeout] [--out FILE] [--strip-timing] [--trace FILE] [--metrics] [--profile]\n  \
+         sta bench [--suite smoke|sweep] [--reps N] [--jobs N] [--out FILE] \
+         [--baseline FILE] [--against FILE] [--threshold PCT]\n\
+         exit codes: 0 = sat/success, 1 = unsat/no solution/perf regression, 2 = usage error, 3 = unknown (budget exhausted)"
     );
     ExitCode::from(2)
 }
@@ -146,18 +163,20 @@ struct VerifyFlags {
     timeout_ms: Option<u64>,
     trace: Option<String>,
     metrics: bool,
+    profile: bool,
 }
 
 /// Parses the trailing flags verify/replay accept: `--certify`,
 /// `--timeout-ms` (a CLI-level deadline overriding the scenario file's
-/// own `timeout-ms`), and — when `observability` is allowed — `--trace`
-/// and `--metrics`.
+/// own `timeout-ms`), and — when `observability` is allowed — `--trace`,
+/// `--metrics`, and `--profile`.
 fn verify_flags(args: &[String], observability: bool) -> Result<VerifyFlags, String> {
     let mut flags = VerifyFlags {
         certify: CertifyLevel::Off,
         timeout_ms: None,
         trace: None,
         metrics: false,
+        profile: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -176,6 +195,7 @@ fn verify_flags(args: &[String], observability: bool) -> Result<VerifyFlags, Str
                     Some(it.next().ok_or("--trace needs a file")?.clone());
             }
             "--metrics" if observability => flags.metrics = true,
+            "--profile" if observability => flags.profile = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -222,7 +242,11 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
     if flags.timeout_ms.is_some() {
         model.timeout_ms = flags.timeout_ms;
     }
-    let verifier = AttackVerifier::new(&sys).with_certify(flags.certify);
+    let mut verifier = AttackVerifier::new(&sys).with_certify(flags.certify);
+    let profiler = flags.profile.then(Profiler::new);
+    if let Some(p) = &profiler {
+        verifier = verifier.with_profiler(p.clone());
+    }
     let report = verifier.verify_with_stats(&model);
     let verdict = match &report.outcome {
         AttackOutcome::Feasible(_) => "sat".to_string(),
@@ -239,6 +263,9 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
         &report.stats.phase_metrics(),
         &report.stats.phase_timings(),
     )?;
+    if let Some(p) = &profiler {
+        print!("{}", render_spans(&p.take()));
+    }
     match &report.outcome {
         AttackOutcome::Feasible(v) => {
             println!("sat");
@@ -310,6 +337,7 @@ fn cmd_synthesize(args: &[String]) -> Result<ExitCode, String> {
     let mut certify = CertifyLevel::Off;
     let mut trace: Option<String> = None;
     let mut metrics = false;
+    let mut profile = false;
     let mut it = args[2..].iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -328,14 +356,21 @@ fn cmd_synthesize(args: &[String]) -> Result<ExitCode, String> {
                 trace = Some(it.next().ok_or("--trace needs a file")?.clone());
             }
             "--metrics" => metrics = true,
+            "--profile" => profile = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     let budget = budget.ok_or("missing --budget")?;
-    if measurements && (trace.is_some() || metrics) {
-        return Err("--trace/--metrics are not supported with --measurements".into());
+    if measurements && (trace.is_some() || metrics || profile) {
+        return Err(
+            "--trace/--metrics/--profile are not supported with --measurements".into(),
+        );
     }
-    let synth = Synthesizer::new(&sys).with_certify(certify);
+    let mut synth = Synthesizer::new(&sys).with_certify(certify);
+    let profiler = profile.then(Profiler::new);
+    if let Some(p) = &profiler {
+        synth = synth.with_profiler(p.clone());
+    }
     if measurements {
         match synth.synthesize_measurements(&model, budget) {
             Some((set, iters)) => {
@@ -376,6 +411,9 @@ fn cmd_synthesize(args: &[String]) -> Result<ExitCode, String> {
             &obs.metrics,
             &obs.timings,
         )?;
+        if let Some(p) = &profiler {
+            print!("{}", render_spans(&p.take()));
+        }
         match outcome {
             sta::core::SynthesisOutcome::Architecture(arch) => {
                 println!("{arch}");
@@ -406,6 +444,7 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
     let mut strip_timing = false;
     let mut trace: Option<String> = None;
     let mut metrics = false;
+    let mut profile = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -413,6 +452,7 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
                 trace = Some(it.next().ok_or("--trace needs a file")?.clone());
             }
             "--metrics" => metrics = true,
+            "--profile" => profile = true,
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 jobs = v.parse().map_err(|_| "bad --jobs value")?;
@@ -470,11 +510,20 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
         Some(path) => Some(SharedSink::new(Box::new(open_trace(path)?))),
         None => None,
     };
-    let report = run_campaign(&spec, jobs, sink.as_ref());
+    let options = RunOptions {
+        workers: jobs,
+        profile,
+        progress: profile,
+        ..RunOptions::default()
+    };
+    let report = run_campaign(&spec, &options, sink.as_ref());
     drop(sink); // flush the trace file before reporting
     print!("{}", report.table());
     if metrics {
         print!("{}", report.metrics_rollup().table());
+    }
+    if profile {
+        print!("{}", render_spans(&report.merged_spans()));
     }
     if let Some(path) = out_file {
         let json = report.to_json(!strip_timing);
@@ -488,6 +537,97 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
     } else {
         Ok(ExitCode::SUCCESS)
     }
+}
+
+fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
+    let mut suite_name = "smoke".to_string();
+    let mut reps: usize = 3;
+    let mut jobs: usize = 1;
+    let mut out_file: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut against: Option<String> = None;
+    let mut threshold_pct: f64 = 50.0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--suite" => {
+                suite_name = it.next().ok_or("--suite needs a value")?.clone();
+            }
+            "--reps" => {
+                let v = it.next().ok_or("--reps needs a value")?;
+                reps = v.parse().map_err(|_| "bad --reps value")?;
+                if reps == 0 {
+                    return Err("--reps must be at least 1".into());
+                }
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                jobs = v.parse().map_err(|_| "bad --jobs value")?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--out" => {
+                out_file = Some(it.next().ok_or("--out needs a file")?.clone());
+            }
+            "--baseline" => {
+                baseline = Some(it.next().ok_or("--baseline needs a file")?.clone());
+            }
+            "--against" => {
+                against = Some(it.next().ok_or("--against needs a file")?.clone());
+            }
+            "--threshold" => {
+                let v = it.next().ok_or("--threshold needs a value")?;
+                threshold_pct = v.parse().map_err(|_| "bad --threshold value")?;
+                if !threshold_pct.is_finite() || threshold_pct < 0.0 {
+                    return Err("bad --threshold value".into());
+                }
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let read_result = |path: &str| -> Result<bench::BenchResult, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read bench file {path:?}: {e}"))?;
+        bench::parse_result(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let candidate = match &against {
+        Some(path) => {
+            // Pure file-vs-file comparison: no suite runs, nothing is
+            // written. `--baseline F --against F` is the deterministic
+            // self-diff used by CI to validate schema and diff path.
+            if baseline.is_none() {
+                return Err("--against requires --baseline".into());
+            }
+            read_result(path)?
+        }
+        None => {
+            let spec = bench::suite(&suite_name).ok_or_else(|| {
+                format!(
+                    "unknown suite {suite_name:?} (expected one of: {})",
+                    bench::suite_names().join(", ")
+                )
+            })?;
+            let result = bench::run_suite(&suite_name, &spec, reps, jobs);
+            let path = out_file
+                .unwrap_or_else(|| format!("BENCH_{suite_name}.json"));
+            std::fs::write(&path, result.to_json())
+                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            println!("bench written to {path} ({} jobs, {reps} reps)", result.jobs.len());
+            result
+        }
+    };
+    if let Some(path) = baseline {
+        let base = read_result(&path)?;
+        let d = bench::diff(&base, &candidate, threshold_pct);
+        print!("{}", d.table());
+        if d.regressed() {
+            println!("perf regression vs {path} (threshold {threshold_pct}%)");
+            return Ok(ExitCode::from(1));
+        }
+        println!("no regression vs {path} (threshold {threshold_pct}%)");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn two(args: &[String]) -> Result<(String, String), String> {
@@ -510,6 +650,7 @@ fn main() -> ExitCode {
         "assess" => cmd_assess(rest),
         "synthesize" => cmd_synthesize(rest),
         "campaign" => cmd_campaign(rest),
+        "bench" => cmd_bench(rest),
         "--help" | "-h" | "help" => return usage(),
         other => {
             eprintln!("unknown command {other:?}");

@@ -13,6 +13,10 @@
 #      its --trace JSONL must be well-formed with non-zero phase counters;
 #      on machines with >= 4 CPUs the 4-worker run must also be >= 2x
 #      faster than the 1-worker run
+#   6. bench smoke: `sta bench --reps 1` must emit a schema-valid
+#      sta-bench/v1 trajectory point, and the deterministic self-diff
+#      (--baseline F --against F) must exit 0 for both the fresh point
+#      and the checked-in BENCH_smoke.json
 #
 # No network access is required; the script fails fast on the first error.
 set -euo pipefail
@@ -115,5 +119,18 @@ if [ "$(nproc)" -ge 4 ]; then
 else
     echo "==> campaign speedup check skipped ($(nproc) CPU(s) available)"
 fi
+
+echo "==> bench smoke: one-rep trajectory point + deterministic self-diff"
+./target/release/sta bench --suite smoke --reps 1 --out BENCH_smoke.ci.json >/dev/null
+grep -q '"schema":"sta-bench/v1"' BENCH_smoke.ci.json || {
+    echo "bench output is missing the sta-bench/v1 schema tag" >&2
+    exit 1
+}
+# --against skips the run entirely: a file diffed against itself must
+# parse (schema validation) and report zero regressions (exit 0).
+./target/release/sta bench --baseline BENCH_smoke.ci.json \
+    --against BENCH_smoke.ci.json >/dev/null
+./target/release/sta bench --baseline BENCH_smoke.json \
+    --against BENCH_smoke.json >/dev/null
 
 echo "verify.sh: all checks passed"
