@@ -81,13 +81,39 @@ pub fn suite(name: &str) -> Option<CampaignSpec> {
             Some(spec)
         }
         "sweep" => Some(CampaignSpec::standard_sweep("ieee14", ieee14::system())),
+        // Paired warm/cold CEGIS runs: the same attacker and budget, once
+        // on the persistent incremental cores and once on the
+        // clone-per-check baseline. Diffing `warm-*` against `cold-*`
+        // rows in one trajectory point is the solver-reuse speedup story.
+        "cegis" => {
+            let mut spec = CampaignSpec::new("bench-cegis");
+            let case = spec.add_case("ieee14-unsecured", ieee14::system_unsecured());
+            let attacker = AttackModel::new(14)
+                .target(BusId(11), StateTarget::MustChange)
+                .max_altered_measurements(8);
+            for budget in [3usize, 4] {
+                spec.synthesize(
+                    case,
+                    format!("warm-budget-{budget}"),
+                    attacker.clone(),
+                    SynthesisConfig::with_budget(budget),
+                );
+                spec.synthesize(
+                    case,
+                    format!("cold-budget-{budget}"),
+                    attacker.clone(),
+                    SynthesisConfig::with_budget(budget).with_incremental(false),
+                );
+            }
+            Some(spec)
+        }
         _ => None,
     }
 }
 
 /// Names of the available suites (for usage messages).
 pub fn suite_names() -> &'static [&'static str] {
-    &["smoke", "sweep"]
+    &["smoke", "sweep", "cegis"]
 }
 
 /// Where a trajectory file was measured.
@@ -592,6 +618,28 @@ mod tests {
         assert!(suite("sweep").is_some());
         assert!(suite("nope").is_none());
         assert!(suite_names().contains(&"smoke"));
+        assert!(suite_names().contains(&"cegis"));
+    }
+
+    /// The cegis suite pairs each warm job with a cold twin of the same
+    /// attacker and budget, differing only in the incremental flag.
+    #[test]
+    fn cegis_suite_pairs_warm_and_cold_jobs() {
+        let cegis = suite("cegis").expect("cegis suite");
+        assert_eq!(cegis.jobs.len(), 4);
+        for pair in cegis.jobs.chunks(2) {
+            assert!(pair[0].label.starts_with("warm-"));
+            assert!(pair[1].label.starts_with("cold-"));
+            let crate::spec::JobKind::Synthesize { config: warm, .. } = &pair[0].kind
+            else {
+                panic!("cegis jobs must be synthesize jobs");
+            };
+            let crate::spec::JobKind::Synthesize { config: cold, .. } = &pair[1].kind
+            else {
+                panic!("cegis jobs must be synthesize jobs");
+            };
+            assert!(warm.incremental && !cold.incremental);
+        }
     }
 
     #[test]

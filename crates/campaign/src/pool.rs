@@ -313,7 +313,12 @@ fn execute<'a>(
             if attacker.timeout_ms.is_none() {
                 attacker.timeout_ms = timeout;
             }
-            let (outcome, obs) = synth.synthesize_with_metrics(&attacker, config);
+            // The campaign-wide A/B switch can only downgrade a job to the
+            // clone-per-check baseline, never force a core on a job whose
+            // own config opted out.
+            let mut config = config.clone();
+            config.incremental &= spec.incremental;
+            let (outcome, obs) = synth.synthesize_with_metrics(&attacker, &config);
             result.metrics = Some(obs.metrics);
             result.phase_wall = Some(obs.timings);
             result.verdict = match outcome {

@@ -68,6 +68,13 @@ pub struct CampaignSpec {
     pub certify: CertifyLevel,
     /// Default per-job deadline in milliseconds; `None` = unlimited.
     pub timeout_ms: Option<u64>,
+    /// Run synthesis jobs on persistent incremental solver cores (learned
+    /// clauses and the simplex basis survive across CEGIS rounds). On by
+    /// default; `false` forces the clone-per-check baseline everywhere —
+    /// the `sta --incremental off` A/B switch. Verification jobs are
+    /// clone-per-check in both modes, so their reports never depend on
+    /// this flag.
+    pub incremental: bool,
 }
 
 impl CampaignSpec {
@@ -79,7 +86,15 @@ impl CampaignSpec {
             jobs: Vec::new(),
             certify: CertifyLevel::Off,
             timeout_ms: None,
+            incremental: true,
         }
+    }
+
+    /// Chooses between the persistent incremental cores (default) and the
+    /// clone-per-check baseline for every synthesis job's loop solvers.
+    pub fn with_incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
     }
 
     /// Sets the campaign-wide certification level.

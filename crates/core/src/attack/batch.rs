@@ -20,7 +20,7 @@
 use crate::attack::model::AttackModel;
 use crate::attack::vector::{AttackOutcome, VerificationReport};
 use crate::attack::verifier::{AttackEncoding, AttackVerifier};
-use sta_grid::TestSystem;
+use sta_grid::{BusId, MeasurementId, TestSystem};
 use sta_smt::{Budget, SatResult, Solver};
 use std::time::Duration;
 
@@ -83,6 +83,15 @@ impl<'a> VerifySession<'a> {
     pub fn set_progress_sampling(&mut self, on: bool) {
         self.verifier.set_progress_sampling(on);
         self.solver.set_progress_sampling(on);
+    }
+
+    /// Chooses between the solver's persistent incremental core (default)
+    /// and the clone-per-check fallback for
+    /// [`VerifySession::verify_assuming`] checks (see
+    /// [`sta_smt::Solver::set_incremental`]). [`VerifySession::verify`]
+    /// always uses the clone-per-check path either way.
+    pub fn set_incremental(&mut self, on: bool) {
+        self.solver.set_incremental(on);
     }
 
     /// Checks so far that reused the cached base encoding (the session's
@@ -156,8 +165,81 @@ impl<'a> VerifySession<'a> {
             )),
         };
         self.solver.set_budget(Budget::unlimited());
-        self.solver.pop();
+        // The matching push is at the top of this method.
+        let popped = self.solver.pop();
+        debug_assert!(popped.is_ok());
         VerificationReport { outcome, stats }
+    }
+
+    /// Opens a scenario scope for assumption-based re-verification:
+    /// asserts `model` into a scope and leaves it open. Subsequent
+    /// [`VerifySession::verify_assuming`] calls re-check that scenario
+    /// under secured-set deltas expressed as solver assumptions, so the
+    /// persistent incremental core keeps its learned clauses and warm
+    /// simplex basis across calls. Close with
+    /// [`VerifySession::end_scenario`].
+    ///
+    /// # Panics
+    /// See [`VerifySession::verify`] for the shape-mismatch panics.
+    pub fn begin_scenario(&mut self, model: &AttackModel) {
+        self.solver
+            .set_certify(self.verifier.certify_level().max(model.certify));
+        // A sticky scope: the live core encodes the scenario unguarded
+        // (full root simplification — no activation-literal tax on the
+        // first search), trading surgical retraction for a core rebuild
+        // when `end_scenario` pops.
+        self.solver.push_sticky();
+        self.verifier
+            .assert_scenario(&mut self.solver, &self.enc, model);
+    }
+
+    /// Re-verifies the open scenario with the given *extra* secured buses
+    /// and measurements layered on as per-call assumptions (Eq. 28
+    /// deltas). Must be called between [`VerifySession::begin_scenario`]
+    /// and [`VerifySession::end_scenario`]; the deltas are retracted
+    /// automatically when the call returns, whatever the verdict.
+    pub fn verify_assuming(
+        &mut self,
+        extra_secured_buses: &[BusId],
+        extra_secured_measurements: &[MeasurementId],
+        budget: &Budget,
+    ) -> VerificationReport {
+        let _sp = self.verifier.profiler().map(|p| p.span("verify"));
+        let assumptions = self.verifier.secured_delta_assumptions(
+            &self.enc,
+            extra_secured_buses,
+            extra_secured_measurements,
+        );
+        self.solver.set_budget(budget.clone());
+        let result = self.solver.check_assuming(&assumptions);
+        let stats = self.solver.last_stats().cloned().unwrap_or_default();
+        if stats.base_cache_hit {
+            self.cache_hits += 1;
+        } else {
+            self.cache_misses += 1;
+        }
+        let outcome = match result {
+            SatResult::Unsat => AttackOutcome::Infeasible,
+            SatResult::Unknown(why) => AttackOutcome::Unknown(why),
+            SatResult::Sat(m) => AttackOutcome::Feasible(Box::new(
+                self.verifier.extract_vector(&self.enc, &m),
+            )),
+        };
+        self.solver.set_budget(Budget::unlimited());
+        VerificationReport { outcome, stats }
+    }
+
+    /// Closes the scope opened by [`VerifySession::begin_scenario`],
+    /// retiring the scenario's constraints from the persistent core. The
+    /// session is then ready for another scenario (or plain
+    /// [`VerifySession::verify`] calls).
+    ///
+    /// # Panics
+    /// Panics if no scenario scope is open.
+    pub fn end_scenario(&mut self) {
+        self.solver
+            .pop()
+            .unwrap_or_else(|e| panic!("end_scenario without begin_scenario: {e}"));
     }
 }
 
@@ -253,6 +335,109 @@ mod tests {
         assert!(report.outcome.is_unknown(), "{:?}", report.outcome);
         // Next job on the same session, unlimited: decidable again.
         assert!(session.verify(&model).outcome.is_feasible());
+    }
+
+    /// Assumption-based re-verification of an open scenario must agree
+    /// with the equivalent assert-based hardened model, on both the
+    /// incremental core and the clone-per-check fallback.
+    #[test]
+    fn scenario_assumptions_match_hardened_model_verdicts() {
+        let sys = ieee14::system_unsecured();
+        let one_shot = AttackVerifier::new(&sys);
+        let attacker = AttackModel::new(14)
+            .target(BusId(11), StateTarget::MustChange)
+            .max_altered_measurements(8);
+        let bus_sets: [&[BusId]; 4] = [
+            &[],
+            &[BusId(11)],
+            &[BusId(3), BusId(10)],
+            &[BusId(2), BusId(5), BusId(11), BusId(12)],
+        ];
+        for incremental in [true, false] {
+            let mut session = VerifySession::new(&sys, false);
+            session.set_incremental(incremental);
+            session.begin_scenario(&attacker);
+            for buses in bus_sets {
+                let assumed = session
+                    .verify_assuming(buses, &[], &sta_smt::Budget::unlimited())
+                    .outcome
+                    .is_feasible();
+                let hardened = attacker.clone().secure_buses(buses);
+                let asserted = one_shot.verify(&hardened).is_feasible();
+                assert_eq!(
+                    assumed, asserted,
+                    "incremental={incremental} buses={buses:?}"
+                );
+            }
+            session.end_scenario();
+        }
+    }
+
+    /// Measurement-granular assumption deltas agree with the assert-based
+    /// path too.
+    #[test]
+    fn scenario_measurement_assumptions_match_hardened_model() {
+        let sys = ieee14::system_unsecured();
+        let one_shot = AttackVerifier::new(&sys);
+        let attacker = AttackModel::new(14)
+            .target(BusId(11), StateTarget::MustChange)
+            .max_altered_measurements(8);
+        let mut session = VerifySession::new(&sys, false);
+        session.begin_scenario(&attacker);
+        for ids in [vec![], vec![MeasurementId(45)], vec![MeasurementId(45), MeasurementId(50)]] {
+            let assumed = session
+                .verify_assuming(&[], &ids, &sta_smt::Budget::unlimited())
+                .outcome
+                .is_feasible();
+            let mut hardened = attacker.clone();
+            hardened.extra_secured_measurements.extend(ids.iter().copied());
+            let asserted = one_shot.verify(&hardened).is_feasible();
+            assert_eq!(assumed, asserted, "{ids:?}");
+        }
+        session.end_scenario();
+    }
+
+    /// After `end_scenario` the session serves fresh scenarios — both a
+    /// new assumption scope and the plain assert-based path.
+    #[test]
+    fn session_is_reusable_after_end_scenario() {
+        let sys = ieee14::system();
+        let mut session = VerifySession::new(&sys, false);
+        let open = AttackModel::new(14).target(BusId(11), StateTarget::MustChange);
+        session.begin_scenario(&open);
+        assert!(session
+            .verify_assuming(&[], &[], &sta_smt::Budget::unlimited())
+            .outcome
+            .is_feasible());
+        session.end_scenario();
+        // A different scenario in a new scope.
+        let blocked = open.clone().max_altered_measurements(0);
+        session.begin_scenario(&blocked);
+        assert!(!session
+            .verify_assuming(&[], &[], &sta_smt::Budget::unlimited())
+            .outcome
+            .is_feasible());
+        session.end_scenario();
+        // Plain verify still works on the same session.
+        assert!(session.verify(&open).outcome.is_feasible());
+    }
+
+    /// A zero budget inside an open scenario yields Unknown at whatever
+    /// poll site trips first and must not poison the live core.
+    #[test]
+    fn zero_budget_verify_assuming_keeps_scenario_usable() {
+        let sys = ieee14::system();
+        let mut session = VerifySession::new(&sys, false);
+        let model = AttackModel::new(14);
+        session.begin_scenario(&model);
+        let starved = session.verify_assuming(&[], &[], &Budget::with_timeout(Duration::ZERO));
+        assert!(starved.outcome.is_unknown(), "{:?}", starved.outcome);
+        // Same open scenario, unlimited budget: decided again.
+        assert!(session
+            .verify_assuming(&[], &[], &sta_smt::Budget::unlimited())
+            .outcome
+            .is_feasible());
+        session.end_scenario();
     }
 
     /// Certified checks work inside a session, including proof replay for

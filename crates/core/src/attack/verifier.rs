@@ -88,7 +88,7 @@ pub(crate) struct AttackEncoding {
 /// let model = AttackModel::new(14).target(BusId(11), StateTarget::MustChange);
 /// assert!(verifier.verify(&model).is_feasible());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AttackVerifier<'a> {
     system: &'a TestSystem,
     /// Base operating-point angles, exact; the anchor for topology
@@ -645,6 +645,32 @@ impl<'a> AttackVerifier<'a> {
         buses.dedup();
         vector.compromised_buses = buses;
         vector
+    }
+
+    /// The assumption literals expressing a secured-set *delta* on top of
+    /// an already-asserted scenario: `¬cz_m` for every measurement at one
+    /// of `buses` (or listed in `measurements`) that the base encoding
+    /// does not already block. Semantically identical to asserting the
+    /// same `¬cz` units in a scope (see `assert_scenario`'s Eq. 28 loop),
+    /// but retractable for free — the incremental CEGIS loop re-verifies
+    /// one scenario under many candidate architectures this way, keeping
+    /// the solver's learned clauses and warm simplex basis across rounds.
+    pub(crate) fn secured_delta_assumptions(
+        &self,
+        enc: &AttackEncoding,
+        buses: &[BusId],
+        measurements: &[MeasurementId],
+    ) -> Vec<(BoolVar, bool)> {
+        let grid = &self.system.grid;
+        let m = grid.num_potential_measurements();
+        (0..m)
+            .filter(|&i| {
+                let covered = buses.contains(&MeasurementConfig::bus_of(grid, MeasurementId(i)))
+                    || measurements.contains(&MeasurementId(i));
+                covered && !self.base_blocked(i)
+            })
+            .map(|i| (enc.cz[i], false))
+            .collect()
     }
 
     /// Whether the system configuration alone forbids altering `m`

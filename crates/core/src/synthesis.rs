@@ -13,12 +13,14 @@
 //! unsat) or with an exhausted candidate space (no solution at this
 //! budget).
 
-use crate::attack::{AttackModel, AttackVerifier};
+use crate::attack::{AttackModel, AttackVerifier, VerifySession};
 use sta_grid::{BusId, MeasurementConfig, MeasurementId, TestSystem};
 use sta_smt::{
-    BoolVar, CertifyLevel, Formula, PhaseMetrics, PhaseTimings, SatResult, Solver, SolverStats,
+    BoolVar, Budget, CertifyLevel, Formula, PhaseMetrics, PhaseTimings, SatResult, Solver,
+    SolverStats,
 };
 use std::fmt;
+use std::time::Duration;
 
 /// Aggregated solver observability over one synthesis run: every selection
 /// check and every verification call folds its per-phase counters (and,
@@ -82,6 +84,11 @@ pub struct SynthesisConfig {
     /// before the next candidate solve. Values above 1 sharply reduce
     /// round trips on larger systems. Ignored under `CandidateOnly`.
     pub counterexamples_per_round: usize,
+    /// Run both loop solvers on their persistent incremental cores
+    /// (learned-clause retention, simplex warm starts) instead of
+    /// clone-per-check. On by default; the `false` setting is the A/B
+    /// baseline behind `sta --incremental off`.
+    pub incremental: bool,
 }
 
 impl SynthesisConfig {
@@ -95,7 +102,15 @@ impl SynthesisConfig {
             blocking: BlockingStrategy::default(),
             require_reference_secured: false,
             counterexamples_per_round: 4,
+            incremental: true,
         }
+    }
+
+    /// Chooses between the persistent incremental solver cores (default)
+    /// and the clone-per-check baseline for both CEGIS loop solvers.
+    pub fn with_incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
     }
 
     /// Switches to the paper's candidate-only blocking (Algorithm 1).
@@ -256,6 +271,7 @@ impl<'a> Synthesizer<'a> {
         let b = self.system.grid.num_buses();
         let mut selection = Solver::new();
         selection.set_certify(self.certify.max(attacker.certify));
+        selection.set_incremental(config.incremental);
         if let Some(p) = &self.profiler {
             selection.set_profiler(p.clone());
         }
@@ -291,6 +307,21 @@ impl<'a> Synthesizer<'a> {
             }
         }
 
+        // One live verification session for the whole loop: the attack
+        // scenario is asserted once, and every candidate is layered on as
+        // Eq. 28 assumptions, so the persistent core keeps its learned
+        // clauses and warm simplex basis across rounds.
+        let mut session = VerifySession::with_verifier(
+            self.verifier.clone(),
+            attacker.allow_topology_attack,
+        );
+        session.set_incremental(config.incremental);
+        session.begin_scenario(attacker);
+        let verify_budget = match attacker.timeout_ms {
+            Some(ms) => Budget::with_timeout(Duration::from_millis(ms)),
+            None => Budget::unlimited(),
+        };
+
         let mut iterations = 0usize;
         loop {
             if let Some(cap) = config.max_iterations {
@@ -302,7 +333,10 @@ impl<'a> Synthesizer<'a> {
             let _sp_iter = self.profiler.as_ref().map(|p| p.span("iterate"));
             let selection_result = {
                 let _sp = self.profiler.as_ref().map(|p| p.span("select"));
-                selection.check()
+                // Assumption-based check: under the incremental core the
+                // selection solver's learned clauses survive across rounds
+                // even as blocking clauses accumulate at the base level.
+                selection.check_assuming(&[])
             };
             if let Some(stats) = selection.last_stats() {
                 obs.record(stats);
@@ -321,10 +355,9 @@ impl<'a> Synthesizer<'a> {
                     .collect(),
             };
             // Verify: does the attack model still succeed with the
-            // candidate secured?
-            let mut hardened = attacker.clone();
-            hardened.extra_secured_buses.extend(candidate.iter().copied());
-            let report = self.verifier.verify_with_stats(&hardened);
+            // candidate secured? The candidate rides in as assumptions on
+            // the live scenario rather than a fresh solver per round.
+            let report = session.verify_assuming(&candidate, &[], &verify_budget);
             obs.record(&report.stats);
             let outcome = report.outcome;
             if outcome.is_unknown() {
@@ -347,8 +380,10 @@ impl<'a> Synthesizer<'a> {
                     // the sound clause "secure at least one of its buses".
                     // Chain further counterexamples by provisionally
                     // securing each attack's buses and re-verifying,
-                    // harvesting several clauses per candidate round.
-                    let mut chained = hardened;
+                    // harvesting several clauses per candidate round. The
+                    // growing secured set stays a pure assumption delta on
+                    // the same live scenario.
+                    let mut secured: Vec<BusId> = candidate.clone();
                     let mut buses = vector.compromised_buses.clone();
                     for round in 0..config.counterexamples_per_round.max(1) {
                         selection.assert_formula(&Formula::or(
@@ -363,8 +398,9 @@ impl<'a> Synthesizer<'a> {
                         if round + 1 == config.counterexamples_per_round {
                             break;
                         }
-                        chained.extra_secured_buses.extend(buses.iter().copied());
-                        let chained_report = self.verifier.verify_with_stats(&chained);
+                        secured.extend(buses.iter().copied());
+                        let chained_report =
+                            session.verify_assuming(&secured, &[], &verify_budget);
                         obs.record(&chained_report.stats);
                         match chained_report.outcome.vector() {
                             Some(v) => buses = v.compromised_buses.clone(),
@@ -444,10 +480,21 @@ impl<'a> Synthesizer<'a> {
             sm.iter().map(|&v| Formula::var(v)).collect(),
             max_secured,
         ));
+        // Same live-session discipline as the bus-level loop: one asserted
+        // scenario, per-round measurement sets as assumption deltas.
+        let mut session = VerifySession::with_verifier(
+            self.verifier.clone(),
+            attacker.allow_topology_attack,
+        );
+        session.begin_scenario(attacker);
+        let verify_budget = match attacker.timeout_ms {
+            Some(ms) => Budget::with_timeout(Duration::from_millis(ms)),
+            None => Budget::unlimited(),
+        };
         let mut iterations = 0usize;
         loop {
             iterations += 1;
-            let chosen: Vec<MeasurementId> = match selection.check() {
+            let chosen: Vec<MeasurementId> = match selection.check_assuming(&[]) {
                 sta_smt::SatResult::Unsat | sta_smt::SatResult::Unknown(_) => {
                     return None
                 }
@@ -458,11 +505,7 @@ impl<'a> Synthesizer<'a> {
                     .map(|(_, &id)| id)
                     .collect(),
             };
-            let mut hardened = attacker.clone();
-            hardened
-                .extra_secured_measurements
-                .extend(chosen.iter().copied());
-            let outcome = self.verifier.verify(&hardened);
+            let outcome = session.verify_assuming(&[], &chosen, &verify_budget).outcome;
             if outcome.is_unknown() {
                 // Undecided verification: no sound conclusion either way.
                 return None;
@@ -635,6 +678,87 @@ mod tests {
                 parent.name
             );
         }
+    }
+
+    /// The incremental loop (live cores, assumption deltas) and the
+    /// clone-per-check baseline must agree on the *verdict*: an
+    /// architecture exists at this budget or it does not. The bus sets may
+    /// differ — a warm core walks a different (equally sound)
+    /// counterexample path than a cold one, exactly as with MiniSat-style
+    /// incremental solving — so each mode's architecture is checked
+    /// against the attack model independently. This is the
+    /// `--incremental on|off` A/B soundness pin.
+    #[test]
+    fn incremental_and_clone_per_check_synthesis_agree() {
+        let sys = ieee14::system_unsecured();
+        let synth = Synthesizer::new(&sys);
+        let verifier = AttackVerifier::new(&sys);
+        let attackers = [
+            AttackModel::new(14)
+                .target(sta_grid::BusId(11), StateTarget::MustChange)
+                .max_altered_measurements(8),
+            AttackModel::new(14)
+                .target(sta_grid::BusId(4), StateTarget::MustChange)
+                .max_altered_measurements(10)
+                .max_compromised_buses(4),
+        ];
+        for attacker in &attackers {
+            for budget in [2usize, 3] {
+                let warm = synth.synthesize(
+                    attacker,
+                    &SynthesisConfig::with_budget(budget),
+                );
+                let cold = synth.synthesize(
+                    attacker,
+                    &SynthesisConfig::with_budget(budget).with_incremental(false),
+                );
+                assert_eq!(
+                    warm.is_solution(),
+                    cold.is_solution(),
+                    "warm {warm:?} vs cold {cold:?} at budget {budget}"
+                );
+                for outcome in [&warm, &cold] {
+                    if let Some(arch) = outcome.architecture() {
+                        assert!(arch.secured_buses.len() <= budget);
+                        let hardened =
+                            attacker.clone().secure_buses(&arch.secured_buses);
+                        assert!(
+                            !verifier.verify(&hardened).is_feasible(),
+                            "synthesized architecture fails to block: {arch}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The warm loop actually exercises the persistent core: after the
+    /// first round, verification checks report base-cache reuse and clause
+    /// retention in the aggregated metrics.
+    #[test]
+    fn incremental_synthesis_reports_core_reuse() {
+        let sys = ieee14::system_unsecured();
+        let synth = Synthesizer::new(&sys);
+        let attacker = AttackModel::new(14)
+            .target(sta_grid::BusId(11), StateTarget::MustChange)
+            .max_altered_measurements(8);
+        let (outcome, obs) =
+            synth.synthesize_with_metrics(&attacker, &SynthesisConfig::with_budget(3));
+        assert!(outcome.is_solution());
+        let iterations = outcome.architecture().unwrap().iterations;
+        if iterations > 1 {
+            assert!(
+                obs.metrics.retained_clauses > 0,
+                "multi-round warm loop retained no learned clauses: {:?}",
+                obs.metrics
+            );
+        }
+        // The cold baseline never reports retention.
+        let (_, cold_obs) = synth.synthesize_with_metrics(
+            &attacker,
+            &SynthesisConfig::with_budget(3).with_incremental(false),
+        );
+        assert_eq!(cold_obs.metrics.retained_clauses, 0);
     }
 
     #[test]

@@ -182,9 +182,9 @@ impl TopologyDetector {
                 let (best, score) = per_line
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, &s)| (i, s))
-                    .unwrap();
+                    .unwrap_or((0, 0.0));
                 if score / total >= self.concentration_threshold {
                     suspicions.push(TopologySuspicion::InconsistentLine(
                         LineId(best),

@@ -419,6 +419,57 @@ impl RupChecker {
 /// certificates valid under `ctx`. Succeeds only if the log derives the
 /// empty clause.
 pub fn check_unsat_proof(proof: &ProofLog, ctx: &TheoryContext) -> Result<(), CertifyError> {
+    let checker = replay_steps(proof, ctx)?;
+    if checker.proved() {
+        Ok(())
+    } else {
+        Err(CertifyError::new("proof does not derive the empty clause"))
+    }
+}
+
+/// Replays the proof of an UNSAT-under-assumptions answer.
+///
+/// Unlike [`check_unsat_proof`], the clause set itself need not be
+/// refuted. The answer is certified when either the empty clause is
+/// derived (unsatisfiable outright, assumptions irrelevant) or the final
+/// learned clause in the log is a failed-assumption core: RUP-validated
+/// during replay like every learned clause, and consisting solely of
+/// literals from `negated_assumptions` — a checked witness that the
+/// assumption set contradicts the (activation-guarded) clause set.
+/// Retracted-scope clauses logged in earlier checks of the same session
+/// stay in the log but are inert: their retirement units are root-level
+/// axioms, so the replayed root trail satisfies every guarded clause
+/// before it can participate in a derivation.
+pub fn check_assumption_unsat_proof(
+    proof: &ProofLog,
+    ctx: &TheoryContext,
+    negated_assumptions: &[Lit],
+) -> Result<(), CertifyError> {
+    let checker = replay_steps(proof, ctx)?;
+    if checker.proved() {
+        return Ok(());
+    }
+    let core = proof.steps.iter().rev().find_map(|s| match s {
+        ProofStep::Learned(lits) => Some(lits),
+        _ => None,
+    });
+    match core {
+        Some(lits) if lits.iter().all(|l| negated_assumptions.contains(l)) => Ok(()),
+        Some(lits) => Err(CertifyError::new(format!(
+            "final learned clause {} is not a failed-assumption core \
+             (it has literals outside the negated assumptions)",
+            display_clause(lits)
+        ))),
+        None => Err(CertifyError::new(
+            "proof has no learned clause to serve as a failed-assumption core",
+        )),
+    }
+}
+
+/// Replays every step of `proof`, RUP-checking learned clauses and
+/// Farkas-checking theory lemmas, and returns the resulting checker state.
+/// Shared by [`check_unsat_proof`] and [`check_assumption_unsat_proof`].
+fn replay_steps(proof: &ProofLog, ctx: &TheoryContext) -> Result<RupChecker, CertifyError> {
     let mut checker = RupChecker::new();
     for (n, step) in proof.steps.iter().enumerate() {
         match step {
@@ -444,11 +495,7 @@ pub fn check_unsat_proof(proof: &ProofLog, ctx: &TheoryContext) -> Result<(), Ce
             }
         }
     }
-    if checker.proved() {
-        Ok(())
-    } else {
-        Err(CertifyError::new("proof does not derive the empty clause"))
-    }
+    Ok(checker)
 }
 
 fn display_clause(lits: &[Lit]) -> String {
@@ -648,6 +695,98 @@ mod tests {
         let short = vec![Lit::negative(0)];
         let err = check_theory_lemma(&short, Some(&cert), &ctx).unwrap_err();
         assert!(err.message.contains("not negated"), "{}", err.message);
+    }
+
+    /// Assumption-UNSAT certification: the CDCL logs the failed-assumption
+    /// core as its final learned clause; the replay validates it by RUP and
+    /// accepts only cores built from negated assumptions.
+    #[test]
+    fn assumption_unsat_proof_replays_and_tampering_is_caught() {
+        let mut sat = CdclSolver::new();
+        sat.enable_proof();
+        let a = sat.new_var();
+        let b = sat.new_var();
+        sat.add_clause(vec![Lit::positive(a), Lit::positive(b)]);
+        let assumptions = [Lit::negative(a), Lit::negative(b)];
+        assert_eq!(
+            sat.solve_under_assumptions(&assumptions, &mut NullTheory),
+            SatOutcome::Unsat
+        );
+        assert!(!sat.failed_assumptions().is_empty());
+        let proof = sat.proof().expect("logging enabled").clone();
+        // Not a refutation of the clause set: the strict entry must refuse.
+        assert!(!proof.derives_empty_clause());
+        let ctx = TheoryContext::default();
+        let err = check_unsat_proof(&proof, &ctx).unwrap_err();
+        assert!(err.message.contains("empty clause"), "{}", err.message);
+        // The assumption-aware entry accepts with the matching negations…
+        let negated: Vec<Lit> = assumptions.iter().map(|&l| !l).collect();
+        assert!(check_assumption_unsat_proof(&proof, &ctx, &negated).is_ok());
+        // …rejects when the core is not covered by the claimed assumptions…
+        let err = check_assumption_unsat_proof(&proof, &ctx, &negated[..1]).unwrap_err();
+        assert!(err.message.contains("outside"), "{}", err.message);
+        // …and rejects a tampered core that smuggles in a free literal.
+        let mut bad = proof.clone();
+        let idx = bad
+            .steps
+            .iter()
+            .rposition(|s| matches!(s, ProofStep::Learned(_)))
+            .expect("core was logged");
+        bad.steps[idx] = ProofStep::Learned(vec![Lit::positive(50)]);
+        let err = check_assumption_unsat_proof(&bad, &ctx, &negated).unwrap_err();
+        assert!(err.message.contains("not RUP"), "{}", err.message);
+    }
+
+    /// A genuinely unsatisfiable instance certifies through the
+    /// assumption-aware entry too (the empty clause short-circuits the
+    /// core check).
+    #[test]
+    fn assumption_entry_accepts_outright_refutations() {
+        let mut sat = CdclSolver::new();
+        sat.enable_proof();
+        let a = sat.new_var();
+        sat.add_clause(vec![Lit::positive(a)]);
+        sat.add_clause(vec![Lit::negative(a)]);
+        assert_eq!(
+            sat.solve_under_assumptions(&[Lit::positive(a)], &mut NullTheory),
+            SatOutcome::Unsat
+        );
+        assert!(sat.failed_assumptions().is_empty());
+        let proof = sat.proof().expect("logging enabled").clone();
+        let ctx = TheoryContext::default();
+        assert!(check_assumption_unsat_proof(&proof, &ctx, &[Lit::negative(a)]).is_ok());
+    }
+
+    /// Retired-scope hygiene: guarded clauses whose activation was
+    /// retracted may not contribute to a later core. After retirement the
+    /// solver must find the relaxed instance satisfiable, and a proof that
+    /// still pretended to use the retracted constraint would need the
+    /// guarded clause un-guarded — which is not among the axioms.
+    #[test]
+    fn retired_guard_clauses_cannot_resurface_in_proofs() {
+        let mut sat = CdclSolver::new();
+        sat.enable_proof();
+        let act = sat.new_var();
+        let x = sat.new_var();
+        // Scope clause: act → ¬x. Retire it, then assume x.
+        sat.add_clause(vec![Lit::negative(act), Lit::negative(x)]);
+        sat.add_clause(vec![Lit::negative(act)]); // retirement unit
+        assert_eq!(sat.purge_literal(Lit::negative(act)), 1);
+        let mut th = NullTheory;
+        assert_eq!(
+            sat.solve_under_assumptions(&[Lit::positive(x)], &mut th),
+            SatOutcome::Sat,
+            "retracted scope must not constrain x"
+        );
+        // Adversarial: a forged core claiming x still fails must not be
+        // RUP against the replayed clause set (the guarded clause is
+        // satisfied at the replay root by the retirement unit).
+        let mut forged = sat.proof().expect("logging enabled").clone();
+        forged.steps.push(ProofStep::Learned(vec![Lit::negative(x)]));
+        let ctx = TheoryContext::default();
+        let err =
+            check_assumption_unsat_proof(&forged, &ctx, &[Lit::negative(x)]).unwrap_err();
+        assert!(err.message.contains("not RUP"), "{}", err.message);
     }
 
     #[test]

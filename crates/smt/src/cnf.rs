@@ -135,6 +135,72 @@ impl Encoder {
         Ok(())
     }
 
+    /// Like [`Encoder::assert_root`], but every asserted clause carries the
+    /// extra literal `¬act`: the formula is enforced only while the
+    /// activation literal `act` is assumed true. Tseitin definitions of
+    /// sub-formulas stay unguarded — they define fresh variables and are
+    /// globally sound — so only the top-level assertion clauses pay the
+    /// guard. This is what makes `pop` logical instead of physical in the
+    /// persistent incremental core: retracting a scope just stops assuming
+    /// its activation literal, and learned clauses survive.
+    pub fn assert_root_guarded(
+        &mut self,
+        f: &Formula,
+        act: Lit,
+        sat: &mut CdclSolver,
+        simplex: &mut Simplex,
+    ) -> Result<(), Interrupt> {
+        match &*f.0 {
+            Node::And(fs) => {
+                for g in fs {
+                    self.assert_root_guarded(g, act, sat, simplex)?;
+                }
+            }
+            Node::AtMost(fs, k) => {
+                let lits = fs
+                    .iter()
+                    .map(|g| self.encode(g, sat, simplex))
+                    .collect::<Result<Vec<Lit>, Interrupt>>()?;
+                self.assert_at_most_guarded(&lits, *k, act, sat)?;
+            }
+            Node::AtLeast(fs, k) => {
+                let lits = fs
+                    .iter()
+                    .map(|g| self.encode(g, sat, simplex).map(|l| !l))
+                    .collect::<Result<Vec<Lit>, Interrupt>>()?;
+                let n = lits.len();
+                self.assert_at_most_guarded(&lits, n - *k, act, sat)?;
+            }
+            _ => {
+                let lit = self.encode(f, sat, simplex)?;
+                self.push_clause(sat, vec![!act, lit]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Asserts `act → at-most-k(lits)` (no definition literal).
+    fn assert_at_most_guarded(
+        &mut self,
+        lits: &[Lit],
+        k: usize,
+        act: Lit,
+        sat: &mut CdclSolver,
+    ) -> Result<(), Interrupt> {
+        let n = lits.len();
+        if k >= n {
+            return Ok(());
+        }
+        if k == 0 {
+            for &l in lits {
+                self.poll()?;
+                self.push_clause(sat, vec![!act, !l]);
+            }
+            return Ok(());
+        }
+        self.guarded_sequential_counter(lits, k, !act, sat)
+    }
+
     /// Asserts `at-most-k(lits)` directly (no definition literal).
     fn assert_at_most(
         &mut self,
@@ -574,6 +640,39 @@ mod tests {
         )
         .expect("encode");
         assert_eq!(sat.solve(&mut simplex), SatOutcome::Unsat);
+    }
+
+    #[test]
+    fn guarded_assertions_are_conditional_on_activation() {
+        // act → (at-most-1(p,q,r) ∧ ¬p): binding while act is assumed,
+        // vacuous otherwise.
+        let ps: Vec<Formula> = (0..3).map(|i| Formula::var(BoolVar(i))).collect();
+        let f = Formula::and(vec![
+            Formula::at_most(ps.clone(), 1),
+            ps[0].clone().not(),
+        ]);
+        let mut sat = CdclSolver::new();
+        let mut simplex = Simplex::new();
+        let mut enc = Encoder::new();
+        let act = Lit::positive(sat.new_var());
+        enc.assert_root_guarded(&f, act, &mut sat, &mut simplex)
+            .expect("unlimited encode");
+        // All three true at once violates the guarded constraint…
+        let all_true: Vec<Lit> = (0..3)
+            .map(|i| Lit::positive(enc.sat_var_of_bool(BoolVar(i), &mut sat)))
+            .collect();
+        let mut assume = vec![act];
+        assume.extend(&all_true);
+        assert_eq!(
+            sat.solve_under_assumptions(&assume, &mut simplex),
+            SatOutcome::Unsat
+        );
+        // …but is fine with the activation retracted.
+        sat.reset_to_root(&mut simplex);
+        assert_eq!(
+            sat.solve_under_assumptions(&all_true, &mut simplex),
+            SatOutcome::Sat
+        );
     }
 
     #[test]

@@ -67,8 +67,8 @@ pub mod trace;
 
 pub use budget::{Budget, Interrupt};
 pub use certify::{
-    check_theory_lemma, check_unsat_proof, eval_formula, AtomSemantics, CertifyError,
-    CertifyLevel, RupChecker, TheoryContext,
+    check_assumption_unsat_proof, check_theory_lemma, check_unsat_proof, eval_formula,
+    AtomSemantics, CertifyError, CertifyLevel, RupChecker, TheoryContext,
 };
 pub use expr::{LinExpr, RealVar};
 pub use formula::{BoolVar, CmpOp, Formula, LinExprCmp};
@@ -77,7 +77,7 @@ pub use profile::{
     flatten_spans, merge_spans, render_spans, Clock, FakeClock, Profiler, SpanGuard, SpanNode,
 };
 pub use rational::{DeltaRational, Rational};
-pub use solver::{Model, SatResult, Solver};
+pub use solver::{Model, SatResult, Solver, UsageError};
 pub use stats::{ProgressSample, SolverStats};
 pub use tablefmt::{Align, Table};
 pub use trace::{

@@ -79,7 +79,8 @@ pub enum SatOutcome {
     /// The clauses are unsatisfiable modulo the theory.
     Unsat,
     /// The budget ran out before a verdict (see [`CdclSolver::set_budget`]).
-    /// The solver and theory are mid-search and must not be reused.
+    /// The solver and theory are left mid-search; call
+    /// [`CdclSolver::reset_to_root`] before reusing them.
     Unknown(Interrupt),
 }
 
@@ -149,6 +150,11 @@ pub struct CdclSolver {
     budget: Budget,
     /// Progress timeline sampled at decision boundaries, when enabled.
     progress: Option<ProgressLog>,
+    /// Failed-assumption core of the most recent
+    /// [`CdclSolver::solve_under_assumptions`] `Unsat` answer: a clause of
+    /// negated assumption literals entailed by the clause database. Empty
+    /// when the instance is unsatisfiable regardless of assumptions.
+    failed: Vec<Lit>,
 }
 
 /// The progress sampler piggybacking on the decision-boundary poll site:
@@ -200,6 +206,7 @@ impl CdclSolver {
             proof: None,
             budget: Budget::default(),
             progress: None,
+            failed: Vec::new(),
         }
     }
 
@@ -238,6 +245,14 @@ impl CdclSolver {
     /// Takes the recorded proof, leaving logging disabled.
     pub fn take_proof(&mut self) -> Option<ProofLog> {
         self.proof.take()
+    }
+
+    /// The proof recorded so far, with logging left enabled. The persistent
+    /// incremental core snapshots this once per check — the log spans the
+    /// whole solver session, so [`CdclSolver::take_proof`] (which stops
+    /// logging) would truncate every later check's proof.
+    pub fn proof(&self) -> Option<&ProofLog> {
+        self.proof.as_ref()
     }
 
     /// Allocates a fresh variable and returns its index.
@@ -496,17 +511,19 @@ impl CdclSolver {
         pos < self.order.len() && self.order[pos] == v
     }
 
-    fn decide(&mut self) -> bool {
+    /// Pops the next unassigned branching variable off the activity heap,
+    /// or `None` when the assignment is total. Split from the decision
+    /// itself so the caller opens the decision level (SAT and theory in
+    /// lockstep) only when a branch actually exists — opening it first
+    /// leaked a theory level on every `Sat` return, which a persistent
+    /// core would carry into the next check.
+    fn pick_branch(&mut self) -> Option<SatVar> {
         while let Some(v) = self.heap_pop() {
             if self.assign[v as usize] == LBool::Undef {
-                self.counters.decisions += 1;
-                self.trail_lim.push(self.trail.len());
-                let phase = self.saved_phase[v as usize];
-                self.enqueue(Lit::with_polarity(v, phase), None);
-                return true;
+                return Some(v);
             }
         }
-        false
+        None
     }
 
     fn backtrack_sat_only(&mut self, target_level: usize) {
@@ -639,7 +656,48 @@ impl CdclSolver {
                 p.log_delete(self.clauses[i].lits.clone());
             }
         }
-        // Compact the clause database and remap indices.
+        self.compact_clauses(&remove);
+    }
+
+    /// Hard-deletes every stored clause containing `lit`. This is how a
+    /// retracted scope's activation literal is retired: once the unit
+    /// `¬act` holds at root, clauses guarded by `¬act` are permanently
+    /// satisfied and only cost propagation time, while every learned
+    /// clause that depended on the scope necessarily contains `¬act`
+    /// (the activation is a decision, so conflict analysis can never
+    /// resolve it away) and is removed with them. Only learned clauses
+    /// are logged as proof deletions — originals were logged before
+    /// root simplification, so their stored form may no longer match;
+    /// they stay in the log, where root propagation of the retirement
+    /// unit keeps them inert in any RUP derivation. Returns the number
+    /// of clauses removed. Must be called at the root level.
+    pub fn purge_literal(&mut self, lit: Lit) -> u64 {
+        debug_assert!(self.trail_lim.is_empty(), "purge happens at root level");
+        let remove: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| self.clauses[i].lits.contains(&lit))
+            .collect();
+        if remove.is_empty() {
+            return 0;
+        }
+        if let Some(p) = &mut self.proof {
+            for &i in &remove {
+                if self.clauses[i].learned {
+                    p.log_delete(self.clauses[i].lits.clone());
+                }
+            }
+        }
+        let n = remove.len() as u64;
+        self.compact_clauses(&remove.into_iter().collect());
+        n
+    }
+
+    /// Removes the given clause indices: compacts storage, rebuilds watch
+    /// lists and remaps reason pointers. A reason pointing into the removed
+    /// set is cleared — only possible for root-level assignments (reduce_db
+    /// never removes reasons; purge_literal runs at root), whose reasons
+    /// are never consulted again. Shared by [`CdclSolver::reduce_db`] and
+    /// [`CdclSolver::purge_literal`].
+    fn compact_clauses(&mut self, remove: &std::collections::HashSet<usize>) {
         let mut remap = vec![usize::MAX; self.clauses.len()];
         let mut new_clauses = Vec::with_capacity(self.clauses.len() - remove.len());
         for (i, c) in self.clauses.drain(..).enumerate() {
@@ -658,10 +716,14 @@ impl CdclSolver {
             self.watches[(!w0).index()].push(Watch { clause: idx, blocker: w1 });
             self.watches[(!w1).index()].push(Watch { clause: idx, blocker: w0 });
         }
-        for r in &mut self.reason {
-            if let Some(ci) = r {
-                *r = Some(remap[*ci]);
-                debug_assert!(r.unwrap() != usize::MAX);
+        for (v, r) in self.reason.iter_mut().enumerate() {
+            if let Some(ci) = *r {
+                if remap[ci] == usize::MAX {
+                    debug_assert_eq!(self.level[v], 0);
+                    *r = None;
+                } else {
+                    *r = Some(remap[ci]);
+                }
             }
         }
         self.counters.learned_clauses =
@@ -752,11 +814,34 @@ impl CdclSolver {
     /// After `Sat`, variable values are available via [`CdclSolver::value`]
     /// and the theory holds a consistent assignment of all asserted atoms.
     pub fn solve<T: Theory>(&mut self, theory: &mut T) -> SatOutcome {
+        self.solve_under_assumptions(&[], theory)
+    }
+
+    /// Solves under `assumptions`: the given literals are placed as
+    /// pseudo-decisions (one per level, in order, before any branching),
+    /// MiniSat style. Placement is keyed on the current decision-level
+    /// count, so it self-heals across restarts and backjumps. On `Unsat`
+    /// with a non-empty [`CdclSolver::failed_assumptions`] core the clause
+    /// set itself is *not* refuted — only its conjunction with the
+    /// assumptions — and the solver stays usable for further calls after
+    /// [`CdclSolver::reset_to_root`].
+    pub fn solve_under_assumptions<T: Theory>(
+        &mut self,
+        assumptions: &[Lit],
+        theory: &mut T,
+    ) -> SatOutcome {
         let debug = std::env::var_os("STA_SMT_DEBUG").is_some();
         let mut t_prop = std::time::Duration::ZERO;
         let mut t_theory = std::time::Duration::ZERO;
         let mut theory_steps = 0u64;
-        let outcome = self.solve_inner(theory, debug, &mut t_prop, &mut t_theory, &mut theory_steps);
+        let outcome = self.solve_inner(
+            assumptions,
+            theory,
+            debug,
+            &mut t_prop,
+            &mut t_theory,
+            &mut theory_steps,
+        );
         if debug {
             eprintln!(
                 "[sta-smt] propagate {t_prop:.2?} theory {t_theory:.2?} ({theory_steps} steps)"
@@ -765,14 +850,73 @@ impl CdclSolver {
         outcome
     }
 
+    /// The failed-assumption core of the most recent
+    /// [`CdclSolver::solve_under_assumptions`] `Unsat` answer: a clause of
+    /// negated assumption literals (a subset of the assumptions, negated)
+    /// that follows from the clause database alone. Empty when the clause
+    /// set is unsatisfiable regardless of assumptions.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed
+    }
+
+    /// Backtracks to the root level, undoing theory state in lockstep, and
+    /// clears the failed-assumption core. The persistent-core preamble: a
+    /// solver left mid-trail by a previous solve (a `Sat` model, assumption
+    /// levels, or an interrupt) returns to a state where clauses may be
+    /// added and a new solve started.
+    pub fn reset_to_root<T: Theory>(&mut self, theory: &mut T) {
+        if !self.trail_lim.is_empty() {
+            self.backtrack(0, theory);
+        }
+        self.failed.clear();
+    }
+
+    /// Final-conflict analysis: assumption `a` is false under the current
+    /// trail, all of whose decision levels are assumption levels (branching
+    /// never starts before placement finishes, so every reason-free literal
+    /// above root is an assumption). Walks reasons backwards from `¬a` to
+    /// collect the contributing assumptions; the returned clause of negated
+    /// assumptions is entailed by the clause database via unit propagation
+    /// (RUP), which is what lets a proof replay check it.
+    fn analyze_final(&mut self, a: Lit) -> Vec<Lit> {
+        let mut out = vec![!a];
+        if self.trail_lim.is_empty() {
+            return out;
+        }
+        self.seen[a.var() as usize] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let q = self.trail[i];
+            let v = q.var() as usize;
+            if !self.seen[v] {
+                continue;
+            }
+            match self.reason[v] {
+                None => out.push(!q),
+                Some(ci) => {
+                    for k in 0..self.clauses[ci].lits.len() {
+                        let l = self.clauses[ci].lits[k];
+                        if l != q && self.level[l.var() as usize] > 0 {
+                            self.seen[l.var() as usize] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[a.var() as usize] = false;
+        out
+    }
+
     fn solve_inner<T: Theory>(
         &mut self,
+        assumptions: &[Lit],
         theory: &mut T,
         debug: bool,
         t_prop: &mut std::time::Duration,
         t_theory: &mut std::time::Duration,
         theory_steps: &mut u64,
     ) -> SatOutcome {
+        self.failed.clear();
         if self.unsat_at_root {
             self.log_refutation();
             return SatOutcome::Unsat;
@@ -904,8 +1048,41 @@ impl CdclSolver {
                             self.record_progress(theory.pivot_count());
                         }
                     }
-                    theory.on_new_level();
-                    if !self.decide() {
+                    // Place pending assumptions before branching: the next
+                    // assumption to place is indexed by the current decision
+                    // level, so restarts and backjumps that strip assumption
+                    // levels re-place them here.
+                    let placed = self.trail_lim.len();
+                    if placed < assumptions.len() {
+                        let a = assumptions[placed];
+                        match self.lit_value(a) {
+                            LBool::True => {
+                                // Already satisfied: open a vacuous level so
+                                // the level count keeps indexing assumptions.
+                                theory.on_new_level();
+                                self.trail_lim.push(self.trail.len());
+                            }
+                            LBool::False => {
+                                let core = self.analyze_final(a);
+                                if let Some(p) = &mut self.proof {
+                                    p.log_learned(core.clone());
+                                }
+                                self.failed = core;
+                                return SatOutcome::Unsat;
+                            }
+                            LBool::Undef => {
+                                theory.on_new_level();
+                                self.trail_lim.push(self.trail.len());
+                                self.enqueue(a, None);
+                            }
+                        }
+                    } else if let Some(v) = self.pick_branch() {
+                        self.counters.decisions += 1;
+                        theory.on_new_level();
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.saved_phase[v as usize];
+                        self.enqueue(Lit::with_polarity(v, phase), None);
+                    } else {
                         // Fully assigned and theory-consistent.
                         return SatOutcome::Sat;
                     }
@@ -1093,5 +1270,225 @@ mod tests {
     fn luby_sequence_prefix() {
         let seq: Vec<u64> = (1..=15).map(CdclSolver::luby).collect();
         assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    /// A theory that only counts push/pop balance, to pin level lockstep.
+    #[derive(Debug, Default)]
+    struct LevelCounter {
+        depth: i64,
+    }
+
+    impl Theory for LevelCounter {
+        fn on_new_level(&mut self) {
+            self.depth += 1;
+        }
+        fn on_backtrack(&mut self, n_levels: usize) {
+            self.depth -= n_levels as i64;
+            assert!(self.depth >= 0, "backtrack below root");
+        }
+        fn on_assert(&mut self, _lit: Lit) -> TheoryResult {
+            TheoryResult::Ok
+        }
+        fn check(&mut self) -> TheoryResult {
+            TheoryResult::Ok
+        }
+    }
+
+    /// Regression: a `Sat` return must not leave a dangling theory level
+    /// (the old code opened the level before discovering there was nothing
+    /// left to branch on). A persistent core would carry that level into
+    /// the next check and misattribute root bound asserts to it.
+    #[test]
+    fn sat_then_reset_leaves_theory_at_root() {
+        let mut s = CdclSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(vec![lp(a), lp(b)]);
+        let mut th = LevelCounter::default();
+        assert_eq!(s.solve(&mut th), SatOutcome::Sat);
+        s.reset_to_root(&mut th);
+        assert_eq!(th.depth, 0, "theory levels must unwind to root");
+    }
+
+    #[test]
+    fn assumptions_select_branch_and_failed_core_is_minimal() {
+        // (a ∨ b) with assumption ¬a forces b; assumption set {¬a, ¬b}
+        // fails with a core naming both.
+        let mut s = CdclSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(vec![lp(a), lp(b)]);
+        let mut th = NullTheory;
+        assert_eq!(s.solve_under_assumptions(&[ln(a)], &mut th), SatOutcome::Sat);
+        assert_eq!(s.value(a), LBool::False);
+        assert_eq!(s.value(b), LBool::True);
+        assert!(s.failed_assumptions().is_empty());
+
+        s.reset_to_root(&mut th);
+        assert_eq!(
+            s.solve_under_assumptions(&[ln(a), ln(b)], &mut th),
+            SatOutcome::Unsat
+        );
+        let mut core = s.failed_assumptions().to_vec();
+        core.sort_unstable();
+        let mut want = vec![lp(a), lp(b)];
+        want.sort_unstable();
+        assert_eq!(core, want, "core = negations of both assumptions");
+
+        // The same solver answers again after a reset: the instance is
+        // satisfiable without assumptions.
+        s.reset_to_root(&mut th);
+        assert_eq!(s.solve(&mut th), SatOutcome::Sat);
+        assert!(s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn root_false_assumption_yields_unit_core() {
+        let mut s = CdclSolver::new();
+        let a = s.new_var();
+        s.add_clause(vec![lp(a)]);
+        let mut th = NullTheory;
+        assert_eq!(
+            s.solve_under_assumptions(&[ln(a)], &mut th),
+            SatOutcome::Unsat
+        );
+        assert_eq!(s.failed_assumptions(), &[lp(a)]);
+    }
+
+    #[test]
+    fn genuine_unsat_under_assumptions_has_empty_core() {
+        let mut s = CdclSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(vec![lp(a)]);
+        s.add_clause(vec![ln(a)]);
+        assert_eq!(
+            s.solve_under_assumptions(&[lp(b)], &mut NullTheory),
+            SatOutcome::Unsat
+        );
+        assert!(s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn contradictory_assumptions_fail_without_clauses() {
+        let mut s = CdclSolver::new();
+        let a = s.new_var();
+        let _ = s.new_var();
+        let mut th = NullTheory;
+        assert_eq!(
+            s.solve_under_assumptions(&[lp(a), ln(a)], &mut th),
+            SatOutcome::Unsat
+        );
+        let core = s.failed_assumptions();
+        assert_eq!(core.len(), 2);
+        assert!(core.contains(&lp(a)) && core.contains(&ln(a)));
+    }
+
+    #[test]
+    fn purge_literal_removes_guarded_clauses_only() {
+        let mut s = CdclSolver::new();
+        let act = s.new_var();
+        let a = s.new_var();
+        let b = s.new_var();
+        // Guarded: act → (a ∧ b); unguarded: a ∨ b.
+        s.add_clause(vec![ln(act), lp(a)]);
+        s.add_clause(vec![ln(act), lp(b)]);
+        s.add_clause(vec![lp(a), lp(b)]);
+        assert_eq!(s.num_clauses(), 3);
+        s.add_clause(vec![ln(act)]); // retirement unit
+        assert_eq!(s.purge_literal(ln(act)), 2);
+        assert_eq!(s.num_clauses(), 1);
+        // The survivor still constrains the search.
+        let mut th = NullTheory;
+        assert_eq!(
+            s.solve_under_assumptions(&[ln(a), ln(b)], &mut th),
+            SatOutcome::Unsat
+        );
+        s.reset_to_root(&mut th);
+        assert_eq!(s.solve_under_assumptions(&[ln(a)], &mut th), SatOutcome::Sat);
+        assert_eq!(s.value(b), LBool::True);
+    }
+
+    /// Assumption-driven solves under a brute-force cross-check, reusing
+    /// one solver across rounds with learned clauses retained throughout.
+    #[test]
+    fn random_3sat_under_assumptions_matches_brute_force() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let n_vars = 6usize;
+        let mut s = CdclSolver::new();
+        let vars: Vec<SatVar> = (0..n_vars).map(|_| s.new_var()).collect();
+        let mut clauses: Vec<Vec<(usize, bool)>> = Vec::new();
+        for _ in 0..14 {
+            let mut cl = Vec::new();
+            for _ in 0..3 {
+                cl.push(((next() % n_vars as u64) as usize, next() % 2 == 0));
+            }
+            clauses.push(cl.clone());
+            s.add_clause(
+                cl.iter()
+                    .map(|&(v, pos)| Lit::with_polarity(vars[v], pos))
+                    .collect(),
+            );
+        }
+        let mut th = NullTheory;
+        for round in 0..40 {
+            // Random assumption set over a random subset of variables.
+            let mask = (next() % (1 << n_vars)) as u32;
+            let vals = (next() % (1 << n_vars)) as u32;
+            let assumptions: Vec<Lit> = (0..n_vars)
+                .filter(|&v| (mask >> v) & 1 == 1)
+                .map(|v| Lit::with_polarity(vars[v], (vals >> v) & 1 == 1))
+                .collect();
+            let mut brute_sat = false;
+            'outer: for m in 0..(1u32 << n_vars) {
+                for v in 0..n_vars {
+                    if (mask >> v) & 1 == 1 && ((m >> v) & 1) != ((vals >> v) & 1) {
+                        continue 'outer;
+                    }
+                }
+                for cl in &clauses {
+                    if !cl.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos) {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            s.reset_to_root(&mut th);
+            let got = s.solve_under_assumptions(&assumptions, &mut th);
+            assert_eq!(
+                got == SatOutcome::Sat,
+                brute_sat,
+                "round {round} mask {mask:b} vals {vals:b}"
+            );
+            match got {
+                SatOutcome::Sat => {
+                    for &l in &assumptions {
+                        assert_eq!(s.lit_value(l), LBool::True);
+                    }
+                    for cl in &clauses {
+                        assert!(cl.iter().any(|&(v, pos)| {
+                            (s.value(vars[v]) == LBool::True) == pos
+                        }));
+                    }
+                }
+                SatOutcome::Unsat => {
+                    // Core lits are negated assumptions.
+                    for l in s.failed_assumptions() {
+                        assert!(
+                            assumptions.contains(&!*l),
+                            "core literal {l:?} is not a negated assumption"
+                        );
+                    }
+                }
+                SatOutcome::Unknown(_) => panic!("unlimited budget"),
+            }
+        }
     }
 }

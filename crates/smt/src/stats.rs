@@ -90,6 +90,16 @@ pub struct SolverStats {
     pub bound_asserts: u64,
     /// Full simplex consistency checks.
     pub theory_checks: u64,
+    /// Learned clauses carried into this check from earlier checks on the
+    /// same persistent core (zero on the clone-per-check path).
+    pub retained_clauses: u64,
+    /// Clauses hard-deleted this check by activation-literal retirement
+    /// (zero on the clone-per-check path).
+    pub deleted_clauses: u64,
+    /// Simplex pivots whose work the warm-started basis already embodied
+    /// at check entry (zero on the clone-per-check path, which rebuilds
+    /// the tableau from scratch).
+    pub warm_pivots_saved: u64,
     /// Whether this check reused an already-encoded base (the solver's
     /// incremental base-encoding cache).
     pub base_cache_hit: bool,
@@ -159,9 +169,12 @@ impl SolverStats {
             restarts: self.restarts,
             learned_clauses: self.learned_clauses,
             clause_db: self.clause_db,
+            retained_clauses: self.retained_clauses,
+            deleted_clauses: self.deleted_clauses,
             pivots: self.pivots,
             bound_asserts: self.bound_asserts,
             theory_checks: self.theory_checks,
+            warm_pivots_saved: self.warm_pivots_saved,
         }
     }
 

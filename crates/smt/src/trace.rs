@@ -78,12 +78,21 @@ pub struct PhaseMetrics {
     pub learned_clauses: u64,
     /// Clause-database size (original + learned) at end of search.
     pub clause_db: u64,
+    /// Learned clauses carried in from earlier checks on a persistent
+    /// incremental core (zero on the clone-per-check path).
+    pub retained_clauses: u64,
+    /// Clauses hard-deleted by activation-literal retirement (zero on the
+    /// clone-per-check path).
+    pub deleted_clauses: u64,
     /// Simplex pivot operations.
     pub pivots: u64,
     /// Theory bound assertions fed to the simplex.
     pub bound_asserts: u64,
     /// Full simplex consistency checks.
     pub theory_checks: u64,
+    /// Simplex pivots already embodied by the warm-started basis at check
+    /// entry (zero on the clone-per-check path).
+    pub warm_pivots_saved: u64,
 }
 
 impl PhaseMetrics {
@@ -100,9 +109,12 @@ impl PhaseMetrics {
         self.restarts += other.restarts;
         self.learned_clauses += other.learned_clauses;
         self.clause_db += other.clause_db;
+        self.retained_clauses += other.retained_clauses;
+        self.deleted_clauses += other.deleted_clauses;
         self.pivots += other.pivots;
         self.bound_asserts += other.bound_asserts;
         self.theory_checks += other.theory_checks;
+        self.warm_pivots_saved += other.warm_pivots_saved;
     }
 
     /// The counters grouped by phase, in the fixed serialization order.
@@ -127,6 +139,8 @@ impl PhaseMetrics {
                     ("restarts", self.restarts),
                     ("learned_clauses", self.learned_clauses),
                     ("clause_db", self.clause_db),
+                    ("retained_clauses", self.retained_clauses),
+                    ("deleted_clauses", self.deleted_clauses),
                 ],
             ),
             (
@@ -135,6 +149,7 @@ impl PhaseMetrics {
                     ("pivots", self.pivots),
                     ("bound_asserts", self.bound_asserts),
                     ("theory_checks", self.theory_checks),
+                    ("warm_pivots_saved", self.warm_pivots_saved),
                 ],
             ),
         ]
@@ -513,10 +528,13 @@ mod tests {
         let mut m = PhaseMetrics::default();
         m.clauses = 7;
         m.theory_checks = 5;
+        m.warm_pivots_saved = 2;
         let json = m.to_json();
         assert_eq!(json, m.to_json());
         assert!(json.starts_with("{\"encode\":{\"clauses\":7,"));
-        assert!(json.ends_with("\"theory_checks\":5}}"));
+        assert!(json.ends_with("\"warm_pivots_saved\":2}}"));
+        assert!(json.contains("\"theory_checks\":5"));
+        assert!(json.contains("\"retained_clauses\":0"));
         assert!(json.contains("\"search\":{"));
     }
 

@@ -102,16 +102,16 @@ fn push_pop_stack_discipline() {
     solver.assert_formula(&LinExpr::var(x).gt(LinExpr::from(10)));
     assert!(!solver.check().is_sat());
 
-    solver.pop();
+    solver.pop().unwrap();
     assert!(solver.check().is_sat());
 
     solver.push();
     solver.assert_formula(&LinExpr::var(x).eq_expr(LinExpr::from(7)));
     let m = solver.check().expect_sat();
     assert_eq!(m.real_value(x).to_f64(), 7.0);
-    solver.pop();
+    solver.pop().unwrap();
 
-    solver.pop();
+    solver.pop().unwrap();
     // Back to just x ≥ 0; x > 10 is allowed again.
     solver.assert_formula(&LinExpr::var(x).gt(LinExpr::from(10)));
     assert!(solver.check().is_sat());
@@ -153,7 +153,7 @@ fn deeply_nested_formula() {
     solver.push();
     solver.assert_formula(&LinExpr::var(x).lt(LinExpr::from(1)));
     assert!(!solver.check().is_sat());
-    solver.pop();
+    solver.pop().unwrap();
     let m = solver.check().expect_sat();
     assert!(m.real_value(x).to_f64() >= 1.0);
 }

@@ -8,12 +8,13 @@
 //!                                      verify, then replay end to end
 //! sta assess <case>                    grid-wide threat assessment
 //! sta synthesize <case> <scenario> --budget N [--reference-secured]
-//!            [--trace FILE] [--metrics]   synthesize a security architecture
+//!            [--incremental on|off] [--trace FILE] [--metrics]
+//!                                      synthesize a security architecture
 //! sta synthesize <case> <scenario> --budget N --measurements
 //!                                      measurement-granular variant
 //! sta campaign [<case>] [--jobs N] [--timeout-ms MS] [--certify L]
 //!              [--topology] [--force-timeout] [--out FILE] [--strip-timing]
-//!              [--trace FILE] [--metrics] [--profile]
+//!              [--incremental on|off] [--trace FILE] [--metrics] [--profile]
 //!                                      parallel sweep of attack variants
 //! sta bench [--suite S] [--reps N] [--jobs N] [--out FILE]
 //!           [--baseline FILE] [--against FILE] [--threshold PCT]
@@ -44,6 +45,13 @@
 //! re-evaluates satisfying assignments against the original formulas,
 //! `full` additionally lints the formulas (deny mode) and replays unsat
 //! proofs through an independent RUP/Farkas checker.
+//!
+//! `--incremental on|off` (default `on`) chooses between the persistent
+//! incremental solver cores in the CEGIS synthesis loop — learned clauses
+//! and the warm simplex basis survive across rounds — and the
+//! clone-per-check baseline. Verdicts are mode-invariant; the flag exists
+//! for A/B perf comparison (see `sta bench --suite cegis` and DESIGN.md
+//! §12). One-shot `verify` jobs are clone-per-check in both modes.
 //!
 //! # Exit codes
 //!
@@ -138,14 +146,23 @@ fn usage() -> ExitCode {
          sta replay <case> <scenario> [--certify off|models|full] [--timeout-ms MS]\n  sta assess <case>\n  \
          sta synthesize <case> <scenario> --budget N \
          [--reference-secured] [--measurements] [--paper-blocking] [--certify off|models|full] \
-         [--trace FILE] [--metrics]\n  \
+         [--incremental on|off] [--trace FILE] [--metrics]\n  \
          sta campaign [<case>] [--jobs N] [--timeout-ms MS] [--certify off|models|full] \
-         [--topology] [--force-timeout] [--out FILE] [--strip-timing] [--trace FILE] [--metrics] [--profile]\n  \
-         sta bench [--suite smoke|sweep] [--reps N] [--jobs N] [--out FILE] \
+         [--topology] [--force-timeout] [--out FILE] [--strip-timing] [--incremental on|off] \
+         [--trace FILE] [--metrics] [--profile]\n  \
+         sta bench [--suite smoke|sweep|cegis] [--reps N] [--jobs N] [--out FILE] \
          [--baseline FILE] [--against FILE] [--threshold PCT]\n\
          exit codes: 0 = sat/success, 1 = unsat/no solution/perf regression, 2 = usage error, 3 = unknown (budget exhausted)"
     );
     ExitCode::from(2)
+}
+
+fn parse_incremental(v: &str) -> Result<bool, String> {
+    match v {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(format!("--incremental needs on|off, got {other:?}")),
+    }
 }
 
 fn parse_certify(v: &str) -> Result<CertifyLevel, String> {
@@ -335,6 +352,7 @@ fn cmd_synthesize(args: &[String]) -> Result<ExitCode, String> {
     let mut measurements = false;
     let mut paper_blocking = false;
     let mut certify = CertifyLevel::Off;
+    let mut incremental = true;
     let mut trace: Option<String> = None;
     let mut metrics = false;
     let mut profile = false;
@@ -348,6 +366,10 @@ fn cmd_synthesize(args: &[String]) -> Result<ExitCode, String> {
             "--reference-secured" => reference_secured = true,
             "--measurements" => measurements = true,
             "--paper-blocking" => paper_blocking = true,
+            "--incremental" => {
+                let v = it.next().ok_or("--incremental needs a value")?;
+                incremental = parse_incremental(v)?;
+            }
             "--certify" => {
                 let v = it.next().ok_or("--certify needs a value")?;
                 certify = parse_certify(v)?;
@@ -388,7 +410,7 @@ fn cmd_synthesize(args: &[String]) -> Result<ExitCode, String> {
             }
         }
     } else {
-        let mut config = SynthesisConfig::with_budget(budget);
+        let mut config = SynthesisConfig::with_budget(budget).with_incremental(incremental);
         if reference_secured {
             config = config.with_reference_secured();
         }
@@ -442,12 +464,17 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
     let mut force_timeout = false;
     let mut out_file: Option<String> = None;
     let mut strip_timing = false;
+    let mut incremental = true;
     let mut trace: Option<String> = None;
     let mut metrics = false;
     let mut profile = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--incremental" => {
+                let v = it.next().ok_or("--incremental needs a value")?;
+                incremental = parse_incremental(v)?;
+            }
             "--trace" => {
                 trace = Some(it.next().ok_or("--trace needs a file")?.clone());
             }
@@ -505,7 +532,7 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
     if let Some(ms) = timeout_ms {
         spec = spec.with_timeout_ms(ms);
     }
-    spec = spec.with_certify(certify);
+    spec = spec.with_certify(certify).with_incremental(incremental);
     let sink = match &trace {
         Some(path) => Some(SharedSink::new(Box::new(open_trace(path)?))),
         None => None,

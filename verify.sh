@@ -13,7 +13,11 @@
 #      its --trace JSONL must be well-formed with non-zero phase counters;
 #      on machines with >= 4 CPUs the 4-worker run must also be >= 2x
 #      faster than the 1-worker run
-#   6. bench smoke: `sta bench --reps 1` must emit a schema-valid
+#   6. incremental equivalence: the same 33-job campaign with
+#      --incremental on vs off must produce byte-identical timing-stripped
+#      reports — the persistent solver core may only change how fast
+#      answers arrive, never the answers
+#   7. bench smoke: `sta bench --reps 1` must emit a schema-valid
 #      sta-bench/v1 trajectory point, and the deterministic self-diff
 #      (--baseline F --against F) must exit 0 for both the fresh point
 #      and the checked-in BENCH_smoke.json
@@ -100,6 +104,25 @@ if [ "$status" -ne 3 ]; then
 fi
 cmp -s "$report1" "$report4" || {
     echo "timing-stripped campaign reports differ between 1 and 4 workers" >&2
+    exit 1
+}
+
+echo "==> incremental equivalence: --incremental on/off stripped reports must match"
+# The 4-worker stripped report above ran with the default (--incremental
+# on); rerun the identical campaign with the persistent core disabled and
+# byte-compare. Verdicts, models and certificates must not depend on the
+# solve path.
+report_cold="$(mktemp)"
+trap 'rm -f "$scenario" "$report1" "$report4" "$trace4" "$report_cold"' EXIT
+status=0
+./target/release/sta campaign ieee14 --jobs 4 --certify full --force-timeout \
+    --incremental off --out "$report_cold" --strip-timing >/dev/null || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "expected exit 3 from the --incremental off run, got exit $status" >&2
+    exit 1
+fi
+cmp -s "$report4" "$report_cold" || {
+    echo "timing-stripped campaign reports differ between --incremental on and off" >&2
     exit 1
 }
 
