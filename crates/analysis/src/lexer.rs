@@ -1,0 +1,461 @@
+//! A line-aware lexical scanner for Rust sources.
+//!
+//! The rule engine ([`crate::rules`]) works on *views* of a source file
+//! rather than a token stream: for every line it needs to know what is
+//! code, what is comment text, and what sits inside string literals, so
+//! that a rule banning `HashMap` cannot fire on a doc comment that merely
+//! mentions one and an annotation grammar can live in comments without a
+//! full parser. One pass over the file produces three aligned per-line
+//! views plus the test-region boundary:
+//!
+//! * `code` — the line with comments removed and the *contents* of
+//!   string, raw-string, byte-string and char literals blanked (the
+//!   delimiting quotes survive, so `x.expect("msg")` still reads as
+//!   `x.expect("")` and token-level checks keep working).
+//! * `comments` — the concatenated text of every `//` and `/* */`
+//!   comment on the line (block comments contribute to each line they
+//!   span). This is where `// analysis: no-poll(reason)` annotations are
+//!   read from.
+//! * `strings` — the concatenated *raw source slices* of string-literal
+//!   contents on the line (escapes are not decoded). The JSON-emission
+//!   rule looks for hand-rolled escape sequences here.
+//!
+//! The scanner handles nested block comments, all string forms (`"…"`,
+//! `r"…"`, `r#"…"#` with any hash depth, `b"…"`, `br#"…"#`), char and
+//! byte-char literals, and tells lifetimes (`'a`) apart from char
+//! literals by lookahead. It is deliberately *not* a full lexer: it
+//! never tokenizes numbers or identifiers, because no rule needs them.
+//!
+//! The test-region convention follows `tests/lint.rs` (and the whole
+//! workspace): everything from the first `#[cfg(test)]` line to the end
+//! of the file is test code — the repo keeps test modules at the bottom
+//! of each source file.
+
+/// The aligned per-line views of one masked source file.
+#[derive(Debug, Clone)]
+pub struct MaskedFile {
+    /// Per line: code with comments removed and literal contents blanked.
+    pub code: Vec<String>,
+    /// Per line: concatenated comment text.
+    pub comments: Vec<String>,
+    /// Per line: concatenated raw source slices of string contents.
+    pub strings: Vec<String>,
+    /// 0-based index of the first `#[cfg(test)]` code line, if any;
+    /// every line from there to EOF is test code.
+    pub test_start: Option<usize>,
+}
+
+impl MaskedFile {
+    /// Number of lines (always ≥ 1; an empty file has one empty line).
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the file has no lines with content.
+    pub fn is_empty(&self) -> bool {
+        self.code.iter().all(|l| l.trim().is_empty())
+    }
+
+    /// Whether 0-based line `li` falls in the trailing test region.
+    pub fn in_test(&self, li: usize) -> bool {
+        self.test_start.is_some_and(|t| li >= t)
+    }
+}
+
+/// Is `c` an identifier character (decides whether `r"` starts a raw
+/// string or ends an identifier like `var"`, which cannot occur anyway)?
+fn is_ident(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// The current (last) line buffer. The buffers are created non-empty and
+/// only ever grow, so the fallback push never runs; it exists to keep
+/// this helper total without a panic path.
+fn last(v: &mut Vec<String>) -> &mut String {
+    if v.is_empty() {
+        v.push(String::new());
+    }
+    let i = v.len() - 1;
+    &mut v[i]
+}
+
+/// Scans `text` into aligned per-line code/comment/string views.
+pub fn mask(text: &str) -> MaskedFile {
+    let bytes = text.as_bytes();
+    let n = bytes.len();
+    let mut code = vec![String::new()];
+    let mut comments = vec![String::new()];
+    let mut strings = vec![String::new()];
+    let mut i = 0usize;
+    // Last *code* byte emitted, for raw-string prefix disambiguation.
+    let mut prev_code: u8 = b' ';
+
+    macro_rules! newline {
+        () => {{
+            code.push(String::new());
+            comments.push(String::new());
+            strings.push(String::new());
+        }};
+    }
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                newline!();
+                i += 1;
+                prev_code = b' ';
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                // Line comment (also doc comments): text up to EOL.
+                i += 2;
+                let start = i;
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                last(&mut comments).push_str(&text[start..i]);
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                // Nested block comment; content recorded per spanned line.
+                i += 2;
+                let mut depth = 1u32;
+                while i < n && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        newline!();
+                        i += 1;
+                    } else if bytes[i] == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        let start = i;
+                        while i < n
+                            && bytes[i] != b'\n'
+                            && !(bytes[i] == b'/' && i + 1 < n && bytes[i + 1] == b'*')
+                            && !(bytes[i] == b'*' && i + 1 < n && bytes[i + 1] == b'/')
+                        {
+                            i += 1;
+                        }
+                        last(&mut comments).push_str(&text[start..i]);
+                    }
+                }
+            }
+            b'r' | b'b' if !is_ident(prev_code) => {
+                // Possible raw / byte / byte-raw string prefix.
+                if let Some(adv) = raw_string(text, i, &mut code, &mut strings, &mut comments)
+                {
+                    i = adv;
+                    prev_code = b'"';
+                } else if c == b'b' && i + 1 < n && bytes[i + 1] == b'\'' {
+                    // Byte-char literal b'…'.
+                    last(&mut code).push(' ');
+                    i = char_literal(bytes, i + 1);
+                    prev_code = b' ';
+                } else {
+                    last(&mut code).push(c as char);
+                    prev_code = c;
+                    i += 1;
+                }
+            }
+            b'"' => {
+                i = plain_string(text, i, &mut code, &mut strings, &mut comments);
+                prev_code = b'"';
+            }
+            b'\'' => {
+                // Char literal or lifetime, decided by lookahead.
+                if let Some(end) = try_char_literal(bytes, i) {
+                    last(&mut code).push(' ');
+                    i = end;
+                    prev_code = b' ';
+                } else {
+                    last(&mut code).push('\'');
+                    prev_code = b'\'';
+                    i += 1;
+                }
+            }
+            _ => {
+                last(&mut code).push(c as char);
+                prev_code = c;
+                i += 1;
+            }
+        }
+    }
+
+    let test_start = code
+        .iter()
+        .position(|l| l.trim_start().starts_with("#[cfg(test)]"));
+    MaskedFile { code, comments, strings, test_start }
+}
+
+/// Consumes a plain (possibly multi-line) `"…"` string starting at the
+/// opening quote; records contents into `strings`, quotes into `code`.
+/// Returns the index just past the closing quote (or EOF).
+fn plain_string(
+    text: &str,
+    open: usize,
+    code: &mut Vec<String>,
+    strings: &mut Vec<String>,
+    comments: &mut Vec<String>,
+) -> usize {
+    let bytes = text.as_bytes();
+    let n = bytes.len();
+    last(code).push('"');
+    let mut i = open + 1;
+    let mut start = i;
+    loop {
+        if i >= n {
+            last(strings).push_str(&text[start..n]);
+            return n;
+        }
+        match bytes[i] {
+            b'"' => {
+                last(strings).push_str(&text[start..i]);
+                last(code).push('"');
+                return i + 1;
+            }
+            b'\\' => {
+                // Skip the escaped byte (enough to not mistake \" for a
+                // terminator; multi-byte escapes are plain content). An
+                // escaped newline — a string continuation — still ends a
+                // source line, so the line buffers must advance with it.
+                if i + 1 < n && bytes[i + 1] == b'\n' {
+                    last(strings).push_str(&text[start..=i]);
+                    code.push(String::new());
+                    comments.push(String::new());
+                    strings.push(String::new());
+                    i += 2;
+                    start = i;
+                } else {
+                    i = (i + 2).min(n);
+                }
+            }
+            b'\n' => {
+                last(strings).push_str(&text[start..i]);
+                code.push(String::new());
+                comments.push(String::new());
+                strings.push(String::new());
+                i += 1;
+                start = i;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Tries to consume a raw-string literal (`r"…"`, `r#"…"#`, `br#"…"#`)
+/// whose prefix starts at `at`. Returns the index past the closing
+/// delimiter, or `None` if the text at `at` is not a raw-string prefix.
+fn raw_string(
+    text: &str,
+    at: usize,
+    code: &mut Vec<String>,
+    strings: &mut Vec<String>,
+    comments: &mut Vec<String>,
+) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let n = bytes.len();
+    let mut i = at;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if i >= n || bytes[i] != b'r' {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0usize;
+    while i < n && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= n || bytes[i] != b'"' {
+        return None;
+    }
+    i += 1;
+    last(code).push('"');
+    let mut start = i;
+    loop {
+        if i >= n {
+            last(strings).push_str(&text[start..n]);
+            return Some(n);
+        }
+        if bytes[i] == b'"' {
+            let tail = &bytes[i + 1..];
+            if tail.len() >= hashes && tail[..hashes].iter().all(|&b| b == b'#') {
+                last(strings).push_str(&text[start..i]);
+                last(code).push('"');
+                return Some(i + 1 + hashes);
+            }
+            i += 1;
+        } else if bytes[i] == b'\n' {
+            last(strings).push_str(&text[start..i]);
+            code.push(String::new());
+            strings.push(String::new());
+            comments.push(String::new());
+            i += 1;
+            start = i;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Lookahead check for a char literal at the `'` at `at`; returns the
+/// index past the closing quote when it is one, `None` for a lifetime.
+fn try_char_literal(bytes: &[u8], at: usize) -> Option<usize> {
+    let n = bytes.len();
+    if at + 1 >= n {
+        return None;
+    }
+    if bytes[at + 1] == b'\\' {
+        return Some(char_literal(bytes, at));
+    }
+    // A one-scalar literal: skip the UTF-8 sequence after the quote and
+    // require a closing quote right behind it.
+    let mut j = at + 1;
+    j += utf8_len(bytes[j]);
+    if j < n && bytes[j] == b'\'' {
+        Some(j + 1)
+    } else {
+        None // `'ident` — a lifetime
+    }
+}
+
+/// Consumes a (possibly escaped) char literal starting at the `'` at
+/// `at`; returns the index past the closing quote. Tolerant of malformed
+/// input: gives up at EOL rather than scanning the whole file.
+fn char_literal(bytes: &[u8], at: usize) -> usize {
+    let n = bytes.len();
+    let mut i = at + 1;
+    while i < n && bytes[i] != b'\n' {
+        if bytes[i] == b'\\' {
+            i = (i + 2).min(n);
+        } else if bytes[i] == b'\'' {
+            return i + 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Length in bytes of the UTF-8 sequence starting with `first`.
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b & 0xE0 == 0xC0 => 2,
+        b if b & 0xF0 == 0xE0 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_separated_from_code() {
+        let m = mask("let x = 1; // HashMap in a comment\ncode();\n");
+        assert!(!m.code[0].contains("HashMap"));
+        assert!(m.comments[0].contains("HashMap"));
+        assert_eq!(m.code[1], "code();");
+    }
+
+    #[test]
+    fn string_contents_are_blanked_in_code() {
+        let m = mask("x.expect(\"HashMap broke\");\n");
+        assert!(m.code[0].contains(".expect(\"\")"), "{:?}", m.code[0]);
+        assert!(!m.code[0].contains("HashMap"));
+        assert!(m.strings[0].contains("HashMap broke"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = mask("a /* one /* two */ still */ b\n");
+        assert_eq!(m.code[0].split_whitespace().collect::<Vec<_>>(), ["a", "b"]);
+        assert!(m.comments[0].contains("two"));
+    }
+
+    #[test]
+    fn block_comment_spans_lines() {
+        let m = mask("before /* HashMap\nstill HashMap */ after\n");
+        assert!(!m.code[0].contains("HashMap"));
+        assert!(!m.code[1].contains("HashMap"));
+        assert!(m.comments[1].contains("still"));
+        assert!(m.code[1].contains("after"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let m = mask("let s = r#\"quote \" inside\"#; tail();\n");
+        assert!(m.code[0].contains("tail();"));
+        assert!(!m.code[0].contains("inside"));
+        assert!(m.strings[0].contains("quote \" inside"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let m = mask("let a = b\"bytes\"; let b2 = br#\"raw\"#; done();\n");
+        assert!(m.code[0].contains("done();"));
+        assert!(m.strings[0].contains("bytes"));
+        assert!(m.strings[0].contains("raw"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_blank() {
+        let m = mask("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }\n");
+        assert!(m.code[0].contains("<'a>"), "{:?}", m.code[0]);
+        assert!(m.code[0].contains("&'a str"));
+        assert!(!m.code[0].contains("'x'"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let m = mask("let s = \"a \\\" b\"; after();\n");
+        assert!(m.code[0].contains("after();"));
+        assert!(m.strings[0].contains("a \\\" b"));
+    }
+
+    #[test]
+    fn multi_line_string_contents_split_per_line() {
+        let m = mask("let s = \"first\nsecond\"; after();\n");
+        assert!(m.strings[0].contains("first"));
+        assert!(m.strings[1].contains("second"));
+        assert!(m.code[1].contains("after();"));
+    }
+
+    #[test]
+    fn test_region_starts_at_cfg_test() {
+        let m = mask("fn lib() {}\n#[cfg(test)]\nmod tests {}\n");
+        assert_eq!(m.test_start, Some(1));
+        assert!(!m.in_test(0));
+        assert!(m.in_test(1));
+        assert!(m.in_test(2));
+    }
+
+    #[test]
+    fn cfg_test_inside_string_is_not_a_region_start() {
+        let m = mask("let s = \"#[cfg(test)]\";\nfn lib() {}\n");
+        assert_eq!(m.test_start, None);
+    }
+
+    #[test]
+    fn division_is_not_a_comment() {
+        let m = mask("let x = a / b; let y = c / d;\n");
+        assert!(m.code[0].contains("a / b"));
+        assert!(m.comments[0].is_empty());
+    }
+
+    #[test]
+    fn escaped_newline_continuation_keeps_lines_aligned() {
+        // A backslash-newline string continuation spans two source lines;
+        // line numbers after it must not shift.
+        let src = "let s = \"first \\\n    second\";\nafter();\n";
+        let m = mask(src);
+        assert_eq!(m.len(), src.split('\n').count());
+        assert!(m.code[2].contains("after()"), "{:?}", m.code);
+        assert!(m.strings[0].contains("first"));
+        assert!(m.strings[1].contains("second"));
+    }
+}

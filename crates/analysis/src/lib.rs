@@ -1,0 +1,270 @@
+//! In-tree invariant analyzer for the `sta` workspace.
+//!
+//! The paper's guarantees rest on source-level disciplines that earlier
+//! PRs established one at a time: byte-identical timing-stripped reports
+//! across worker counts (determinism), all report timing routed through
+//! `Clock` (testable time), every solver hot loop polling `Budget`
+//! (interruptibility), and no panics on the trusted path. Each was
+//! enforced only by spot tests or convention — and the encoder bug PR 3
+//! fixed is exactly what happens when a convention has no checker. This
+//! crate checks them mechanically over the whole workspace.
+//!
+//! The design is two layers:
+//!
+//! * [`lexer`] — a dependency-free, line-aware Rust lexer producing
+//!   aligned per-line *views* of a source file: code with comments
+//!   stripped and string contents blanked, comment text, raw string
+//!   contents, and the `#[cfg(test)]` boundary. Rules never see tokens
+//!   inside strings or comments.
+//! * [`rules`] — the rule engine: five rules with per-rule scopes and
+//!   exact-match allowlists (every entry must match exactly one current
+//!   occurrence, so stale entries fail too — the `tests/lint.rs`
+//!   convention), plus a pinned inventory of budget-poll sites.
+//!
+//! [`config`] pins the workspace's configuration. The whole thing runs
+//! three ways: `sta lint` (CLI, table or `--json`), `tests/lint.rs`
+//! (tier-1, plain `cargo test`), and `verify.sh`/CI (findings gate and
+//! artifact). Findings are fully sorted and the JSON emitter goes
+//! through `sta_smt::json`, so equal trees produce byte-equal reports.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use sta_smt::json;
+use sta_smt::tablefmt::{Align, Table};
+
+pub use config::default_config;
+pub use rules::{analyze_sources, Allow, Config, Finding};
+
+/// The JSON schema tag `sta lint --json` emits.
+pub const JSON_SCHEMA: &str = "sta-lint/v1";
+
+/// The result of one analyzer run.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// All findings, sorted by (rule, file, line, message).
+    pub findings: Vec<Finding>,
+    /// How many `.rs` sources were scanned.
+    pub files_scanned: usize,
+}
+
+impl Analysis {
+    /// No findings at all?
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the findings as an aligned table (empty string when
+    /// clean; callers print their own summary line).
+    pub fn table(&self) -> String {
+        if self.findings.is_empty() {
+            return String::new();
+        }
+        let mut t = Table::new(&[
+            ("rule", Align::Left),
+            ("location", Align::Left),
+            ("finding", Align::Left),
+        ]);
+        for f in &self.findings {
+            let loc = if f.line == 0 {
+                f.file.clone()
+            } else {
+                format!("{}:{}", f.file, f.line)
+            };
+            t.row(&[f.rule, &loc, &f.message]);
+        }
+        t.render()
+    }
+
+    /// Renders the findings as deterministic single-line-per-finding
+    /// JSON. Equal analyses produce byte-equal output.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\":\"");
+        out.push_str(JSON_SCHEMA);
+        out.push_str("\",\"files_scanned\":");
+        out.push_str(&self.files_scanned.to_string());
+        out.push_str(",\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {\"rule\":");
+            json::escape_into(f.rule, &mut out);
+            out.push_str(",\"file\":");
+            json::escape_into(&f.file, &mut out);
+            out.push_str(",\"line\":");
+            out.push_str(&f.line.to_string());
+            out.push_str(",\"snippet\":");
+            json::escape_into(&f.snippet, &mut out);
+            out.push_str(",\"message\":");
+            json::escape_into(&f.message, &mut out);
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Renders ready-to-paste `Allow { .. }` skeletons for every
+    /// rule-violation finding (the `--fix-allowlist` output). Stale
+    /// allowlist and inventory findings get removal hints instead.
+    pub fn fix_suggestions(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            if f.rule == rules::RULE_ALLOWLIST || f.line == 0 {
+                out.push_str(&format!("// {}: {} — {}\n", f.file, f.snippet, f.message));
+                continue;
+            }
+            out.push_str(&format!(
+                "// {}:{}\nAllow {{\n    file: ",
+                f.file, f.line
+            ));
+            json::escape_into(last_suffix(&f.file), &mut out);
+            out.push_str(",\n    needle: ");
+            json::escape_into(&f.snippet, &mut out);
+            out.push_str(",\n    why: \"TODO: document the invariant\",\n},\n");
+        }
+        out
+    }
+}
+
+/// Shortens `crates/smt/src/simplex.rs` to the `smt/src/simplex.rs`
+/// suffix form the allowlists use.
+fn last_suffix(file: &str) -> &str {
+    file.strip_prefix("crates/").unwrap_or(file)
+}
+
+/// Runs the workspace's pinned configuration over the tree at `root`.
+pub fn analyze(root: &Path) -> Result<Analysis, String> {
+    analyze_with(&config::default_config(), root)
+}
+
+/// Runs `config` over the tree at `root`: walks the configured roots,
+/// reads every `.rs` file, and analyzes in sorted path order.
+pub fn analyze_with(cfg: &Config, root: &Path) -> Result<Analysis, String> {
+    let mut files: Vec<(String, String)> = Vec::new();
+    for r in cfg.roots {
+        let dir = root.join(r);
+        if !dir.is_dir() {
+            return Err(format!("missing analysis root {} under {}", r, root.display()));
+        }
+        let mut paths = Vec::new();
+        rust_files(&dir, &mut paths)?;
+        for p in paths {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            // Roots can nest (`src` vs `src/bin`): keep first occurrence.
+            if files.iter().any(|(f, _)| *f == rel) {
+                continue;
+            }
+            let text = fs::read_to_string(&p)
+                .map_err(|e| format!("read {}: {e}", p.display()))?;
+            files.push((rel, text));
+        }
+    }
+    if files.is_empty() {
+        return Err(format!("no sources found under {}", root.display()));
+    }
+    let files_scanned = files.len();
+    let findings = rules::analyze_sources(cfg, &files);
+    Ok(Analysis { findings, files_scanned })
+}
+
+/// Collects `.rs` files under `dir` recursively, sorted for
+/// deterministic scan order. Directories named `tests` are skipped —
+/// the rules govern shipped library and binary code.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "tests") {
+                continue;
+            }
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_output_is_schema_tagged_and_parses() {
+        let a = Analysis {
+            findings: vec![Finding {
+                rule: rules::RULE_PANIC,
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                snippet: "q().unwrap();".into(),
+                message: "potential panic".into(),
+            }],
+            files_scanned: 1,
+        };
+        let text = a.to_json();
+        let doc = json::parse(&text).expect("valid JSON");
+        assert_eq!(doc.get("schema").and_then(|s| s.as_str()), Some(JSON_SCHEMA));
+        assert_eq!(doc.get("files_scanned").and_then(|n| n.as_u64()), Some(1));
+        let arr = doc.get("findings").and_then(|f| f.as_arr()).expect("array");
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("line").and_then(|n| n.as_u64()), Some(3));
+        // Byte-determinism of the emitter itself.
+        assert_eq!(text, a.to_json());
+    }
+
+    #[test]
+    fn table_lists_each_finding() {
+        let a = Analysis {
+            findings: vec![Finding {
+                rule: rules::RULE_CLOCK,
+                file: "crates/x/src/lib.rs".into(),
+                line: 9,
+                snippet: "Instant::now()".into(),
+                message: "bare clock read".into(),
+            }],
+            files_scanned: 1,
+        };
+        let t = a.table();
+        assert!(t.contains("clock"), "{t}");
+        assert!(t.contains("crates/x/src/lib.rs:9"), "{t}");
+    }
+
+    #[test]
+    fn fix_suggestions_render_allow_skeletons() {
+        let a = Analysis {
+            findings: vec![Finding {
+                rule: rules::RULE_PANIC,
+                file: "crates/smt/src/simplex.rs".into(),
+                line: 3,
+                snippet: "q().unwrap();".into(),
+                message: "potential panic".into(),
+            }],
+            files_scanned: 1,
+        };
+        let s = a.fix_suggestions();
+        assert!(s.contains("Allow {"), "{s}");
+        assert!(s.contains("\"smt/src/simplex.rs\""), "{s}");
+        assert!(s.contains("q().unwrap();"), "{s}");
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: hot-path loops that poll the budget or carry a justified
+// no-poll annotation — no findings.
+pub fn search(&mut self) -> Outcome {
+    loop {
+        if let Some(why) = self.budget.exhausted() {
+            return Outcome::Unknown(why);
+        }
+        if self.step() {
+            return Outcome::Done;
+        }
+    }
+}
+
+fn normalize(&mut self, lits: &mut Vec<u32>) {
+    let mut i = 0;
+    // analysis: no-poll(duplicate scan, bounded by clause length)
+    while i + 1 < lits.len() {
+        i += 1;
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: a hot-path loop with neither a budget poll nor a no-poll
+// annotation — the PR 3 bug class the rule exists to prevent.
+pub fn search(&mut self) -> Outcome {
+    loop {
+        if self.step() {
+            return Outcome::Done;
+        }
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: bare clock reads — one in library code, one in a test module.
+// The clock rule flags both (test regions are NOT exempt: timing tests
+// must inject FakeClock to stay exact).
+pub fn timed<F: FnOnce()>(f: F) -> Duration {
+    let start = Instant::now();
+    f();
+    start.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_in_a_test() {
+        let _ = SystemTime::now();
+    }
+}

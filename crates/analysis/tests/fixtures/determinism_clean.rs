@@ -1,0 +1,10 @@
+// Fixture: report-path code using ordered collections — no findings.
+use std::collections::BTreeMap;
+
+pub fn rollup(pairs: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    for &(k, v) in pairs {
+        *counts.entry(k).or_insert(0) += v;
+    }
+    counts.into_iter().collect()
+}

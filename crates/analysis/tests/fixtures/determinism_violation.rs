@@ -1,0 +1,11 @@
+// Fixture: HashMap on a report-feeding path — the determinism rule fires
+// on the import and the two uses.
+use std::collections::HashMap;
+
+pub fn rollup(pairs: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &(k, v) in pairs {
+        *counts.entry(k).or_insert(0) += v;
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,9 @@
+// Fixture: JSON emission through the shared escaper — no findings.
+// Pushing structural quotes is fine; only hand-rolled escape sequences
+// (backslash-escaping content inline) are banned.
+pub fn field(name: &str, value: &str, out: &mut String) {
+    out.push('"');
+    out.push_str(name);
+    out.push_str("\":");
+    json::escape_into(value, out);
+}

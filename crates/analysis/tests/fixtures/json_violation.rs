@@ -1,0 +1,11 @@
+// Fixture: hand-rolled JSON string escaping outside the shared JSON
+// layer — both the quote-escape and the \u escape forms are findings.
+pub fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{{{:04x}}}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}

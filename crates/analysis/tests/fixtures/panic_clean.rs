@@ -1,0 +1,13 @@
+// Fixture: library code that propagates errors instead of panicking —
+// no findings. Test modules may unwrap freely.
+pub fn head(xs: &[u32]) -> Result<u32, String> {
+    xs.first().copied().ok_or_else(|| "empty input".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::head(&[7]).unwrap(), 7);
+    }
+}

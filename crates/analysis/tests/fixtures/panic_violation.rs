@@ -1,0 +1,16 @@
+// Fixture: four panic paths in library code — unwrap, expect, panic!,
+// unreachable! — each a finding.
+pub fn head(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap()
+}
+
+pub fn checked(xs: &[u32]) -> u32 {
+    let v = xs.first().expect("non-empty");
+    if *v > 100 {
+        panic!("out of range");
+    }
+    match v {
+        0..=100 => *v,
+        _ => unreachable!("guarded above"),
+    }
+}

@@ -1,0 +1,201 @@
+//! Fixture tests: every rule gets a paired clean/violating source under
+//! `tests/fixtures/`, analyzed under a small test configuration whose
+//! virtual paths place each fixture in the right rule scope. The last
+//! tests run the *real* workspace configuration against the real hot
+//! files and delete budget-poll sites one at a time — the acceptance
+//! criterion that losing any single poll fails rule 3.
+
+use std::path::{Path, PathBuf};
+
+use sta_analysis::rules::{self, Allow, Config};
+use sta_analysis::{analyze_sources, default_config, Finding};
+
+/// Scope-placing virtual paths for the fixtures.
+const REPORT_PATH: &str = "crates/campaign/src/fixture.rs";
+const HOT_PATH: &str = "crates/smt/src/hot.rs";
+const PLAIN_PATH: &str = "crates/core/src/fixture.rs";
+const JSON_LAYER_PATH: &str = "crates/smt/src/json.rs";
+
+const FIXTURE_CONFIG: Config = Config {
+    roots: &[],
+    determinism_paths: &["crates/campaign/src/"],
+    hot_files: &[HOT_PATH],
+    json_exempt: &[JSON_LAYER_PATH],
+    allow_determinism: &[],
+    allow_clock: &[],
+    allow_panic: &[],
+    allow_json: &[],
+    poll_inventory: &[],
+};
+
+/// The fixture config plus the budget fixture's pinned poll site.
+const POLL_CONFIG: Config = Config {
+    poll_inventory: &[(HOT_PATH, "self.budget.exhausted()")],
+    ..FIXTURE_CONFIG
+};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()))
+}
+
+fn run(virtual_path: &str, fixture_name: &str) -> Vec<Finding> {
+    run_with(&FIXTURE_CONFIG, virtual_path, fixture_name)
+}
+
+fn run_with(cfg: &Config, virtual_path: &str, fixture_name: &str) -> Vec<Finding> {
+    analyze_sources(cfg, &[(virtual_path.to_string(), fixture(fixture_name))])
+}
+
+#[test]
+fn determinism_pair() {
+    assert_eq!(run(REPORT_PATH, "determinism_clean.rs"), []);
+    let hits = run(REPORT_PATH, "determinism_violation.rs");
+    assert!(!hits.is_empty());
+    assert!(hits.iter().all(|f| f.rule == rules::RULE_DETERMINISM), "{hits:?}");
+    // The same violating source outside the report scope is clean.
+    assert_eq!(run(PLAIN_PATH, "determinism_violation.rs"), []);
+}
+
+#[test]
+fn clock_pair() {
+    assert_eq!(run(PLAIN_PATH, "clock_clean.rs"), []);
+    let hits = run(PLAIN_PATH, "clock_violation.rs");
+    // One library-code read and one test-module read: the clock rule
+    // does not exempt test regions.
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    assert!(hits.iter().all(|f| f.rule == rules::RULE_CLOCK), "{hits:?}");
+}
+
+#[test]
+fn budget_poll_pair() {
+    assert_eq!(run_with(&POLL_CONFIG, HOT_PATH, "budget_poll_clean.rs"), []);
+    let hits = run_with(&POLL_CONFIG, HOT_PATH, "budget_poll_violation.rs");
+    // The unpolled loop, plus the inventory entry its poll would satisfy.
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    assert!(hits.iter().all(|f| f.rule == rules::RULE_BUDGET_POLL), "{hits:?}");
+    assert!(hits.iter().any(|f| f.message.contains("neither polls")), "{hits:?}");
+    // The same sources outside the hot-file scope are clean.
+    assert_eq!(run(PLAIN_PATH, "budget_poll_violation.rs"), []);
+}
+
+#[test]
+fn panic_pair() {
+    assert_eq!(run(PLAIN_PATH, "panic_clean.rs"), []);
+    let hits = run(PLAIN_PATH, "panic_violation.rs");
+    // unwrap, expect, panic!, unreachable! — one finding each.
+    assert_eq!(hits.len(), 4, "{hits:?}");
+    assert!(hits.iter().all(|f| f.rule == rules::RULE_PANIC), "{hits:?}");
+}
+
+#[test]
+fn json_pair() {
+    assert_eq!(run(PLAIN_PATH, "json_clean.rs"), []);
+    let hits = run(PLAIN_PATH, "json_violation.rs");
+    // The quote-escape and the \u-escape lines.
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    assert!(hits.iter().all(|f| f.rule == rules::RULE_JSON), "{hits:?}");
+    // The shared JSON layer itself is exempt.
+    assert_eq!(run(JSON_LAYER_PATH, "json_violation.rs"), []);
+}
+
+#[test]
+fn allowlist_entries_are_exact_once() {
+    static ALLOW_ONE: &[Allow] = &[Allow {
+        file: PLAIN_PATH,
+        needle: "xs.first().copied().unwrap()",
+        why: "fixture",
+    }];
+    let cfg = Config { allow_panic: ALLOW_ONE, ..FIXTURE_CONFIG };
+    // The entry absorbs the unwrap; the other three sites still fire.
+    let hits = run_with(&cfg, PLAIN_PATH, "panic_violation.rs");
+    assert_eq!(hits.len(), 3, "{hits:?}");
+    // Against the clean fixture the same entry is stale — a finding.
+    let hits = run_with(&cfg, PLAIN_PATH, "panic_clean.rs");
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert_eq!(hits[0].rule, rules::RULE_ALLOWLIST);
+    // A duplicate entry is one consumed + one stale.
+    static ALLOW_DUP: &[Allow] = &[
+        Allow { file: PLAIN_PATH, needle: "xs.first().copied().unwrap()", why: "fixture" },
+        Allow { file: PLAIN_PATH, needle: "xs.first().copied().unwrap()", why: "dup" },
+    ];
+    let cfg = Config { allow_panic: ALLOW_DUP, ..FIXTURE_CONFIG };
+    let hits = run_with(&cfg, PLAIN_PATH, "panic_violation.rs");
+    assert_eq!(hits.len(), 4, "{hits:?}");
+    assert!(hits.iter().any(|f| f.rule == rules::RULE_ALLOWLIST), "{hits:?}");
+}
+
+/// Repo root, two levels above this crate.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Loads the real hot files of the workspace configuration.
+fn real_hot_files(cfg: &Config) -> Vec<(String, String)> {
+    cfg.hot_files
+        .iter()
+        .map(|f| {
+            let text = std::fs::read_to_string(repo_root().join(f))
+                .unwrap_or_else(|e| panic!("read {f}: {e}"));
+            (f.to_string(), text)
+        })
+        .collect()
+}
+
+fn budget_findings(cfg: &Config, files: &[(String, String)]) -> Vec<Finding> {
+    analyze_sources(cfg, files)
+        .into_iter()
+        .filter(|f| f.rule == rules::RULE_BUDGET_POLL)
+        .collect()
+}
+
+#[test]
+fn real_hot_files_satisfy_the_poll_rule() {
+    let cfg = default_config();
+    let files = real_hot_files(&cfg);
+    assert_eq!(budget_findings(&cfg, &files), []);
+}
+
+#[test]
+fn removing_any_single_poll_site_fails_rule_3() {
+    let cfg = default_config();
+    let files = real_hot_files(&cfg);
+    assert!(!cfg.poll_inventory.is_empty());
+    for (i, (file, needle)) in cfg.poll_inventory.iter().enumerate() {
+        // Blank exactly one matching line: the n-th occurrence, where n
+        // counts the earlier inventory entries with the same needle, so
+        // duplicate entries each delete a distinct site.
+        let nth = cfg.poll_inventory[..i]
+            .iter()
+            .filter(|(f, n)| f == file && n == needle)
+            .count();
+        let mutated: Vec<(String, String)> = files
+            .iter()
+            .map(|(f, text)| {
+                if !f.ends_with(file) {
+                    return (f.clone(), text.clone());
+                }
+                let mut seen = 0usize;
+                let patched: Vec<&str> = text
+                    .split('\n')
+                    .map(|l| {
+                        if l.contains(needle) {
+                            seen += 1;
+                            if seen == nth + 1 {
+                                return "";
+                            }
+                        }
+                        l
+                    })
+                    .collect();
+                (f.clone(), patched.join("\n"))
+            })
+            .collect();
+        let hits = budget_findings(&cfg, &mutated);
+        assert!(
+            !hits.is_empty(),
+            "deleting poll site {i} ({file}: {needle}) went undetected"
+        );
+    }
+}

@@ -42,7 +42,7 @@ use crate::spec::{CampaignSpec, JobKind};
 use sta_core::attack::{AttackOutcome, AttackVerifier, VerifySession};
 use sta_core::synthesis::{Synthesizer, SynthesisOutcome};
 use sta_smt::{flatten_spans, Budget, Clock, Profiler, SharedSink, TraceEvent};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -126,8 +126,8 @@ pub fn run_with(
             let queues = &queues;
             let buckets = &buckets;
             scope.spawn(move || {
-                let mut sessions: HashMap<(usize, bool), VerifySession<'_>> =
-                    HashMap::new();
+                let mut sessions: BTreeMap<(usize, bool), VerifySession<'_>> =
+                    BTreeMap::new();
                 let mut done = Vec::new();
                 while let Some(job) = next_job(queues, w) {
                     let result = execute(spec, job, w, &mut sessions, options);
@@ -242,7 +242,7 @@ fn execute<'a>(
     spec: &'a CampaignSpec,
     job_id: usize,
     worker: usize,
-    sessions: &mut HashMap<(usize, bool), VerifySession<'a>>,
+    sessions: &mut BTreeMap<(usize, bool), VerifySession<'a>>,
     options: &RunOptions,
 ) -> JobResult {
     let job = &spec.jobs[job_id];

@@ -16,7 +16,7 @@
 use crate::attack::{AttackModel, AttackVerifier};
 use sta_estimator::observability;
 use sta_grid::{BusId, MeasurementConfig, MeasurementId, TestSystem};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Bobba et al.: a basic (minimal observability-preserving) measurement
 /// set whose protection defeats all UFDI attacks.
@@ -87,7 +87,7 @@ pub fn kim_poor_greedy(sys: &TestSystem, attacker: &AttackModel) -> Option<Greed
             return Some(GreedyResult { secured_buses: secured, oracle_calls });
         };
         // Count alterations per hosting bus; secure the busiest new bus.
-        let mut counts: HashMap<BusId, usize> = HashMap::new();
+        let mut counts: BTreeMap<BusId, usize> = BTreeMap::new();
         for alt in &vector.alterations {
             let bus = MeasurementConfig::bus_of(&sys.grid, alt.measurement);
             *counts.entry(bus).or_insert(0) += 1;

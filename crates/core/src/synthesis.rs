@@ -471,7 +471,7 @@ impl<'a> Synthesizer<'a> {
         selection.set_certify(self.certify.max(attacker.certify));
         let sm: Vec<BoolVar> =
             candidates.iter().map(|_| selection.new_bool()).collect();
-        let index_of: std::collections::HashMap<MeasurementId, usize> = candidates
+        let index_of: std::collections::BTreeMap<MeasurementId, usize> = candidates
             .iter()
             .enumerate()
             .map(|(k, &id)| (id, k))

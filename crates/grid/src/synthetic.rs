@@ -12,7 +12,7 @@ use crate::measurement::MeasurementConfig;
 use crate::model::{BusId, Grid, Line};
 use crate::system::TestSystem;
 use sta_linalg::rng::Pcg32;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Standard `(buses, branches)` dimensions of the IEEE test cases used in
 /// the paper's evaluation.
@@ -38,7 +38,7 @@ pub fn generate(num_buses: usize, num_lines: usize, seed: u64) -> Grid {
         "too many lines for a simple graph"
     );
     let mut rng = Pcg32::new(seed);
-    let mut edges: HashSet<(usize, usize)> = HashSet::new();
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
     let mut lines = Vec::with_capacity(num_lines);
     let mut degree = vec![0usize; num_buses];
     let admittance = |rng: &mut Pcg32| -> f64 {

@@ -319,6 +319,7 @@ impl CdclSolver {
         lits.sort_unstable();
         lits.dedup();
         let mut i = 0;
+        // analysis: no-poll(duplicate-literal scan, bounded by clause length)
         while i + 1 < lits.len() {
             if lits[i].var() == lits[i + 1].var() {
                 return; // p ∨ ¬p — tautology
@@ -372,11 +373,13 @@ impl CdclSolver {
 
     /// Unit propagation; returns the index of a conflicting clause if any.
     fn propagate(&mut self) -> Option<usize> {
+        // analysis: no-poll(bounded by trail growth; the search loop polls per conflict)
         while self.prop_head < self.trail.len() {
             let p = self.trail[self.prop_head];
             self.prop_head += 1;
             let widx = p.index();
             let mut i = 0;
+            // analysis: no-poll(bounded by the watch list of one literal)
             'watches: while i < self.watches[widx].len() {
                 let watch = self.watches[widx][i];
                 if self.lit_value(watch.blocker) == LBool::True {
@@ -446,6 +449,7 @@ impl CdclSolver {
 
     fn sift_up(&mut self, mut pos: usize) {
         let v = self.order[pos];
+        // analysis: no-poll(heap sift, O(log n) in the variable count)
         while pos > 0 {
             let parent = (pos - 1) / 2;
             if self.heap_less(v, self.order[parent]) {
@@ -463,6 +467,7 @@ impl CdclSolver {
     fn sift_down(&mut self, mut pos: usize) {
         let v = self.order[pos];
         let len = self.order.len();
+        // analysis: no-poll(heap sift, O(log n) in the variable count)
         loop {
             let left = 2 * pos + 1;
             if left >= len {
@@ -518,6 +523,7 @@ impl CdclSolver {
     /// leaked a theory level on every `Sat` return, which a persistent
     /// core would carry into the next check.
     fn pick_branch(&mut self) -> Option<SatVar> {
+        // analysis: no-poll(drains the decision heap, bounded by the variable count)
         while let Some(v) = self.heap_pop() {
             if self.assign[v as usize] == LBool::Undef {
                 return Some(v);
@@ -527,6 +533,7 @@ impl CdclSolver {
     }
 
     fn backtrack_sat_only(&mut self, target_level: usize) {
+        // analysis: no-poll(unwinds the trail, bounded by its length)
         while self.trail.len() > self.trail_lim[target_level] {
             let lit = self.trail.pop().unwrap();
             let v = lit.var() as usize;
@@ -560,6 +567,7 @@ impl CdclSolver {
         let mut idx = self.trail.len();
         let mut reason_lits = conflict;
         let p: Lit;
+        // analysis: no-poll(1-UIP resolution, each step unmarks one trail literal)
         loop {
             for &q in &reason_lits {
                 let v = q.var() as usize;
@@ -574,6 +582,7 @@ impl CdclSolver {
                 }
             }
             // Walk the trail backwards to the next marked literal.
+            // analysis: no-poll(walks the trail backwards, idx strictly decreases)
             loop {
                 idx -= 1;
                 if self.seen[self.trail[idx].var() as usize] {
@@ -652,7 +661,10 @@ impl CdclSolver {
             return;
         }
         if let Some(p) = &mut self.proof {
-            for &i in &remove {
+            // Log deletions in the sorted activity order of the keep
+            // decision, not the hash set's iteration order — the DRAT
+            // proof stream must be byte-stable across runs.
+            for &i in &learned[..learned.len() / 2] {
                 p.log_delete(self.clauses[i].lits.clone());
             }
         }
@@ -746,15 +758,18 @@ impl CdclSolver {
     fn luby(mut i: u64) -> u64 {
         // Luby sequence: 1 1 2 1 1 2 4 ...
         let mut k = 1u64;
+        // analysis: no-poll(Luby index arithmetic, O(log i))
         while (1u64 << (k + 1)) <= i + 1 {
             k += 1;
         }
+        // analysis: no-poll(Luby recurrence, i strictly shrinks each round)
         loop {
             if (1u64 << k) == i + 1 {
                 return 1u64 << (k - 1).min(63);
             }
             i -= (1u64 << k) - 1;
             k = 1;
+            // analysis: no-poll(Luby index arithmetic, O(log i))
             while (1u64 << (k + 1)) <= i + 1 {
                 k += 1;
             }
@@ -764,6 +779,7 @@ impl CdclSolver {
     /// Feeds newly assigned theory literals to the theory and runs its check.
     fn theory_step<T: Theory>(&mut self, theory: &mut T) -> TheoryResult {
         let mut fed_any = false;
+        // analysis: no-poll(bounded by trail growth; the search loop polls per conflict)
         while self.theory_head < self.trail.len() {
             let lit = self.trail[self.theory_head];
             self.theory_head += 1;

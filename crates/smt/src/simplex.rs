@@ -190,6 +190,7 @@ impl Simplex {
     /// Ensures problem variable `rv` has a solver variable; returns it.
     pub fn solver_var(&mut self, rv: RealVar) -> SVar {
         let idx = rv.0 as usize;
+        // analysis: no-poll(grows the variable table up to a fixed index)
         while self.real_vars.len() <= idx {
             let sv = self.new_svar();
             self.real_vars.push(sv);

@@ -19,6 +19,8 @@
 //! sta bench [--suite S] [--reps N] [--jobs N] [--out FILE]
 //!           [--baseline FILE] [--against FILE] [--threshold PCT]
 //!                                      perf-trajectory harness
+//! sta lint [--json] [--fix-allowlist] [--root DIR]
+//!                                      in-tree invariant analyzer
 //! ```
 //!
 //! `--trace FILE` streams the run's observability events (run/job
@@ -36,6 +38,12 @@
 //! `--threshold` regression gate (default 50%). With `--against
 //! NEW.json` no suite runs: the two files are diffed directly (the
 //! self-diff `--baseline F --against F` exits 0 and validates schema).
+//!
+//! `sta lint` runs the in-tree invariant analyzer (`sta::analysis`,
+//! DESIGN.md §13) over the workspace: determinism, clock-discipline,
+//! budget-poll-coverage, panic-freedom and JSON-emission rules with
+//! exact-match allowlists. Exit 0 = clean, 1 = findings, 2 = usage;
+//! `--json` emits the byte-stable machine-readable report.
 //!
 //! `<case>` is a case file (see `sta::grid::caseformat`) or a built-in
 //! name: `ieee14`, `ieee14-unsecured`, `ieee30`, `ieee57`, `ieee118`,
@@ -151,8 +159,9 @@ fn usage() -> ExitCode {
          [--topology] [--force-timeout] [--out FILE] [--strip-timing] [--incremental on|off] \
          [--trace FILE] [--metrics] [--profile]\n  \
          sta bench [--suite smoke|sweep|cegis] [--reps N] [--jobs N] [--out FILE] \
-         [--baseline FILE] [--against FILE] [--threshold PCT]\n\
-         exit codes: 0 = sat/success, 1 = unsat/no solution/perf regression, 2 = usage error, 3 = unknown (budget exhausted)"
+         [--baseline FILE] [--against FILE] [--threshold PCT]\n  \
+         sta lint [--json] [--fix-allowlist] [--root DIR]\n\
+         exit codes: 0 = sat/success, 1 = unsat/no solution/perf regression/lint findings, 2 = usage error, 3 = unknown (budget exhausted)"
     );
     ExitCode::from(2)
 }
@@ -657,6 +666,62 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Finds the workspace root by walking upward from the current directory
+/// until a `Cargo.toml` next to a `crates/analysis` directory appears.
+fn find_workspace_root() -> Result<std::path::PathBuf, String> {
+    let mut dir = std::env::current_dir()
+        .map_err(|e| format!("cannot read current directory: {e}"))?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates/analysis").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("not inside the sta workspace (pass --root DIR)".into());
+        }
+    }
+}
+
+/// `sta lint [--json] [--fix-allowlist] [--root DIR]` — run the in-tree
+/// invariant analyzer (see `sta::analysis` and DESIGN.md §13).
+/// Exit 0 = clean, 1 = findings, 2 = usage error.
+fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
+    let mut json = false;
+    let mut fix = false;
+    let mut root: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--fix-allowlist" => fix = true,
+            "--root" => {
+                root = Some(it.next().ok_or("--root needs a directory")?.clone());
+            }
+            other => return Err(format!("unknown lint flag {other:?}")),
+        }
+    }
+    let root = match root {
+        Some(r) => std::path::PathBuf::from(r),
+        None => find_workspace_root()?,
+    };
+    let analysis = sta::analysis::analyze(&root)?;
+    if json {
+        print!("{}", analysis.to_json());
+    } else if analysis.is_clean() {
+        println!("lint: clean ({} files scanned)", analysis.files_scanned);
+    } else {
+        print!("{}", analysis.table());
+        println!(
+            "lint: {} finding(s) across {} files",
+            analysis.findings.len(),
+            analysis.files_scanned
+        );
+    }
+    if fix && !analysis.is_clean() {
+        print!("{}", analysis.fix_suggestions());
+    }
+    Ok(if analysis.is_clean() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
 fn two(args: &[String]) -> Result<(String, String), String> {
     match (args.first(), args.get(1)) {
         (Some(a), Some(b)) => Ok((a.clone(), b.clone())),
@@ -678,6 +743,7 @@ fn main() -> ExitCode {
         "synthesize" => cmd_synthesize(rest),
         "campaign" => cmd_campaign(rest),
         "bench" => cmd_bench(rest),
+        "lint" => cmd_lint(rest),
         "--help" | "-h" | "help" => return usage(),
         other => {
             eprintln!("unknown command {other:?}");

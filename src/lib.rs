@@ -18,6 +18,7 @@
 //! | [`estimator`] | `sta-estimator` | DC power flow, WLS estimation, bad-data detection |
 //! | [`core`] | `sta-core` | UFDI attack verification, synthesis, baselines, validation |
 //! | [`campaign`] | `sta-campaign` | Parallel campaign engine: sweeps, deadlines, deterministic reports |
+//! | [`analysis`] | `sta-analysis` | In-tree invariant analyzer backing `sta lint` and `tests/lint.rs` |
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@
 //! `crates/bench` for the harness regenerating every figure and table of
 //! the paper's evaluation.
 
+pub use sta_analysis as analysis;
 pub use sta_campaign as campaign;
 pub use sta_core as core;
 pub use sta_estimator as estimator;

@@ -211,3 +211,43 @@ fn verify_trace_and_metrics_emit_observability() {
     assert!(trace.contains("\"phase\":\"search\""));
     assert!(trace.contains("\"verdict\":\"sat\""));
 }
+
+/// `sta lint` is clean at HEAD (exit 0) and its summary names the scan.
+#[test]
+fn lint_is_clean_at_head() {
+    let out = sta(&["lint"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "sta lint found violations:\n{}{}",
+        stdout(&out),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("lint: clean"), "{}", stdout(&out));
+}
+
+/// `sta lint --json` emits schema-tagged JSON, byte-identical across runs.
+#[test]
+fn lint_json_is_deterministic() {
+    let a = sta(&["lint", "--json"]);
+    let b = sta(&["lint", "--json"]);
+    assert_eq!(a.status.code(), Some(0));
+    assert_eq!(a.stdout, b.stdout, "lint --json differs between runs");
+    let text = stdout(&a);
+    assert!(text.contains("\"schema\":\"sta-lint/v1\""), "{text}");
+    assert!(text.contains("\"findings\":["), "{text}");
+}
+
+/// Unknown lint flags are usage errors (exit 2), like every other
+/// subcommand — `--jobs` belongs to `campaign`, not `lint`.
+#[test]
+fn lint_rejects_unknown_flags_as_usage_errors() {
+    for bad in [&["lint", "--jobs", "4"][..], &["lint", "--root"][..]] {
+        let out = sta(bad);
+        assert_eq!(out.status.code(), Some(2), "{bad:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("error"),
+            "{bad:?}"
+        );
+    }
+}

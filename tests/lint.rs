@@ -1,142 +1,31 @@
-//! Source-level lint: no `.unwrap()` / `.expect(` in non-test library code
-//! of `crates/smt`, `crates/core`, `crates/campaign` and `crates/estimator`.
+//! Tier-1 driver for the in-tree invariant analyzer (`sta::analysis`).
 //!
-//! These crates sit on the trusted path of the threat analytics — a stray
-//! panic in the solver or the attack encoder aborts a whole verification
-//! or synthesis run. Production code must either handle the `None`/`Err`
-//! case or document the invariant that rules it out and appear in the
-//! allowlist below. Test modules (everything from the `#[cfg(test)]` line
-//! to end of file — the repo convention keeps tests at the bottom) and
-//! `//` comment lines are exempt.
-//!
-//! The allowlist is exact: every entry must match exactly one current
-//! occurrence, so deleting or fixing an allowlisted call fails the test
-//! until the entry is removed (no stale entries), and any *new* unwrap or
-//! expect fails it immediately.
+//! This used to be a self-contained unwrap/expect scan; the scan now
+//! lives in `crates/analysis` as the panic-freedom rule, alongside the
+//! determinism, clock-discipline, budget-poll-coverage and
+//! JSON-emission rules (DESIGN.md §13). Running it under plain
+//! `cargo test` keeps every rule a tier-1 gate: a violation — or a
+//! stale allowlist entry, or a lost budget-poll site — fails the build
+//! with the same findings `sta lint` prints.
 
-use std::fs;
-use std::path::{Path, PathBuf};
-
-/// Library roots the lint covers, relative to the workspace root.
-const ROOTS: &[&str] = &[
-    "crates/smt/src",
-    "crates/core/src",
-    "crates/campaign/src",
-    "crates/estimator/src",
-];
-
-/// Allowlisted `(file suffix, line substring)` pairs, each justified by a
-/// local invariant:
-///
-/// * `simplex.rs` — `var_for_form` is called after an emptiness check;
-///   pivot coefficients exist by the tableau invariant (audited under the
-///   `certify-debug` feature); the violated bound in the infeasible-row
-///   branch exists by the case split that selected it; the undo trail
-///   matches the CDCL push/pop discipline.
-/// * `cdcl.rs` — heap/trail pops follow non-emptiness checks; every
-///   non-decision literal on the trail has a reason clause (1-UIP
-///   invariant); clause activities are finite `f64`s so `partial_cmp`
-///   cannot return `None`.
-/// * `bigint.rs` — normalized big integers have a nonzero top limb, and
-///   the digit buffer always receives at least one digit.
-/// * `formula.rs` — `pop` inside `len() == 1` match arms.
-/// * `cnf.rs` — constant atoms are folded away by the `Formula`
-///   constructors before the encoder can see them.
-/// * `validation.rs` / `verifier.rs` — built-in test systems have
-///   connected topologies (documented panic).
-/// * `scenario.rs` — `split_whitespace` on a line already checked to be
-///   non-empty yields a first token.
-/// * `analytics.rs` — summaries are only constructed for buses whose
-///   minimum was found feasible.
-const ALLOWED: &[(&str, &str)] = &[
-    ("smt/src/simplex.rs", "expr.iter().next().map(|(v, c)| (v, c.clone())).unwrap()"),
-    ("smt/src/simplex.rs", "expect(\"entering in row\")"),
-    ("smt/src/simplex.rs", "expect(\"entering coefficient\")"),
-    ("smt/src/simplex.rs", "self.lower[xb].as_ref().unwrap().value.clone()"),
-    ("smt/src/simplex.rs", "self.upper[xb].as_ref().unwrap().value.clone()"),
-    ("smt/src/simplex.rs", "expect(\"backtrack within pushed levels\")"),
-    ("smt/src/sat/cdcl.rs", "let last = self.order.pop().unwrap();"),
-    ("smt/src/sat/cdcl.rs", "let lit = self.trail.pop().unwrap();"),
-    ("smt/src/sat/cdcl.rs", "expect(\"non-decision literal has a reason\")"),
-    ("smt/src/sat/cdcl.rs", ".unwrap()"), // partial_cmp over finite activities
-    ("smt/src/bigint.rs", "b.last().unwrap().leading_zeros()"),
-    ("smt/src/bigint.rs", "digits.pop().unwrap()"),
-    ("smt/src/formula.rs", "1 => fs.pop().unwrap(),"),
-    ("smt/src/formula.rs", "1 => fs.pop().unwrap(),"),
-    ("smt/src/cnf.rs", "expect(\"non-constant atom\")"),
-    ("core/src/validation.rs", "expect(\"connected test system\")"),
-    ("core/src/scenario.rs", "parts.next().unwrap()"),
-    ("core/src/attack/verifier.rs", "expect(\"test systems have connected topologies\")"),
-    ("core/src/analytics.rs", "(s.min_measurements.unwrap(), s.min_buses.unwrap_or(0))"),
-    ("core/src/analytics.rs", "s.min_measurements.unwrap(),"),
-    ("core/src/analytics.rs", "expect(\"minimum feasible\")"),
-];
-
-fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let entries = fs::read_dir(dir).unwrap_or_else(|e| panic!("read_dir {dir:?}: {e}"));
-    for entry in entries {
-        let path = entry.expect("dir entry").path();
-        if path.is_dir() {
-            rust_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    out.sort();
-}
+use std::path::Path;
 
 #[test]
-fn no_unwrap_or_expect_in_library_code() {
-    let mut files = Vec::new();
-    for root in ROOTS {
-        assert!(Path::new(root).is_dir(), "missing lint root {root}");
-        rust_files(Path::new(root), &mut files);
-    }
-    assert!(!files.is_empty(), "no sources found — wrong working directory?");
-
-    let mut violations: Vec<String> = Vec::new();
-    let mut allow_hits = vec![0usize; ALLOWED.len()];
-    for path in &files {
-        let text = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
-        let display = path.to_string_lossy().replace('\\', "/");
-        for (n, line) in text.lines().enumerate() {
-            let trimmed = line.trim_start();
-            // Everything from the test-module marker down is exempt.
-            if trimmed.starts_with("#[cfg(test)]") {
-                break;
-            }
-            if trimmed.starts_with("//") {
-                continue;
-            }
-            if !(line.contains(".unwrap()") || line.contains(".expect(")) {
-                continue;
-            }
-            let allowed = ALLOWED.iter().enumerate().find(|(i, (file, sub))| {
-                allow_hits[*i] == 0 && display.ends_with(file) && line.contains(sub)
-            });
-            match allowed {
-                Some((i, _)) => allow_hits[i] += 1,
-                None => violations.push(format!("{display}:{}: {}", n + 1, line.trim())),
-            }
-        }
-    }
-
+fn analyzer_is_clean_at_head() {
+    let analysis = sta::analysis::analyze(Path::new(".")).unwrap_or_else(|e| {
+        panic!("analyzer failed to run (wrong working directory?): {e}")
+    });
     assert!(
-        violations.is_empty(),
-        "unwrap()/expect() in non-test library code (handle the error or \
-         document the invariant and extend the allowlist in tests/lint.rs):\n{}",
-        violations.join("\n")
+        analysis.files_scanned > 50,
+        "suspiciously few sources scanned ({})",
+        analysis.files_scanned
     );
-    let stale: Vec<String> = ALLOWED
-        .iter()
-        .zip(&allow_hits)
-        .filter(|(_, &hits)| hits == 0)
-        .map(|((file, sub), _)| format!("{file}: {sub}"))
-        .collect();
     assert!(
-        stale.is_empty(),
-        "stale allowlist entries in tests/lint.rs (the code they covered \
-         is gone — remove them):\n{}",
-        stale.join("\n")
+        analysis.is_clean(),
+        "sta lint found {} violation(s) — fix them, or extend the \
+         allowlists in crates/analysis/src/config.rs with a justification \
+         (`sta lint --fix-allowlist` prints ready-to-paste entries):\n{}",
+        analysis.findings.len(),
+        analysis.table()
     );
 }

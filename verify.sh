@@ -32,8 +32,42 @@ RUSTFLAGS="-D warnings" cargo build --release
 echo "==> tier-1: workspace tests"
 cargo test -q
 
-echo "==> source lint (no unwrap/expect in library code)"
+echo "==> source lint (invariant analyzer via cargo test)"
 cargo test -q --test lint
+
+echo "==> sta lint: zero findings, byte-stable JSON"
+./target/release/sta lint --json > LINT_findings.json
+./target/release/sta lint --json > LINT_findings.rerun.json
+cmp -s LINT_findings.json LINT_findings.rerun.json || {
+    echo "sta lint --json output differs between identical runs" >&2
+    exit 1
+}
+rm -f LINT_findings.rerun.json
+# Findings-count regression gate: the tree at HEAD must be clean — any
+# new finding (or stale allowlist entry) fails the build.
+grep -q '"findings":\[\]' LINT_findings.json || {
+    echo "sta lint reports findings (see LINT_findings.json)" >&2
+    exit 1
+}
+
+echo "==> sta lint: injected violation must exit 1"
+lintroot="$(mktemp -d)"
+for root in crates/analysis/src crates/campaign/src crates/core/src \
+            crates/estimator/src crates/grid/src crates/linalg/src \
+            crates/smt/src src; do
+    mkdir -p "$lintroot/$root"
+    cp -r "$root/." "$lintroot/$root/"
+done
+printf 'fn injected() { let _ = std::time::Instant::now(); }\n' \
+    | cat - "$lintroot/crates/core/src/lib.rs" > "$lintroot/crates/core/src/lib.rs.tmp"
+mv "$lintroot/crates/core/src/lib.rs.tmp" "$lintroot/crates/core/src/lib.rs"
+status=0
+./target/release/sta lint --root "$lintroot" >/dev/null || status=$?
+rm -rf "$lintroot"
+if [ "$status" -ne 1 ]; then
+    echo "expected exit 1 from sta lint on an injected violation, got $status" >&2
+    exit 1
+fi
 
 echo "==> sta-smt with certify-debug (simplex invariant audits)"
 cargo test -q -p sta-smt --features certify-debug
