@@ -19,6 +19,7 @@ const ROOTS: &[&str] = &[
     "crates/estimator/src",
     "crates/grid/src",
     "crates/linalg/src",
+    "crates/serve/src",
     "crates/smt/src",
     "src",
 ];
@@ -31,6 +32,7 @@ const DETERMINISM_PATHS: &[&str] = &[
     "crates/campaign/src/",
     "crates/core/src/",
     "crates/grid/src/synthetic.rs",
+    "crates/serve/src/",
     "crates/smt/src/json.rs",
     "crates/smt/src/profile.rs",
     "crates/smt/src/sat/cdcl.rs",

@@ -52,6 +52,6 @@ pub mod spec;
 
 pub use bench::{BenchDiff, BenchEnv, BenchResult, JobMeasurement};
 pub use histogram::LatencyHistogram;
-pub use pool::{run, run_traced, run_with, RunOptions};
+pub use pool::{run, run_traced, run_with, RunOptions, ServicePool, SubmitError};
 pub use report::{CampaignReport, JobResult, Verdict};
 pub use spec::{CampaignSpec, CaseSpec, JobKind, JobSpec};

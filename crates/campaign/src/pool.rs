@@ -43,7 +43,7 @@ use sta_core::attack::{AttackOutcome, AttackVerifier, VerifySession};
 use sta_core::synthesis::{Synthesizer, SynthesisOutcome};
 use sta_smt::{flatten_spans, Budget, Clock, Profiler, SharedSink, TraceEvent};
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// How a campaign run observes itself. All fields are timing-class: they
@@ -126,7 +126,7 @@ pub fn run_with(
             let queues = &queues;
             let buckets = &buckets;
             scope.spawn(move || {
-                let mut sessions: BTreeMap<(usize, bool), VerifySession<'_>> =
+                let mut sessions: BTreeMap<(usize, bool), VerifySession> =
                     BTreeMap::new();
                 let mut done = Vec::new();
                 while let Some(job) = next_job(queues, w) {
@@ -238,11 +238,11 @@ fn next_job(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
 
 /// Executes one job on this worker, reusing or creating the worker's
 /// session for the job's `(case, topology)` key.
-fn execute<'a>(
-    spec: &'a CampaignSpec,
+fn execute(
+    spec: &CampaignSpec,
     job_id: usize,
     worker: usize,
-    sessions: &mut BTreeMap<(usize, bool), VerifySession<'a>>,
+    sessions: &mut BTreeMap<(usize, bool), VerifySession>,
     options: &RunOptions,
 ) -> JobResult {
     let job = &spec.jobs[job_id];
@@ -345,6 +345,196 @@ fn execute<'a>(
     result
 }
 
+/// A queued unit of foreign work: the closure receives the index of the
+/// worker that executes it.
+type ForeignJob = Box<dyn FnOnce(usize) + Send + 'static>;
+
+/// Why [`ServicePool::submit`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — admission control rejected the job.
+    /// The caller should shed load (the service layer answers
+    /// `overloaded`) rather than block.
+    Overloaded,
+    /// The pool is draining or closed; no new work is accepted.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded => f.write_str("queue full (overloaded)"),
+            SubmitError::Closed => f.write_str("pool closed"),
+        }
+    }
+}
+
+struct PoolState {
+    /// Per-worker deques, same stealing discipline as [`run_with`]:
+    /// owners pop their own front, thieves take a sibling's back.
+    queues: Vec<VecDeque<ForeignJob>>,
+    /// Round-robin submission cursor.
+    next: usize,
+    /// Jobs queued but not yet picked up — the admission-control gauge.
+    pending: usize,
+    /// Admission bound: `submit` rejects once `pending` reaches this.
+    capacity: usize,
+    closed: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    ready: Condvar,
+}
+
+/// A persistent work-stealing pool accepting *foreign* jobs — arbitrary
+/// boxed closures — with bounded admission.
+///
+/// [`run_with`] executes one campaign and tears its threads down; a
+/// long-running service instead keeps this pool alive across requests and
+/// submits each request as a job. The scheduling discipline is the same
+/// (per-worker deques, owner-front pop, sibling-back steal); the
+/// difference is the bounded queue: once `capacity` jobs are waiting,
+/// [`ServicePool::submit`] fails fast with [`SubmitError::Overloaded`]
+/// instead of queueing unboundedly — explicit load shedding for the
+/// service layer's admission control.
+///
+/// Dropping the pool (or calling [`ServicePool::close`]) stops accepting
+/// work, lets queued jobs finish, and joins the worker threads.
+pub struct ServicePool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServicePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = lock(&self.shared.state);
+        f.debug_struct("ServicePool")
+            .field("workers", &self.handles.len())
+            .field("pending", &state.pending)
+            .field("closed", &state.closed)
+            .finish()
+    }
+}
+
+impl ServicePool {
+    /// Spawns a pool of `workers` threads (at least one) whose queue
+    /// admits at most `capacity` not-yet-started jobs (at least one).
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queues: (0..workers).map(|_| VecDeque::new()).collect(),
+                next: 0,
+                pending: 0,
+                capacity: capacity.max(1),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, w))
+            })
+            .collect();
+        ServicePool { shared, handles }
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Jobs queued but not yet started (the admission-control gauge; the
+    /// job currently running on each worker is not counted).
+    pub fn pending(&self) -> usize {
+        lock(&self.shared.state).pending
+    }
+
+    /// Submits a job, failing fast when the pool is full or closed. The
+    /// job lands on the next worker's deque round-robin and may be stolen
+    /// by an idle sibling. At most the constructor's `capacity` jobs wait
+    /// at any instant, however many clients race.
+    pub fn submit(
+        &self,
+        job: impl FnOnce(usize) + Send + 'static,
+    ) -> Result<(), SubmitError> {
+        let mut state = lock(&self.shared.state);
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.pending >= state.capacity {
+            return Err(SubmitError::Overloaded);
+        }
+        let w = state.next % state.queues.len();
+        state.next = state.next.wrapping_add(1);
+        state.queues[w].push_back(Box::new(job));
+        state.pending += 1;
+        drop(state);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Stops accepting work, runs every already-queued job to completion,
+    /// and joins the workers. Equivalent to dropping the pool, but
+    /// explicit at service-drain call sites.
+    pub fn close(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        {
+            let mut state = lock(&self.shared.state);
+            state.closed = true;
+        }
+        self.shared.ready.notify_all();
+        for h in self.handles.drain(..) {
+            // A panicked worker already surfaced its panic through the
+            // job; nothing further to do with the join result.
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServicePool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One worker: pop own front, steal sibling back, sleep when idle, exit
+/// when closed and drained.
+fn worker_loop(shared: &PoolShared, me: usize) {
+    let mut state = lock(&shared.state);
+    loop {
+        let job = {
+            let n = state.queues.len();
+            match state.queues[me].pop_front() {
+                Some(job) => Some(job),
+                None => (1..n)
+                    .filter_map(|offset| state.queues[(me + offset) % n].pop_back())
+                    .next(),
+            }
+        };
+        match job {
+            Some(job) => {
+                state.pending -= 1;
+                drop(state);
+                job(me);
+                state = lock(&shared.state);
+            }
+            None if state.closed => return,
+            None => {
+                state = shared
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,5 +588,60 @@ mod tests {
         let report = run(&spec, 4);
         assert!(report.results.is_empty());
         assert_eq!(report.summary(), Vec::<(&str, usize)>::new());
+    }
+
+    #[test]
+    fn service_pool_runs_jobs_on_every_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = ServicePool::new(3, 64);
+        assert_eq!(pool.workers(), 3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..24 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move |_w| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect("pool accepts under capacity");
+        }
+        pool.close();
+        assert_eq!(counter.load(Ordering::SeqCst), 24);
+    }
+
+    #[test]
+    fn service_pool_sheds_load_past_capacity() {
+        use std::sync::mpsc;
+        let pool = ServicePool::new(1, 1);
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        pool.submit(move |_w| {
+            let _ = started_tx.send(());
+            let _ = release_rx.recv();
+        })
+        .expect("first job admitted");
+        // Wait until the blocker occupies the only worker, then fill the
+        // one queue slot; the next submit must be rejected, not queued.
+        started_rx.recv().expect("blocker started");
+        pool.submit(|_w| {}).expect("one job may wait");
+        assert_eq!(pool.submit(|_w| {}), Err(SubmitError::Overloaded));
+        assert_eq!(pool.pending(), 1);
+        release_tx.send(()).expect("release the blocker");
+        pool.close();
+    }
+
+    #[test]
+    fn closed_service_pool_rejects_and_drains() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = ServicePool::new(2, 16);
+        for _ in 0..8 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move |_w| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect("admitted");
+        }
+        pool.close();
+        // All queued jobs ran before close returned.
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
     }
 }

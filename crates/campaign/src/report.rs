@@ -109,7 +109,11 @@ pub struct CampaignReport {
     pub results: Vec<JobResult>,
 }
 
-fn witness_json(w: &AttackVector, out: &mut String) {
+/// Serializes an attack witness as the canonical report JSON object
+/// (`alterations`/`compromised_buses`/`excluded_lines`/`included_lines`,
+/// all ids 1-based). Shared by the campaign report and the service
+/// layer's verify responses so both speak the same witness grammar.
+pub fn witness_json(w: &AttackVector, out: &mut String) {
     out.push_str("{\"alterations\":[");
     for (i, a) in w.alterations.iter().enumerate() {
         if i > 0 {

@@ -92,7 +92,7 @@ impl fmt::Display for ThreatAssessment {
 #[derive(Debug)]
 pub struct ThreatAnalyzer<'a> {
     system: &'a TestSystem,
-    verifier: AttackVerifier<'a>,
+    verifier: AttackVerifier,
     /// Base scenario applied to every probe (knowledge, accessibility,
     /// extra protection); targets and budgets are overridden per probe.
     base: AttackModel,

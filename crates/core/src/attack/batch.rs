@@ -22,6 +22,7 @@ use crate::attack::vector::{AttackOutcome, VerificationReport};
 use crate::attack::verifier::{AttackEncoding, AttackVerifier};
 use sta_grid::{BusId, MeasurementId, TestSystem};
 use sta_smt::{Budget, SatResult, Solver};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A reusable verification context over one test system.
@@ -40,8 +41,8 @@ use std::time::Duration;
 /// assert!(!session.verify(&blocked).outcome.is_feasible());
 /// ```
 #[derive(Debug)]
-pub struct VerifySession<'a> {
-    verifier: AttackVerifier<'a>,
+pub struct VerifySession {
+    verifier: AttackVerifier,
     solver: Solver,
     enc: AttackEncoding,
     /// Checks that reused the solver's cached base encoding.
@@ -50,17 +51,27 @@ pub struct VerifySession<'a> {
     cache_misses: u64,
 }
 
-impl<'a> VerifySession<'a> {
+impl VerifySession {
     /// Builds a session over `system` with the default operating point.
     /// With `topology` set, the base encoding carries the `el`/`il`
     /// machinery so scenarios may enable topology poisoning.
-    pub fn new(system: &'a TestSystem, topology: bool) -> Self {
+    ///
+    /// The session owns its case data (shared via `Arc` internally), so
+    /// it can outlive the borrow of `system` — a cache of live sessions
+    /// is free to keep it warm across call stacks and threads.
+    pub fn new(system: &TestSystem, topology: bool) -> Self {
         Self::with_verifier(AttackVerifier::new(system), topology)
+    }
+
+    /// Builds a session over an already-shared system without cloning
+    /// the case data.
+    pub fn shared(system: Arc<TestSystem>, topology: bool) -> Self {
+        Self::with_verifier(AttackVerifier::shared(system), topology)
     }
 
     /// Builds a session around a configured verifier (operating point,
     /// certification level).
-    pub fn with_verifier(verifier: AttackVerifier<'a>, topology: bool) -> Self {
+    pub fn with_verifier(verifier: AttackVerifier, topology: bool) -> Self {
         let mut solver = Solver::new();
         solver.set_certify(verifier.certify_level());
         // Inherit the verifier's observability configuration so a
@@ -106,7 +117,7 @@ impl<'a> VerifySession<'a> {
     }
 
     /// The underlying verifier.
-    pub fn verifier(&self) -> &AttackVerifier<'a> {
+    pub fn verifier(&self) -> &AttackVerifier {
         &self.verifier
     }
 
@@ -248,6 +259,31 @@ mod tests {
     use super::*;
     use crate::attack::{AttackVerifier, StateTarget};
     use sta_grid::{ieee14, BusId, MeasurementId};
+
+    /// Sessions own their case data: one may be built from a short-lived
+    /// borrow, moved to another thread, and used after the original
+    /// system is gone — the contract the service layer's warm-session
+    /// cache depends on.
+    #[test]
+    fn session_outlives_its_source_borrow_and_crosses_threads() {
+        fn assert_send<T: Send>(v: T) -> T {
+            v
+        }
+        let mut session = {
+            let sys = ieee14::system();
+            VerifySession::new(&sys, false)
+        };
+        let open = AttackModel::new(14).target(BusId(11), StateTarget::MustChange);
+        assert!(session.verify(&open).outcome.is_feasible());
+        let mut session = assert_send(session);
+        let handle = std::thread::spawn(move || {
+            let report = session.verify(&open);
+            (report.outcome.is_feasible(), report.stats.base_cache_hit)
+        });
+        let (feasible, warm) = handle.join().expect("worker thread");
+        assert!(feasible);
+        assert!(warm, "the moved session must keep its warm base encoding");
+    }
 
     /// Session verdicts must agree with one-shot verification across a
     /// mixed sweep of variants.

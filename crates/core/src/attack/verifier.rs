@@ -49,6 +49,7 @@ use sta_smt::{
     BoolVar, Budget, CertifyLevel, Formula, LinExpr, LinExprCmp, Model, Profiler, RealVar,
     Rational, SatResult, Solver,
 };
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The variable layout of one base encoding, produced by
@@ -89,8 +90,12 @@ pub(crate) struct AttackEncoding {
 /// assert!(verifier.verify(&model).is_feasible());
 /// ```
 #[derive(Debug, Clone)]
-pub struct AttackVerifier<'a> {
-    system: &'a TestSystem,
+pub struct AttackVerifier {
+    /// The case under verification, shared so verifiers (and the
+    /// [`crate::attack::VerifySession`]s built on them) own their data
+    /// and can outlive the call stack that created them — the service
+    /// layer caches live sessions across requests.
+    system: Arc<TestSystem>,
     /// Base operating-point angles, exact; the anchor for topology
     /// attacks.
     base_theta: Vec<Rational>,
@@ -104,11 +109,19 @@ pub struct AttackVerifier<'a> {
     progress: bool,
 }
 
-impl<'a> AttackVerifier<'a> {
+impl AttackVerifier {
     /// Creates a verifier with a deterministic synthetic base operating
     /// point (seed 0) — the paper's testbed operating points are not
-    /// published; see `DESIGN.md` §5.
-    pub fn new(system: &'a TestSystem) -> Self {
+    /// published; see `DESIGN.md` §5. The system is cloned into shared
+    /// ownership; callers that already hold an `Arc` should use
+    /// [`AttackVerifier::shared`] to avoid the copy.
+    pub fn new(system: &TestSystem) -> Self {
+        Self::shared(Arc::new(system.clone()))
+    }
+
+    /// Creates a verifier over an already-shared system with the default
+    /// deterministic operating point (seed 0).
+    pub fn shared(system: Arc<TestSystem>) -> Self {
         let injections = dcflow::synthetic_injections(system.grid.num_buses(), 0);
         let op = dcflow::solve(
             &system.grid,
@@ -117,12 +130,23 @@ impl<'a> AttackVerifier<'a> {
             system.reference_bus,
         )
         .expect("test systems have connected topologies");
-        Self::with_operating_point(system, &op)
+        Self::shared_with_operating_point(system, &op)
     }
 
-    /// Creates a verifier anchored at a specific operating point.
+    /// Creates a verifier anchored at a specific operating point. The
+    /// system is cloned into shared ownership (see
+    /// [`AttackVerifier::shared_with_operating_point`]).
     pub fn with_operating_point(
-        system: &'a TestSystem,
+        system: &TestSystem,
+        op: &dcflow::OperatingPoint,
+    ) -> Self {
+        Self::shared_with_operating_point(Arc::new(system.clone()), op)
+    }
+
+    /// Creates a verifier over an already-shared system, anchored at a
+    /// specific operating point.
+    pub fn shared_with_operating_point(
+        system: Arc<TestSystem>,
         op: &dcflow::OperatingPoint,
     ) -> Self {
         let base_theta = op
@@ -201,7 +225,13 @@ impl<'a> AttackVerifier<'a> {
 
     /// The system under verification.
     pub fn system(&self) -> &TestSystem {
-        self.system
+        &self.system
+    }
+
+    /// The shared handle to the system under verification (cheap to
+    /// clone into other verifiers or sessions over the same case).
+    pub fn system_arc(&self) -> &Arc<TestSystem> {
+        &self.system
     }
 
     /// The exact base angles the topology constraints are anchored to.

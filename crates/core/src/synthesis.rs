@@ -203,7 +203,7 @@ impl SynthesisOutcome {
 #[derive(Debug)]
 pub struct Synthesizer<'a> {
     system: &'a TestSystem,
-    verifier: AttackVerifier<'a>,
+    verifier: AttackVerifier,
     certify: CertifyLevel,
     profiler: Option<sta_smt::Profiler>,
 }

@@ -1,0 +1,49 @@
+//! Persistent threat-analytics service.
+//!
+//! The one-shot CLI pays the full pipeline on every invocation: load the
+//! case, build the DC operating point, encode the base attack semantics,
+//! then solve. For interactive workflows — a dashboard probing dozens of
+//! scenarios against one grid, a CI loop re-checking a scenario corpus —
+//! that re-encoding dominates end-to-end latency. This crate keeps the
+//! expensive state alive across requests:
+//!
+//! * **Protocol** ([`protocol`]): one JSON object per line (JSONL) over a
+//!   TCP or unix-domain socket, request/response with optional
+//!   interleaved trace events, every line tagged with the request `id`.
+//!   A malformed line yields a structured `error` response, never a
+//!   disconnect.
+//! * **Warm session cache** ([`cache`]): live
+//!   [`sta_core::attack::VerifySession`] cores keyed by
+//!   `(case, topology, certify)` in an LRU checkout cache. A warm hit
+//!   reuses the retained base encoding — learned clauses and the warmed
+//!   simplex basis included — so only the scenario delta is paid.
+//! * **Admission control** ([`server`]): requests run on a persistent
+//!   work-stealing [`sta_campaign::ServicePool`] with a bounded queue;
+//!   past capacity the service answers `overloaded` instead of queueing
+//!   unboundedly. Per-request deadlines become [`sta_smt::Budget`]s with
+//!   cancel tokens, so a graceful drain can cut stragglers loose.
+//! * **Client** ([`client`]): the one-shot helper behind `sta client` —
+//!   send one request line, collect trace lines until the matching
+//!   response, map the verdict onto the CLI's exit codes.
+//! * **Bench** ([`bench`]): the `sta bench --suite serve` harness pinning
+//!   warm-vs-cold request latency in the perf trajectory.
+//!
+//! Determinism mirrors the campaign contract: with `"timing":false` a
+//! response depends only on the request, not on worker count, scheduling,
+//! or cache temperature — the service integration tests compare response
+//! bytes across `--jobs 1` and `--jobs 4` to pin this down.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![deny(missing_docs)]
+
+pub mod bench;
+pub mod cache;
+pub mod client;
+pub mod net;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{SessionCache, SessionKey};
+pub use protocol::{ErrorKind, Op, ProtocolError, Query, Request};
+pub use server::{spawn, ServeConfig, Server, ServerHandle};

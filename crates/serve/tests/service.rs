@@ -1,0 +1,293 @@
+//! End-to-end service tests: protocol robustness, LRU cache behaviour,
+//! response determinism, deadline recovery, and graceful drain — each
+//! against a real server on its own unix socket (TCP loopback off-unix).
+
+use sta_core::attack::{AttackModel, StateTarget};
+use sta_core::scenario;
+use sta_grid::BusId;
+use sta_serve::bench::unique_listen_addr;
+use sta_serve::net;
+use sta_serve::server::{spawn, ServeConfig, ServerHandle};
+use sta_serve::client;
+use sta_smt::json::{escape_into, parse, Json};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn boot(tag: &str, jobs: usize, max_sessions: usize) -> ServerHandle {
+    let mut config = ServeConfig::new(unique_listen_addr(tag));
+    config.jobs = jobs;
+    config.max_sessions = max_sessions;
+    spawn(config).expect("server boots")
+}
+
+fn str_at<'j>(json: &'j Json, path: &[&str]) -> Option<&'j str> {
+    let mut cur = json;
+    for key in path {
+        cur = cur.get(key)?;
+    }
+    cur.as_str()
+}
+
+fn u64_at(json: &Json, path: &[&str]) -> Option<u64> {
+    let mut cur = json;
+    for key in path {
+        cur = cur.get(key)?;
+    }
+    cur.as_u64()
+}
+
+/// Builds a verify request line with an inline scenario built from a
+/// model (round-tripped through the scenario grammar).
+fn verify_line(id: &str, case: &str, model: Option<&AttackModel>, extra: &str) -> String {
+    let mut line = String::from("{\"id\":");
+    escape_into(id, &mut line);
+    line.push_str(",\"op\":\"verify\",\"case\":");
+    escape_into(case, &mut line);
+    if let Some(model) = model {
+        line.push_str(",\"scenario\":");
+        escape_into(&scenario::write(model), &mut line);
+    }
+    line.push_str(extra);
+    line.push('}');
+    line
+}
+
+fn final_json(lines: &[String]) -> Json {
+    let last = lines.last().expect("non-empty reply");
+    parse(last).expect("final line parses")
+}
+
+#[test]
+fn malformed_lines_get_errors_not_disconnects() {
+    let handle = boot("proto", 2, 2);
+    let stream = net::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut stream = stream;
+    let mut ask = |line: &str| -> Json {
+        stream.write_all(line.as_bytes()).expect("send");
+        stream.write_all(b"\n").expect("send");
+        stream.flush().expect("flush");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reply");
+        parse(reply.trim()).expect("reply parses")
+    };
+
+    // Malformed JSON: structured parse error with a null id.
+    let err = ask("this is not json");
+    assert_eq!(str_at(&err, &["type"]), Some("error"));
+    assert_eq!(str_at(&err, &["error"]), Some("parse"));
+    assert!(matches!(err.get("id"), Some(Json::Null)));
+
+    // Unknown op: error echoes the id.
+    let err = ask("{\"id\":\"u1\",\"op\":\"fly\"}");
+    assert_eq!(str_at(&err, &["error"]), Some("unknown-op"));
+    assert_eq!(str_at(&err, &["id"]), Some("u1"));
+
+    // Missing id: bad-request.
+    let err = ask("{\"op\":\"ping\"}");
+    assert_eq!(str_at(&err, &["error"]), Some("bad-request"));
+
+    // Unknown case: bad-request from the job path, id preserved.
+    let err = ask("{\"id\":\"u2\",\"op\":\"verify\",\"case\":\"ieee9000\"}");
+    assert_eq!(str_at(&err, &["error"]), Some("bad-request"));
+    assert_eq!(str_at(&err, &["id"]), Some("u2"));
+
+    // The connection survived all of it.
+    let pong = ask("{\"id\":\"p\",\"op\":\"ping\"}");
+    assert_eq!(str_at(&pong, &["type"]), Some("response"));
+    assert_eq!(str_at(&pong, &["op"]), Some("ping"));
+
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn session_cache_thrashes_at_capacity_one_and_warms_on_repeat() {
+    let handle = boot("lru", 1, 1);
+    let session_of = |lines: &[String]| -> String {
+        str_at(&final_json(lines), &["timing", "session"]).expect("session tag").to_string()
+    };
+
+    let a1 = client::request(handle.addr(), &verify_line("a1", "ieee14", None, ""))
+        .expect("first ieee14");
+    assert_eq!(session_of(&a1), "miss", "cold start");
+    let a2 = client::request(handle.addr(), &verify_line("a2", "ieee14", None, ""))
+        .expect("second ieee14");
+    assert_eq!(session_of(&a2), "hit", "repeat is warm");
+    let b1 = client::request(handle.addr(), &verify_line("b1", "ieee14-unsecured", None, ""))
+        .expect("unsecured");
+    assert_eq!(session_of(&b1), "miss", "different case is cold and evicts");
+    let a3 = client::request(handle.addr(), &verify_line("a3", "ieee14", None, ""))
+        .expect("third ieee14");
+    assert_eq!(session_of(&a3), "miss", "capacity 1 thrashes on alternation");
+
+    let stats = final_json(
+        &client::request(handle.addr(), "{\"id\":\"s\",\"op\":\"stats\"}").expect("stats"),
+    );
+    assert_eq!(u64_at(&stats, &["sessions", "capacity"]), Some(1));
+    assert_eq!(u64_at(&stats, &["sessions", "live"]), Some(1));
+    assert_eq!(u64_at(&stats, &["sessions", "hits"]), Some(1));
+    assert_eq!(u64_at(&stats, &["sessions", "misses"]), Some(3));
+    assert_eq!(u64_at(&stats, &["sessions", "evictions"]), Some(2));
+
+    handle.stop().expect("clean shutdown");
+}
+
+/// The determinism contract: with `"timing":false`, responses depend only
+/// on the request — not on worker count, scheduling, or whether the
+/// session cache was warm. Three concurrent clients each repeat their
+/// request; bytes must match within a server (cold vs warm) and across
+/// servers with different `--jobs`.
+#[test]
+fn timing_stripped_responses_are_byte_identical_across_jobs_and_warmth() {
+    let requests: Vec<(String, String)> = vec![
+        (
+            "open".to_string(),
+            verify_line(
+                "open",
+                "ieee14",
+                Some(&AttackModel::new(14).target(BusId(11), StateTarget::MustChange)),
+                ",\"timing\":false",
+            ),
+        ),
+        (
+            "blocked".to_string(),
+            verify_line(
+                "blocked",
+                "ieee14",
+                Some(&AttackModel::new(14).max_altered_measurements(0)),
+                ",\"timing\":false",
+            ),
+        ),
+        (
+            "capped".to_string(),
+            verify_line(
+                "capped",
+                "ieee14",
+                Some(
+                    &AttackModel::new(14)
+                        .target(BusId(7), StateTarget::MustChange)
+                        .max_altered_measurements(10),
+                ),
+                ",\"timing\":false",
+            ),
+        ),
+    ];
+
+    let mut per_jobs: Vec<BTreeMap<String, String>> = Vec::new();
+    for jobs in [1usize, 4] {
+        let handle = boot(&format!("det{jobs}"), jobs, 4);
+        let results: Arc<Mutex<BTreeMap<String, String>>> =
+            Arc::new(Mutex::new(BTreeMap::new()));
+        std::thread::scope(|scope| {
+            for (name, line) in &requests {
+                let addr = handle.addr().to_string();
+                let results = Arc::clone(&results);
+                scope.spawn(move || {
+                    let first = client::request(&addr, line).expect("first send");
+                    let second = client::request(&addr, line).expect("second send");
+                    let first = first.last().expect("reply").clone();
+                    let second = second.last().expect("reply").clone();
+                    assert_eq!(first, second, "{name}: warm repeat must match cold bytes");
+                    results.lock().expect("results").insert(name.clone(), first);
+                });
+            }
+        });
+        per_jobs.push(Arc::try_unwrap(results).expect("threads done").into_inner().expect("lock"));
+        handle.stop().expect("clean shutdown");
+    }
+    assert_eq!(per_jobs[0], per_jobs[1], "responses must not depend on worker count");
+    assert!(per_jobs[0]["open"].contains("\"verdict\":\"sat\""));
+    assert!(per_jobs[0]["open"].contains("\"witness\""));
+    assert!(per_jobs[0]["blocked"].contains("\"verdict\":\"unsat\""));
+    for line in per_jobs[0].values() {
+        assert!(!line.contains("\"timing\""), "timing must be stripped: {line}");
+    }
+}
+
+#[test]
+fn expired_deadline_reports_unknown_and_leaves_the_session_usable() {
+    let handle = boot("deadline", 2, 2);
+    let doomed = client::request(
+        handle.addr(),
+        &verify_line("doomed", "ieee14", None, ",\"timeout_ms\":0"),
+    )
+    .expect("doomed request completes");
+    let doomed = final_json(&doomed);
+    assert_eq!(str_at(&doomed, &["verdict"]), Some("unknown(timeout)"));
+
+    // The same key must still verify — warm, and conclusively.
+    let retry = client::request(handle.addr(), &verify_line("retry", "ieee14", None, ""))
+        .expect("retry completes");
+    let retry = final_json(&retry);
+    assert_eq!(str_at(&retry, &["verdict"]), Some("sat"));
+    assert_eq!(
+        str_at(&retry, &["timing", "session"]),
+        Some("hit"),
+        "the timed-out session must be reused, not discarded"
+    );
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn trace_lines_interleave_before_the_response() {
+    let handle = boot("trace", 2, 2);
+    let lines = client::request(
+        handle.addr(),
+        &verify_line("tr", "ieee14", None, ",\"trace\":true"),
+    )
+    .expect("traced request");
+    assert!(lines.len() > 1, "expected trace lines before the response");
+    for line in &lines[..lines.len() - 1] {
+        let json = parse(line).expect("trace line parses");
+        assert_eq!(str_at(&json, &["type"]), Some("trace"));
+        assert_eq!(str_at(&json, &["id"]), Some("tr"));
+        assert!(json.get("event").is_some());
+    }
+    assert_eq!(str_at(&final_json(&lines), &["type"]), Some("response"));
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn graceful_drain_finishes_or_cancels_inflight_and_refuses_new_work() {
+    let handle = boot("drain", 2, 2);
+
+    // Park a long request in flight on its own connection.
+    let stream = net::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut stream = stream;
+    let long = verify_line("long", "ieee57", None, "");
+    stream.write_all(long.as_bytes()).expect("send");
+    stream.write_all(b"\n").expect("send");
+    stream.flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Drain with a tight window: the in-flight job either finishes
+    // naturally or is cancelled past the deadline — never orphaned.
+    let reply = client::request(
+        handle.addr(),
+        "{\"id\":\"sd\",\"op\":\"shutdown\",\"drain_ms\":50}",
+    )
+    .expect("shutdown answered");
+    let reply = final_json(&reply);
+    assert_eq!(str_at(&reply, &["op"]), Some("shutdown"));
+    assert!(matches!(reply.get("ok"), Some(Json::Bool(true))));
+
+    // The parked client still got its final line.
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("in-flight response arrives");
+    let json = parse(line.trim()).expect("response parses");
+    let verdict = str_at(&json, &["verdict"]).expect("has verdict").to_string();
+    assert!(
+        verdict == "sat" || verdict == "unsat" || verdict == "unknown(cancelled)",
+        "unexpected drain verdict {verdict:?}"
+    );
+
+    // The listener is gone: new connections fail outright or are closed
+    // without an answer.
+    match client::request(handle.addr(), "{\"id\":\"p\",\"op\":\"ping\"}") {
+        Err(_) => {}
+        Ok(lines) => panic!("post-drain request must not be served, got {lines:?}"),
+    }
+}

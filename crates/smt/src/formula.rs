@@ -25,7 +25,7 @@
 
 use crate::expr::LinExpr;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Identifier of a propositional variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -88,26 +88,28 @@ pub(crate) enum Node {
 
 /// A Boolean combination of propositional variables and arithmetic atoms.
 ///
-/// Formulas are immutable and cheaply cloneable (reference-counted nodes).
+/// Formulas are immutable and cheaply cloneable (reference-counted nodes,
+/// atomically counted so formulas — and everything holding them, like a
+/// [`crate::Solver`] — can move between threads).
 /// Build them with the constructors on this type and the comparison methods
 /// on [`LinExpr`] (via [`LinExprCmp`]).
 #[derive(Debug, Clone)]
-pub struct Formula(pub(crate) Rc<Node>);
+pub struct Formula(pub(crate) Arc<Node>);
 
 impl Formula {
     /// The constant true formula.
     pub fn top() -> Self {
-        Formula(Rc::new(Node::True))
+        Formula(Arc::new(Node::True))
     }
 
     /// The constant false formula.
     pub fn bottom() -> Self {
-        Formula(Rc::new(Node::False))
+        Formula(Arc::new(Node::False))
     }
 
     /// A propositional variable.
     pub fn var(v: BoolVar) -> Self {
-        Formula(Rc::new(Node::Var(v)))
+        Formula(Arc::new(Node::Var(v)))
     }
 
     /// A literal: the variable or its negation.
@@ -126,7 +128,7 @@ impl Formula {
             Node::True => Formula::bottom(),
             Node::False => Formula::top(),
             Node::Not(inner) => inner.clone(),
-            _ => Formula(Rc::new(Node::Not(self))),
+            _ => Formula(Arc::new(Node::Not(self))),
         }
     }
 
@@ -139,7 +141,7 @@ impl Formula {
         match fs.len() {
             0 => Formula::top(),
             1 => fs.pop().unwrap(),
-            _ => Formula(Rc::new(Node::And(fs))),
+            _ => Formula(Arc::new(Node::And(fs))),
         }
     }
 
@@ -152,7 +154,7 @@ impl Formula {
         match fs.len() {
             0 => Formula::bottom(),
             1 => fs.pop().unwrap(),
-            _ => Formula(Rc::new(Node::Or(fs))),
+            _ => Formula(Arc::new(Node::Or(fs))),
         }
     }
 
@@ -163,7 +165,7 @@ impl Formula {
             (Node::False, _) => Formula::top(),
             (_, Node::True) => Formula::top(),
             (_, Node::False) => self.not(),
-            _ => Formula(Rc::new(Node::Implies(self, other))),
+            _ => Formula(Arc::new(Node::Implies(self, other))),
         }
     }
 
@@ -174,7 +176,7 @@ impl Formula {
             (_, Node::True) => self,
             (Node::False, _) => other.not(),
             (_, Node::False) => self.not(),
-            _ => Formula(Rc::new(Node::Iff(self, other))),
+            _ => Formula(Arc::new(Node::Iff(self, other))),
         }
     }
 
@@ -189,7 +191,7 @@ impl Formula {
         if k == 0 {
             return Formula::and(fs.into_iter().map(Formula::not).collect());
         }
-        Formula(Rc::new(Node::AtMost(fs, k)))
+        Formula(Arc::new(Node::AtMost(fs, k)))
     }
 
     /// At least `k` of `fs` hold.
@@ -203,7 +205,7 @@ impl Formula {
         if k == 1 {
             return Formula::or(fs);
         }
-        Formula(Rc::new(Node::AtLeast(fs, k)))
+        Formula(Arc::new(Node::AtLeast(fs, k)))
     }
 
     /// Exactly `k` of `fs` hold.
@@ -229,7 +231,7 @@ impl Formula {
             };
             return if holds { Formula::top() } else { Formula::bottom() };
         }
-        Formula(Rc::new(Node::Atom(diff, op)))
+        Formula(Arc::new(Node::Atom(diff, op)))
     }
 }
 

@@ -158,8 +158,15 @@ fn usage() -> ExitCode {
          sta campaign [<case>] [--jobs N] [--timeout-ms MS] [--certify off|models|full] \
          [--topology] [--force-timeout] [--out FILE] [--strip-timing] [--incremental on|off] \
          [--trace FILE] [--metrics] [--profile]\n  \
-         sta bench [--suite smoke|sweep|cegis] [--reps N] [--jobs N] [--out FILE] \
+         sta bench [--suite smoke|sweep|cegis|serve] [--reps N] [--jobs N] [--out FILE] \
          [--baseline FILE] [--against FILE] [--threshold PCT]\n  \
+         sta serve --listen <path|host:port> [--jobs N] [--max-sessions K] \
+         [--queue N] [--drain-ms MS]\n  \
+         sta client <addr> ping|stats|shutdown [--drain-ms MS]\n  \
+         sta client <addr> verify|synthesize <case> <scenario> [--certify off|models|full] \
+         [--timeout-ms MS] [--budget N] [--incremental on|off] [--no-timing] [--trace]\n  \
+         sta client <addr> campaign <case> [--workers N] [--timeout-ms MS] [--no-timing]\n  \
+         sta client <addr> raw '<json-line>'\n  \
          sta lint [--json] [--fix-allowlist] [--root DIR]\n\
          exit codes: 0 = sat/success, 1 = unsat/no solution/perf regression/lint findings, 2 = usage error, 3 = unknown (budget exhausted)"
     );
@@ -638,13 +645,19 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
             read_result(path)?
         }
         None => {
-            let spec = bench::suite(&suite_name).ok_or_else(|| {
-                format!(
-                    "unknown suite {suite_name:?} (expected one of: {})",
-                    bench::suite_names().join(", ")
-                )
-            })?;
-            let result = bench::run_suite(&suite_name, &spec, reps, jobs);
+            // The serve suite boots its own in-process server per rep, so
+            // it lives in `sta-serve` rather than the campaign registry.
+            let result = if suite_name == "serve" {
+                sta::serve::bench::run_serve_suite(reps, jobs)?
+            } else {
+                let spec = bench::suite(&suite_name).ok_or_else(|| {
+                    format!(
+                        "unknown suite {suite_name:?} (expected one of: {}, serve)",
+                        bench::suite_names().join(", ")
+                    )
+                })?;
+                bench::run_suite(&suite_name, &spec, reps, jobs)
+            };
             let path = out_file
                 .unwrap_or_else(|| format!("BENCH_{suite_name}.json"));
             std::fs::write(&path, result.to_json())
@@ -722,6 +735,167 @@ fn cmd_lint(args: &[String]) -> Result<ExitCode, String> {
     Ok(if analysis.is_clean() { ExitCode::SUCCESS } else { ExitCode::from(1) })
 }
 
+/// `sta serve --listen <addr>` — run the persistent threat-analytics
+/// service until a client sends `shutdown` (see DESIGN.md §14). Blocks
+/// the calling terminal; pair with `sta client` from another shell.
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut listen: Option<String> = None;
+    let mut config_jobs: usize = 4;
+    let mut max_sessions: usize = 8;
+    let mut queue: usize = 32;
+    let mut drain_ms: u64 = 2000;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--listen" => {
+                listen = Some(it.next().ok_or("--listen needs an address")?.clone());
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                config_jobs = v.parse().map_err(|_| "bad --jobs value")?;
+                if config_jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--max-sessions" => {
+                let v = it.next().ok_or("--max-sessions needs a value")?;
+                max_sessions = v.parse().map_err(|_| "bad --max-sessions value")?;
+                if max_sessions == 0 {
+                    return Err("--max-sessions must be at least 1".into());
+                }
+            }
+            "--queue" => {
+                let v = it.next().ok_or("--queue needs a value")?;
+                queue = v.parse().map_err(|_| "bad --queue value")?;
+                if queue == 0 {
+                    return Err("--queue must be at least 1".into());
+                }
+            }
+            "--drain-ms" => {
+                let v = it.next().ok_or("--drain-ms needs a value")?;
+                drain_ms = v.parse().map_err(|_| "bad --drain-ms value")?;
+            }
+            other => return Err(format!("unknown serve flag {other:?}")),
+        }
+    }
+    let listen = listen.ok_or("serve needs --listen <path|host:port>")?;
+    let mut config = sta::serve::ServeConfig::new(listen);
+    config.jobs = config_jobs;
+    config.max_sessions = max_sessions;
+    config.queue = queue;
+    config.drain_ms = drain_ms;
+    let server = sta::serve::Server::bind(config)?;
+    println!("listening on {}", server.local_addr());
+    server.run()?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Builds the JSONL request line of a `sta client` query operation.
+fn client_query_line(op: &str, args: &[String]) -> Result<String, String> {
+    use sta::smt::json::escape_into;
+    use std::fmt::Write as _;
+    let case = args.first().ok_or_else(|| format!("client {op} needs <case>"))?;
+    let (scenario_spec, rest) = if op == "campaign" {
+        (None, &args[1..])
+    } else {
+        let scen = args.get(1).ok_or_else(|| format!("client {op} needs <scenario>"))?;
+        (Some(scen.clone()), &args[2..])
+    };
+    let mut line = String::from("{\"id\":\"cli\",\"op\":");
+    escape_into(op, &mut line);
+    line.push_str(",\"case\":");
+    escape_into(case, &mut line);
+    if let Some(spec) = scenario_spec {
+        if spec != "-" {
+            let text = std::fs::read_to_string(&spec)
+                .map_err(|e| format!("cannot read scenario file {spec:?}: {e}"))?;
+            line.push_str(",\"scenario\":");
+            escape_into(&text, &mut line);
+        }
+    }
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--certify" => {
+                let level = parse_certify(it.next().ok_or("--certify needs a value")?)?;
+                let token = match level {
+                    CertifyLevel::Off => "off",
+                    CertifyLevel::CheckModels => "models",
+                    CertifyLevel::Full => "full",
+                };
+                let _ = write!(line, ",\"certify\":\"{token}\"");
+            }
+            "--timeout-ms" => {
+                let v = it.next().ok_or("--timeout-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| "bad --timeout-ms value")?;
+                let _ = write!(line, ",\"timeout_ms\":{ms}");
+            }
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a value")?;
+                let n: u64 = v.parse().map_err(|_| "bad --budget value")?;
+                let _ = write!(line, ",\"budget\":{n}");
+            }
+            "--incremental" => {
+                let on = parse_incremental(it.next().ok_or("--incremental needs a value")?)?;
+                let _ = write!(line, ",\"incremental\":{on}");
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                let n: u64 = v.parse().map_err(|_| "bad --workers value")?;
+                let _ = write!(line, ",\"workers\":{n}");
+            }
+            "--no-timing" => line.push_str(",\"timing\":false"),
+            "--trace" => line.push_str(",\"trace\":true"),
+            other => return Err(format!("unknown client flag {other:?}")),
+        }
+    }
+    line.push('}');
+    Ok(line)
+}
+
+/// `sta client <addr> <op> ...` — send one request to a running
+/// `sta serve` instance, print every reply line, and exit with the same
+/// 0/1/2/3 verdict contract as the one-shot commands.
+fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
+    let addr = args.first().ok_or("client needs <addr>")?;
+    let op = args.get(1).ok_or("client needs an operation")?;
+    let rest = &args[2..];
+    let line = match op.as_str() {
+        "ping" | "stats" => {
+            if !rest.is_empty() {
+                return Err(format!("client {op} takes no further arguments"));
+            }
+            format!("{{\"id\":\"cli\",\"op\":\"{op}\"}}")
+        }
+        "shutdown" => {
+            let mut line = String::from("{\"id\":\"cli\",\"op\":\"shutdown\"");
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--drain-ms" => {
+                        use std::fmt::Write as _;
+                        let v = it.next().ok_or("--drain-ms needs a value")?;
+                        let ms: u64 = v.parse().map_err(|_| "bad --drain-ms value")?;
+                        let _ = write!(line, ",\"drain_ms\":{ms}");
+                    }
+                    other => return Err(format!("unknown client flag {other:?}")),
+                }
+            }
+            line.push('}');
+            line
+        }
+        "raw" => rest.first().ok_or("client raw needs a JSON line")?.clone(),
+        "verify" | "synthesize" | "campaign" => client_query_line(op, rest)?,
+        other => return Err(format!("unknown client operation {other:?}")),
+    };
+    let lines = sta::serve::client::request(addr, &line)?;
+    for l in &lines {
+        println!("{l}");
+    }
+    let code = lines.last().map(|l| sta::serve::client::exit_code(l)).unwrap_or(2);
+    Ok(ExitCode::from(code))
+}
+
 fn two(args: &[String]) -> Result<(String, String), String> {
     match (args.first(), args.get(1)) {
         (Some(a), Some(b)) => Ok((a.clone(), b.clone())),
@@ -743,6 +917,8 @@ fn main() -> ExitCode {
         "synthesize" => cmd_synthesize(rest),
         "campaign" => cmd_campaign(rest),
         "bench" => cmd_bench(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "lint" => cmd_lint(rest),
         "--help" | "-h" | "help" => return usage(),
         other => {

@@ -18,6 +18,7 @@
 //! | [`estimator`] | `sta-estimator` | DC power flow, WLS estimation, bad-data detection |
 //! | [`core`] | `sta-core` | UFDI attack verification, synthesis, baselines, validation |
 //! | [`campaign`] | `sta-campaign` | Parallel campaign engine: sweeps, deadlines, deterministic reports |
+//! | [`serve`] | `sta-serve` | Persistent JSONL service: warm session cache, admission control, drain |
 //! | [`analysis`] | `sta-analysis` | In-tree invariant analyzer backing `sta lint` and `tests/lint.rs` |
 //!
 //! # Quickstart
@@ -50,4 +51,5 @@ pub use sta_core as core;
 pub use sta_estimator as estimator;
 pub use sta_grid as grid;
 pub use sta_linalg as linalg;
+pub use sta_serve as serve;
 pub use sta_smt as smt;

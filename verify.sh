@@ -21,6 +21,12 @@
 #      sta-bench/v1 trajectory point, and the deterministic self-diff
 #      (--baseline F --against F) must exit 0 for both the fresh point
 #      and the checked-in BENCH_smoke.json
+#   8. serve smoke: a persistent `sta serve` daemon on a unix socket
+#      answers a cold `sta client verify` with a session cache miss and
+#      the identical warm request with a hit, then drains cleanly and
+#      removes its socket file
+#   9. serve bench: `sta bench --suite serve --reps 5` medians — a warm
+#      request (cached session) must beat the cold request that built it
 #
 # No network access is required; the script fails fast on the first error.
 set -euo pipefail
@@ -54,7 +60,7 @@ echo "==> sta lint: injected violation must exit 1"
 lintroot="$(mktemp -d)"
 for root in crates/analysis/src crates/campaign/src crates/core/src \
             crates/estimator/src crates/grid/src crates/linalg/src \
-            crates/smt/src src; do
+            crates/serve/src crates/smt/src src; do
     mkdir -p "$lintroot/$root"
     cp -r "$root/." "$lintroot/$root/"
 done
@@ -189,5 +195,57 @@ grep -q '"schema":"sta-bench/v1"' BENCH_smoke.ci.json || {
     --against BENCH_smoke.ci.json >/dev/null
 ./target/release/sta bench --baseline BENCH_smoke.json \
     --against BENCH_smoke.json >/dev/null
+
+echo "==> serve smoke: warm session cache over a unix socket"
+sockdir="$(mktemp -d)"
+serve_pid=""
+trap 'rm -f "$scenario" "$report1" "$report4" "$trace4" "$report_cold"; \
+     [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null; \
+     rm -rf "$sockdir"; true' EXIT
+sock="$sockdir/sta-serve-ci.sock"
+./target/release/sta serve --listen "$sock" --jobs 2 >/dev/null &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$sock" ] && break
+    sleep 0.05
+done
+[ -S "$sock" ] || { echo "serve socket never appeared at $sock" >&2; exit 1; }
+cold_out="$(./target/release/sta client "$sock" verify ieee14 -)"
+warm_out="$(./target/release/sta client "$sock" verify ieee14 -)"
+echo "$cold_out" | grep -q '"session":"miss"' || {
+    echo "cold serve request did not report a session cache miss" >&2
+    exit 1
+}
+echo "$warm_out" | grep -q '"session":"hit"' || {
+    echo "warm serve request did not report a session cache hit" >&2
+    exit 1
+}
+./target/release/sta client "$sock" shutdown >/dev/null
+wait "$serve_pid" || {
+    echo "sta serve exited non-zero after a clean shutdown" >&2
+    exit 1
+}
+serve_pid=""
+[ -S "$sock" ] && { echo "serve left its socket file behind" >&2; exit 1; }
+
+echo "==> serve bench: warm must beat cold on 5-rep medians"
+./target/release/sta bench --suite serve --reps 5 --out BENCH_serve.ci.json >/dev/null
+grep -q '"schema":"sta-bench/v1"' BENCH_serve.ci.json || {
+    echo "serve bench output is missing the sta-bench/v1 schema tag" >&2
+    exit 1
+}
+./target/release/sta bench --baseline BENCH_serve.ci.json \
+    --against BENCH_serve.ci.json >/dev/null
+cold_us="$(sed -n 's/.*"label":"cold-verify"[^}]*"wall_us":\([0-9]*\).*/\1/p' BENCH_serve.ci.json)"
+warm_us="$(sed -n 's/.*"label":"warm-verify"[^}]*"wall_us":\([0-9]*\).*/\1/p' BENCH_serve.ci.json)"
+if [ -z "$cold_us" ] || [ -z "$warm_us" ]; then
+    echo "could not extract cold/warm medians from BENCH_serve.ci.json" >&2
+    exit 1
+fi
+echo "    cold median: ${cold_us} us, warm median: ${warm_us} us"
+if [ "$warm_us" -ge "$cold_us" ]; then
+    echo "warm serve requests must beat cold (got ${cold_us} us -> ${warm_us} us)" >&2
+    exit 1
+fi
 
 echo "verify.sh: all checks passed"
