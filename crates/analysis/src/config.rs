@@ -76,9 +76,9 @@ const ALLOW_DETERMINISM: &[Allow] = &[
 const ALLOW_CLOCK: &[Allow] = &[
     Allow {
         file: "smt/src/budget.rs",
-        needle: "Budget { deadline: Some(Instant::now() + timeout), cancel: None }",
+        needle: "Budget { deadline: Instant::now().checked_add(timeout), cancel: None }",
         why: "deadline anchor at budget construction; the one place wall \
-              timeouts enter the system",
+              timeouts enter the system (checked_add: overflow = no deadline)",
     },
     Allow {
         file: "smt/src/budget.rs",

@@ -116,6 +116,161 @@ pub fn suite_names() -> &'static [&'static str] {
     &["smoke", "sweep", "cegis"]
 }
 
+/// Bus counts of the `scale` suite — the paper's §V-B scalability ladder.
+pub const SCALE_BUSES: [usize; 5] = [14, 30, 57, 118, 300];
+
+/// Runs the `scale` suite: the estimation-stack scaling curve.
+///
+/// Per IEEE case size (see [`SCALE_BUSES`]), four jobs:
+///
+/// * `wls-sparse-{b}` — a full WLS solve (estimator construction, i.e.
+///   sparse gain build + AMD-ordered factorization, plus one estimate)
+///   on the default sparse pipeline;
+/// * `wls-dense-{b}` — the identical solve on the dense-oracle pipeline,
+///   so a trajectory point carries its own sparse-vs-dense speedup;
+/// * `obs-{b}` — a sparse observability check;
+/// * `verify-{b}` — one blocked verification through the campaign pool,
+///   with real encode/search phase medians.
+///
+/// Unlike the registry suites this one is not a pure [`CampaignSpec`] —
+/// the WLS and observability jobs run outside the pool — so it builds
+/// its [`BenchResult`] directly, like the serve suite does.
+///
+/// # Errors
+/// Fails if a synthetic case does not power-flow or is unobservable —
+/// either means the suite definition itself is broken.
+pub fn run_scale_suite(reps: usize, workers: usize) -> Result<BenchResult, String> {
+    run_scale_suite_for(&SCALE_BUSES, reps, workers)
+}
+
+/// [`run_scale_suite`] over an explicit bus-count list (kept separate so
+/// tests can exercise the harness on the small cases only).
+pub fn run_scale_suite_for(
+    buses: &[usize],
+    reps: usize,
+    workers: usize,
+) -> Result<BenchResult, String> {
+    use sta_estimator::{dcflow, observability, WlsEstimator};
+
+    let reps = reps.max(1);
+    let clock = sta_smt::Clock::monotonic();
+
+    /// Runs `f` `reps` times, returning its (stable) verdict token and
+    /// the median wall time in microseconds.
+    fn timed<F: FnMut() -> Result<String, String>>(
+        clock: &sta_smt::Clock,
+        reps: usize,
+        mut f: F,
+    ) -> Result<(String, u64), String> {
+        let mut walls = Vec::with_capacity(reps);
+        let mut verdict = String::new();
+        for _ in 0..reps {
+            let t0 = clock.now();
+            verdict = f()?;
+            walls.push(clock.now().saturating_sub(t0).as_micros() as u64);
+        }
+        Ok((verdict, median(&mut walls)))
+    }
+
+    let mut jobs: Vec<JobMeasurement> = Vec::new();
+    let mut push = |label: String, case: &str, verdict: String, wall_us: u64| {
+        jobs.push(JobMeasurement {
+            id: 0, // reassigned sequentially below
+            label,
+            case: case.to_string(),
+            verdict,
+            wall_us,
+            encode_us: 0,
+            search_us: 0,
+        });
+    };
+
+    let mut spec = CampaignSpec::new("bench-scale");
+    for &b in buses {
+        let sys = sta_grid::synthetic::ieee_case(b);
+        let case_name = format!("ieee{b}");
+        // An untimed warm-up estimator pins the measurement snapshot the
+        // timed solves all consume.
+        let injections = dcflow::synthetic_injections(b, b as u64);
+        let op = dcflow::solve(&sys.grid, &sys.topology, &injections, sys.reference_bus)
+            .map_err(|e| format!("{case_name}: power flow failed: {e}"))?;
+        let warmup = WlsEstimator::for_system(&sys)
+            .map_err(|e| format!("{case_name}: {e}"))?;
+        let z = warmup.measure(&op);
+
+        let wls_verdict = |est: &WlsEstimator| -> Result<String, String> {
+            let r = est
+                .estimate(&z)
+                .map_err(|e| format!("{case_name}: estimate failed: {e}"))?;
+            Ok(if r.residual_norm < 1e-6 { "ok" } else { "residual" }.to_string())
+        };
+        let (v, wall) = timed(&clock, reps, || {
+            let est = WlsEstimator::new(
+                &sys.grid,
+                &sys.topology,
+                &sys.measurements,
+                sys.reference_bus,
+                None,
+            )
+            .map_err(|e| format!("{case_name}: {e}"))?;
+            wls_verdict(&est)
+        })?;
+        push(format!("wls-sparse-{b}"), &case_name, v, wall);
+
+        let (v, wall) = timed(&clock, reps, || {
+            let est = WlsEstimator::new_dense(
+                &sys.grid,
+                &sys.topology,
+                &sys.measurements,
+                sys.reference_bus,
+                None,
+            )
+            .map_err(|e| format!("{case_name}: {e}"))?;
+            wls_verdict(&est)
+        })?;
+        push(format!("wls-dense-{b}"), &case_name, v, wall);
+
+        let (v, wall) = timed(&clock, reps, || {
+            Ok(if observability::is_observable(
+                &sys.grid,
+                &sys.topology,
+                &sys.measurements,
+                sys.reference_bus,
+            ) {
+                "observable"
+            } else {
+                "unobservable"
+            }
+            .to_string())
+        })?;
+        push(format!("obs-{b}"), &case_name, v, wall);
+
+        let case = spec.add_case(case_name, sys);
+        spec.verify(
+            case,
+            format!("verify-{b}"),
+            AttackModel::new(b).max_altered_measurements(0),
+        );
+    }
+
+    // The verify jobs go through the standard pool harness for real
+    // encode/search phase medians; their latency rollup is the suite's.
+    let verify = run_suite("scale", &spec, reps, workers);
+    jobs.extend(verify.jobs);
+    for (i, j) in jobs.iter_mut().enumerate() {
+        j.id = i as u64;
+    }
+    Ok(BenchResult {
+        schema: SCHEMA.to_string(),
+        suite: "scale".to_string(),
+        reps: reps as u64,
+        workers: workers.max(1) as u64,
+        env: BenchEnv::capture(),
+        jobs,
+        latency: verify.latency,
+    })
+}
+
 /// Where a trajectory file was measured.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchEnv {
@@ -640,6 +795,43 @@ mod tests {
             };
             assert!(warm.incremental && !cold.incremental);
         }
+    }
+
+    #[test]
+    fn scale_suite_shape_and_verdicts() {
+        // The small end of the ladder only — the full 300-bus ladder is
+        // CI's job (verify.sh), not the unit suite's.
+        let r = run_scale_suite_for(&[14, 30], 1, 1).expect("scale harness runs");
+        assert_eq!(r.suite, "scale");
+        assert_eq!(r.jobs.len(), 8, "4 jobs per case size");
+        let labels: Vec<&str> = r.jobs.iter().map(|j| j.label.as_str()).collect();
+        for want in [
+            "wls-sparse-14",
+            "wls-dense-14",
+            "obs-14",
+            "verify-14",
+            "wls-sparse-30",
+            "wls-dense-30",
+            "obs-30",
+            "verify-30",
+        ] {
+            assert!(labels.contains(&want), "missing {want} in {labels:?}");
+        }
+        for j in &r.jobs {
+            match j.label.split('-').next() {
+                Some("wls") => assert_eq!(j.verdict, "ok", "{}", j.label),
+                Some("obs") => assert_eq!(j.verdict, "observable", "{}", j.label),
+                Some("verify") => assert_eq!(j.verdict, "unsat", "{}", j.label),
+                other => panic!("unexpected label family {other:?}"),
+            }
+        }
+        // Ids are sequential, and the artifact is schema-valid and
+        // self-diffable like every other suite's.
+        for (i, j) in r.jobs.iter().enumerate() {
+            assert_eq!(j.id, i as u64);
+        }
+        let parsed = parse_result(&r.to_json()).expect("schema-valid");
+        assert!(!diff(&parsed, &parsed, 10.0).regressed());
     }
 
     #[test]

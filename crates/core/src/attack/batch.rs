@@ -285,6 +285,21 @@ mod tests {
         assert!(warm, "the moved session must keep its warm base encoding");
     }
 
+    /// Regression: a scenario carrying `timeout-ms` = `u64::MAX` (an
+    /// unvalidated client value) used to overflow `Instant` arithmetic in
+    /// `Budget::with_timeout` and panic the worker. It must behave as "no
+    /// deadline" and verify normally.
+    #[test]
+    fn huge_scenario_timeout_does_not_panic_the_session() {
+        let sys = ieee14::system();
+        let mut session = VerifySession::new(&sys, false);
+        let model = AttackModel::new(14)
+            .target(BusId(11), StateTarget::MustChange)
+            .with_timeout_ms(u64::MAX);
+        let report = session.verify(&model);
+        assert!(report.outcome.is_feasible());
+    }
+
     /// Session verdicts must agree with one-shot verification across a
     /// mixed sweep of variants.
     #[test]

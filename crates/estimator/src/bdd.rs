@@ -8,7 +8,50 @@
 
 use crate::chi2;
 use crate::wls::{StateEstimate, WlsEstimator};
-use sta_linalg::{Cholesky, Matrix, Vector};
+use sta_linalg::{CholeskyError, SparseCholesky, Vector};
+use std::fmt;
+
+/// Error from LNR identification: the residual covariance could not be
+/// formed. This is a *numerical* failure — distinct from the ordinary
+/// "no measurement normalizes above the cutoff" outcome, which
+/// [`BadDataDetector::identify`] reports as `Ok(None)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdentificationError {
+    /// `G = HᵀH` was not positive definite: the estimator's configuration
+    /// is (or has numerically become) unobservable, so residual
+    /// covariances are undefined. Worth surfacing — it means the estimate
+    /// being screened is itself suspect.
+    CovarianceNotPositiveDefinite,
+    /// A covariance solve failed on dimensions — an internal
+    /// inconsistency in the estimator's cached matrices.
+    CovarianceSolveFailed,
+}
+
+impl fmt::Display for IdentificationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdentificationError::CovarianceNotPositiveDefinite => f.write_str(
+                "residual covariance is not positive definite (configuration unobservable)",
+            ),
+            IdentificationError::CovarianceSolveFailed => {
+                f.write_str("residual covariance solve failed on dimensions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IdentificationError {}
+
+impl From<CholeskyError> for IdentificationError {
+    fn from(e: CholeskyError) -> Self {
+        match e {
+            CholeskyError::NotPositiveDefinite => {
+                IdentificationError::CovarianceNotPositiveDefinite
+            }
+            _ => IdentificationError::CovarianceSolveFailed,
+        }
+    }
+}
 
 /// Verdict of one detection pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,11 +144,21 @@ impl BadDataDetector {
     }
 
     /// Largest-normalized-residual identification: the taken-row index of
-    /// the most suspicious measurement and its normalized residual, or
-    /// `None` when every residual normalizes below 3.0 (the conventional
-    /// identification cutoff) or the covariance diagonal vanishes
-    /// (critical measurement).
-    pub fn identify(&self, est: &WlsEstimator, result: &StateEstimate) -> Option<(usize, f64)> {
+    /// the most suspicious measurement and its normalized residual.
+    /// `Ok(None)` means every residual normalizes below 3.0 (the
+    /// conventional identification cutoff) or sits on a critical
+    /// measurement (vanishing covariance diagonal) — i.e. nothing to
+    /// identify.
+    ///
+    /// # Errors
+    /// Returns [`IdentificationError`] when the residual covariance
+    /// cannot be formed — a numerical failure that earlier versions
+    /// silently folded into `None`.
+    pub fn identify(
+        &self,
+        est: &WlsEstimator,
+        result: &StateEstimate,
+    ) -> Result<Option<(usize, f64)>, IdentificationError> {
         let omega = residual_covariance_diag(est)?;
         let mut best: Option<(usize, f64)> = None;
         for (i, r) in result.residual.iter().enumerate() {
@@ -118,39 +171,37 @@ impl BadDataDetector {
                 best = Some((i, rn));
             }
         }
-        best.filter(|&(_, rn)| rn > 3.0)
+        Ok(best.filter(|&(_, rn)| rn > 3.0))
     }
 }
 
 /// Diagonal of the residual covariance `Ω = S·R` with unit `R`, i.e. the
 /// diagonal of `I − H·G⁻¹·Hᵀ` (unit weights assumed, as everywhere in the
-/// paper's DC treatment).
-fn residual_covariance_diag(est: &WlsEstimator) -> Option<Vector> {
-    let h = est.jacobian();
+/// paper's DC treatment). Formed sparsely: `G` inherits the bus-adjacency
+/// pattern, and each diagonal entry needs one sparse solve against a
+/// (≤ `deg+1`)-nonzero right-hand side.
+fn residual_covariance_diag(est: &WlsEstimator) -> Result<Vector, IdentificationError> {
+    let h = est.jacobian_sparse();
     let g = h.transpose().mul_mat(h);
-    let chol = Cholesky::factor(&g).ok()?;
+    let chol = SparseCholesky::factor(&g)?;
     let m = h.num_rows();
     let n = h.num_cols();
     // K = H·G⁻¹·Hᵀ diagonal: for each row hᵢ of H, hᵢ·G⁻¹·hᵢᵀ.
     let mut diag = Vector::zeros(m);
-    // Solve G·X = Hᵀ once per column block.
-    let ht = h.transpose();
-    let mut ginv_ht = Matrix::zeros(n, m);
-    for j in 0..m {
-        let col = ht.col(j);
-        let sol = chol.solve(&col).ok()?;
-        for i in 0..n {
-            ginv_ht[(i, j)] = sol[i];
-        }
-    }
     for i in 0..m {
+        let (cols, vals) = h.row(i);
+        let mut rhs = Vector::zeros(n);
+        for (&j, &v) in cols.iter().zip(vals) {
+            rhs[j] = v;
+        }
+        let sol = chol.solve(&rhs)?;
         let mut k_ii = 0.0;
-        for j in 0..n {
-            k_ii += h[(i, j)] * ginv_ht[(j, i)];
+        for (&j, &v) in cols.iter().zip(vals) {
+            k_ii += v * sol[j];
         }
         diag[i] = (1.0 - k_ii).max(0.0);
     }
-    Some(diag)
+    Ok(diag)
 }
 
 #[cfg(test)]
@@ -198,7 +249,7 @@ mod tests {
             let mut zz = z.clone();
             zz[row] += 20.0;
             let result = est.estimate(&zz).unwrap();
-            if let Some((idx, rn)) = det.identify(&est, &result) {
+            if let Some((idx, rn)) = det.identify(&est, &result).unwrap() {
                 assert_eq!(idx, row, "LNR must point at the corrupted meter");
                 assert!(rn > 3.0);
                 if rn > detect_rn * 1.01 {
@@ -226,7 +277,7 @@ mod tests {
         let attacked = &z + &a;
         let result = est.estimate(&attacked).unwrap();
         assert_eq!(det.detect(&est, &result), Verdict::Clean);
-        assert!(det.identify(&est, &result).is_none());
+        assert!(det.identify(&est, &result).unwrap().is_none());
     }
 
     #[test]
@@ -244,5 +295,36 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn invalid_alpha_panics() {
         let _ = BadDataDetector::new(1.5);
+    }
+
+    #[test]
+    fn numerical_failure_maps_to_a_distinguishing_error() {
+        // The error taxonomy separates "covariance not PD" (lost
+        // observability) from internal dimension inconsistencies — and
+        // both from the Ok(None) no-identification outcome.
+        assert_eq!(
+            IdentificationError::from(CholeskyError::NotPositiveDefinite),
+            IdentificationError::CovarianceNotPositiveDefinite
+        );
+        assert_eq!(
+            IdentificationError::from(CholeskyError::DimensionMismatch {
+                expected: 3,
+                found: 4
+            }),
+            IdentificationError::CovarianceSolveFailed
+        );
+        assert_eq!(
+            IdentificationError::from(CholeskyError::PatternMismatch),
+            IdentificationError::CovarianceSolveFailed
+        );
+    }
+
+    #[test]
+    fn healthy_estimator_identification_is_ok() {
+        let (est, z) = setup();
+        let det = BadDataDetector::new(0.05);
+        let result = est.estimate(&z).unwrap();
+        // Clean data: no error, nothing identified.
+        assert_eq!(det.identify(&est, &result), Ok(None));
     }
 }

@@ -46,7 +46,7 @@ pub mod observability;
 pub mod topology_detect;
 pub mod wls;
 
-pub use bdd::{BadDataDetector, Verdict};
+pub use bdd::{BadDataDetector, IdentificationError, Verdict};
 pub use topology_detect::{TopologyDetector, TopologySuspicion};
 pub use dcflow::{OperatingPoint, PowerFlowError};
 pub use wls::{StateEstimate, UnobservableError, WlsEstimator};

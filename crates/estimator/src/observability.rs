@@ -7,7 +7,7 @@
 //! the object Bobba et al.'s defense secures) live here.
 
 use sta_grid::{BusId, Grid, MeasurementConfig, MeasurementId, Topology};
-use sta_linalg::Matrix;
+use sta_linalg::{CsrMatrix, Matrix, SparseCholesky};
 
 /// Numerical rank of a matrix by Gaussian elimination with partial
 /// pivoting; entries below `1e-9` times the largest are treated as zero.
@@ -75,8 +75,16 @@ pub fn is_observable(
     measurements: &MeasurementConfig,
     reference: BusId,
 ) -> bool {
-    let h = reduced_jacobian(grid, topo, measurements, reference);
-    rank(&h) == grid.num_buses() - 1
+    // Observable ⟺ the gain matrix HᵀH is positive definite. The gain is
+    // formed and factored sparsely, so the check is O(lines)-flavored
+    // instead of the dense rank test's O(m·n²) — the dense [`rank`] stays
+    // available as the oracle (equivalence pinned by property tests).
+    let h = reduced_jacobian_sparse(grid, topo, measurements, reference);
+    if h.num_cols() == 0 {
+        return true; // one-bus system: nothing to estimate
+    }
+    let gain = h.transpose().mul_mat(&h);
+    SparseCholesky::factor(&gain).is_ok()
 }
 
 /// The Jacobian restricted to taken rows and non-reference columns.
@@ -87,6 +95,20 @@ pub fn reduced_jacobian(
     reference: BusId,
 ) -> Matrix {
     let h_full = sta_grid::topology::h_matrix(grid, topo);
+    let taken: Vec<usize> = measurements.taken_ids().map(|m| m.0).collect();
+    let cols: Vec<usize> =
+        (0..grid.num_buses()).filter(|&j| j != reference.0).collect();
+    h_full.select_rows(&taken).select_cols(&cols)
+}
+
+/// Sparse form of [`reduced_jacobian`].
+pub fn reduced_jacobian_sparse(
+    grid: &Grid,
+    topo: &Topology,
+    measurements: &MeasurementConfig,
+    reference: BusId,
+) -> CsrMatrix {
+    let h_full = sta_grid::topology::h_matrix_sparse(grid, topo);
     let taken: Vec<usize> = measurements.taken_ids().map(|m| m.0).collect();
     let cols: Vec<usize> =
         (0..grid.num_buses()).filter(|&j| j != reference.0).collect();
@@ -294,6 +316,34 @@ mod tests {
             sys.reference_bus
         )
         .is_empty());
+    }
+
+    #[test]
+    fn sparse_check_matches_dense_rank_oracle() {
+        let sys = ieee14::system();
+        // Sweep configurations that keep the first k measurements: spans
+        // unobservable (tiny k) through observable (large k).
+        for k in [3usize, 10, 20, 27, 44] {
+            let mut cfg = sys.measurements.clone();
+            for m in 0..cfg.len() {
+                cfg.set_taken(MeasurementId(m), m < k);
+            }
+            let h = reduced_jacobian(&sys.grid, &sys.topology, &cfg, sys.reference_bus);
+            let oracle = rank(&h) == 13;
+            assert_eq!(
+                is_observable(&sys.grid, &sys.topology, &cfg, sys.reference_bus),
+                oracle,
+                "k = {k}"
+            );
+            // The sparse reduced Jacobian is the same matrix.
+            let hs =
+                reduced_jacobian_sparse(&sys.grid, &sys.topology, &cfg, sys.reference_bus);
+            for i in 0..h.num_rows() {
+                for j in 0..h.num_cols() {
+                    assert_eq!(hs.get(i, j), h[(i, j)]);
+                }
+            }
+        }
     }
 
     #[test]

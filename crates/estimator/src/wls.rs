@@ -9,7 +9,7 @@
 
 use crate::chi2;
 use sta_grid::{BusId, Grid, MeasurementConfig, MeasurementId, Topology};
-use sta_linalg::{Cholesky, Matrix, Vector};
+use sta_linalg::{Cholesky, CsrMatrix, Matrix, SparseCholesky, Vector};
 use std::fmt;
 
 /// Error from [`WlsEstimator::estimate`]: the taken measurements do not
@@ -67,8 +67,14 @@ pub struct StateEstimate {
 /// ```
 #[derive(Debug, Clone)]
 pub struct WlsEstimator {
-    /// Jacobian restricted to taken rows and non-reference columns.
-    h_taken: Matrix,
+    /// Jacobian restricted to taken rows and non-reference columns, in
+    /// compressed sparse rows (the DC Jacobian has ≤ `deg+1` nonzeros
+    /// per row, so this is O(lines) storage at any grid size).
+    h_sparse: CsrMatrix,
+    /// Dense copy of the same Jacobian, materialized lazily on first use
+    /// (the [`Self::jacobian`] accessor or the dense-oracle estimation
+    /// path) so the sparse pipeline never pays the O(m·n) expansion.
+    h_taken: std::sync::OnceLock<Matrix>,
     /// Row map: taken-measurement row → potential measurement index.
     taken_rows: Vec<usize>,
     /// Column map: reduced column → bus index.
@@ -76,9 +82,17 @@ pub struct WlsEstimator {
     /// Diagonal weights per taken row.
     weights: Vec<f64>,
     /// Cached Cholesky factor of the gain matrix `HᵀWH`.
-    gain: Cholesky,
+    gain: Gain,
     num_buses: usize,
     reference: BusId,
+}
+
+/// The cached gain-matrix factorization: sparse by default, dense when
+/// constructed through the oracle path ([`WlsEstimator::new_dense`]).
+#[derive(Debug, Clone)]
+enum Gain {
+    Sparse(SparseCholesky),
+    Dense(Cholesky),
 }
 
 impl WlsEstimator {
@@ -114,6 +128,53 @@ impl WlsEstimator {
         reference: BusId,
         weights: Option<Vec<f64>>,
     ) -> Result<Self, UnobservableError> {
+        let h_full = sta_grid::topology::h_matrix_sparse(grid, topo);
+        let taken_rows: Vec<usize> = measurements.taken_ids().map(|m| m.0).collect();
+        let state_cols: Vec<usize> =
+            (0..grid.num_buses()).filter(|&j| j != reference.0).collect();
+        let h_sparse = h_full.select_rows(&taken_rows).select_cols(&state_cols);
+        let weights = match weights {
+            Some(w) => {
+                assert_eq!(w.len(), taken_rows.len(), "one weight per taken row");
+                w
+            }
+            None => vec![1.0; taken_rows.len()],
+        };
+        // Gain `HᵀWH` formed sparsely: it inherits the bus-adjacency
+        // pattern, so both the product and its AMD-ordered LDLᵀ factor
+        // stay O(lines)-sized.
+        let htw = h_sparse.transpose().scale_cols(&weights);
+        let gain = SparseCholesky::factor(&htw.mul_mat(&h_sparse))
+            .map_err(|_| UnobservableError)?;
+        Ok(WlsEstimator {
+            h_sparse,
+            h_taken: std::sync::OnceLock::new(),
+            taken_rows,
+            state_cols,
+            weights,
+            gain: Gain::Sparse(gain),
+            num_buses: grid.num_buses(),
+            reference,
+        })
+    }
+
+    /// Builds an estimator on the dense pipeline: dense Jacobian, dense
+    /// gain product, dense Cholesky. Kept as the correctness oracle for
+    /// the sparse path (equivalence is pinned by property tests) and as
+    /// the slow side of the `scale` bench suite.
+    ///
+    /// # Errors
+    /// Returns [`UnobservableError`] if `HᵀWH` is not positive definite.
+    ///
+    /// # Panics
+    /// Panics if `weights` is provided with the wrong length.
+    pub fn new_dense(
+        grid: &Grid,
+        topo: &Topology,
+        measurements: &MeasurementConfig,
+        reference: BusId,
+        weights: Option<Vec<f64>>,
+    ) -> Result<Self, UnobservableError> {
         let h_full = sta_grid::topology::h_matrix(grid, topo);
         let taken_rows: Vec<usize> = measurements.taken_ids().map(|m| m.0).collect();
         let state_cols: Vec<usize> =
@@ -129,12 +190,16 @@ impl WlsEstimator {
         let htw = h_taken.transpose().scale_cols(&weights);
         let gain = Cholesky::factor(&htw.mul_mat(&h_taken))
             .map_err(|_| UnobservableError)?;
+        let h_sparse = CsrMatrix::from_dense(&h_taken);
+        let dense_cache = std::sync::OnceLock::new();
+        let _ = dense_cache.set(h_taken);
         Ok(WlsEstimator {
-            h_taken,
+            h_sparse,
+            h_taken: dense_cache,
             taken_rows,
             state_cols,
             weights,
-            gain,
+            gain: Gain::Dense(gain),
             num_buses: grid.num_buses(),
             reference,
         })
@@ -151,9 +216,14 @@ impl WlsEstimator {
     }
 
     /// The taken-row Jacobian (rows in taken order, reference column
-    /// removed).
+    /// removed), expanded to dense storage on first call.
     pub fn jacobian(&self) -> &Matrix {
-        &self.h_taken
+        self.h_taken.get_or_init(|| self.h_sparse.to_dense())
+    }
+
+    /// The same Jacobian in compressed sparse rows.
+    pub fn jacobian_sparse(&self) -> &CsrMatrix {
+        &self.h_sparse
     }
 
     /// Potential-measurement indices of the taken rows, in row order.
@@ -189,10 +259,28 @@ impl WlsEstimator {
     /// Panics if `z.len() != self.num_measurements()`.
     pub fn estimate(&self, z: &Vector) -> Result<StateEstimate, UnobservableError> {
         assert_eq!(z.len(), self.num_measurements(), "measurement dimension");
-        let htw = self.h_taken.transpose().scale_cols(&self.weights);
-        let rhs = htw.mul_vec(z);
-        let x = self.gain.solve(&rhs).map_err(|_| UnobservableError)?;
-        let estimated = self.h_taken.mul_vec(&x);
+        let (x, estimated) = match &self.gain {
+            Gain::Sparse(gain) => {
+                // rhs = Hᵀ·(w ∘ z), in one sparse pass.
+                let wz: Vector = z
+                    .iter()
+                    .zip(&self.weights)
+                    .map(|(zi, w)| zi * w)
+                    .collect();
+                let rhs = self.h_sparse.mul_vec_transposed(&wz);
+                let x = gain.solve(&rhs).map_err(|_| UnobservableError)?;
+                let estimated = self.h_sparse.mul_vec(&x);
+                (x, estimated)
+            }
+            Gain::Dense(gain) => {
+                let h = self.jacobian();
+                let htw = h.transpose().scale_cols(&self.weights);
+                let rhs = htw.mul_vec(z);
+                let x = gain.solve(&rhs).map_err(|_| UnobservableError)?;
+                let estimated = h.mul_vec(&x);
+                (x, estimated)
+            }
+        };
         let residual = z - &estimated;
         let weighted_sse = residual
             .iter()
@@ -359,6 +447,68 @@ mod tests {
         let z = est.measure(&op);
         let result = est.estimate(&z).unwrap();
         assert!(result.residual_norm < 1e-6);
+    }
+
+    #[test]
+    fn sparse_and_dense_pipelines_agree() {
+        let sys = ieee14::system();
+        let mut w = vec![1.0; 44];
+        for (i, wi) in w.iter_mut().enumerate() {
+            *wi = 1.0 + 0.1 * (i % 7) as f64;
+        }
+        let sparse = WlsEstimator::new(
+            &sys.grid,
+            &sys.topology,
+            &sys.measurements,
+            sys.reference_bus,
+            Some(w.clone()),
+        )
+        .unwrap();
+        let dense = WlsEstimator::new_dense(
+            &sys.grid,
+            &sys.topology,
+            &sys.measurements,
+            sys.reference_bus,
+            Some(w),
+        )
+        .unwrap();
+        let injections = dcflow::synthetic_injections(14, 3);
+        let op =
+            dcflow::solve(&sys.grid, &sys.topology, &injections, sys.reference_bus)
+                .unwrap();
+        let mut z = sparse.measure(&op);
+        for i in 0..z.len() {
+            z[i] += 0.002 * ((i as f64 * 1.3).cos());
+        }
+        let rs = sparse.estimate(&z).unwrap();
+        let rd = dense.estimate(&z).unwrap();
+        for j in 0..14 {
+            assert!((rs.theta[j] - rd.theta[j]).abs() < 1e-9, "bus {j}");
+        }
+        assert!((rs.weighted_sse - rd.weighted_sse).abs() < 1e-9);
+        // The accessors describe the same Jacobian.
+        for i in 0..sparse.num_measurements() {
+            for k in 0..sparse.num_states() {
+                assert_eq!(
+                    sparse.jacobian_sparse().get(i, k),
+                    sparse.jacobian()[(i, k)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_oracle_rejects_unobservable_too() {
+        let sys = ieee14::system();
+        let mut cfg = sys.measurements.clone();
+        for m in 0..cfg.len() {
+            cfg.set_taken(MeasurementId(m), m < 3);
+        }
+        assert_eq!(
+            WlsEstimator::new_dense(&sys.grid, &sys.topology, &cfg, sys.reference_bus, None)
+                .unwrap_err(),
+            UnobservableError
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! telemetered statuses.
 
 use crate::model::{BusId, Grid, LineId};
-use sta_linalg::Matrix;
+use sta_linalg::{CsrMatrix, Matrix};
 
 /// The in-service status of every line — the output of the topology
 /// processor, i.e. what state estimation believes the network looks like.
@@ -167,6 +167,33 @@ pub fn h_matrix(grid: &Grid, topo: &Topology) -> Matrix {
     h
 }
 
+/// Sparse form of [`h_matrix`]: same `(2l+b) × b` Jacobian built directly
+/// from triplets. Every flow row has exactly 2 nonzeros and every
+/// consumption row at most `deg(bus) + 1` entries on the bus's neighbor
+/// columns, so the matrix has O(l) nonzeros regardless of grid size —
+/// this is what lets WLS and observability analysis scale past the
+/// 14-bus cases.
+pub fn h_matrix_sparse(grid: &Grid, topo: &Topology) -> CsrMatrix {
+    let l = grid.num_lines();
+    let b = grid.num_buses();
+    let mut triplets = Vec::with_capacity(8 * l);
+    for (i, line) in grid.lines().iter().enumerate() {
+        if !topo.is_in_service(LineId(i)) {
+            continue;
+        }
+        let (f, t, y) = (line.from.0, line.to.0, line.admittance);
+        triplets.push((i, f, y));
+        triplets.push((i, t, -y));
+        triplets.push((l + i, f, -y));
+        triplets.push((l + i, t, y));
+        triplets.push((2 * l + t, f, y));
+        triplets.push((2 * l + t, t, -y));
+        triplets.push((2 * l + f, f, -y));
+        triplets.push((2 * l + f, t, y));
+    }
+    CsrMatrix::from_triplets(2 * l + b, b, &triplets)
+}
+
 /// The DC power-flow susceptance matrix `B = AᵀDA` (`b × b`) restricted to
 /// the in-service topology.
 pub fn b_matrix(grid: &Grid, topo: &Topology) -> Matrix {
@@ -307,6 +334,25 @@ mod tests {
         }
         // Bus 2 consumption now only sees line 2.
         assert_eq!(h[(8, 1)], 0.0);
+    }
+
+    #[test]
+    fn sparse_jacobian_matches_dense() {
+        let g = triangle();
+        for topo in [
+            Topology::all_closed(&g),
+            Topology::all_closed(&g).with_line_open(LineId(1)),
+        ] {
+            let dense = h_matrix(&g, &topo);
+            let sparse = h_matrix_sparse(&g, &topo);
+            assert_eq!(sparse.num_rows(), dense.num_rows());
+            assert_eq!(sparse.num_cols(), dense.num_cols());
+            for i in 0..dense.num_rows() {
+                for j in 0..dense.num_cols() {
+                    assert_eq!(sparse.get(i, j), dense[(i, j)], "({i},{j})");
+                }
+            }
+        }
     }
 
     #[test]

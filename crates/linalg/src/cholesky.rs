@@ -10,18 +10,46 @@ use crate::matrix::Matrix;
 use crate::vector::Vector;
 use std::fmt;
 
-/// Error returned when the matrix is not positive definite (to working
-/// precision).
+/// Failure modes shared by the dense and sparse Cholesky paths.
+///
+/// Dimension problems are errors rather than panics because both paths
+/// are reachable from `caseformat`-loaded user case files whose
+/// measurement dimensions may be inconsistent; a malformed case must
+/// surface as a diagnosable `Err`, not abort the process.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct NotPositiveDefiniteError;
+pub enum CholeskyError {
+    /// A diagonal pivot was not sufficiently positive — for the WLS gain
+    /// matrix, the unobservability signal.
+    NotPositiveDefinite,
+    /// Factorization was asked of a non-square matrix.
+    NotSquare { rows: usize, cols: usize },
+    /// A solve right-hand side does not match the factored dimension.
+    DimensionMismatch { expected: usize, found: usize },
+    /// A sparse refactorization was asked against a symbolic analysis of
+    /// a different sparsity pattern.
+    PatternMismatch,
+}
 
-impl fmt::Display for NotPositiveDefiniteError {
+impl fmt::Display for CholeskyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("matrix is not positive definite to working precision")
+        match self {
+            CholeskyError::NotPositiveDefinite => {
+                f.write_str("matrix is not positive definite to working precision")
+            }
+            CholeskyError::NotSquare { rows, cols } => {
+                write!(f, "Cholesky needs a square matrix, got {rows}x{cols}")
+            }
+            CholeskyError::DimensionMismatch { expected, found } => {
+                write!(f, "solve: expected a length-{expected} right-hand side, got {found}")
+            }
+            CholeskyError::PatternMismatch => {
+                f.write_str("matrix pattern differs from the symbolic analysis")
+            }
+        }
     }
 }
 
-impl std::error::Error for NotPositiveDefiniteError {}
+impl std::error::Error for CholeskyError {}
 
 /// A Cholesky factorization `A = L·Lᵀ`.
 ///
@@ -51,13 +79,13 @@ impl Cholesky {
     /// Only the lower triangle of `a` is read.
     ///
     /// # Errors
-    /// Returns [`NotPositiveDefiniteError`] if a diagonal pivot is not
+    /// Returns [`CholeskyError::NotSquare`] for non-square input, and
+    /// [`CholeskyError::NotPositiveDefinite`] if a diagonal pivot is not
     /// sufficiently positive.
-    ///
-    /// # Panics
-    /// Panics if `a` is not square.
-    pub fn factor(a: &Matrix) -> Result<Cholesky, NotPositiveDefiniteError> {
-        assert_eq!(a.num_rows(), a.num_cols(), "Cholesky needs a square matrix");
+    pub fn factor(a: &Matrix) -> Result<Cholesky, CholeskyError> {
+        if a.num_rows() != a.num_cols() {
+            return Err(CholeskyError::NotSquare { rows: a.num_rows(), cols: a.num_cols() });
+        }
         let n = a.num_rows();
         let tol = 1e-12 * a.norm_max().max(1.0);
         let mut l = Matrix::zeros(n, n);
@@ -67,7 +95,7 @@ impl Cholesky {
                 d -= l[(j, k)] * l[(j, k)];
             }
             if d <= tol {
-                return Err(NotPositiveDefiniteError);
+                return Err(CholeskyError::NotPositiveDefinite);
             }
             let dj = d.sqrt();
             l[(j, j)] = dj;
@@ -85,14 +113,13 @@ impl Cholesky {
     /// Solves `A·x = b`.
     ///
     /// # Errors
-    /// Never fails once factored; `Result` provided for `?`-chaining
-    /// symmetry with [`Cholesky::factor`].
-    ///
-    /// # Panics
-    /// Panics if `b.len()` differs from the matrix dimension.
-    pub fn solve(&self, b: &Vector) -> Result<Vector, NotPositiveDefiniteError> {
+    /// Returns [`CholeskyError::DimensionMismatch`] if `b.len()` differs
+    /// from the factored dimension.
+    pub fn solve(&self, b: &Vector) -> Result<Vector, CholeskyError> {
         let n = self.l.num_rows();
-        assert_eq!(b.len(), n, "solve: dimension mismatch");
+        if b.len() != n {
+            return Err(CholeskyError::DimensionMismatch { expected: n, found: b.len() });
+        }
         // L·y = b
         let mut y = Vector::zeros(n);
         for i in 0..n {
@@ -161,5 +188,24 @@ mod tests {
     fn rejects_semidefinite() {
         let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]);
         assert!(Cholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn non_square_input_is_an_error_not_a_panic() {
+        let a = Matrix::zeros(2, 3);
+        assert_eq!(
+            Cholesky::factor(&a).unwrap_err(),
+            CholeskyError::NotSquare { rows: 2, cols: 3 }
+        );
+    }
+
+    #[test]
+    fn mismatched_rhs_is_an_error_not_a_panic() {
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert_eq!(
+            ch.solve(&Vector::zeros(3)).unwrap_err(),
+            CholeskyError::DimensionMismatch { expected: 2, found: 3 }
+        );
     }
 }

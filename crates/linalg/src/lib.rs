@@ -1,10 +1,17 @@
-//! Dense linear algebra substrate for the state-estimation stack.
+//! Linear algebra substrate for the state-estimation stack.
 //!
 //! The paper's estimator needs exactly the classical kit: dense
 //! matrix/vector arithmetic ([`Matrix`], [`Vector`]), LU with partial
 //! pivoting ([`Lu`]) for general square solves, and Cholesky ([`Cholesky`])
 //! for the symmetric positive-definite WLS normal equations. Everything is
 //! `f64`; the exact-arithmetic side of the project lives in `sta-smt`.
+//!
+//! Large grids additionally get a sparse path: [`CsrMatrix`] (compressed
+//! sparse rows, built from triplets) and [`SparseCholesky`] (up-looking
+//! `LDLᵀ` with an approximate-minimum-degree ordering, split into
+//! symbolic ([`SparseSymbolic`]) and numeric phases). The dense types are
+//! the correctness oracle: sparse results must match them to within
+//! round-off, and equivalence is pinned by property tests.
 //!
 //! # Examples
 //!
@@ -32,12 +39,16 @@ pub mod lu;
 pub mod qr;
 pub mod matrix;
 pub mod rng;
+pub mod sparse;
+pub mod sparse_cholesky;
 pub mod vector;
 
-pub use cholesky::{Cholesky, NotPositiveDefiniteError};
+pub use cholesky::{Cholesky, CholeskyError};
 pub use lu::{Lu, SingularMatrixError};
 pub use qr::{Qr, RankDeficientError};
 pub use matrix::Matrix;
+pub use sparse::CsrMatrix;
+pub use sparse_cholesky::{amd_order, SparseCholesky, SparseSymbolic};
 pub use vector::Vector;
 
 #[cfg(test)]

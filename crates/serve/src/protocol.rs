@@ -301,6 +301,20 @@ mod tests {
     }
 
     #[test]
+    fn u64_max_timeout_parses_unclamped() {
+        // The protocol performs no range validation on timeout_ms — the
+        // budget layer is what must survive the extreme value (regression
+        // for the Instant-overflow panic in Budget::with_timeout).
+        let req = parse_request(
+            "{\"id\":\"t\",\"op\":\"verify\",\"case\":\"ieee14\",\
+             \"timeout_ms\":18446744073709551615}",
+        )
+        .expect("parses");
+        let Op::Verify(q) = req.op else { panic!("expected verify") };
+        assert_eq!(q.timeout_ms, Some(u64::MAX));
+    }
+
+    #[test]
     fn parse_error_has_no_id() {
         let err = parse_request("not json").expect_err("must fail");
         assert_eq!(err.kind, ErrorKind::Parse);

@@ -231,6 +231,23 @@ fn expired_deadline_reports_unknown_and_leaves_the_session_usable() {
 }
 
 #[test]
+fn huge_timeout_ms_is_no_deadline_not_a_worker_panic() {
+    // Regression: "timeout_ms": u64::MAX used to overflow Instant
+    // arithmetic in Budget::with_timeout and panic the worker thread,
+    // killing the request. It must behave as "no deadline".
+    let handle = boot("hugetimeout", 2, 2);
+    let reply = client::request(
+        handle.addr(),
+        &verify_line("huge", "ieee14", None, ",\"timeout_ms\":18446744073709551615"),
+    )
+    .expect("request with overflowing timeout completes");
+    let reply = final_json(&reply);
+    assert_eq!(str_at(&reply, &["type"]), Some("response"));
+    assert_eq!(str_at(&reply, &["verdict"]), Some("sat"));
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
 fn trace_lines_interleave_before_the_response() {
     let handle = boot("trace", 2, 2);
     let lines = client::request(

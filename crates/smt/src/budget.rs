@@ -54,8 +54,13 @@ impl Budget {
     }
 
     /// A budget that times out `timeout` from now.
+    ///
+    /// A `timeout` too large to represent as an `Instant` (e.g. a
+    /// client-supplied `u64::MAX` milliseconds) means "no deadline"
+    /// rather than a panic — the request is unvalidated user input at
+    /// both the serve-protocol and scenario entry points.
     pub fn with_timeout(timeout: Duration) -> Self {
-        Budget { deadline: Some(Instant::now() + timeout), cancel: None }
+        Budget { deadline: Instant::now().checked_add(timeout), cancel: None }
     }
 
     /// Sets an absolute deadline.
@@ -132,6 +137,21 @@ mod tests {
     fn generous_timeout_not_yet_exhausted() {
         let b = Budget::with_timeout(Duration::from_secs(3600));
         assert!(b.is_limited());
+        assert!(b.exhausted().is_none());
+    }
+
+    #[test]
+    fn overflowing_timeout_means_no_deadline_not_a_panic() {
+        // Timeouts too large for Instant arithmetic (platform-dependent;
+        // Duration::MAX overflows everywhere) must degrade to "no
+        // deadline" instead of panicking the worker.
+        let b = Budget::with_timeout(Duration::MAX);
+        assert!(b.exhausted().is_none());
+        // The overflowed deadline cannot limit the solve.
+        assert!(!b.is_limited());
+        // u64::MAX milliseconds — the wire-reachable extreme — must be
+        // harmless whether or not it overflows on this platform.
+        let b = Budget::with_timeout(Duration::from_millis(u64::MAX));
         assert!(b.exhausted().is_none());
     }
 

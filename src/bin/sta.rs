@@ -158,7 +158,7 @@ fn usage() -> ExitCode {
          sta campaign [<case>] [--jobs N] [--timeout-ms MS] [--certify off|models|full] \
          [--topology] [--force-timeout] [--out FILE] [--strip-timing] [--incremental on|off] \
          [--trace FILE] [--metrics] [--profile]\n  \
-         sta bench [--suite smoke|sweep|cegis|serve] [--reps N] [--jobs N] [--out FILE] \
+         sta bench [--suite smoke|sweep|cegis|serve|scale] [--reps N] [--jobs N] [--out FILE] \
          [--baseline FILE] [--against FILE] [--threshold PCT]\n  \
          sta serve --listen <path|host:port> [--jobs N] [--max-sessions K] \
          [--queue N] [--drain-ms MS]\n  \
@@ -645,14 +645,17 @@ fn cmd_bench(args: &[String]) -> Result<ExitCode, String> {
             read_result(path)?
         }
         None => {
-            // The serve suite boots its own in-process server per rep, so
-            // it lives in `sta-serve` rather than the campaign registry.
+            // The serve suite boots its own in-process server per rep,
+            // and the scale suite times estimator calls outside the
+            // pool, so both live outside the campaign-spec registry.
             let result = if suite_name == "serve" {
                 sta::serve::bench::run_serve_suite(reps, jobs)?
+            } else if suite_name == "scale" {
+                bench::run_scale_suite(reps, jobs)?
             } else {
                 let spec = bench::suite(&suite_name).ok_or_else(|| {
                     format!(
-                        "unknown suite {suite_name:?} (expected one of: {}, serve)",
+                        "unknown suite {suite_name:?} (expected one of: {}, serve, scale)",
                         bench::suite_names().join(", ")
                     )
                 })?;

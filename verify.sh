@@ -27,6 +27,11 @@
 #      removes its socket file
 #   9. serve bench: `sta bench --suite serve --reps 5` medians — a warm
 #      request (cached session) must beat the cold request that built it
+#  10. scale bench: `sta bench --suite scale --reps 1` runs the WLS /
+#      observability / verify ladder at 14..300 buses to completion with
+#      a schema-valid report, and the 300-bus sparse WLS median must be
+#      at least 10x faster than the dense-oracle median — the sparse
+#      numerics are what lifts the 14-bus ceiling, so CI pins the ratio
 #
 # No network access is required; the script fails fast on the first error.
 set -euo pipefail
@@ -245,6 +250,28 @@ fi
 echo "    cold median: ${cold_us} us, warm median: ${warm_us} us"
 if [ "$warm_us" -ge "$cold_us" ]; then
     echo "warm serve requests must beat cold (got ${cold_us} us -> ${warm_us} us)" >&2
+    exit 1
+fi
+
+echo "==> scale bench: sparse WLS must beat the dense oracle 10x at 300 buses"
+./target/release/sta bench --suite scale --reps 1 --out BENCH_scale.ci.json >/dev/null
+grep -q '"schema":"sta-bench/v1"' BENCH_scale.ci.json || {
+    echo "scale bench output is missing the sta-bench/v1 schema tag" >&2
+    exit 1
+}
+# Deterministic self-diff: the fresh report must parse and diff cleanly
+# against itself (same schema/regression machinery as the smoke suites).
+./target/release/sta bench --baseline BENCH_scale.ci.json \
+    --against BENCH_scale.ci.json >/dev/null
+sparse_us="$(sed -n 's/.*"label":"wls-sparse-300"[^}]*"wall_us":\([0-9]*\).*/\1/p' BENCH_scale.ci.json)"
+dense_us="$(sed -n 's/.*"label":"wls-dense-300"[^}]*"wall_us":\([0-9]*\).*/\1/p' BENCH_scale.ci.json)"
+if [ -z "$sparse_us" ] || [ -z "$dense_us" ]; then
+    echo "could not extract 300-bus WLS medians from BENCH_scale.ci.json" >&2
+    exit 1
+fi
+echo "    300-bus WLS median: sparse ${sparse_us} us, dense ${dense_us} us"
+if [ $((sparse_us * 10)) -gt "$dense_us" ]; then
+    echo "300-bus sparse WLS must be >= 10x faster than dense (got sparse ${sparse_us} us vs dense ${dense_us} us)" >&2
     exit 1
 fi
 
