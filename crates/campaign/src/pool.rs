@@ -65,6 +65,12 @@ pub struct RunOptions {
     /// (conflict/restart/pivot rates over the search; see
     /// [`sta_smt::ProgressSample`]).
     pub progress: bool,
+    /// Emit a campaign-level [`TraceEvent::Heartbeat`] into the trace
+    /// sink at this cadence while jobs run (one is always emitted
+    /// immediately at run start so even sub-period campaigns show
+    /// liveness). Ignored when no sink is attached. `None` disables the
+    /// monitor thread entirely.
+    pub heartbeat: Option<Duration>,
 }
 
 impl RunOptions {
@@ -121,24 +127,73 @@ pub fn run_with(
     let buckets: Vec<Mutex<Vec<JobResult>>> =
         (0..workers).map(|_| Mutex::new(Vec::new())).collect();
 
+    let finished = std::sync::atomic::AtomicUsize::new(0);
+    let stop = std::sync::atomic::AtomicBool::new(false);
     std::thread::scope(|scope| {
-        for w in 0..workers {
-            let queues = &queues;
-            let buckets = &buckets;
-            scope.spawn(move || {
-                let mut sessions: BTreeMap<(usize, bool), VerifySession> =
-                    BTreeMap::new();
-                let mut done = Vec::new();
-                while let Some(job) = next_job(queues, w) {
-                    let result = execute(spec, job, w, &mut sessions, options);
-                    if let Some(sink) = sink {
-                        sink.emit_all(&job_events(&result));
+        use std::sync::atomic::Ordering;
+        let stop = &stop;
+        let finished = &finished;
+        // The heartbeat monitor runs beside the workers: it owns no jobs,
+        // only reads the shared done-counter and the clock, and is stopped
+        // (and joined by the scope) once every worker has drained.
+        if let (Some(sink), Some(period)) = (sink, options.heartbeat) {
+            let clock = options.clock.clone();
+            scope.spawn(move || loop {
+                let elapsed = clock.now().saturating_sub(start);
+                sink.emit(&TraceEvent::Heartbeat {
+                    done: finished.load(Ordering::Relaxed),
+                    total: n_jobs,
+                    elapsed_us: elapsed.as_micros() as u64,
+                });
+                // Sleep in short slices so the stop flag is noticed well
+                // before a long period elapses.
+                let mut waited = Duration::ZERO;
+                while waited < period {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
                     }
-                    done.push(result);
+                    let slice = Duration::from_millis(10).min(period - waited);
+                    std::thread::sleep(slice);
+                    waited += slice;
                 }
-                let mut bucket = lock(&buckets[w]);
-                bucket.extend(done);
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
             });
+        }
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queues = &queues;
+                let buckets = &buckets;
+                scope.spawn(move || {
+                    let mut sessions: BTreeMap<(usize, bool), VerifySession> =
+                        BTreeMap::new();
+                    let mut done = Vec::new();
+                    while let Some(job) = next_job(queues, w) {
+                        let result = execute(spec, job, w, &mut sessions, options);
+                        if let Some(sink) = sink {
+                            sink.emit_all(&job_events(&result));
+                        }
+                        finished.fetch_add(1, Ordering::Relaxed);
+                        done.push(result);
+                    }
+                    let mut bucket = lock(&buckets[w]);
+                    bucket.extend(done);
+                })
+            })
+            .collect();
+        let mut panicked = None;
+        for h in handles {
+            if let Err(payload) = h.join() {
+                panicked = Some(payload);
+            }
+        }
+        // Raise the stop flag before re-raising any worker panic: the
+        // scope joins the monitor during unwind, and it only exits once
+        // the flag is up.
+        stop.store(true, Ordering::Relaxed);
+        if let Some(payload) = panicked {
+            std::panic::resume_unwind(payload);
         }
     });
 
@@ -588,6 +643,32 @@ mod tests {
         let report = run(&spec, 4);
         assert!(report.results.is_empty());
         assert_eq!(report.summary(), Vec::<(&str, usize)>::new());
+    }
+
+    #[test]
+    fn heartbeat_monitor_emits_at_least_one_event() {
+        let spec = tiny_spec();
+        let collect = sta_smt::CollectSink::new();
+        let shared = SharedSink::new(Box::new(collect.clone()));
+        let mut options = RunOptions::with_workers(2);
+        options.heartbeat = Some(Duration::from_millis(5));
+        let report = run_with(&spec, &options, Some(&shared));
+        assert_eq!(report.results.len(), 3);
+        let events = collect.events();
+        let heartbeats: Vec<(usize, usize)> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Heartbeat { done, total, .. } => Some((*done, *total)),
+                _ => None,
+            })
+            .collect();
+        // One heartbeat fires unconditionally at run start, so even a
+        // campaign faster than the period shows liveness.
+        assert!(!heartbeats.is_empty());
+        for (done, total) in heartbeats {
+            assert_eq!(total, 3);
+            assert!(done <= 3);
+        }
     }
 
     #[test]

@@ -10,6 +10,12 @@
 //! diff machinery — `sta bench --baseline/--against` — covers the
 //! service layer too. Warm beating cold by a wide margin is the whole
 //! point of the session cache; `verify.sh` asserts it on medians.
+//!
+//! A third job, `warm-verify-notelemetry`, repeats the warm measurement
+//! against a server booted with `telemetry: false` — the same load with
+//! histogram recording off. The telemetry-on/off medians price the
+//! measurement plane itself, and `verify.sh` gates that the overhead
+//! stays within a small bound.
 
 use crate::client;
 use crate::server::{spawn, ServeConfig};
@@ -84,6 +90,7 @@ pub fn run_serve_suite(reps: usize, jobs: usize) -> Result<BenchResult, String> 
     };
     let mut cold = Vec::with_capacity(reps);
     let mut warm = Vec::with_capacity(reps);
+    let mut warm_off = Vec::with_capacity(reps);
     for rep in 0..reps {
         let mut config = ServeConfig::new(unique_listen_addr(&format!("bench{rep}")));
         config.jobs = jobs.max(1);
@@ -93,6 +100,17 @@ pub fn run_serve_suite(reps: usize, jobs: usize) -> Result<BenchResult, String> 
         handle.stop()?;
         cold.push(cold_sample?);
         warm.push(warm_sample?);
+        // The overhead pair: the identical warm request against a server
+        // with histogram recording disabled.
+        let mut config = ServeConfig::new(unique_listen_addr(&format!("benchoff{rep}")));
+        config.jobs = jobs.max(1);
+        config.telemetry = false;
+        let handle = spawn(config)?;
+        let prime = round_trip(&clock, handle.addr(), &request_line("cold"));
+        let off_sample = round_trip(&clock, handle.addr(), &request_line("warm"));
+        handle.stop()?;
+        prime?;
+        warm_off.push(off_sample?);
     }
     let job = |id: u64, label: &str, samples: &[Sample]| JobMeasurement {
         id,
@@ -109,7 +127,11 @@ pub fn run_serve_suite(reps: usize, jobs: usize) -> Result<BenchResult, String> 
         reps: reps as u64,
         workers: jobs.max(1) as u64,
         env: BenchEnv::capture(),
-        jobs: vec![job(0, "cold-verify", &cold), job(1, "warm-verify", &warm)],
+        jobs: vec![
+            job(0, "cold-verify", &cold),
+            job(1, "warm-verify", &warm),
+            job(2, "warm-verify-notelemetry", &warm_off),
+        ],
         latency: Vec::new(),
     })
 }

@@ -37,6 +37,43 @@ pub fn request(addr: &str, line: &str) -> Result<Vec<String>, String> {
     Err("connection closed before a response arrived".into())
 }
 
+/// Sends one request line to `addr` and hands every non-final reply line
+/// to `on_line` as it arrives — the streaming interface `watch`
+/// subscriptions and live dashboards need (a `watch` emits unboundedly
+/// many lines, so collecting like [`request`] would never return).
+/// Returns the final `response`/`error` line. `on_line` returning
+/// `false` abandons the stream early: the connection drops, which the
+/// server notices at its next write.
+pub fn stream(
+    addr: &str,
+    line: &str,
+    mut on_line: impl FnMut(&str) -> bool,
+) -> Result<Option<String>, String> {
+    let mut stream =
+        net::connect(addr).map_err(|e| format!("cannot connect to {addr:?}: {e}"))?;
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|_| stream.write_all(b"\n"))
+        .and_then(|_| stream.flush())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let reader = BufReader::new(
+        stream.try_clone().map_err(|e| format!("cannot clone stream: {e}"))?,
+    );
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("connection failed mid-reply: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if is_final(&line) {
+            return Ok(Some(line));
+        }
+        if !on_line(&line) {
+            return Ok(None);
+        }
+    }
+    Err("connection closed before a response arrived".into())
+}
+
 /// Whether a reply line terminates the request (`type` is `response` or
 /// `error`, as opposed to an interleaved `trace` line).
 pub fn is_final(line: &str) -> bool {

@@ -22,9 +22,19 @@
 //!   past capacity the service answers `overloaded` instead of queueing
 //!   unboundedly. Per-request deadlines become [`sta_smt::Budget`]s with
 //!   cancel tokens, so a graceful drain can cut stragglers loose.
+//! * **Telemetry** ([`metrics`]): an always-on measurement plane —
+//!   per-op atomic counters, latency and queue-wait histograms, error
+//!   taxonomy counts — snapshotted as schema-versioned `sta-metrics/v1`
+//!   JSON or Prometheus text via the `metrics` op, folded into an
+//!   enriched `stats`, and streamed periodically over `watch`
+//!   subscriptions. Campaign requests with `trace:true` stream per-job
+//!   progress events live instead of reporting only at the end.
 //! * **Client** ([`client`]): the one-shot helper behind `sta client` —
 //!   send one request line, collect trace lines until the matching
 //!   response, map the verdict onto the CLI's exit codes.
+//! * **Dashboard** ([`top`]): the terminal renderer behind `sta top` —
+//!   queue depth, worker occupancy, cache temperature and per-op
+//!   latency percentiles over a `watch` stream.
 //! * **Bench** ([`bench`]): the `sta bench --suite serve` harness pinning
 //!   warm-vs-cold request latency in the perf trajectory.
 //!
@@ -40,10 +50,13 @@
 pub mod bench;
 pub mod cache;
 pub mod client;
+pub mod metrics;
 pub mod net;
 pub mod protocol;
 pub mod server;
+pub mod top;
 
 pub use cache::{SessionCache, SessionKey};
-pub use protocol::{ErrorKind, Op, ProtocolError, Query, Request};
+pub use metrics::{MetricOp, MetricsRegistry, MetricsSnapshot, ServiceGauges};
+pub use protocol::{ErrorKind, MetricsFormat, Op, ProtocolError, Query, Request};
 pub use server::{spawn, ServeConfig, Server, ServerHandle};

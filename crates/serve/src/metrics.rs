@@ -1,0 +1,657 @@
+//! Service telemetry: per-op counters, gauges and latency histograms.
+//!
+//! The registry is the service's always-on measurement plane: every
+//! request increments lock-free atomic counters, and (unless telemetry is
+//! disabled) records its end-to-end latency and its queue wait —
+//! admission to worker pickup — into per-op
+//! [`LatencyHistogram`]s. Snapshots fold in the point-in-time gauges the
+//! server owns (queue depth, worker occupancy, session-cache
+//! temperature) and render in two exposition formats:
+//!
+//! * **`sta-metrics/v1` JSON** — one schema-versioned object, embedded in
+//!   `metrics`/`watch` response lines and consumed by `sta top`;
+//! * **Prometheus text exposition** — `# HELP`/`# TYPE`-disciplined
+//!   families with static label tokens, for scrape-based collection.
+//!
+//! Everything here is strictly observational: counters and clocks never
+//! feed back into solver results, so the service's byte-determinism
+//! contract (`"timing":false` responses identical across worker counts)
+//! is unaffected by telemetry being on or off. All timing flows through
+//! the injected [`sta_smt::Clock`] readings the server already takes —
+//! this module never reads a wall clock itself.
+
+use crate::protocol::ErrorKind;
+use sta_campaign::LatencyHistogram;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The metrics-snapshot schema version tag.
+pub const SCHEMA: &str = "sta-metrics/v1";
+
+/// Locks a histogram mutex, shrugging off poisoning: histograms are
+/// update-complete at every release (one `record` call), so a panicking
+/// sibling cannot leave one half-written.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The operations the registry keys its counters by — every protocol op,
+/// in the fixed serialization order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricOp {
+    /// Liveness probe.
+    Ping,
+    /// The enriched `stats` line.
+    Stats,
+    /// A metrics-snapshot request.
+    Metrics,
+    /// A `watch` subscription.
+    Watch,
+    /// Graceful drain.
+    Shutdown,
+    /// One attack-feasibility check.
+    Verify,
+    /// One countermeasure synthesis.
+    Synthesize,
+    /// The standard verification sweep.
+    Campaign,
+}
+
+impl MetricOp {
+    /// Every op, in serialization order.
+    pub const ALL: [MetricOp; 8] = [
+        MetricOp::Ping,
+        MetricOp::Stats,
+        MetricOp::Metrics,
+        MetricOp::Watch,
+        MetricOp::Shutdown,
+        MetricOp::Verify,
+        MetricOp::Synthesize,
+        MetricOp::Campaign,
+    ];
+
+    /// Stable lowercase token used in both exposition formats.
+    pub fn token(self) -> &'static str {
+        match self {
+            MetricOp::Ping => "ping",
+            MetricOp::Stats => "stats",
+            MetricOp::Metrics => "metrics",
+            MetricOp::Watch => "watch",
+            MetricOp::Shutdown => "shutdown",
+            MetricOp::Verify => "verify",
+            MetricOp::Synthesize => "synthesize",
+            MetricOp::Campaign => "campaign",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// The error-kind tokens counted by the taxonomy counters, in
+/// serialization order (mirrors [`ErrorKind::token`]).
+const ERROR_KINDS: [ErrorKind; 6] = [
+    ErrorKind::Parse,
+    ErrorKind::BadRequest,
+    ErrorKind::UnknownOp,
+    ErrorKind::Overloaded,
+    ErrorKind::Draining,
+    ErrorKind::Internal,
+];
+
+fn error_index(kind: ErrorKind) -> usize {
+    match kind {
+        ErrorKind::Parse => 0,
+        ErrorKind::BadRequest => 1,
+        ErrorKind::UnknownOp => 2,
+        ErrorKind::Overloaded => 3,
+        ErrorKind::Draining => 4,
+        ErrorKind::Internal => 5,
+    }
+}
+
+/// Per-op counters and histograms.
+#[derive(Debug, Default)]
+struct OpMetrics {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency: Mutex<LatencyHistogram>,
+    queue_wait: Mutex<LatencyHistogram>,
+}
+
+/// The live measurement plane: atomic counters incremented on every
+/// request plus per-op latency/queue-wait histograms. One instance lives
+/// in the server state for the whole service lifetime.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    /// Clock reading at service start (for uptime).
+    started: Duration,
+    /// Whether histograms record (counters always do). The bench suite's
+    /// overhead pair boots a server with this off.
+    telemetry: bool,
+    ops: [OpMetrics; 8],
+    errors: [AtomicU64; 6],
+    rejected: AtomicU64,
+    cancelled: AtomicU64,
+    /// Workers currently executing a solver-backed job (gauge).
+    busy: AtomicU64,
+}
+
+impl MetricsRegistry {
+    /// A fresh registry; `now` is the injected clock's reading at service
+    /// start and anchors uptime.
+    pub fn new(telemetry: bool, now: Duration) -> Self {
+        MetricsRegistry {
+            started: now,
+            telemetry,
+            ops: Default::default(),
+            errors: Default::default(),
+            rejected: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether histogram recording is enabled.
+    pub fn telemetry(&self) -> bool {
+        self.telemetry
+    }
+
+    /// Counts one request for `op`.
+    pub fn record_request(&self, op: MetricOp) {
+        self.ops[op.index()].requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one error of `kind` attributed to `op`.
+    pub fn record_error(&self, op: MetricOp, kind: ErrorKind) {
+        self.ops[op.index()].errors.fetch_add(1, Ordering::Relaxed);
+        self.record_protocol_error(kind);
+    }
+
+    /// Counts one error of `kind` with no attributable op (parse errors,
+    /// unknown ops).
+    pub fn record_protocol_error(&self, kind: ErrorKind) {
+        self.errors[error_index(kind)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one admission rejection (overloaded or draining).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one job cancelled by drain (verdict `unknown(cancelled)`).
+    pub fn record_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the end-to-end latency of one `op` request.
+    pub fn record_latency(&self, op: MetricOp, wall: Duration) {
+        if self.telemetry {
+            lock(&self.ops[op.index()].latency).record(wall);
+        }
+    }
+
+    /// Records one admission→worker-pickup wait for `op`.
+    pub fn record_queue_wait(&self, op: MetricOp, wait: Duration) {
+        if self.telemetry {
+            lock(&self.ops[op.index()].queue_wait).record(wait);
+        }
+    }
+
+    /// Marks a worker busy (a solver-backed job started).
+    pub fn job_begin(&self) {
+        self.busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a worker idle again (the job finished).
+    pub fn job_end(&self) {
+        self.busy.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Freezes the registry together with the server-owned gauges into a
+    /// renderable snapshot; `now` is the clock reading of the snapshot.
+    pub fn snapshot(&self, now: Duration, service: ServiceGauges) -> MetricsSnapshot {
+        MetricsSnapshot {
+            uptime_us: now.saturating_sub(self.started).as_micros() as u64,
+            telemetry: self.telemetry,
+            service,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            errors: ERROR_KINDS
+                .iter()
+                .enumerate()
+                .map(|(i, k)| (k.token(), self.errors[i].load(Ordering::Relaxed)))
+                .collect(),
+            ops: MetricOp::ALL
+                .iter()
+                .map(|op| OpSnapshot {
+                    op: op.token(),
+                    requests: self.ops[op.index()].requests.load(Ordering::Relaxed),
+                    errors: self.ops[op.index()].errors.load(Ordering::Relaxed),
+                    latency: lock(&self.ops[op.index()].latency).clone(),
+                    queue_wait: lock(&self.ops[op.index()].queue_wait).clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The point-in-time gauges the server owns (pool, cache, admission
+/// totals), read at snapshot time rather than tracked by the registry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceGauges {
+    /// Solver worker threads.
+    pub workers: u64,
+    /// Jobs queued but not yet picked up.
+    pub queue_depth: u64,
+    /// Admission bound.
+    pub queue_capacity: u64,
+    /// Whether the service is draining toward shutdown.
+    pub draining: bool,
+    /// Request lines received (including malformed ones).
+    pub requests: u64,
+    /// Live warm sessions.
+    pub sessions_live: u64,
+    /// Session-cache capacity.
+    pub sessions_capacity: u64,
+    /// Session-cache hits.
+    pub session_hits: u64,
+    /// Session-cache misses.
+    pub session_misses: u64,
+    /// Session-cache evictions.
+    pub session_evictions: u64,
+}
+
+/// One op's frozen counters and histograms.
+#[derive(Debug, Clone)]
+pub struct OpSnapshot {
+    /// The op token.
+    pub op: &'static str,
+    /// Requests received.
+    pub requests: u64,
+    /// Errors answered.
+    pub errors: u64,
+    /// End-to-end latency histogram.
+    pub latency: LatencyHistogram,
+    /// Admission→pickup wait histogram (solver-backed ops only).
+    pub queue_wait: LatencyHistogram,
+}
+
+/// A frozen, renderable view of the whole telemetry plane.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Microseconds since service start.
+    pub uptime_us: u64,
+    /// Whether histogram recording was enabled.
+    pub telemetry: bool,
+    /// The server-owned gauges.
+    pub service: ServiceGauges,
+    /// Admission rejections (overloaded + draining).
+    pub rejected: u64,
+    /// Jobs cancelled by drain.
+    pub cancelled: u64,
+    /// Workers executing a solver-backed job right now.
+    pub busy: u64,
+    /// Error counts by taxonomy token, in serialization order.
+    pub errors: Vec<(&'static str, u64)>,
+    /// Per-op counters and histograms, in serialization order.
+    pub ops: Vec<OpSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Serializes the snapshot as one `sta-metrics/v1` JSON object. Key
+    /// order is fixed; every token is a static identifier, so no string
+    /// escaping is needed.
+    pub fn to_json_into(&self, out: &mut String) {
+        let s = &self.service;
+        let _ = write!(
+            out,
+            "{{\"schema\":\"{SCHEMA}\",\"uptime_us\":{},\"telemetry\":{},\
+             \"workers\":{},\"busy\":{},\"queue_depth\":{},\"queue_capacity\":{},\
+             \"draining\":{},\"requests\":{},\"rejected\":{},\"cancelled\":{}",
+            self.uptime_us,
+            self.telemetry,
+            s.workers,
+            self.busy,
+            s.queue_depth,
+            s.queue_capacity,
+            s.draining,
+            s.requests,
+            self.rejected,
+            self.cancelled,
+        );
+        let _ = write!(
+            out,
+            ",\"sessions\":{{\"live\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\
+             \"evictions\":{}}}",
+            s.sessions_live,
+            s.sessions_capacity,
+            s.session_hits,
+            s.session_misses,
+            s.session_evictions,
+        );
+        out.push_str(",\"errors\":{");
+        for (i, (token, n)) in self.errors.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{token}\":{n}");
+        }
+        out.push_str("},\"ops\":{");
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"requests\":{},\"errors\":{},\"latency\":",
+                op.op, op.requests, op.errors,
+            );
+            op.latency.to_json_into(out);
+            out.push_str(",\"queue_wait\":");
+            op.queue_wait.to_json_into(out);
+            out.push('}');
+        }
+        out.push_str("}}");
+    }
+
+    /// The JSON form as a fresh string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        self.to_json_into(&mut out);
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// each family announced by `# HELP` and `# TYPE` lines, percentile
+    /// series as gauges (the bucket-derived values are point estimates,
+    /// not summable summary quantiles). Labels are static tokens, so the
+    /// output needs no label-value escaping.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let s = &self.service;
+        gauge(&mut out, "sta_uptime_seconds", "Seconds since service start.", &[(
+            String::new(),
+            format!("{:.6}", self.uptime_us as f64 / 1e6),
+        )]);
+        gauge(&mut out, "sta_workers", "Solver worker threads.", &[(
+            String::new(),
+            s.workers.to_string(),
+        )]);
+        gauge(&mut out, "sta_busy_workers", "Workers executing a job right now.", &[(
+            String::new(),
+            self.busy.to_string(),
+        )]);
+        gauge(&mut out, "sta_queue_depth", "Jobs admitted but not yet started.", &[(
+            String::new(),
+            s.queue_depth.to_string(),
+        )]);
+        gauge(&mut out, "sta_queue_capacity", "Admission bound of the queue.", &[(
+            String::new(),
+            s.queue_capacity.to_string(),
+        )]);
+        gauge(&mut out, "sta_draining", "1 while the service drains toward shutdown.", &[(
+            String::new(),
+            if s.draining { "1" } else { "0" }.to_string(),
+        )]);
+        gauge(&mut out, "sta_sessions_live", "Warm sessions held live.", &[(
+            String::new(),
+            s.sessions_live.to_string(),
+        )]);
+        gauge(&mut out, "sta_sessions_capacity", "Session-cache capacity.", &[(
+            String::new(),
+            s.sessions_capacity.to_string(),
+        )]);
+        counter(&mut out, "sta_session_hits_total", "Session-cache hits.", &[(
+            String::new(),
+            s.session_hits.to_string(),
+        )]);
+        counter(&mut out, "sta_session_misses_total", "Session-cache misses.", &[(
+            String::new(),
+            s.session_misses.to_string(),
+        )]);
+        counter(&mut out, "sta_session_evictions_total", "Session-cache evictions.", &[(
+            String::new(),
+            s.session_evictions.to_string(),
+        )]);
+        counter(&mut out, "sta_rejected_total", "Requests rejected by admission control.", &[(
+            String::new(),
+            self.rejected.to_string(),
+        )]);
+        counter(&mut out, "sta_cancelled_total", "Jobs cancelled by drain.", &[(
+            String::new(),
+            self.cancelled.to_string(),
+        )]);
+        counter(
+            &mut out,
+            "sta_requests_total",
+            "Requests received, by op.",
+            &self
+                .ops
+                .iter()
+                .map(|op| (format!("{{op=\"{}\"}}", op.op), op.requests.to_string()))
+                .collect::<Vec<_>>(),
+        );
+        counter(
+            &mut out,
+            "sta_op_errors_total",
+            "Errors answered, by op.",
+            &self
+                .ops
+                .iter()
+                .map(|op| (format!("{{op=\"{}\"}}", op.op), op.errors.to_string()))
+                .collect::<Vec<_>>(),
+        );
+        counter(
+            &mut out,
+            "sta_errors_total",
+            "Errors answered, by taxonomy kind.",
+            &self
+                .errors
+                .iter()
+                .map(|(token, n)| (format!("{{kind=\"{token}\"}}"), n.to_string()))
+                .collect::<Vec<_>>(),
+        );
+        let mut latency_series = Vec::new();
+        let mut wait_series = Vec::new();
+        let mut latency_counts = Vec::new();
+        for op in &self.ops {
+            for (p, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                latency_series.push((
+                    format!("{{op=\"{}\",quantile=\"{label}\"}}", op.op),
+                    op.latency.percentile(p).to_string(),
+                ));
+                wait_series.push((
+                    format!("{{op=\"{}\",quantile=\"{label}\"}}", op.op),
+                    op.queue_wait.percentile(p).to_string(),
+                ));
+            }
+            latency_counts.push((
+                format!("{{op=\"{}\"}}", op.op),
+                op.latency.count().to_string(),
+            ));
+        }
+        gauge(
+            &mut out,
+            "sta_latency_us",
+            "End-to-end request latency percentiles, microseconds.",
+            &latency_series,
+        );
+        counter(
+            &mut out,
+            "sta_latency_samples_total",
+            "Samples in the latency histograms.",
+            &latency_counts,
+        );
+        gauge(
+            &mut out,
+            "sta_queue_wait_us",
+            "Admission-to-pickup wait percentiles, microseconds.",
+            &wait_series,
+        );
+        out
+    }
+}
+
+/// Emits one metric family: `# HELP`, `# TYPE`, then every series.
+fn family(out: &mut String, name: &str, kind: &str, help: &str, series: &[(String, String)]) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    for (labels, value) in series {
+        let _ = writeln!(out, "{name}{labels} {value}");
+    }
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, series: &[(String, String)]) {
+    family(out, name, "gauge", help, series);
+}
+
+fn counter(out: &mut String, name: &str, help: &str, series: &[(String, String)]) {
+    family(out, name, "counter", help, series);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sta_smt::json::parse;
+
+    fn snapshot(reg: &MetricsRegistry) -> MetricsSnapshot {
+        reg.snapshot(Duration::from_micros(500), ServiceGauges::default())
+    }
+
+    #[test]
+    fn counters_are_exact_across_threads() {
+        let reg = MetricsRegistry::new(true, Duration::ZERO);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        reg.record_request(MetricOp::Verify);
+                        reg.record_latency(MetricOp::Verify, Duration::from_micros(100));
+                    }
+                });
+            }
+        });
+        let snap = snapshot(&reg);
+        let verify = snap.ops.iter().find(|o| o.op == "verify").expect("verify op");
+        assert_eq!(verify.requests, 8000);
+        assert_eq!(verify.latency.count(), 8000);
+    }
+
+    #[test]
+    fn telemetry_off_keeps_counters_but_not_histograms() {
+        let reg = MetricsRegistry::new(false, Duration::ZERO);
+        reg.record_request(MetricOp::Ping);
+        reg.record_latency(MetricOp::Ping, Duration::from_micros(5));
+        reg.record_queue_wait(MetricOp::Ping, Duration::from_micros(5));
+        let snap = snapshot(&reg);
+        let ping = snap.ops.iter().find(|o| o.op == "ping").expect("ping op");
+        assert_eq!(ping.requests, 1);
+        assert!(ping.latency.is_empty());
+        assert!(ping.queue_wait.is_empty());
+        assert!(!snap.telemetry);
+    }
+
+    #[test]
+    fn json_snapshot_is_schema_tagged_and_parses() {
+        let reg = MetricsRegistry::new(true, Duration::from_micros(100));
+        reg.record_request(MetricOp::Verify);
+        reg.record_error(MetricOp::Verify, ErrorKind::BadRequest);
+        reg.record_rejected();
+        reg.record_cancelled();
+        reg.job_begin();
+        let snap = reg.snapshot(
+            Duration::from_micros(700),
+            ServiceGauges {
+                workers: 4,
+                queue_depth: 2,
+                queue_capacity: 32,
+                draining: false,
+                requests: 9,
+                sessions_live: 1,
+                sessions_capacity: 8,
+                session_hits: 3,
+                session_misses: 2,
+                session_evictions: 0,
+            },
+        );
+        let json = snap.to_json();
+        let doc = parse(&json).expect("snapshot is valid JSON");
+        assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some(SCHEMA));
+        assert_eq!(doc.get("uptime_us").and_then(|v| v.as_u64()), Some(600));
+        assert_eq!(doc.get("workers").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(doc.get("busy").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(doc.get("rejected").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(doc.get("cancelled").and_then(|v| v.as_u64()), Some(1));
+        let errors = doc.get("errors").expect("errors object");
+        assert_eq!(errors.get("bad-request").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(errors.get("parse").and_then(|v| v.as_u64()), Some(0));
+        let ops = doc.get("ops").expect("ops object");
+        let verify = ops.get("verify").expect("verify op");
+        assert_eq!(verify.get("requests").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(verify.get("errors").and_then(|v| v.as_u64()), Some(1));
+        assert!(verify.get("latency").is_some());
+        assert!(verify.get("queue_wait").is_some());
+        let sessions = doc.get("sessions").expect("sessions object");
+        assert_eq!(sessions.get("hits").and_then(|v| v.as_u64()), Some(3));
+    }
+
+    #[test]
+    fn prometheus_exposition_keeps_line_discipline() {
+        let reg = MetricsRegistry::new(true, Duration::ZERO);
+        reg.record_request(MetricOp::Verify);
+        reg.record_latency(MetricOp::Verify, Duration::from_micros(123));
+        let text = snapshot(&reg).to_prometheus();
+        let mut announced: Vec<&str> = Vec::new();
+        let mut last_help: Option<&str> = None;
+        for line in text.lines() {
+            assert!(!line.is_empty(), "no blank lines in the exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().expect("family name");
+                assert!(rest.len() > name.len() + 1, "HELP has text: {line}");
+                last_help = Some(name);
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().expect("family name");
+                let kind = parts.next().expect("family kind");
+                // TYPE directly follows its family's HELP.
+                assert_eq!(last_help, Some(name), "TYPE without preceding HELP: {line}");
+                assert!(kind == "counter" || kind == "gauge", "{line}");
+                assert!(!announced.contains(&name), "family announced twice: {name}");
+                announced.push(name);
+            } else {
+                // A series line: `name{labels} value` or `name value`,
+                // under the most recently announced family.
+                let name_end = line.find(['{', ' ']).expect("series has a name");
+                let name = &line[..name_end];
+                assert_eq!(announced.last(), Some(&name), "series out of family: {line}");
+                let value = line.rsplit(' ').next().expect("series has a value");
+                assert!(value.parse::<f64>().is_ok(), "unparsable value: {line}");
+            }
+        }
+        for required in [
+            "sta_uptime_seconds",
+            "sta_requests_total",
+            "sta_errors_total",
+            "sta_latency_us",
+            "sta_queue_wait_us",
+            "sta_queue_depth",
+        ] {
+            assert!(announced.contains(&required), "missing family {required}");
+        }
+        assert!(text.contains("sta_requests_total{op=\"verify\"} 1"));
+    }
+
+    #[test]
+    fn busy_gauge_tracks_begin_end() {
+        let reg = MetricsRegistry::new(true, Duration::ZERO);
+        reg.job_begin();
+        reg.job_begin();
+        reg.job_end();
+        assert_eq!(snapshot(&reg).busy, 1);
+    }
+}

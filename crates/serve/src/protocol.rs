@@ -10,10 +10,12 @@
 //! ← {"id":"r1","type":"response","op":"verify","verdict":"sat","witness":{...},"timing":{...}}
 //! ```
 //!
-//! Response lines come in three `type`s: `response` (the final answer),
-//! `error` (the final answer when the request failed), and `trace`
+//! Response lines come in four `type`s: `response` (the final answer),
+//! `error` (the final answer when the request failed), `trace`
 //! (observational events preceding the response when the request set
-//! `"trace":true`). Deterministic payload keys always precede the
+//! `"trace":true`), and `watch` (periodic telemetry snapshots of a
+//! `watch` subscription, which still ends with a final `response`
+//! line). Deterministic payload keys always precede the
 //! `timing` object, which is omitted entirely under `"timing":false` —
 //! the byte-determinism contract the service tests pin down.
 //!
@@ -95,6 +97,15 @@ pub struct Query {
     pub trace: bool,
 }
 
+/// The exposition format of a `metrics` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// The schema-versioned `sta-metrics/v1` JSON object (the default).
+    Json,
+    /// Prometheus text exposition, carried as an escaped `body` string.
+    Prometheus,
+}
+
 /// The operation a request asks for.
 #[derive(Debug, Clone)]
 pub enum Op {
@@ -102,6 +113,17 @@ pub enum Op {
     Ping,
     /// Service counters (sessions, admissions), answered inline.
     Stats,
+    /// A full telemetry snapshot, answered inline.
+    Metrics {
+        /// Requested exposition format.
+        format: MetricsFormat,
+    },
+    /// A subscription: the connection receives a telemetry snapshot every
+    /// `interval_ms` until the client disconnects or the server drains.
+    Watch {
+        /// Snapshot cadence in milliseconds (strictly positive).
+        interval_ms: u64,
+    },
     /// Graceful drain: stop admitting, finish or cancel in-flight work,
     /// then stop the listener. `drain_ms` overrides the server default.
     Shutdown {
@@ -213,6 +235,30 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     let op = match op {
         "ping" => Op::Ping,
         "stats" => Op::Stats,
+        "metrics" => Op::Metrics {
+            format: match json.get("format").map(Json::as_str) {
+                None | Some(Some("json")) => MetricsFormat::Json,
+                Some(Some("prometheus")) => MetricsFormat::Prometheus,
+                Some(other) => {
+                    return Err(field_error(
+                        &id,
+                        format!(
+                            "\"format\" must be \"json\"|\"prometheus\", got {other:?}"
+                        ),
+                    ))
+                }
+            },
+        },
+        "watch" => {
+            let interval_ms = u64_field(&json, &id, "interval_ms")?.unwrap_or(1000);
+            if interval_ms == 0 {
+                return Err(field_error(
+                    &id,
+                    "\"interval_ms\" must be a positive integer".into(),
+                ));
+            }
+            Op::Watch { interval_ms }
+        }
         "shutdown" => Op::Shutdown { drain_ms: u64_field(&json, &id, "drain_ms")? },
         "verify" => Op::Verify(query(&json, &id)?),
         "synthesize" => Op::Synthesize(query(&json, &id)?),
@@ -252,6 +298,23 @@ pub fn error_line(id: Option<&str>, kind: ErrorKind, message: &str) -> String {
     escape_into(kind.token(), &mut out);
     out.push_str(",\"message\":");
     escape_into(message, &mut out);
+    out.push('}');
+    out
+}
+
+/// Wraps one telemetry-snapshot JSON object as an intermediate `watch`
+/// line. Like `trace` lines, `watch` lines never terminate a request —
+/// the subscription ends with a regular `response` line carrying the
+/// final snapshot.
+pub fn watch_line(id: &str, seq: u64, snapshot_json: &str) -> String {
+    let mut out = String::with_capacity(256 + snapshot_json.len());
+    out.push_str("{\"id\":");
+    escape_into(id, &mut out);
+    let _ = std::fmt::Write::write_fmt(
+        &mut out,
+        format_args!(",\"type\":\"watch\",\"seq\":{seq},\"metrics\":"),
+    );
+    out.push_str(snapshot_json);
     out.push('}');
     out
 }
@@ -312,6 +375,46 @@ mod tests {
         .expect("parses");
         let Op::Verify(q) = req.op else { panic!("expected verify") };
         assert_eq!(q.timeout_ms, Some(u64::MAX));
+    }
+
+    #[test]
+    fn metrics_and_watch_ops_parse_and_validate() {
+        let req = parse_request("{\"id\":\"m\",\"op\":\"metrics\"}").expect("parses");
+        let Op::Metrics { format } = req.op else { panic!("expected metrics") };
+        assert_eq!(format, MetricsFormat::Json);
+        let req = parse_request("{\"id\":\"m\",\"op\":\"metrics\",\"format\":\"prometheus\"}")
+            .expect("parses");
+        let Op::Metrics { format } = req.op else { panic!("expected metrics") };
+        assert_eq!(format, MetricsFormat::Prometheus);
+        let err = parse_request("{\"id\":\"m\",\"op\":\"metrics\",\"format\":\"xml\"}")
+            .expect_err("unknown format");
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        assert!(err.message.contains("prometheus"));
+
+        let req = parse_request("{\"id\":\"w\",\"op\":\"watch\"}").expect("parses");
+        let Op::Watch { interval_ms } = req.op else { panic!("expected watch") };
+        assert_eq!(interval_ms, 1000);
+        let req = parse_request("{\"id\":\"w\",\"op\":\"watch\",\"interval_ms\":50}")
+            .expect("parses");
+        let Op::Watch { interval_ms } = req.op else { panic!("expected watch") };
+        assert_eq!(interval_ms, 50);
+        let err = parse_request("{\"id\":\"w\",\"op\":\"watch\",\"interval_ms\":0}")
+            .expect_err("zero interval");
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+        let err = parse_request("{\"id\":\"w\",\"op\":\"watch\",\"interval_ms\":\"fast\"}")
+            .expect_err("non-numeric interval");
+        assert_eq!(err.kind, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn watch_lines_are_tagged_and_never_final() {
+        let line = watch_line("w1", 3, "{\"schema\":\"sta-metrics/v1\"}");
+        assert_eq!(
+            line,
+            "{\"id\":\"w1\",\"type\":\"watch\",\"seq\":3,\
+             \"metrics\":{\"schema\":\"sta-metrics/v1\"}}"
+        );
+        assert!(!crate::client::is_final(&line));
     }
 
     #[test]

@@ -33,15 +33,17 @@
 //! clients always receive a final line.
 
 use crate::cache::{SessionCache, SessionKey};
+use crate::metrics::{MetricOp, MetricsRegistry, MetricsSnapshot, ServiceGauges};
 use crate::net;
-use crate::protocol::{self, ErrorKind, Op, Query, Request};
+use crate::protocol::{self, ErrorKind, MetricsFormat, Op, Query, Request};
 use sta_campaign::report::witness_json;
-use sta_campaign::{CampaignSpec, ServicePool, SubmitError};
+use sta_campaign::{CampaignSpec, RunOptions, ServicePool, SubmitError};
 use sta_core::attack::{AttackModel, AttackOutcome, AttackVerifier, VerifySession};
 use sta_core::scenario;
 use sta_core::synthesis::{SynthesisConfig, SynthesisOutcome, Synthesizer};
 use sta_grid::{caseformat, ieee14, synthetic, TestSystem};
-use sta_smt::{Budget, Clock, Phase, TraceEvent};
+use sta_smt::json::escape_into;
+use sta_smt::{Budget, Clock, Interrupt, Phase, SharedSink, TraceEvent, TraceSink};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write as _};
@@ -74,6 +76,10 @@ pub struct ServeConfig {
     pub queue: usize,
     /// Default drain deadline for `shutdown`, milliseconds.
     pub drain_ms: u64,
+    /// Whether latency/queue-wait histograms record (counters always
+    /// do). On by default; the bench suite's overhead pair boots a
+    /// server with this off to price the recording itself.
+    pub telemetry: bool,
 }
 
 impl ServeConfig {
@@ -86,6 +92,7 @@ impl ServeConfig {
             max_sessions: 8,
             queue: 32,
             drain_ms: 2000,
+            telemetry: true,
         }
     }
 }
@@ -106,11 +113,17 @@ struct ServerState {
     next_ticket: AtomicU64,
     /// Set by `shutdown`: reject new solver work with `draining`.
     draining: AtomicBool,
+    /// Live `watch` subscription loops. Drain waits (bounded) for this
+    /// to reach zero so every subscriber gets its final snapshot before
+    /// the process exits.
+    watchers: AtomicU64,
     /// Set after drain completes: the accept loop exits on its next wake.
     stop: AtomicBool,
     requests: AtomicU64,
     rejected: AtomicU64,
     clock: Clock,
+    /// The telemetry plane: per-op counters and latency histograms.
+    metrics: MetricsRegistry,
 }
 
 impl std::fmt::Debug for ServerState {
@@ -172,12 +185,48 @@ fn write_line(writer: &Mutex<net::Stream>, line: &str) {
     let _ = w.flush();
 }
 
+/// Like [`write_line`] but reports whether the write reached the socket —
+/// the `watch` loop's only way to notice a departed client.
+fn try_write_line(writer: &Mutex<net::Stream>, line: &str) -> bool {
+    let mut w = lock(writer);
+    w.write_all(line.as_bytes())
+        .and_then(|_| w.write_all(b"\n"))
+        .and_then(|_| w.flush())
+        .is_ok()
+}
+
 /// Which solver-backed operation a submitted job runs.
 #[derive(Debug, Clone, Copy)]
 enum QueryKind {
     Verify,
     Synthesize,
     Campaign,
+}
+
+impl QueryKind {
+    /// The registry key of this operation.
+    fn metric_op(self) -> MetricOp {
+        match self {
+            QueryKind::Verify => MetricOp::Verify,
+            QueryKind::Synthesize => MetricOp::Synthesize,
+            QueryKind::Campaign => MetricOp::Campaign,
+        }
+    }
+}
+
+/// Streams campaign trace events straight onto the requesting connection
+/// as request-tagged `trace` lines, as jobs finish — the live half of the
+/// campaign-progress contract (the final response still arrives last,
+/// because the campaign engine emits every event before returning).
+struct ForwardSink {
+    id: String,
+    writer: Arc<Mutex<net::Stream>>,
+}
+
+impl TraceSink for ForwardSink {
+    fn emit(&mut self, event: &TraceEvent) {
+        write_line(&self.writer, &protocol::trace_line(&self.id, event));
+    }
 }
 
 impl Server {
@@ -187,6 +236,8 @@ impl Server {
         let listener = net::Listener::bind(&config.listen)
             .map_err(|e| format!("cannot listen on {:?}: {e}", config.listen))?;
         let addr = listener.addr().to_string();
+        let clock = Clock::monotonic();
+        let metrics = MetricsRegistry::new(config.telemetry, clock.now());
         let state = Arc::new(ServerState {
             pool: ServicePool::new(config.jobs.max(1), config.queue.max(1)),
             sessions: Mutex::new(SessionCache::new(config.max_sessions)),
@@ -194,10 +245,12 @@ impl Server {
             inflight: Mutex::new(BTreeMap::new()),
             next_ticket: AtomicU64::new(0),
             draining: AtomicBool::new(false),
+            watchers: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
-            clock: Clock::monotonic(),
+            clock,
+            metrics,
             addr,
             config,
         });
@@ -258,6 +311,7 @@ fn handle_connection(state: &Arc<ServerState>, stream: net::Stream) {
         state.requests.fetch_add(1, Ordering::SeqCst);
         match protocol::parse_request(trimmed) {
             Err(e) => {
+                state.metrics.record_protocol_error(e.kind);
                 write_line(&writer, &protocol::error_line(e.id.as_deref(), e.kind, &e.message));
             }
             Ok(req) => dispatch(state, &writer, req),
@@ -266,48 +320,195 @@ fn handle_connection(state: &Arc<ServerState>, stream: net::Stream) {
 }
 
 fn dispatch(state: &Arc<ServerState>, writer: &Arc<Mutex<net::Stream>>, req: Request) {
+    let started = state.clock.now();
     match req.op {
         Op::Ping => {
+            state.metrics.record_request(MetricOp::Ping);
             let mut out = protocol::response_head(&req.id, "ping");
             out.push_str(",\"ok\":true}");
             write_line(writer, &out);
+            inline_latency(state, MetricOp::Ping, started);
         }
-        Op::Stats => write_line(writer, &stats_line(state, &req.id)),
-        Op::Shutdown { drain_ms } => handle_shutdown(state, writer, &req.id, drain_ms),
+        Op::Stats => {
+            state.metrics.record_request(MetricOp::Stats);
+            write_line(writer, &stats_line(state, &req.id));
+            inline_latency(state, MetricOp::Stats, started);
+        }
+        Op::Metrics { format } => {
+            state.metrics.record_request(MetricOp::Metrics);
+            write_line(writer, &metrics_line(state, &req.id, format));
+            inline_latency(state, MetricOp::Metrics, started);
+        }
+        Op::Watch { interval_ms } => {
+            state.metrics.record_request(MetricOp::Watch);
+            handle_watch(state, writer, &req.id, interval_ms);
+            inline_latency(state, MetricOp::Watch, started);
+        }
+        Op::Shutdown { drain_ms } => {
+            state.metrics.record_request(MetricOp::Shutdown);
+            handle_shutdown(state, writer, &req.id, drain_ms);
+            inline_latency(state, MetricOp::Shutdown, started);
+        }
         Op::Verify(q) => submit(state, writer, req.id, QueryKind::Verify, q),
         Op::Synthesize(q) => submit(state, writer, req.id, QueryKind::Synthesize, q),
         Op::Campaign(q) => submit(state, writer, req.id, QueryKind::Campaign, q),
     }
 }
 
-/// The `stats` response: session-cache temperature and admission
-/// counters. Everything here is scheduling-dependent, so stats lines are
-/// observational only — never part of the determinism contract.
-fn stats_line(state: &ServerState, id: &str) -> String {
-    let mut out = protocol::response_head(id, "stats");
-    {
+/// Records the latency of an op handled inline on the connection thread.
+/// (For a `watch` this is the whole subscription lifetime.)
+fn inline_latency(state: &ServerState, op: MetricOp, started: Duration) {
+    state
+        .metrics
+        .record_latency(op, state.clock.now().saturating_sub(started));
+}
+
+/// Freezes the telemetry plane together with the server's own gauges
+/// (pool occupancy, session-cache temperature, admission totals).
+fn snapshot(state: &ServerState) -> MetricsSnapshot {
+    let (live, capacity, hits, misses, evictions) = {
         let sessions = lock(&state.sessions);
-        let _ = write!(
-            out,
-            ",\"sessions\":{{\"live\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\
-             \"evictions\":{}}}",
-            sessions.live(),
-            sessions.capacity(),
+        (
+            sessions.live() as u64,
+            sessions.capacity() as u64,
             sessions.hits(),
             sessions.misses(),
             sessions.evictions(),
-        );
-    }
+        )
+    };
+    state.metrics.snapshot(
+        state.clock.now(),
+        ServiceGauges {
+            workers: state.pool.workers() as u64,
+            queue_depth: state.pool.pending() as u64,
+            queue_capacity: state.config.queue.max(1) as u64,
+            draining: state.draining.load(Ordering::SeqCst),
+            requests: state.requests.load(Ordering::SeqCst),
+            sessions_live: live,
+            sessions_capacity: capacity,
+            session_hits: hits,
+            session_misses: misses,
+            session_evictions: evictions,
+        },
+    )
+}
+
+/// The `stats` response: session-cache temperature, admission counters,
+/// uptime and a per-op request/latency summary. Everything here is
+/// scheduling-dependent, so stats lines are observational only — never
+/// part of the determinism contract.
+fn stats_line(state: &ServerState, id: &str) -> String {
+    let snap = snapshot(state);
+    let s = &snap.service;
+    let mut out = protocol::response_head(id, "stats");
     let _ = write!(
         out,
-        ",\"requests\":{},\"rejected\":{},\"pending\":{},\"workers\":{},\"draining\":{}}}",
-        state.requests.load(Ordering::SeqCst),
-        state.rejected.load(Ordering::SeqCst),
-        state.pool.pending(),
-        state.pool.workers(),
-        state.draining.load(Ordering::SeqCst),
+        ",\"sessions\":{{\"live\":{},\"capacity\":{},\"hits\":{},\"misses\":{},\
+         \"evictions\":{}}}",
+        s.sessions_live, s.sessions_capacity, s.session_hits, s.session_misses,
+        s.session_evictions,
     );
+    let _ = write!(
+        out,
+        ",\"requests\":{},\"rejected\":{},\"pending\":{},\"workers\":{},\"draining\":{}",
+        s.requests,
+        state.rejected.load(Ordering::SeqCst),
+        s.queue_depth,
+        s.workers,
+        s.draining,
+    );
+    let _ = write!(out, ",\"uptime_us\":{},\"busy\":{},\"ops\":{{", snap.uptime_us, snap.busy);
+    for (i, op) in snap.ops.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"requests\":{},\"errors\":{},\"p50_us\":{},\"p90_us\":{},\
+             \"p99_us\":{}}}",
+            op.op,
+            op.requests,
+            op.errors,
+            op.latency.percentile(0.50),
+            op.latency.percentile(0.90),
+            op.latency.percentile(0.99),
+        );
+    }
+    out.push_str("}}");
     out
+}
+
+/// The `metrics` response: the full snapshot in the requested exposition
+/// format. Prometheus text rides inside the JSONL line as an escaped
+/// `body` string (the client unwraps it back to raw text).
+fn metrics_line(state: &ServerState, id: &str, format: MetricsFormat) -> String {
+    let snap = snapshot(state);
+    let mut out = protocol::response_head(id, "metrics");
+    match format {
+        MetricsFormat::Json => {
+            out.push_str(",\"format\":\"json\",\"metrics\":");
+            snap.to_json_into(&mut out);
+        }
+        MetricsFormat::Prometheus => {
+            out.push_str(",\"format\":\"prometheus\",\"body\":");
+            escape_into(&snap.to_prometheus(), &mut out);
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// The `watch` subscription loop, run inline on the connection's reader
+/// thread (a watch deliberately monopolizes its connection). Emits one
+/// snapshot immediately, then one per interval, until the client
+/// disconnects (a failed write) or the server drains — drain ends the
+/// subscription honestly with a final `response` line carrying the last
+/// snapshot. Watch connections are not in the in-flight table, so a
+/// drain never waits on them.
+fn handle_watch(
+    state: &ServerState,
+    writer: &Arc<Mutex<net::Stream>>,
+    id: &str,
+    interval_ms: u64,
+) {
+    state.watchers.fetch_add(1, Ordering::SeqCst);
+    watch_loop(state, writer, id, interval_ms);
+    state.watchers.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// The body of [`handle_watch`], split out so the watcher gauge is
+/// balanced on every exit path.
+fn watch_loop(
+    state: &ServerState,
+    writer: &Arc<Mutex<net::Stream>>,
+    id: &str,
+    interval_ms: u64,
+) {
+    let interval = Duration::from_millis(interval_ms);
+    let mut seq = 0u64;
+    loop {
+        let snap = snapshot(state);
+        if state.draining.load(Ordering::SeqCst) {
+            let mut out = protocol::response_head(id, "watch");
+            let _ = write!(out, ",\"snapshots\":{seq},\"draining\":true,\"final_snapshot\":");
+            snap.to_json_into(&mut out);
+            out.push('}');
+            write_line(writer, &out);
+            return;
+        }
+        if !try_write_line(writer, &protocol::watch_line(id, seq, &snap.to_json())) {
+            return;
+        }
+        seq += 1;
+        // Sleep in short slices so a drain ends the subscription well
+        // before a long interval elapses.
+        let mut waited = Duration::ZERO;
+        while waited < interval && !state.draining.load(Ordering::SeqCst) {
+            let slice = Duration::from_millis(25).min(interval - waited);
+            std::thread::sleep(slice);
+            waited += slice;
+        }
+    }
 }
 
 /// Admission: refuse while draining, register a cancel token, hand the
@@ -320,8 +521,12 @@ fn submit(
     kind: QueryKind,
     q: Query,
 ) {
+    let op = kind.metric_op();
+    state.metrics.record_request(op);
     if state.draining.load(Ordering::SeqCst) {
         state.rejected.fetch_add(1, Ordering::SeqCst);
+        state.metrics.record_rejected();
+        state.metrics.record_error(op, ErrorKind::Draining);
         write_line(
             writer,
             &protocol::error_line(Some(&id), ErrorKind::Draining, "server is draining"),
@@ -334,22 +539,35 @@ fn submit(
     let job_state = Arc::clone(state);
     let job_writer = Arc::clone(writer);
     let job_id = id.clone();
+    let admitted = state.clock.now();
     let submitted = state.pool.submit(move |worker| {
-        let lines = run_query(&job_state, &job_id, kind, &q, &token, worker);
+        // Admission→pickup is the queue wait; everything from admission
+        // to the written response is the op's end-to-end latency.
+        job_state
+            .metrics
+            .record_queue_wait(op, job_state.clock.now().saturating_sub(admitted));
+        job_state.metrics.job_begin();
+        let lines = run_query(&job_state, &job_id, kind, &q, &token, worker, &job_writer);
         for line in &lines {
             write_line(&job_writer, line);
         }
+        job_state.metrics.job_end();
+        job_state
+            .metrics
+            .record_latency(op, job_state.clock.now().saturating_sub(admitted));
         lock(&job_state.inflight).remove(&ticket);
     });
     if let Err(err) = submitted {
         lock(&state.inflight).remove(&ticket);
         state.rejected.fetch_add(1, Ordering::SeqCst);
+        state.metrics.record_rejected();
         let (kind, message) = match err {
             SubmitError::Overloaded => {
                 (ErrorKind::Overloaded, "admission queue is full; retry later")
             }
             SubmitError::Closed => (ErrorKind::Draining, "server is draining"),
         };
+        state.metrics.record_error(op, kind);
         write_line(writer, &protocol::error_line(Some(&id), kind, message));
     }
 }
@@ -382,6 +600,13 @@ fn handle_shutdown(
         }
         drained = wait_for_idle(state, deadline + window);
     }
+    // Give live `watch` subscriptions a moment to observe the drain and
+    // close honestly with their final snapshot. Bounded: a subscriber
+    // blocked on a dead client write must not wedge the shutdown.
+    let watch_deadline = state.clock.now() + Duration::from_millis(500);
+    while state.watchers.load(Ordering::SeqCst) > 0 && state.clock.now() < watch_deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
     state.stop.store(true, Ordering::SeqCst);
     let mut out = protocol::response_head(id, "shutdown");
     out.push_str(",\"ok\":true,\"drained\":");
@@ -406,8 +631,18 @@ fn wait_for_idle(state: &ServerState, deadline: Duration) -> bool {
     }
 }
 
+/// Records a bad-request failure of a solver-backed op and renders its
+/// error line.
+fn query_error(state: &ServerState, op: MetricOp, id: &str, message: &str) -> Vec<String> {
+    state.metrics.record_error(op, ErrorKind::BadRequest);
+    vec![protocol::error_line(Some(id), ErrorKind::BadRequest, message)]
+}
+
 /// Executes one solver-backed request on a pool worker, returning the
-/// lines to write (trace lines first, the response last).
+/// lines to write (trace lines first, the response last). Campaign
+/// requests with `trace:true` additionally stream per-job events onto
+/// `writer` live, before this function returns.
+#[allow(clippy::too_many_arguments)]
 fn run_query(
     state: &ServerState,
     id: &str,
@@ -415,32 +650,25 @@ fn run_query(
     q: &Query,
     token: &Arc<AtomicBool>,
     worker: usize,
+    writer: &Arc<Mutex<net::Stream>>,
 ) -> Vec<String> {
     let started = state.clock.now();
     let system = match state.case(&q.case) {
         Ok(sys) => sys,
-        Err(message) => {
-            return vec![protocol::error_line(Some(id), ErrorKind::BadRequest, &message)]
-        }
+        Err(message) => return query_error(state, kind.metric_op(), id, &message),
     };
     let model = if q.scenario.is_empty() {
         AttackModel::new(system.grid.num_buses())
     } else {
         match scenario::parse(&q.scenario, system.grid.num_buses(), system.grid.num_lines()) {
             Ok(m) => m,
-            Err(e) => {
-                return vec![protocol::error_line(
-                    Some(id),
-                    ErrorKind::BadRequest,
-                    &e.to_string(),
-                )]
-            }
+            Err(e) => return query_error(state, kind.metric_op(), id, &e.to_string()),
         }
     };
     match kind {
         QueryKind::Verify => run_verify(state, id, q, &system, model, token, worker, started),
         QueryKind::Synthesize => run_synthesize(state, id, q, &system, model, worker, started),
-        QueryKind::Campaign => run_campaign(state, id, q, &system, worker, started),
+        QueryKind::Campaign => run_campaign(state, id, q, &system, worker, started, writer),
     }
 }
 
@@ -535,6 +763,9 @@ fn run_verify(
         }
         AttackOutcome::Infeasible => out.push_str(",\"verdict\":\"unsat\""),
         AttackOutcome::Unknown(why) => {
+            if matches!(why, Interrupt::Cancelled) {
+                state.metrics.record_cancelled();
+            }
             let _ = write!(out, ",\"verdict\":\"unknown({why})\"");
         }
     }
@@ -558,11 +789,12 @@ fn run_synthesize(
     started: Duration,
 ) -> Vec<String> {
     let Some(budget) = q.budget else {
-        return vec![protocol::error_line(
-            Some(id),
-            ErrorKind::BadRequest,
+        return query_error(
+            state,
+            MetricOp::Synthesize,
+            id,
             "synthesize needs a numeric \"budget\"",
-        )];
+        );
     };
     let mut attacker = model;
     if attacker.timeout_ms.is_none() {
@@ -601,6 +833,7 @@ fn run_synthesize(
     vec![out]
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_campaign(
     state: &ServerState,
     id: &str,
@@ -608,6 +841,7 @@ fn run_campaign(
     system: &Arc<TestSystem>,
     worker: usize,
     started: Duration,
+    writer: &Arc<Mutex<net::Stream>>,
 ) -> Vec<String> {
     let mut spec = CampaignSpec::standard_sweep(&q.case, (**system).clone())
         .with_certify(q.certify)
@@ -615,7 +849,22 @@ fn run_campaign(
     if let Some(ms) = q.timeout_ms {
         spec = spec.with_timeout_ms(ms);
     }
-    let report = sta_campaign::run(&spec, q.workers.max(1));
+    let report = if q.trace {
+        // Stream the engine's per-job events straight onto the connection
+        // as they happen (plus periodic heartbeats), instead of holding
+        // everything until the end. The report — and therefore the final
+        // response line — is byte-identical to the untraced path.
+        let sink = SharedSink::new(Box::new(ForwardSink {
+            id: id.to_string(),
+            writer: Arc::clone(writer),
+        }));
+        let mut options = RunOptions::with_workers(q.workers.max(1));
+        options.clock = state.clock.clone();
+        options.heartbeat = Some(Duration::from_millis(500));
+        sta_campaign::run_with(&spec, &options, Some(&sink))
+    } else {
+        sta_campaign::run(&spec, q.workers.max(1))
+    };
     let wall = state.clock.now().saturating_sub(started);
     let mut out = protocol::response_head(id, "campaign");
     let _ = write!(out, ",\"jobs\":{},\"summary\":{{", report.results.len());

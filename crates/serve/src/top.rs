@@ -1,0 +1,221 @@
+//! Terminal rendering for `sta top` and the table modes of `sta client
+//! stats`/`metrics`.
+//!
+//! Everything here is a pure function from a parsed reply JSON to a
+//! string: the CLI owns the I/O loop (one `metrics` request for
+//! `--once`, a `watch` stream for live mode) and this module turns each
+//! snapshot into a dashboard frame via [`sta_smt::tablefmt`]. Keeping
+//! the renderer client-side means the wire format stays pure JSON — a
+//! scripted consumer and the human dashboard read the same lines.
+
+use sta_smt::json::Json;
+use sta_smt::tablefmt::{Align, Table};
+use std::fmt::Write as _;
+
+/// ANSI clear-screen-and-home sequence prefixed to live frames.
+pub const CLEAR: &str = "\x1b[2J\x1b[H";
+
+/// The fixed op order frames list (mirrors the registry's).
+const OPS: [&str; 8] = [
+    "ping", "stats", "metrics", "watch", "shutdown", "verify", "synthesize", "campaign",
+];
+
+/// `path`-walks a JSON object, returning 0 for anything missing — frames
+/// degrade field-by-field rather than failing whole.
+fn u64_at(json: &Json, path: &[&str]) -> u64 {
+    let mut node = json;
+    for key in path {
+        match node.get(key) {
+            Some(next) => node = next,
+            None => return 0,
+        }
+    }
+    node.as_u64().unwrap_or(0)
+}
+
+fn bool_at(json: &Json, path: &[&str]) -> bool {
+    let mut node = json;
+    for key in path {
+        match node.get(key) {
+            Some(next) => node = next,
+            None => return false,
+        }
+    }
+    matches!(node, Json::Bool(true))
+}
+
+/// Seconds with one decimal from a microsecond count.
+fn secs(us: u64) -> String {
+    format!("{:.1}s", us as f64 / 1e6)
+}
+
+/// Renders one dashboard frame from a `sta-metrics/v1` object: service
+/// header lines (uptime, occupancy, queue, cache temperature, admission
+/// totals) followed by the per-op table with latency and queue-wait
+/// percentiles.
+pub fn render_frame(metrics: &Json) -> String {
+    let mut out = String::with_capacity(1024);
+    let errors_total: u64 = metrics
+        .get("errors")
+        .map(|e| {
+            [
+                "parse",
+                "bad-request",
+                "unknown-op",
+                "overloaded",
+                "draining",
+                "internal",
+            ]
+            .iter()
+            .map(|k| u64_at(e, &[k]))
+            .sum()
+        })
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "uptime {} · workers {} busy {} · queue {}/{} · draining {}",
+        secs(u64_at(metrics, &["uptime_us"])),
+        u64_at(metrics, &["workers"]),
+        u64_at(metrics, &["busy"]),
+        u64_at(metrics, &["queue_depth"]),
+        u64_at(metrics, &["queue_capacity"]),
+        if bool_at(metrics, &["draining"]) { "yes" } else { "no" },
+    );
+    let _ = writeln!(
+        out,
+        "sessions {}/{} live · hits {} misses {} evictions {}",
+        u64_at(metrics, &["sessions", "live"]),
+        u64_at(metrics, &["sessions", "capacity"]),
+        u64_at(metrics, &["sessions", "hits"]),
+        u64_at(metrics, &["sessions", "misses"]),
+        u64_at(metrics, &["sessions", "evictions"]),
+    );
+    let _ = writeln!(
+        out,
+        "requests {} · rejected {} · cancelled {} · errors {}",
+        u64_at(metrics, &["requests"]),
+        u64_at(metrics, &["rejected"]),
+        u64_at(metrics, &["cancelled"]),
+        errors_total,
+    );
+    let mut table = Table::new(&[
+        ("op", Align::Left),
+        ("req", Align::Right),
+        ("err", Align::Right),
+        ("qwait_p90_us", Align::Right),
+        ("p50_us", Align::Right),
+        ("p90_us", Align::Right),
+        ("p99_us", Align::Right),
+    ]);
+    for op in OPS {
+        table.row(&[
+            op,
+            &u64_at(metrics, &["ops", op, "requests"]).to_string(),
+            &u64_at(metrics, &["ops", op, "errors"]).to_string(),
+            &u64_at(metrics, &["ops", op, "queue_wait", "p90_us"]).to_string(),
+            &u64_at(metrics, &["ops", op, "latency", "p50_us"]).to_string(),
+            &u64_at(metrics, &["ops", op, "latency", "p90_us"]).to_string(),
+            &u64_at(metrics, &["ops", op, "latency", "p99_us"]).to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Renders a `stats` response line as the human-readable summary +
+/// per-op table `sta client stats` prints by default (`--json` keeps the
+/// raw line).
+pub fn render_stats(stats: &Json) -> String {
+    let mut out = String::with_capacity(768);
+    let mut summary = Table::new(&[("stat", Align::Left), ("value", Align::Right)]);
+    summary.row(&["uptime", &secs(u64_at(stats, &["uptime_us"]))]);
+    summary.row(&["workers", &u64_at(stats, &["workers"]).to_string()]);
+    summary.row(&["busy", &u64_at(stats, &["busy"]).to_string()]);
+    summary.row(&["pending", &u64_at(stats, &["pending"]).to_string()]);
+    summary.row(&["draining", if bool_at(stats, &["draining"]) { "yes" } else { "no" }]);
+    summary.row(&["requests", &u64_at(stats, &["requests"]).to_string()]);
+    summary.row(&["rejected", &u64_at(stats, &["rejected"]).to_string()]);
+    summary.row(&["sessions live", &u64_at(stats, &["sessions", "live"]).to_string()]);
+    summary.row(&[
+        "sessions capacity",
+        &u64_at(stats, &["sessions", "capacity"]).to_string(),
+    ]);
+    summary.row(&["session hits", &u64_at(stats, &["sessions", "hits"]).to_string()]);
+    summary.row(&["session misses", &u64_at(stats, &["sessions", "misses"]).to_string()]);
+    summary.row(&[
+        "session evictions",
+        &u64_at(stats, &["sessions", "evictions"]).to_string(),
+    ]);
+    out.push_str(&summary.render());
+    let mut ops = Table::new(&[
+        ("op", Align::Left),
+        ("req", Align::Right),
+        ("err", Align::Right),
+        ("p50_us", Align::Right),
+        ("p90_us", Align::Right),
+        ("p99_us", Align::Right),
+    ]);
+    for op in OPS {
+        ops.row(&[
+            op,
+            &u64_at(stats, &["ops", op, "requests"]).to_string(),
+            &u64_at(stats, &["ops", op, "errors"]).to_string(),
+            &u64_at(stats, &["ops", op, "p50_us"]).to_string(),
+            &u64_at(stats, &["ops", op, "p90_us"]).to_string(),
+            &u64_at(stats, &["ops", op, "p99_us"]).to_string(),
+        ]);
+    }
+    out.push_str(&ops.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricOp, MetricsRegistry, ServiceGauges};
+    use sta_smt::json::parse;
+    use std::time::Duration;
+
+    #[test]
+    fn frame_renders_all_ops_and_header_gauges() {
+        let reg = MetricsRegistry::new(true, Duration::ZERO);
+        reg.record_request(MetricOp::Verify);
+        reg.record_latency(MetricOp::Verify, Duration::from_micros(300));
+        let snap = reg.snapshot(
+            Duration::from_secs(2),
+            ServiceGauges {
+                workers: 4,
+                queue_depth: 1,
+                queue_capacity: 32,
+                requests: 5,
+                sessions_live: 2,
+                sessions_capacity: 8,
+                session_hits: 1,
+                session_misses: 2,
+                ..ServiceGauges::default()
+            },
+        );
+        let doc = parse(&snap.to_json()).expect("snapshot JSON");
+        let frame = render_frame(&doc);
+        assert!(frame.contains("uptime 2.0s"), "{frame}");
+        assert!(frame.contains("workers 4"), "{frame}");
+        assert!(frame.contains("queue 1/32"), "{frame}");
+        assert!(frame.contains("sessions 2/8 live"), "{frame}");
+        for op in OPS {
+            assert!(frame.contains(op), "missing op row {op}: {frame}");
+        }
+        // The verify row shows its one sample's exact latency.
+        let verify_row = frame.lines().find(|l| l.starts_with("verify")).expect("row");
+        assert!(verify_row.contains("300"), "{verify_row}");
+    }
+
+    #[test]
+    fn malformed_input_degrades_to_zeros() {
+        let doc = parse("{\"schema\":\"sta-metrics/v1\"}").expect("parses");
+        let frame = render_frame(&doc);
+        assert!(frame.contains("uptime 0.0s"));
+        assert!(frame.contains("requests 0"));
+        let stats = render_stats(&doc);
+        assert!(stats.contains("workers"));
+    }
+}

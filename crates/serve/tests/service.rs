@@ -266,6 +266,198 @@ fn trace_lines_interleave_before_the_response() {
     handle.stop().expect("clean shutdown");
 }
 
+/// Acceptance: a `trace:true` campaign streams per-job progress live —
+/// request-tagged trace lines (job brackets, phase counters, heartbeats)
+/// arrive before the final response, and each job's event batch stays
+/// contiguous even with four workers racing to emit.
+#[test]
+fn traced_campaign_streams_per_job_progress_before_the_response() {
+    let handle = boot("campstream", 4, 2);
+    let lines = client::request(
+        handle.addr(),
+        "{\"id\":\"camp\",\"op\":\"campaign\",\"case\":\"ieee14\",\"workers\":4,\"trace\":true,\"timing\":false}",
+    )
+    .expect("traced campaign");
+    assert!(lines.len() > 10, "expected a stream of trace lines, got {}", lines.len());
+
+    let final_line = final_json(&lines);
+    assert_eq!(str_at(&final_line, &["type"]), Some("response"));
+    assert_eq!(str_at(&final_line, &["op"]), Some("campaign"));
+
+    let mut heartbeats = 0u32;
+    let mut job_starts = 0u32;
+    let mut job_ends = 0u32;
+    // Per-job contiguity: batches are emitted under one sink critical
+    // section, so once a job's lines begin, no other job's lines may
+    // interleave until its job-end.
+    let mut open_job: Option<u64> = None;
+    let mut seen_jobs = Vec::new();
+    for line in &lines[..lines.len() - 1] {
+        let json = parse(line).expect("trace line parses");
+        assert_eq!(str_at(&json, &["type"]), Some("trace"), "non-trace line {line}");
+        assert_eq!(str_at(&json, &["id"]), Some("camp"), "line not request-tagged: {line}");
+        let event = str_at(&json, &["event", "event"]).expect("event kind");
+        match event {
+            "heartbeat" => {
+                heartbeats += 1;
+                assert_eq!(u64_at(&json, &["event", "total"]), Some(32));
+            }
+            "job-start" => {
+                let job = u64_at(&json, &["event", "job"]).expect("job id");
+                assert_eq!(open_job, None, "job {job} started inside another batch");
+                assert!(!seen_jobs.contains(&job), "job {job} started twice");
+                seen_jobs.push(job);
+                open_job = Some(job);
+                job_starts += 1;
+            }
+            "phase" => {
+                let job = u64_at(&json, &["event", "job"]).expect("job id");
+                assert_eq!(open_job, Some(job), "phase of job {job} outside its batch");
+            }
+            "job-end" => {
+                let job = u64_at(&json, &["event", "job"]).expect("job id");
+                assert_eq!(open_job, Some(job), "end of job {job} outside its batch");
+                open_job = None;
+                job_ends += 1;
+            }
+            "run-start" | "run-end" => {
+                assert_eq!(open_job, None, "{event} inside a job batch");
+            }
+            other => panic!("unexpected event {other:?} in {line}"),
+        }
+    }
+    assert_eq!(job_starts, 32, "every sweep job must announce itself");
+    assert_eq!(job_ends, 32);
+    assert!(heartbeats >= 1, "at least the immediate heartbeat must stream");
+    handle.stop().expect("clean shutdown");
+}
+
+/// Acceptance: with telemetry enabled (the default), a `"timing":false`
+/// campaign response is byte-identical across worker counts — the
+/// measurement plane observes and never perturbs.
+#[test]
+fn timing_stripped_campaign_bytes_match_across_worker_counts() {
+    let line = "{\"id\":\"det\",\"op\":\"campaign\",\"case\":\"ieee14\",\"workers\":4,\"timing\":false}";
+    let mut finals = Vec::new();
+    for jobs in [1usize, 4] {
+        let handle = boot(&format!("campdet{jobs}"), jobs, 2);
+        let lines = client::request(handle.addr(), line).expect("campaign");
+        finals.push(lines.last().expect("reply").clone());
+        handle.stop().expect("clean shutdown");
+    }
+    assert_eq!(finals[0], finals[1], "campaign bytes must not depend on worker count");
+    assert!(!finals[0].contains("\"timing\""));
+}
+
+/// Satellite: the registry counts exactly — concurrent clients hammering
+/// different ops lose no increments, and the `metrics` op reports the
+/// precise totals.
+#[test]
+fn concurrent_clients_are_counted_exactly() {
+    let handle = boot("exact", 2, 2);
+    const CLIENTS: usize = 8;
+    const PINGS: usize = 25;
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            let addr = handle.addr().to_string();
+            scope.spawn(move || {
+                for i in 0..PINGS {
+                    let reply = client::request(&addr, &format!("{{\"id\":\"p{i}\",\"op\":\"ping\"}}"))
+                        .expect("ping");
+                    assert!(reply.last().expect("line").contains("\"ok\":true"));
+                }
+            });
+        }
+    });
+    let metrics = final_json(
+        &client::request(handle.addr(), "{\"id\":\"m\",\"op\":\"metrics\"}").expect("metrics"),
+    );
+    assert_eq!(str_at(&metrics, &["metrics", "schema"]), Some("sta-metrics/v1"));
+    assert_eq!(
+        u64_at(&metrics, &["metrics", "ops", "ping", "requests"]),
+        Some((CLIENTS * PINGS) as u64),
+        "ping count must be exact under concurrency"
+    );
+    assert_eq!(u64_at(&metrics, &["metrics", "ops", "metrics", "requests"]), Some(1));
+    handle.stop().expect("clean shutdown");
+}
+
+/// Satellite: a `watch` subscription streams tagged snapshots at its
+/// cadence, and a drain terminates it honestly — one final `response`
+/// line carrying the last snapshot, not a dropped connection.
+#[test]
+fn watch_streams_snapshots_and_drain_sends_a_final_one() {
+    let handle = boot("watch", 2, 2);
+    let addr = handle.addr().to_string();
+    let collector = std::thread::spawn(move || {
+        let mut seen = Vec::new();
+        let final_line = client::stream(
+            &addr,
+            "{\"id\":\"w\",\"op\":\"watch\",\"interval_ms\":50}",
+            |line| {
+                seen.push(line.to_string());
+                true
+            },
+        );
+        (seen, final_line)
+    });
+    // Let a few snapshots stream, then drain.
+    std::thread::sleep(Duration::from_millis(180));
+    handle.stop().expect("clean shutdown");
+    let (seen, final_line) = collector.join().expect("collector thread");
+
+    assert!(seen.len() >= 2, "expected streamed snapshots, got {}", seen.len());
+    for (i, line) in seen.iter().enumerate() {
+        let json = parse(line).expect("watch line parses");
+        assert_eq!(str_at(&json, &["type"]), Some("watch"));
+        assert_eq!(str_at(&json, &["id"]), Some("w"));
+        assert_eq!(u64_at(&json, &["seq"]), Some(i as u64), "gapless sequence");
+        assert_eq!(str_at(&json, &["metrics", "schema"]), Some("sta-metrics/v1"));
+    }
+    let final_line = final_line.expect("stream ends cleanly").expect("final response");
+    let json = parse(&final_line).expect("final line parses");
+    assert_eq!(str_at(&json, &["type"]), Some("response"));
+    assert_eq!(str_at(&json, &["op"]), Some("watch"));
+    assert!(matches!(json.get("draining"), Some(Json::Bool(true))));
+    assert_eq!(
+        str_at(&json, &["final_snapshot", "schema"]),
+        Some("sta-metrics/v1"),
+        "drain must carry a last snapshot"
+    );
+}
+
+/// Satellite: the Prometheus rendering travels inside the JSONL envelope
+/// and unwraps to a well-formed text exposition.
+#[test]
+fn prometheus_format_unwraps_to_text_exposition() {
+    let handle = boot("prom", 2, 2);
+    client::request(handle.addr(), &verify_line("v", "ieee14", None, ""))
+        .expect("verify to move counters");
+    let reply = final_json(
+        &client::request(
+            handle.addr(),
+            "{\"id\":\"m\",\"op\":\"metrics\",\"format\":\"prometheus\"}",
+        )
+        .expect("metrics"),
+    );
+    assert_eq!(str_at(&reply, &["format"]), Some("prometheus"));
+    let body = str_at(&reply, &["body"]).expect("exposition body");
+    assert!(body.starts_with("# HELP "), "{body}");
+    assert!(body.contains("sta_requests_total{op=\"verify\"} 1"), "{body}");
+    assert!(body.contains("# TYPE sta_uptime_seconds gauge"), "{body}");
+
+    // Unknown format is a bad request, not a disconnect.
+    let err = final_json(
+        &client::request(
+            handle.addr(),
+            "{\"id\":\"m2\",\"op\":\"metrics\",\"format\":\"xml\"}",
+        )
+        .expect("error reply"),
+    );
+    assert_eq!(str_at(&err, &["error"]), Some("bad-request"));
+    handle.stop().expect("clean shutdown");
+}
+
 #[test]
 fn graceful_drain_finishes_or_cancels_inflight_and_refuses_new_work() {
     let handle = boot("drain", 2, 2);

@@ -311,6 +311,19 @@ pub enum TraceEvent {
         /// `pivots`).
         counters: Vec<(&'static str, u64)>,
     },
+    /// A periodic campaign-level heartbeat: how far a multi-job run has
+    /// progressed. Emitted by the campaign pool while jobs execute so a
+    /// client watching the trace channel sees liveness between job
+    /// completions. Elapsed time is a wall clock — observational only,
+    /// never part of a timing-stripped report.
+    Heartbeat {
+        /// Jobs finished so far.
+        done: usize,
+        /// Jobs the run will execute in total.
+        total: usize,
+        /// Time since the run started, in microseconds.
+        elapsed_us: u64,
+    },
     /// A job finished.
     JobEnd {
         /// Job id within the run.
@@ -385,6 +398,13 @@ impl TraceEvent {
                     let _ = write!(out, "\"{name}\":{value}");
                 }
                 out.push_str("}}");
+            }
+            TraceEvent::Heartbeat { done, total, elapsed_us } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"heartbeat\",\"done\":{done},\"total\":{total},\
+                     \"elapsed_us\":{elapsed_us}}}"
+                );
             }
             TraceEvent::JobEnd { job, verdict, wall_us } => {
                 let _ = write!(out, "{{\"event\":\"job-end\",\"job\":{job},\"verdict\":");
@@ -566,6 +586,15 @@ mod tests {
         assert_eq!(
             ph.to_json(),
             "{\"event\":\"phase\",\"job\":0,\"phase\":\"simplex\",\"counters\":{\"pivots\":4}}"
+        );
+    }
+
+    #[test]
+    fn heartbeat_serializes_progress_fraction() {
+        let hb = TraceEvent::Heartbeat { done: 3, total: 12, elapsed_us: 4500 };
+        assert_eq!(
+            hb.to_json(),
+            "{\"event\":\"heartbeat\",\"done\":3,\"total\":12,\"elapsed_us\":4500}"
         );
     }
 

@@ -21,7 +21,16 @@
 //!                                      perf-trajectory harness
 //! sta lint [--json] [--fix-allowlist] [--root DIR]
 //!                                      in-tree invariant analyzer
+//! sta top <addr> [--interval-ms MS] [--once]
+//!                                      live service dashboard
 //! ```
+//!
+//! Against a running `sta serve`, `sta client stats` and `sta client
+//! metrics` render human tables by default (`--json` keeps the raw JSONL
+//! reply; `--format prometheus` prints the text exposition), `sta client
+//! watch` streams raw snapshot lines at `--interval-ms` cadence until
+//! the server drains, and `sta top` turns the same watch stream into a
+//! redrawing terminal dashboard. See `DESIGN.md` §16.
 //!
 //! `--trace FILE` streams the run's observability events (run/job
 //! brackets plus per-phase solver counters) as JSON Lines to `FILE`;
@@ -162,11 +171,15 @@ fn usage() -> ExitCode {
          [--baseline FILE] [--against FILE] [--threshold PCT]\n  \
          sta serve --listen <path|host:port> [--jobs N] [--max-sessions K] \
          [--queue N] [--drain-ms MS]\n  \
-         sta client <addr> ping|stats|shutdown [--drain-ms MS]\n  \
+         sta client <addr> ping|shutdown [--drain-ms MS]\n  \
+         sta client <addr> stats [--json]\n  \
+         sta client <addr> metrics [--json] [--format json|prometheus]\n  \
+         sta client <addr> watch [--interval-ms MS]\n  \
          sta client <addr> verify|synthesize <case> <scenario> [--certify off|models|full] \
          [--timeout-ms MS] [--budget N] [--incremental on|off] [--no-timing] [--trace]\n  \
-         sta client <addr> campaign <case> [--workers N] [--timeout-ms MS] [--no-timing]\n  \
+         sta client <addr> campaign <case> [--workers N] [--timeout-ms MS] [--no-timing] [--trace]\n  \
          sta client <addr> raw '<json-line>'\n  \
+         sta top <addr> [--interval-ms MS] [--once]\n  \
          sta lint [--json] [--fix-allowlist] [--root DIR]\n\
          exit codes: 0 = sat/success, 1 = unsat/no solution/perf regression/lint findings, 2 = usage error, 3 = unknown (budget exhausted)"
     );
@@ -864,11 +877,108 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
     let op = args.get(1).ok_or("client needs an operation")?;
     let rest = &args[2..];
     let line = match op.as_str() {
-        "ping" | "stats" => {
+        "ping" => {
             if !rest.is_empty() {
                 return Err(format!("client {op} takes no further arguments"));
             }
             format!("{{\"id\":\"cli\",\"op\":\"{op}\"}}")
+        }
+        "stats" => {
+            let mut raw = false;
+            for flag in rest {
+                match flag.as_str() {
+                    "--json" => raw = true,
+                    other => return Err(format!("unknown client flag {other:?}")),
+                }
+            }
+            let lines =
+                sta::serve::client::request(addr, "{\"id\":\"cli\",\"op\":\"stats\"}")?;
+            let last = lines.last().ok_or("empty reply")?;
+            let code = sta::serve::client::exit_code(last);
+            if raw || code != 0 {
+                for l in &lines {
+                    println!("{l}");
+                }
+            } else {
+                let doc = sta::smt::json::parse(last)
+                    .map_err(|e| format!("unparsable stats reply: {e}"))?;
+                print!("{}", sta::serve::top::render_stats(&doc));
+            }
+            return Ok(ExitCode::from(code));
+        }
+        "metrics" => {
+            let mut raw = false;
+            let mut format = "json".to_string();
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--json" => raw = true,
+                    "--format" => {
+                        format = it.next().ok_or("--format needs a value")?.clone();
+                    }
+                    other => return Err(format!("unknown client flag {other:?}")),
+                }
+            }
+            if format != "json" && format != "prometheus" {
+                return Err(format!("--format needs json|prometheus, got {format:?}"));
+            }
+            let line =
+                format!("{{\"id\":\"cli\",\"op\":\"metrics\",\"format\":\"{format}\"}}");
+            let lines = sta::serve::client::request(addr, &line)?;
+            let last = lines.last().ok_or("empty reply")?;
+            let code = sta::serve::client::exit_code(last);
+            if raw || code != 0 {
+                for l in &lines {
+                    println!("{l}");
+                }
+            } else {
+                let doc = sta::smt::json::parse(last)
+                    .map_err(|e| format!("unparsable metrics reply: {e}"))?;
+                if format == "prometheus" {
+                    // Unwrap the exposition text from its JSONL envelope.
+                    let body = doc
+                        .get("body")
+                        .and_then(sta::smt::json::Json::as_str)
+                        .ok_or("metrics reply has no body")?;
+                    print!("{body}");
+                } else {
+                    let metrics =
+                        doc.get("metrics").ok_or("metrics reply has no metrics object")?;
+                    print!("{}", sta::serve::top::render_frame(metrics));
+                }
+            }
+            return Ok(ExitCode::from(code));
+        }
+        "watch" => {
+            let mut interval_ms: u64 = 1000;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--interval-ms" => {
+                        let v = it.next().ok_or("--interval-ms needs a value")?;
+                        interval_ms =
+                            v.parse().map_err(|_| "bad --interval-ms value")?;
+                        if interval_ms == 0 {
+                            return Err("--interval-ms must be a positive integer".into());
+                        }
+                    }
+                    other => return Err(format!("unknown client flag {other:?}")),
+                }
+            }
+            let line = format!(
+                "{{\"id\":\"cli\",\"op\":\"watch\",\"interval_ms\":{interval_ms}}}"
+            );
+            let final_line = sta::serve::client::stream(addr, &line, |l| {
+                println!("{l}");
+                true
+            })?;
+            return Ok(match final_line {
+                Some(l) => {
+                    println!("{l}");
+                    ExitCode::from(sta::serve::client::exit_code(&l))
+                }
+                None => ExitCode::SUCCESS,
+            });
         }
         "shutdown" => {
             let mut line = String::from("{\"id\":\"cli\",\"op\":\"shutdown\"");
@@ -899,6 +1009,78 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::from(code))
 }
 
+/// `sta top <addr> [--interval-ms MS] [--once]` — live terminal
+/// dashboard over a `watch` subscription: each snapshot clears the
+/// screen and redraws queue depth, worker occupancy, cache temperature
+/// and per-op latency percentiles. `--once` fetches a single `metrics`
+/// snapshot and prints one frame without clearing — the scripting mode.
+/// Runs until the server drains (final frame stays up) or ^C.
+fn cmd_top(args: &[String]) -> Result<ExitCode, String> {
+    use sta::serve::{client, top};
+    use sta::smt::json::parse;
+    let addr = args.first().ok_or("top needs <addr>")?;
+    let mut interval_ms: u64 = 1000;
+    let mut once = false;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--interval-ms" => {
+                let v = it.next().ok_or("--interval-ms needs a value")?;
+                interval_ms = v.parse().map_err(|_| "bad --interval-ms value")?;
+                if interval_ms == 0 {
+                    return Err("--interval-ms must be a positive integer".into());
+                }
+            }
+            "--once" => once = true,
+            other => return Err(format!("unknown top flag {other:?}")),
+        }
+    }
+    if once {
+        let lines =
+            client::request(addr, "{\"id\":\"top\",\"op\":\"metrics\",\"format\":\"json\"}")?;
+        let last = lines.last().ok_or("empty reply")?;
+        let code = client::exit_code(last);
+        if code != 0 {
+            for l in &lines {
+                println!("{l}");
+            }
+            return Ok(ExitCode::from(code));
+        }
+        let doc =
+            parse(last).map_err(|e| format!("unparsable metrics reply: {e}"))?;
+        let metrics = doc.get("metrics").ok_or("metrics reply has no metrics object")?;
+        print!("{}", top::render_frame(metrics));
+        return Ok(ExitCode::SUCCESS);
+    }
+    let line =
+        format!("{{\"id\":\"top\",\"op\":\"watch\",\"interval_ms\":{interval_ms}}}");
+    let final_line = client::stream(addr, &line, |l| {
+        if let Ok(doc) = parse(l) {
+            if let Some(metrics) = doc.get("metrics") {
+                print!("{}{}", top::CLEAR, top::render_frame(metrics));
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+            }
+        }
+        true
+    })?;
+    if let Some(l) = final_line {
+        let code = client::exit_code(&l);
+        if code == 0 {
+            if let Ok(doc) = parse(&l) {
+                if let Some(snap) = doc.get("final_snapshot") {
+                    print!("{}{}", top::CLEAR, top::render_frame(snap));
+                }
+            }
+            println!("server draining — watch closed");
+        } else {
+            println!("{l}");
+        }
+        return Ok(ExitCode::from(code));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn two(args: &[String]) -> Result<(String, String), String> {
     match (args.first(), args.get(1)) {
         (Some(a), Some(b)) => Ok((a.clone(), b.clone())),
@@ -922,6 +1104,7 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(rest),
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
+        "top" => cmd_top(rest),
         "lint" => cmd_lint(rest),
         "--help" | "-h" | "help" => return usage(),
         other => {

@@ -154,6 +154,27 @@ fn bad_incremental_flag_is_a_usage_error() {
     assert_eq!(out.status.code(), Some(2));
 }
 
+/// Satellite: bad telemetry flags are usage errors (exit 2) rejected
+/// client-side — a zero or non-numeric `--interval-ms` never opens a
+/// subscription, and an unknown metrics format never reaches the wire.
+#[test]
+fn bad_telemetry_flags_are_usage_errors() {
+    let out = sta(&["client", "/nowhere.sock", "watch", "--interval-ms", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--interval-ms"));
+    let out = sta(&["client", "/nowhere.sock", "watch", "--interval-ms", "soon"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--interval-ms"));
+    let out = sta(&["client", "/nowhere.sock", "metrics", "--format", "xml"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("json|prometheus"));
+    let out = sta(&["top", "/nowhere.sock", "--interval-ms", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--interval-ms"));
+    let out = sta(&["top"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
 /// Tentpole: the warm (default) and cold (`--incremental off`) synthesis
 /// paths agree on the verdict from the command line too.
 #[test]

@@ -32,6 +32,12 @@
 #      a schema-valid report, and the 300-bus sparse WLS median must be
 #      at least 10x faster than the dense-oracle median — the sparse
 #      numerics are what lifts the 14-bus ceiling, so CI pins the ratio
+#  11. telemetry smoke (inside the serve smoke): the metrics registry
+#      counts the two verify requests exactly, the Prometheus exposition
+#      carries the same totals, and `sta top --once` renders a frame
+#  12. telemetry overhead: the serve bench's warm-verify median with the
+#      measurement plane on must stay within 1.5x + 500us of the
+#      telemetry-off median — observation must stay cheap
 #
 # No network access is required; the script fails fast on the first error.
 set -euo pipefail
@@ -225,6 +231,30 @@ echo "$warm_out" | grep -q '"session":"hit"' || {
     echo "warm serve request did not report a session cache hit" >&2
     exit 1
 }
+echo "==> telemetry smoke: exact counters, Prometheus exposition, top frame"
+metrics_out="$(./target/release/sta client "$sock" metrics --json)"
+echo "$metrics_out" | grep -q '"schema":"sta-metrics/v1"' || {
+    echo "metrics reply is missing the sta-metrics/v1 schema tag" >&2
+    exit 1
+}
+echo "$metrics_out" | grep -q '"verify":{"requests":2' || {
+    echo "metrics registry did not count exactly 2 verify requests" >&2
+    exit 1
+}
+./target/release/sta client "$sock" metrics --format prometheus \
+    | grep -q 'sta_requests_total{op="verify"} 2' || {
+    echo "Prometheus exposition disagrees with the verify request count" >&2
+    exit 1
+}
+top_out="$(./target/release/sta top "$sock" --once)"
+echo "$top_out" | grep -q 'uptime ' || {
+    echo "sta top --once did not render the header gauges" >&2
+    exit 1
+}
+echo "$top_out" | grep -q '^verify ' || {
+    echo "sta top --once did not render the per-op table" >&2
+    exit 1
+}
 ./target/release/sta client "$sock" shutdown >/dev/null
 wait "$serve_pid" || {
     echo "sta serve exited non-zero after a clean shutdown" >&2
@@ -250,6 +280,18 @@ fi
 echo "    cold median: ${cold_us} us, warm median: ${warm_us} us"
 if [ "$warm_us" -ge "$cold_us" ]; then
     echo "warm serve requests must beat cold (got ${cold_us} us -> ${warm_us} us)" >&2
+    exit 1
+fi
+
+echo "==> telemetry overhead: histograms on vs off on warm medians"
+off_us="$(sed -n 's/.*"label":"warm-verify-notelemetry"[^}]*"wall_us":\([0-9]*\).*/\1/p' BENCH_serve.ci.json)"
+if [ -z "$off_us" ]; then
+    echo "could not extract the warm-verify-notelemetry median from BENCH_serve.ci.json" >&2
+    exit 1
+fi
+echo "    telemetry on: ${warm_us} us, off: ${off_us} us"
+if [ "$warm_us" -gt $((off_us * 3 / 2 + 500)) ]; then
+    echo "telemetry overhead too high: warm ${warm_us} us vs ${off_us} us off (bound 1.5x + 500us)" >&2
     exit 1
 fi
 
