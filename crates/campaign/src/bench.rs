@@ -116,21 +116,45 @@ pub fn suite_names() -> &'static [&'static str] {
     &["smoke", "sweep", "cegis"]
 }
 
-/// Bus counts of the `scale` suite — the paper's §V-B scalability ladder.
-pub const SCALE_BUSES: [usize; 5] = [14, 30, 57, 118, 300];
+/// Bus counts of the `scale` suite — the paper's §V-B scalability ladder,
+/// extended past the dense tableau's practical ceiling by the revised
+/// simplex (1354- and 2000-bus rungs).
+pub const SCALE_BUSES: [usize; 7] = [14, 30, 57, 118, 300, 1354, 2000];
+
+/// Largest case the dense oracles (dense WLS pipeline, dense eager
+/// tableau) still run at bench-friendly speed. Above this the suite
+/// measures the sparse/revised path only — which is the point of the
+/// ladder's upper rungs.
+pub const DENSE_ORACLE_MAX_BUSES: usize = 300;
+
+/// Per-job deadline of the scale suite's verify jobs, generous enough
+/// that a completed run certifies "the 2000-bus verification finishes
+/// within the deadline" (a timeout shows up as a `unknown(timeout)`
+/// verdict and fails the `verify.sh` gate).
+pub const SCALE_VERIFY_TIMEOUT_MS: u64 = 120_000;
 
 /// Runs the `scale` suite: the estimation-stack scaling curve.
 ///
-/// Per IEEE case size (see [`SCALE_BUSES`]), four jobs:
+/// Per IEEE case size (see [`SCALE_BUSES`]), up to six jobs:
 ///
 /// * `wls-sparse-{b}` — a full WLS solve (estimator construction, i.e.
 ///   sparse gain build + AMD-ordered factorization, plus one estimate)
 ///   on the default sparse pipeline;
 /// * `wls-dense-{b}` — the identical solve on the dense-oracle pipeline,
-///   so a trajectory point carries its own sparse-vs-dense speedup;
+///   so a trajectory point carries its own sparse-vs-dense speedup
+///   (sizes up to [`DENSE_ORACLE_MAX_BUSES`] only);
 /// * `obs-{b}` — a sparse observability check;
-/// * `verify-{b}` — one blocked verification through the campaign pool,
-///   with real encode/search phase medians.
+/// * `verify-{b}` — one blocked verification (`T_CZ = 0`) on the revised
+///   simplex at every size. Pivot-light — encode dominates — so it is
+///   cheap at small sizes, and at 1354/2000 buses it is the size-ceiling
+///   story: the rung completes within [`SCALE_VERIFY_TIMEOUT_MS`] or its
+///   verdict degrades to `unknown(timeout)` and fails the `verify.sh`
+///   gate;
+/// * `verify-dense-{b}` / `verify-revised-{b}` — the engine A/B pair
+///   (up to [`DENSE_ORACLE_MAX_BUSES`]): the same pivot-heavy
+///   multi-target scenario ([`scale_ab_model`]) run once per engine.
+///   Identical deterministic trajectory, so the wall-time ratio is a
+///   pure engine comparison — `verify.sh` gates on the 300-bus pair.
 ///
 /// Unlike the registry suites this one is not a pure [`CampaignSpec`] —
 /// the WLS and observability jobs run outside the pool — so it builds
@@ -141,6 +165,29 @@ pub const SCALE_BUSES: [usize; 5] = [14, 30, 57, 118, 300];
 /// either means the suite definition itself is broken.
 pub fn run_scale_suite(reps: usize, workers: usize) -> Result<BenchResult, String> {
     run_scale_suite_for(&SCALE_BUSES, reps, workers)
+}
+
+/// The engine A/B workload of the scale suite: four `MustChange` targets
+/// spread across the case, pairwise-different changes between adjacent
+/// targets, and tight resource caps. The caps force the search to
+/// enumerate thousands of candidate attack supports, each a theory check
+/// with real pivot work — the regime the revised engine exists for. (A
+/// blocked scenario would measure encode time, where the engines tie;
+/// see `EXPERIMENTS.md`.) The verdict varies with topology (sat at 14
+/// and 300 buses, unsat between) but is identical across engines, as is
+/// the whole pivot trajectory.
+pub fn scale_ab_model(b: usize) -> AttackModel {
+    let t = [BusId(b / 4), BusId(b / 2), BusId(3 * b / 4), BusId(b - 1)];
+    let mut model = AttackModel::new(b);
+    for &bus in &t {
+        model = model.target(bus, StateTarget::MustChange);
+    }
+    model
+        .require_different_change(t[0], t[1])
+        .require_different_change(t[1], t[2])
+        .require_different_change(t[2], t[3])
+        .max_altered_measurements(20)
+        .max_compromised_buses(8)
 }
 
 /// [`run_scale_suite`] over an explicit bus-count list (kept separate so
@@ -185,7 +232,12 @@ pub fn run_scale_suite_for(
         });
     };
 
-    let mut spec = CampaignSpec::new("bench-scale");
+    let mut dense_spec = CampaignSpec::new("bench-scale-dense")
+        .with_simplex(sta_smt::SimplexMode::Dense)
+        .with_timeout_ms(SCALE_VERIFY_TIMEOUT_MS);
+    let mut revised_spec = CampaignSpec::new("bench-scale-revised")
+        .with_simplex(sta_smt::SimplexMode::Revised)
+        .with_timeout_ms(SCALE_VERIFY_TIMEOUT_MS);
     for &b in buses {
         let sys = sta_grid::synthetic::ieee_case(b);
         let case_name = format!("ieee{b}");
@@ -217,18 +269,20 @@ pub fn run_scale_suite_for(
         })?;
         push(format!("wls-sparse-{b}"), &case_name, v, wall);
 
-        let (v, wall) = timed(&clock, reps, || {
-            let est = WlsEstimator::new_dense(
-                &sys.grid,
-                &sys.topology,
-                &sys.measurements,
-                sys.reference_bus,
-                None,
-            )
-            .map_err(|e| format!("{case_name}: {e}"))?;
-            wls_verdict(&est)
-        })?;
-        push(format!("wls-dense-{b}"), &case_name, v, wall);
+        if b <= DENSE_ORACLE_MAX_BUSES {
+            let (v, wall) = timed(&clock, reps, || {
+                let est = WlsEstimator::new_dense(
+                    &sys.grid,
+                    &sys.topology,
+                    &sys.measurements,
+                    sys.reference_bus,
+                    None,
+                )
+                .map_err(|e| format!("{case_name}: {e}"))?;
+                wls_verdict(&est)
+            })?;
+            push(format!("wls-dense-{b}"), &case_name, v, wall);
+        }
 
         let (v, wall) = timed(&clock, reps, || {
             Ok(if observability::is_observable(
@@ -245,20 +299,33 @@ pub fn run_scale_suite_for(
         })?;
         push(format!("obs-{b}"), &case_name, v, wall);
 
-        let case = spec.add_case(case_name, sys);
-        spec.verify(
-            case,
-            format!("verify-{b}"),
-            AttackModel::new(b).max_altered_measurements(0),
-        );
+        if b <= DENSE_ORACLE_MAX_BUSES {
+            let case = dense_spec.add_case(case_name.clone(), sys.clone());
+            dense_spec.verify(case, format!("verify-dense-{b}"), scale_ab_model(b));
+        }
+        let case = revised_spec.add_case(case_name, sys);
+        let blocked = AttackModel::new(b).max_altered_measurements(0);
+        revised_spec.verify(case, format!("verify-{b}"), blocked);
+        if b <= DENSE_ORACLE_MAX_BUSES {
+            revised_spec.verify(case, format!("verify-revised-{b}"), scale_ab_model(b));
+        }
     }
 
     // The verify jobs go through the standard pool harness for real
     // encode/search phase medians; their latency rollup is the suite's.
-    let verify = run_suite("scale", &spec, reps, workers);
-    jobs.extend(verify.jobs);
+    let dense = run_suite("scale", &dense_spec, reps, workers);
+    let revised = run_suite("scale", &revised_spec, reps, workers);
+    jobs.extend(dense.jobs);
+    jobs.extend(revised.jobs);
     for (i, j) in jobs.iter_mut().enumerate() {
         j.id = i as u64;
+    }
+    let mut latency = dense.latency;
+    for (phase, hist) in revised.latency {
+        match latency.iter_mut().find(|(p, _)| *p == phase) {
+            Some((_, existing)) => existing.merge(&hist),
+            None => latency.push((phase, hist)),
+        }
     }
     Ok(BenchResult {
         schema: SCHEMA.to_string(),
@@ -267,7 +334,7 @@ pub fn run_scale_suite_for(
         workers: workers.max(1) as u64,
         env: BenchEnv::capture(),
         jobs,
-        latency: verify.latency,
+        latency,
     })
 }
 
@@ -803,27 +870,53 @@ mod tests {
         // CI's job (verify.sh), not the unit suite's.
         let r = run_scale_suite_for(&[14, 30], 1, 1).expect("scale harness runs");
         assert_eq!(r.suite, "scale");
-        assert_eq!(r.jobs.len(), 8, "4 jobs per case size");
+        assert_eq!(r.jobs.len(), 12, "6 jobs per dense-oracle case size");
         let labels: Vec<&str> = r.jobs.iter().map(|j| j.label.as_str()).collect();
         for want in [
             "wls-sparse-14",
             "wls-dense-14",
             "obs-14",
             "verify-14",
+            "verify-dense-14",
+            "verify-revised-14",
             "wls-sparse-30",
             "wls-dense-30",
             "obs-30",
             "verify-30",
+            "verify-dense-30",
+            "verify-revised-30",
         ] {
             assert!(labels.contains(&want), "missing {want} in {labels:?}");
         }
+        let verdict = |label: &str| {
+            &r.jobs
+                .iter()
+                .find(|j| j.label == label)
+                .unwrap_or_else(|| panic!("missing {label}"))
+                .verdict
+        };
         for j in &r.jobs {
             match j.label.split('-').next() {
                 Some("wls") => assert_eq!(j.verdict, "ok", "{}", j.label),
                 Some("obs") => assert_eq!(j.verdict, "observable", "{}", j.label),
-                Some("verify") => assert_eq!(j.verdict, "unsat", "{}", j.label),
+                Some("verify") => assert!(
+                    j.verdict == "sat" || j.verdict == "unsat",
+                    "{}: {}",
+                    j.label,
+                    j.verdict
+                ),
                 other => panic!("unexpected label family {other:?}"),
             }
+        }
+        for b in [14, 30] {
+            // Blocked ladder rows are unsat by construction; the A/B
+            // pair's verdict varies with topology but never with engine.
+            assert_eq!(verdict(&format!("verify-{b}")), "unsat");
+            assert_eq!(
+                verdict(&format!("verify-dense-{b}")),
+                verdict(&format!("verify-revised-{b}")),
+                "engine verdicts diverged at {b} buses"
+            );
         }
         // Ids are sequential, and the artifact is schema-valid and
         // self-diffable like every other suite's.

@@ -239,6 +239,9 @@ fn job_events(result: &JobResult) -> Vec<TraceEvent> {
                 counters.push(("cache_hits", pw.cache_hits));
                 counters.push(("cache_misses", pw.cache_misses));
             }
+            if let (sta_smt::Phase::Search, Some(pw)) = (phase, &result.phase_wall) {
+                counters.push(("refactorizations", pw.refactorizations));
+            }
             events.push(TraceEvent::Phase { job: result.id, phase, counters, wall_us });
         }
     }
@@ -332,7 +335,9 @@ fn execute(
             let key = (job.case, model.allow_topology_attack);
             let session = sessions.entry(key).or_insert_with(|| {
                 VerifySession::with_verifier(
-                    AttackVerifier::new(&case.system).with_certify(spec.certify),
+                    AttackVerifier::new(&case.system)
+                        .with_certify(spec.certify)
+                        .with_simplex(spec.simplex),
                     model.allow_topology_attack,
                 )
             });
@@ -359,8 +364,9 @@ fn execute(
             };
         }
         JobKind::Synthesize { attacker, config } => {
-            let mut synth =
-                Synthesizer::new(&case.system).with_certify(spec.certify);
+            let mut synth = Synthesizer::new(&case.system)
+                .with_certify(spec.certify)
+                .with_simplex(spec.simplex);
             if let Some(p) = &profiler {
                 synth = synth.with_profiler(p.clone());
             }

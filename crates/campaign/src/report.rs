@@ -147,13 +147,18 @@ pub fn witness_json(w: &AttackVector, out: &mut String) {
     out.push_str("]}");
 }
 
-fn stats_json(s: &SolverStats, out: &mut String) {
+/// Serializes the deterministic solver counters. `estimated_bytes` is
+/// emitted only with `include_memory` (the `timing` serialization mode):
+/// the footprint estimate depends on the simplex engine's internal
+/// representation — dense tableau vs factorized basis — so it would
+/// break the cross-engine byte-identity of stripped reports.
+fn stats_json(s: &SolverStats, include_memory: bool, out: &mut String) {
     let _ = write!(
         out,
         "{{\"sat_vars\":{},\"clauses\":{},\"decisions\":{},\"propagations\":{},\
          \"conflicts\":{},\"theory_conflicts\":{},\"restarts\":{},\
          \"learned_clauses\":{},\"pivots\":{},\"proof_steps\":{},\
-         \"certified\":{},\"lint_errors\":{},\"estimated_bytes\":{}}}",
+         \"certified\":{},\"lint_errors\":{}",
         s.sat_vars,
         s.clauses,
         s.decisions,
@@ -166,8 +171,11 @@ fn stats_json(s: &SolverStats, out: &mut String) {
         s.proof_steps,
         s.certified,
         s.lint_errors,
-        s.estimated_bytes(),
     );
+    if include_memory {
+        let _ = write!(out, ",\"estimated_bytes\":{}", s.estimated_bytes());
+    }
+    out.push('}');
 }
 
 impl CampaignReport {
@@ -207,6 +215,21 @@ impl CampaignReport {
         for r in &self.results {
             if let Some(m) = &r.metrics {
                 total.merge(m);
+            }
+        }
+        total
+    }
+
+    /// Sums every job's *observational* phase timings: wall clocks,
+    /// base-cache hit/miss counters, basis refactorizations. Unlike
+    /// [`Self::metrics_rollup`] the result depends on scheduling and on
+    /// the simplex engine mode, so it is display-only and never enters
+    /// the deterministic report body.
+    pub fn timings_rollup(&self) -> PhaseTimings {
+        let mut total = PhaseTimings::default();
+        for r in &self.results {
+            if let Some(pw) = &r.phase_wall {
+                total.merge(pw);
             }
         }
         total
@@ -301,7 +324,7 @@ impl CampaignReport {
             }
             if let Some(s) = &r.stats {
                 out.push_str(",\"stats\":");
-                stats_json(s, &mut out);
+                stats_json(s, include_timing, &mut out);
             }
             if let Some(m) = &r.metrics {
                 out.push_str(",\"metrics\":");

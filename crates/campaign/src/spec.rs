@@ -14,7 +14,7 @@
 use sta_core::attack::AttackModel;
 use sta_core::synthesis::SynthesisConfig;
 use sta_grid::{BusId, TestSystem};
-use sta_smt::CertifyLevel;
+use sta_smt::{CertifyLevel, SimplexMode};
 
 /// One grid case a campaign runs against.
 #[derive(Debug, Clone)]
@@ -75,6 +75,11 @@ pub struct CampaignSpec {
     /// clone-per-check in both modes, so their reports never depend on
     /// this flag.
     pub incremental: bool,
+    /// Simplex engine selection for every job's solver checks (the
+    /// `sta --simplex` A/B switch). Verdicts, witnesses and deterministic
+    /// counters are identical across modes — only timings move — so
+    /// timing-stripped reports never depend on this flag.
+    pub simplex: SimplexMode,
 }
 
 impl CampaignSpec {
@@ -87,6 +92,7 @@ impl CampaignSpec {
             certify: CertifyLevel::Off,
             timeout_ms: None,
             incremental: true,
+            simplex: SimplexMode::Auto,
         }
     }
 
@@ -94,6 +100,13 @@ impl CampaignSpec {
     /// clone-per-check baseline for every synthesis job's loop solvers.
     pub fn with_incremental(mut self, on: bool) -> Self {
         self.incremental = on;
+        self
+    }
+
+    /// Selects the simplex engine for every job's solver checks (see
+    /// [`SimplexMode`]).
+    pub fn with_simplex(mut self, mode: SimplexMode) -> Self {
+        self.simplex = mode;
         self
     }
 

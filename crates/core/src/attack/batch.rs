@@ -105,6 +105,14 @@ impl VerifySession {
         self.solver.set_incremental(on);
     }
 
+    /// Selects the simplex engine for the session's checks (see
+    /// [`sta_smt::Solver::set_simplex_mode`]). Changing the mode drops the
+    /// solver's cached base encoding, so the next check rebuilds it.
+    pub fn set_simplex_mode(&mut self, mode: sta_smt::SimplexMode) {
+        self.verifier.set_simplex_mode(mode);
+        self.solver.set_simplex_mode(mode);
+    }
+
     /// Checks so far that reused the cached base encoding (the session's
     /// raison d'être — a healthy sweep shows one miss, then all hits).
     pub fn cache_hits(&self) -> u64 {

@@ -47,7 +47,7 @@ use sta_estimator::dcflow;
 use sta_grid::{BusId, LineId, MeasurementConfig, MeasurementId, TestSystem};
 use sta_smt::{
     BoolVar, Budget, CertifyLevel, Formula, LinExpr, LinExprCmp, Model, Profiler, RealVar,
-    Rational, SatResult, Solver,
+    Rational, SatResult, SimplexMode, Solver,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -107,6 +107,9 @@ pub struct AttackVerifier {
     profiler: Option<Profiler>,
     /// Whether solver checks sample progress timelines into their stats.
     progress: bool,
+    /// Simplex engine selection applied to every solver this verifier
+    /// builds (see [`sta_smt::SimplexMode`]).
+    simplex: SimplexMode,
 }
 
 impl AttackVerifier {
@@ -160,6 +163,7 @@ impl AttackVerifier {
             certify: CertifyLevel::Off,
             profiler: None,
             progress: false,
+            simplex: SimplexMode::Auto,
         }
     }
 
@@ -214,13 +218,36 @@ impl AttackVerifier {
         self.progress
     }
 
+    /// Selects the simplex engine for every solver this verifier builds:
+    /// `Auto` (the default) upgrades from the dense tableau to the
+    /// revised/factorized engine on large systems, `Dense`/`Revised` pin
+    /// one backend. Verdicts, models and deterministic counters are
+    /// identical across modes (see [`sta_smt::Solver::set_simplex_mode`]).
+    pub fn with_simplex(mut self, mode: SimplexMode) -> Self {
+        self.simplex = mode;
+        self
+    }
+
+    /// In-place form of [`AttackVerifier::with_simplex`] for verifiers
+    /// owned by a session.
+    pub fn set_simplex_mode(&mut self, mode: SimplexMode) {
+        self.simplex = mode;
+    }
+
+    /// The configured simplex engine mode.
+    pub fn simplex_mode(&self) -> SimplexMode {
+        self.simplex
+    }
+
     /// Applies this verifier's observability configuration (profiler,
-    /// clock, progress sampling) to a solver it is about to drive.
+    /// clock, progress sampling) and engine selection to a solver it is
+    /// about to drive.
     pub(crate) fn configure_solver(&self, solver: &mut Solver) {
         if let Some(p) = &self.profiler {
             solver.set_profiler(p.clone());
         }
         solver.set_progress_sampling(self.progress);
+        solver.set_simplex_mode(self.simplex);
     }
 
     /// The system under verification.

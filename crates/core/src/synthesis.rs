@@ -238,6 +238,14 @@ impl<'a> Synthesizer<'a> {
         self
     }
 
+    /// Selects the simplex engine for the loop's verification checks
+    /// (the selection model is purely Boolean, so only the verifier's
+    /// solver is affected; see [`sta_smt::SimplexMode`]).
+    pub fn with_simplex(mut self, mode: sta_smt::SimplexMode) -> Self {
+        self.verifier = self.verifier.with_simplex(mode);
+        self
+    }
+
     /// Runs Algorithm 1 for the given attack model and operator
     /// constraints.
     pub fn synthesize(

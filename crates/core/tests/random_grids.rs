@@ -14,7 +14,7 @@ use sta_linalg::rng::Pcg32;
 
 fn random_system(buses: usize, extra_lines: usize, seed: u64) -> TestSystem {
     let l = (buses - 1 + extra_lines).min(buses * (buses - 1) / 2);
-    let grid = synthetic::generate(buses, l, seed);
+    let grid = synthetic::generate(buses, l, seed).unwrap();
     TestSystem::fully_metered(format!("prop-{seed}"), grid)
 }
 

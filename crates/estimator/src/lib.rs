@@ -63,7 +63,7 @@ mod randomized {
     #[test]
     fn noiseless_roundtrip() {
         for seed in 0..24u64 {
-            let grid = synthetic::generate(12, 17, seed);
+            let grid = synthetic::generate(12, 17, seed).unwrap();
             let sys = sta_grid::TestSystem::fully_metered("p", grid);
             let est = WlsEstimator::for_system(&sys).unwrap();
             let op = dcflow::solve(
@@ -88,7 +88,7 @@ mod randomized {
             let seed = rng.next_u64() % 30;
             let bump = rng.uniform_f64(-2.0, 2.0);
             let idx = rng.below(11);
-            let grid = synthetic::generate(12, 17, seed);
+            let grid = synthetic::generate(12, 17, seed).unwrap();
             let sys = sta_grid::TestSystem::fully_metered("p", grid);
             let est = WlsEstimator::for_system(&sys).unwrap();
             let op = dcflow::solve(
@@ -116,7 +116,7 @@ mod randomized {
         for _ in 0..20 {
             let seed = rng.next_u64() % 20;
             let row = rng.below(40);
-            let grid = synthetic::generate(12, 17, seed);
+            let grid = synthetic::generate(12, 17, seed).unwrap();
             let sys = sta_grid::TestSystem::fully_metered("p", grid);
             let est = WlsEstimator::for_system(&sys).unwrap();
             let op = dcflow::solve(

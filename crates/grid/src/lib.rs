@@ -13,7 +13,8 @@
 //!   taken/secured/accessible flags ([`measurement`]);
 //! * [`TestSystem`] — a packaged case ([`system`]);
 //! * [`ieee14`] — the paper's Table II/III data, exact; and
-//! * [`synthetic`] — seeded generators at IEEE 30/57/118/300 dimensions.
+//! * [`synthetic`] — seeded generators at IEEE 30/57/118/300 dimensions
+//!   plus the 1354/2000-bus large-grid scaling points.
 //!
 //! # Examples
 //!
@@ -39,6 +40,7 @@ pub mod topology;
 
 pub use measurement::{MeasurementConfig, MeasurementId, MeasurementKind};
 pub use model::{BusId, Grid, Line, LineId};
+pub use synthetic::GenerateError;
 pub use system::TestSystem;
 pub use topology::Topology;
 
@@ -57,7 +59,7 @@ mod randomized {
             let extra = rng.below(12);
             let seed = rng.next_u64() % 1000;
             let l = (b - 1 + extra).min(b * (b - 1) / 2);
-            let grid = synthetic::generate(b, l, seed);
+            let grid = synthetic::generate(b, l, seed).unwrap();
             assert_eq!(grid.num_buses(), b);
             assert_eq!(grid.num_lines(), l);
             assert!(Topology::all_closed(&grid).is_connected(&grid));
@@ -69,7 +71,7 @@ mod randomized {
     #[test]
     fn h_consumption_rows_balance() {
         for seed in 0..64u64 {
-            let grid = synthetic::generate(10, 14, seed);
+            let grid = synthetic::generate(10, 14, seed).unwrap();
             let topo = Topology::all_closed(&grid);
             let h = topology::h_matrix(&grid, &topo);
             for col in 0..10 {
@@ -83,7 +85,7 @@ mod randomized {
     #[test]
     fn single_cut_makes_at_most_two_islands() {
         for seed in 0..64u64 {
-            let grid = synthetic::generate(12, 16, seed);
+            let grid = synthetic::generate(12, 16, seed).unwrap();
             let base = Topology::all_closed(&grid);
             for i in 0..grid.num_lines() {
                 let cut = base.with_line_open(LineId(i));
@@ -97,7 +99,7 @@ mod randomized {
     #[test]
     fn measurement_bus_matches_kind() {
         for seed in 0..32u64 {
-            let grid = synthetic::generate(8, 11, seed);
+            let grid = synthetic::generate(8, 11, seed).unwrap();
             for m in 0..grid.num_potential_measurements() {
                 let id = MeasurementId(m);
                 let bus = MeasurementConfig::bus_of(&grid, id);

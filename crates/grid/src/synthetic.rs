@@ -13,11 +13,72 @@ use crate::model::{BusId, Grid, Line};
 use crate::system::TestSystem;
 use sta_linalg::rng::Pcg32;
 use std::collections::BTreeSet;
+use std::fmt;
 
-/// Standard `(buses, branches)` dimensions of the IEEE test cases used in
-/// the paper's evaluation.
-pub const IEEE_DIMENSIONS: [(usize, usize); 5] =
-    [(14, 20), (30, 41), (57, 80), (118, 186), (300, 411)];
+/// Standard `(buses, branches)` dimensions of the test cases used in the
+/// paper's evaluation (IEEE 14–300), extended by the two large-grid
+/// scaling points (1354 and 2000 buses, dimensioned after the PEGASE-1354
+/// and ACTIVSg2000 cases) that exercise the revised-simplex engine.
+pub const IEEE_DIMENSIONS: [(usize, usize); 7] = [
+    (14, 20),
+    (30, 41),
+    (57, 80),
+    (118, 186),
+    (300, 411),
+    (1354, 1991),
+    (2000, 3206),
+];
+
+/// Why a requested synthetic grid cannot exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenerateError {
+    /// Fewer than two buses were requested; a grid needs at least one line
+    /// between two distinct buses.
+    TooFewBuses {
+        /// The requested bus count.
+        num_buses: usize,
+    },
+    /// Fewer than `num_buses − 1` lines were requested; a connected graph
+    /// is impossible.
+    TooFewLines {
+        /// The requested bus count.
+        num_buses: usize,
+        /// The requested line count.
+        num_lines: usize,
+    },
+    /// More lines than the simple-graph maximum `b·(b−1)/2` were
+    /// requested.
+    TooManyLines {
+        /// The requested bus count.
+        num_buses: usize,
+        /// The requested line count.
+        num_lines: usize,
+    },
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GenerateError::TooFewBuses { num_buses } => {
+                write!(f, "need at least two buses, got {num_buses}")
+            }
+            GenerateError::TooFewLines { num_buses, num_lines } => write!(
+                f,
+                "{num_lines} lines cannot connect {num_buses} buses \
+                 (need at least {})",
+                num_buses.saturating_sub(1)
+            ),
+            GenerateError::TooManyLines { num_buses, num_lines } => write!(
+                f,
+                "{num_lines} lines exceed the simple-graph maximum {} for \
+                 {num_buses} buses",
+                num_buses * num_buses.saturating_sub(1) / 2
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
 
 /// Generates a connected, seeded random grid with `num_buses` buses and
 /// `num_lines` branches, admittances in `[2, 25]` rounded to two decimals
@@ -27,16 +88,20 @@ pub const IEEE_DIMENSIONS: [(usize, usize); 5] =
 /// connectivity) and adds distinct extra edges, preferring low-degree
 /// buses so the degree distribution stays grid-like rather than hub-heavy.
 ///
-/// # Panics
-/// Panics if `num_lines < num_buses − 1` (a connected graph is impossible)
-/// or if `num_lines` exceeds the simple-graph maximum.
-pub fn generate(num_buses: usize, num_lines: usize, seed: u64) -> Grid {
-    assert!(num_buses >= 2, "need at least two buses");
-    assert!(num_lines + 1 >= num_buses, "too few lines for connectivity");
-    assert!(
-        num_lines <= num_buses * (num_buses - 1) / 2,
-        "too many lines for a simple graph"
-    );
+/// # Errors
+/// Returns a [`GenerateError`] if fewer than two buses are requested, if
+/// `num_lines < num_buses − 1` (a connected graph is impossible), or if
+/// `num_lines` exceeds the simple-graph maximum.
+pub fn generate(num_buses: usize, num_lines: usize, seed: u64) -> Result<Grid, GenerateError> {
+    if num_buses < 2 {
+        return Err(GenerateError::TooFewBuses { num_buses });
+    }
+    if num_lines + 1 < num_buses {
+        return Err(GenerateError::TooFewLines { num_buses, num_lines });
+    }
+    if num_lines > num_buses * (num_buses - 1) / 2 {
+        return Err(GenerateError::TooManyLines { num_buses, num_lines });
+    }
     let mut rng = Pcg32::new(seed);
     let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
     let mut lines = Vec::with_capacity(num_lines);
@@ -80,12 +145,12 @@ pub fn generate(num_buses: usize, num_lines: usize, seed: u64) -> Grid {
         degree[c] += 1;
         lines.push(Line::new(BusId(a), BusId(c), admittance(&mut rng)));
     }
-    Grid::new(num_buses, lines)
+    Ok(Grid::new(num_buses, lines))
 }
 
-/// A fully configured synthetic [`TestSystem`] of IEEE dimensions for
-/// `num_buses` ∈ {14, 30, 57, 118, 300}; `14` returns the *exact*
-/// paper system from [`crate::ieee14`].
+/// A fully configured synthetic [`TestSystem`] of standard dimensions for
+/// `num_buses` ∈ {14, 30, 57, 118, 300, 1354, 2000}; `14` returns the
+/// *exact* paper system from [`crate::ieee14`].
 ///
 /// Synthetic systems take every measurement, secure none, grant full
 /// accessibility, and leave every tenth line (deterministically) outside
@@ -112,7 +177,8 @@ pub fn ieee_case(num_buses: usize) -> TestSystem {
         .iter()
         .find(|(bb, _)| *bb == num_buses)
         .unwrap_or_else(|| panic!("unsupported IEEE case size {num_buses}"));
-    let grid = generate(b, l, 0x57A_u64 ^ num_buses as u64);
+    let grid = generate(b, l, 0x57A_u64 ^ num_buses as u64)
+        .expect("case-table dimensions are valid");
     let mut sys = TestSystem::fully_metered(format!("ieee{num_buses}-synthetic"), grid);
     sys.measurements = MeasurementConfig::full(&sys.grid);
     for i in (9..sys.grid.num_lines()).step_by(10) {
@@ -139,16 +205,35 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = generate(30, 41, 7);
-        let b = generate(30, 41, 7);
+        let a = generate(30, 41, 7).unwrap();
+        let b = generate(30, 41, 7).unwrap();
         assert_eq!(a, b);
-        let c = generate(30, 41, 8);
+        let c = generate(30, 41, 8).unwrap();
         assert_ne!(a, c);
     }
 
     #[test]
+    fn impossible_dimensions_are_reported_not_panicked() {
+        assert_eq!(
+            generate(1, 0, 0),
+            Err(GenerateError::TooFewBuses { num_buses: 1 })
+        );
+        assert_eq!(
+            generate(10, 8, 0),
+            Err(GenerateError::TooFewLines { num_buses: 10, num_lines: 8 })
+        );
+        assert_eq!(
+            generate(5, 11, 0),
+            Err(GenerateError::TooManyLines { num_buses: 5, num_lines: 11 })
+        );
+        let msg = generate(10, 8, 0).unwrap_err().to_string();
+        assert!(msg.contains("8 lines"), "{msg}");
+        assert!(msg.contains("10 buses"), "{msg}");
+    }
+
+    #[test]
     fn admittances_are_two_decimal_and_in_range() {
-        let g = generate(57, 80, 3);
+        let g = generate(57, 80, 3).unwrap();
         for line in g.lines() {
             let y = line.admittance;
             assert!(y >= 2.0 && y <= 25.0);

@@ -41,6 +41,7 @@ pub mod matrix;
 pub mod rng;
 pub mod sparse;
 pub mod sparse_cholesky;
+pub mod sparse_lu;
 pub mod vector;
 
 pub use cholesky::{Cholesky, CholeskyError};
@@ -49,6 +50,7 @@ pub use qr::{Qr, RankDeficientError};
 pub use matrix::Matrix;
 pub use sparse::CsrMatrix;
 pub use sparse_cholesky::{amd_order, SparseCholesky, SparseSymbolic};
+pub use sparse_lu::{FactorizedBasis, LuError, Scalar, SparseLu, VectorElem};
 pub use vector::Vector;
 
 #[cfg(test)]

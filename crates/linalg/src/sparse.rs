@@ -353,6 +353,110 @@ impl CsrMatrix {
     pub fn norm_max(&self) -> f64 {
         self.values.iter().fold(0.0, |m, v| m.max(v.abs()))
     }
+
+    /// Solves `L·x = b` for a lower-triangular matrix (entries strictly
+    /// above the diagonal are ignored; the diagonal must be stored and
+    /// nonzero). Returns `None` on a missing or zero diagonal.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or `b.len()` mismatches.
+    pub fn solve_lower_triangular(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "triangular solve needs a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let mut x = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let mut acc = b[i];
+            let mut diag = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[k];
+                if j < i {
+                    acc -= self.values[k] * x[j];
+                } else if j == i {
+                    diag = self.values[k];
+                }
+            }
+            if diag == 0.0 {
+                return None;
+            }
+            x[i] = acc / diag;
+        }
+        Some(x)
+    }
+
+    /// Solves `U·x = b` for an upper-triangular matrix (entries strictly
+    /// below the diagonal are ignored; the diagonal must be stored and
+    /// nonzero). Returns `None` on a missing or zero diagonal.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or `b.len()` mismatches.
+    pub fn solve_upper_triangular(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "triangular solve needs a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let mut x = vec![0.0; self.rows];
+        for i in (0..self.rows).rev() {
+            let mut acc = b[i];
+            let mut diag = 0.0;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[k];
+                if j > i {
+                    acc -= self.values[k] * x[j];
+                } else if j == i {
+                    diag = self.values[k];
+                }
+            }
+            if diag == 0.0 {
+                return None;
+            }
+            x[i] = acc / diag;
+        }
+        Some(x)
+    }
+
+    /// Returns a copy with column `j` replaced by the sparse entries
+    /// `col` (as `(row, value)` pairs; exact zeros are dropped). The
+    /// column-replacement primitive behind basis updates.
+    ///
+    /// # Panics
+    /// Panics if `j` or any row index is out of range.
+    pub fn replace_column(&self, j: usize, col: &[(usize, f64)]) -> CsrMatrix {
+        assert!(j < self.cols, "column {j} out of range for {} columns", self.cols);
+        let mut new_in_row = vec![0.0; self.rows];
+        let mut has_new = vec![false; self.rows];
+        for &(i, v) in col {
+            assert!(i < self.rows, "row {i} out of range for {} rows", self.rows);
+            if v != 0.0 {
+                new_in_row[i] = v;
+                has_new[i] = true;
+            }
+        }
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        for i in 0..self.rows {
+            let mut inserted = false;
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let c = self.col_idx[k];
+                if c == j {
+                    continue; // old entry dropped; new one inserted in order
+                }
+                if c > j && !inserted {
+                    if has_new[i] {
+                        col_idx.push(j);
+                        values.push(new_in_row[i]);
+                    }
+                    inserted = true;
+                }
+                col_idx.push(c);
+                values.push(self.values[k]);
+            }
+            if !inserted && has_new[i] {
+                col_idx.push(j);
+                values.push(new_in_row[i]);
+            }
+            row_ptr[i + 1] = col_idx.len();
+        }
+        CsrMatrix { rows: self.rows, cols: self.cols, row_ptr, col_idx, values }
+    }
 }
 
 #[cfg(test)]
@@ -464,5 +568,49 @@ mod tests {
         assert_eq!(a.transpose(), a);
         let y = CsrMatrix::zeros(2, 3).mul_vec(&Vector::zeros(3));
         assert_eq!(y.len(), 2);
+    }
+
+    #[test]
+    fn triangular_solves_round_trip() {
+        // L = [2 0 0; 1 3 0; 0 -1 4], U = Lᵀ.
+        let l = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 2.0), (1, 0, 1.0), (1, 1, 3.0), (2, 1, -1.0), (2, 2, 4.0)],
+        );
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = l.mul_vec(&Vector::from(x_true.clone()));
+        let x = l.solve_lower_triangular(b.as_slice()).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-12);
+        }
+        let u = l.transpose();
+        let bu = u.mul_vec(&Vector::from(x_true.clone()));
+        let xu = u.solve_upper_triangular(bu.as_slice()).unwrap();
+        for i in 0..3 {
+            assert!((xu[i] - x_true[i]).abs() < 1e-12);
+        }
+        // A zero diagonal is reported, not divided by.
+        let sing = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 1.0)]);
+        assert!(sing.solve_lower_triangular(&[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn replace_column_keeps_order_and_drops_zeros() {
+        let a = example();
+        let b = a.replace_column(1, &[(0, 5.0), (1, 0.0), (2, -1.0)]);
+        assert_eq!(b.get(0, 1), 5.0);
+        assert_eq!(b.get(1, 1), 0.0);
+        assert_eq!(b.get(2, 1), -1.0);
+        // Untouched columns survive, rows stay sorted.
+        assert_eq!(b.get(0, 0), 1.0);
+        assert_eq!(b.get(0, 2), 2.0);
+        let (cols, _) = b.row(0);
+        assert_eq!(cols, &[0, 1, 2]);
+        // Replacing with an empty column clears it.
+        let c = a.replace_column(0, &[]);
+        assert_eq!(c.get(0, 0), 0.0);
+        assert_eq!(c.get(2, 0), 0.0);
+        assert_eq!(c.nnz(), 2);
     }
 }

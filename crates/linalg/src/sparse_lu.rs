@@ -1,0 +1,688 @@
+//! Markowitz-ordered sparse LU over an abstract coefficient field, plus a
+//! product-form [`FactorizedBasis`] with eta-file column replacement.
+//!
+//! This is the factorization substrate for the revised simplex in `sta-smt`:
+//! the basis matrix `A_B` is factored once into sparse triangular factors,
+//! each pivot replaces one basis column by appending a sparse *eta* vector
+//! (product-form-of-the-inverse update, Forrest–Tomlin-style bookkeeping),
+//! and FTRAN/BTRAN solves replay the factors plus the eta chain. The solver
+//! refactorizes when the chain grows past its policy thresholds.
+//!
+//! Everything is generic over a [`Scalar`] coefficient field so the same
+//! kernels serve `f64` (tested here against the dense [`crate::Lu`] oracle)
+//! and the exact rationals of `sta-smt`, whose trait impls live next to the
+//! `Rational` type. Right-hand sides are generic over [`VectorElem`] so a
+//! rational factorization can solve delta-rational systems (assignments with
+//! an infinitesimal component) without re-factoring.
+//!
+//! Pivot choice follows the classical Markowitz heuristic specialized to a
+//! minimum-column-count sweep: pick the active column with the fewest
+//! entries (ties to the smallest index), then within it the row with the
+//! fewest entries (ties to the smallest index). With a fixed column this
+//! minimizes the Markowitz cost `(r−1)(c−1)`; singleton columns — the
+//! common case for simplex bases dominated by slack variables — eliminate
+//! with zero fill and are found by an early exit. Selection is fully
+//! deterministic: equal inputs factor identically on every run.
+//!
+//! Exactness note: over an exact field any structurally admissible nonzero
+//! pivot is numerically safe, so there is no threshold pivoting — the
+//! ordering is chosen for sparsity alone. Over `f64` this is adequate for
+//! the well-scaled bases the tests draw, but the dense partial-pivoting
+//! [`crate::Lu`] remains the right tool for general floating-point systems.
+
+use std::collections::BTreeMap;
+
+/// An exact (or approximately exact) coefficient field.
+///
+/// Implemented for `f64` here and for `sta-smt`'s `Rational` in that crate.
+/// `recip` is only ever called on values for which `is_zero` is false.
+pub trait Scalar: Clone + std::fmt::Debug {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Exact test against the additive identity.
+    fn is_zero(&self) -> bool;
+    /// `self + other`.
+    fn add(&self, other: &Self) -> Self;
+    /// `self − other`.
+    fn sub(&self, other: &Self) -> Self;
+    /// `self · other`.
+    fn mul(&self, other: &Self) -> Self;
+    /// `−self`.
+    fn neg(&self) -> Self;
+    /// `1 / self` (caller guarantees `self` is nonzero).
+    fn recip(&self) -> Self;
+}
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn sub(&self, other: &Self) -> Self {
+        self - other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn neg(&self) -> Self {
+        -self
+    }
+    fn recip(&self) -> Self {
+        1.0 / self
+    }
+}
+
+/// Element type of a right-hand-side vector solvable against factors with
+/// scalar type `S`. The blanket impl covers `S` itself; `sta-smt` adds
+/// `DeltaRational` over `Rational`.
+pub trait VectorElem<S>: Clone + std::fmt::Debug {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Exact test against the additive identity.
+    fn is_zero(&self) -> bool;
+    /// `self + other`.
+    fn add(&self, other: &Self) -> Self;
+    /// `self − other`.
+    fn sub(&self, other: &Self) -> Self;
+    /// `self · k` for a scalar `k`.
+    fn scale(&self, k: &S) -> Self;
+}
+
+impl<S: Scalar> VectorElem<S> for S {
+    fn zero() -> Self {
+        Scalar::zero()
+    }
+    fn is_zero(&self) -> bool {
+        Scalar::is_zero(self)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Scalar::add(self, other)
+    }
+    fn sub(&self, other: &Self) -> Self {
+        Scalar::sub(self, other)
+    }
+    fn scale(&self, k: &S) -> Self {
+        Scalar::mul(self, k)
+    }
+}
+
+/// Why a factorization or solve stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LuError {
+    /// The matrix (or a replacement column's pivot entry) is singular.
+    Singular,
+    /// The caller's poll callback requested an interrupt; no state was
+    /// mutated (factorizations build into a fresh object, solves work on
+    /// scratch).
+    Interrupted,
+}
+
+impl std::fmt::Display for LuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LuError::Singular => write!(f, "singular basis matrix"),
+            LuError::Interrupted => write!(f, "interrupted by poll callback"),
+        }
+    }
+}
+
+impl std::error::Error for LuError {}
+
+/// One elimination step of the factorization, in elimination order.
+///
+/// Replaying the steps forward applies `L⁻¹` (the recorded multipliers);
+/// replaying them backward with the stored pivot-row entries applies `U⁻¹`.
+#[derive(Debug, Clone)]
+struct PivotStep<S> {
+    /// Pivot row (right-hand-side slot this step eliminates into).
+    row: usize,
+    /// Pivot column (solution slot this step determines).
+    col: usize,
+    /// Cached reciprocal of the pivot value.
+    inv_diag: S,
+    /// `(row, multiplier)`: during elimination, `work[row] −= m·work[pivot_row]`.
+    l: Vec<(usize, S)>,
+    /// Remaining pivot-row entries `(col, value)` over columns eliminated
+    /// by *later* steps (the strict upper part in elimination order).
+    u: Vec<(usize, S)>,
+}
+
+/// A sparse LU factorization of a square matrix given by columns.
+///
+/// Produced by [`SparseLu::factor`]; consumed by the FTRAN/BTRAN solves,
+/// usually through a [`FactorizedBasis`] that layers eta updates on top.
+#[derive(Debug, Clone)]
+pub struct SparseLu<S> {
+    n: usize,
+    steps: Vec<PivotStep<S>>,
+    nnz: usize,
+}
+
+/// How often the solve kernels invoke the poll callback (in steps). The
+/// callback itself is expected to be cheap; this just keeps the dynamic
+/// call out of the innermost scatter loops.
+const SOLVE_POLL_STRIDE: usize = 64;
+
+impl<S: Scalar> SparseLu<S> {
+    /// Factors the square matrix whose `j`-th column holds the sparse
+    /// entries `cols[j]` as `(row, value)` pairs (rows need not be sorted;
+    /// duplicates are not allowed; exact zeros are dropped).
+    ///
+    /// `poll` is invoked once per elimination step; returning `true`
+    /// abandons the factorization with [`LuError::Interrupted`]. Pass
+    /// `&mut || false` when no budget applies.
+    pub fn factor(
+        cols: &[Vec<(usize, S)>],
+        poll: &mut dyn FnMut() -> bool,
+    ) -> Result<SparseLu<S>, LuError> {
+        let n = cols.len();
+        // Row-major working copy of the active submatrix. BTreeMaps keep
+        // iteration deterministic (pinned by the determinism lint rule).
+        let mut rows: Vec<BTreeMap<usize, S>> = vec![BTreeMap::new(); n];
+        for (j, col) in cols.iter().enumerate() {
+            for (i, v) in col {
+                if !v.is_zero() {
+                    rows[*i].insert(j, v.clone());
+                }
+            }
+        }
+        // Column occupancy: which active rows mention each column. Kept
+        // exact (entries removed on cancellation) so counts are true
+        // Markowitz counts, not upper bounds.
+        let mut col_rows: Vec<std::collections::BTreeSet<usize>> =
+            vec![std::collections::BTreeSet::new(); n];
+        for (i, row) in rows.iter().enumerate() {
+            for &j in row.keys() {
+                col_rows[j].insert(i);
+            }
+        }
+        let mut row_active = vec![true; n];
+        let mut col_active = vec![true; n];
+        let mut steps: Vec<PivotStep<S>> = Vec::with_capacity(n);
+        let mut nnz = 0usize;
+        for _ in 0..n {
+            if poll() {
+                return Err(LuError::Interrupted);
+            }
+            // Minimum-count active column, ties to the smallest index;
+            // early exit on singletons (zero Markowitz cost).
+            let mut best_col: Option<(usize, usize)> = None; // (count, col)
+            for (j, active) in col_active.iter().enumerate() {
+                if !active {
+                    continue;
+                }
+                let count = col_rows[j].len();
+                if count == 0 {
+                    return Err(LuError::Singular);
+                }
+                match best_col {
+                    Some((c, _)) if c <= count => {}
+                    _ => best_col = Some((count, j)),
+                }
+                if count == 1 {
+                    break;
+                }
+            }
+            let Some((_, pc)) = best_col else {
+                break; // no active columns left (n reached)
+            };
+            // Within the column: minimum-count row, ties to the smallest.
+            let mut pr = usize::MAX;
+            let mut pr_len = usize::MAX;
+            for &i in &col_rows[pc] {
+                let len = rows[i].len();
+                if len < pr_len {
+                    pr_len = len;
+                    pr = i;
+                }
+            }
+            let mut pivot_row = std::mem::take(&mut rows[pr]);
+            // The pivot entry is present by construction (pr came from the
+            // column's occupancy set); a miss means the matrix walked
+            // outside the invariant, which only a singular input can cause.
+            let Some(diag) = pivot_row.remove(&pc) else {
+                return Err(LuError::Singular);
+            };
+            let inv_diag = diag.recip();
+            row_active[pr] = false;
+            col_active[pc] = false;
+            for &j in pivot_row.keys() {
+                col_rows[j].remove(&pr);
+            }
+            // Eliminate the pivot column from every other row touching it.
+            let victims: Vec<usize> =
+                col_rows[pc].iter().copied().filter(|&i| i != pr).collect();
+            let mut l = Vec::with_capacity(victims.len());
+            for i in victims {
+                let Some(a) = rows[i].remove(&pc) else {
+                    return Err(LuError::Singular);
+                };
+                let m = a.mul(&inv_diag);
+                for (j, v) in &pivot_row {
+                    let delta = m.mul(v).neg();
+                    match rows[i].entry(*j) {
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            if !delta.is_zero() {
+                                e.insert(delta);
+                                col_rows[*j].insert(i);
+                            }
+                        }
+                        std::collections::btree_map::Entry::Occupied(mut e) => {
+                            let sum = e.get().add(&delta);
+                            if sum.is_zero() {
+                                e.remove();
+                                col_rows[*j].remove(&i);
+                            } else {
+                                *e.get_mut() = sum;
+                            }
+                        }
+                    }
+                }
+                l.push((i, m));
+            }
+            col_rows[pc].clear();
+            let u: Vec<(usize, S)> = pivot_row.into_iter().collect();
+            nnz += 1 + l.len() + u.len();
+            steps.push(PivotStep { row: pr, col: pc, inv_diag, l, u });
+        }
+        if steps.len() != n {
+            return Err(LuError::Singular);
+        }
+        Ok(SparseLu { n, steps, nnz })
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Stored factor entries (diagonal + multipliers + upper rows).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Solves `A·x = b` where `b` is indexed by matrix row; the result is
+    /// indexed by matrix column. Zero right-hand-side slots are skipped, so
+    /// sparse inputs solve in time proportional to the reachable factor
+    /// entries.
+    pub fn solve<E: VectorElem<S>>(
+        &self,
+        mut b: Vec<E>,
+        poll: &mut dyn FnMut() -> bool,
+    ) -> Result<Vec<E>, LuError> {
+        debug_assert_eq!(b.len(), self.n);
+        // Forward pass: b := L⁻¹·b, replaying multipliers in order.
+        for (k, step) in self.steps.iter().enumerate() {
+            if k % SOLVE_POLL_STRIDE == 0 && poll() {
+                return Err(LuError::Interrupted);
+            }
+            if b[step.row].is_zero() {
+                continue;
+            }
+            for (r, m) in &step.l {
+                let delta = b[step.row].scale(m);
+                b[*r] = b[*r].sub(&delta);
+            }
+        }
+        // Back substitution: x[col_k] from later-determined columns.
+        let mut x: Vec<E> = vec![E::zero(); self.n];
+        for (k, step) in self.steps.iter().enumerate().rev() {
+            if k % SOLVE_POLL_STRIDE == 0 && poll() {
+                return Err(LuError::Interrupted);
+            }
+            let mut acc = b[step.row].clone();
+            for (j, v) in &step.u {
+                if !x[*j].is_zero() {
+                    acc = acc.sub(&x[*j].scale(v));
+                }
+            }
+            x[step.col] = acc.scale(&step.inv_diag);
+        }
+        Ok(x)
+    }
+
+    /// Solves `Aᵀ·y = c` where `c` is indexed by matrix column; the result
+    /// is indexed by matrix row.
+    pub fn solve_transpose<E: VectorElem<S>>(
+        &self,
+        c: Vec<E>,
+        poll: &mut dyn FnMut() -> bool,
+    ) -> Result<Vec<E>, LuError> {
+        debug_assert_eq!(c.len(), self.n);
+        // Uᵀ pass in elimination order with a scatter accumulator: each
+        // step determines y[row_k] from c[col_k] minus earlier steps'
+        // upper-entry contributions, then scatters its own.
+        let mut y: Vec<E> = vec![E::zero(); self.n];
+        let mut acc: Vec<E> = vec![E::zero(); self.n];
+        for (k, step) in self.steps.iter().enumerate() {
+            if k % SOLVE_POLL_STRIDE == 0 && poll() {
+                return Err(LuError::Interrupted);
+            }
+            let z = c[step.col].sub(&acc[step.col]).scale(&step.inv_diag);
+            if !z.is_zero() {
+                for (j, v) in &step.u {
+                    acc[*j] = acc[*j].add(&z.scale(v));
+                }
+            }
+            y[step.row] = z;
+        }
+        // Lᵀ pass in reverse order: y[row_k] −= Σ m·y[r].
+        for (k, step) in self.steps.iter().enumerate().rev() {
+            if k % SOLVE_POLL_STRIDE == 0 && poll() {
+                return Err(LuError::Interrupted);
+            }
+            let mut z = y[step.row].clone();
+            for (r, m) in &step.l {
+                if !y[*r].is_zero() {
+                    z = z.sub(&y[*r].scale(m));
+                }
+            }
+            y[step.row] = z;
+        }
+        Ok(y)
+    }
+}
+
+/// A sparse eta vector: the product-form update recording one basis-column
+/// replacement at `pos`.
+#[derive(Debug, Clone)]
+struct Eta<S> {
+    pos: usize,
+    /// Off-position entries of the replacement column in basis coordinates.
+    d: Vec<(usize, S)>,
+    /// Reciprocal of the column's entry at `pos`.
+    inv_diag: S,
+}
+
+/// A factorized basis: sparse LU plus a chain of eta updates, supporting
+/// FTRAN/BTRAN solves and O(column) basis replacement.
+///
+/// The eta chain implements the product form of the inverse: after `t`
+/// replacements the basis is `B = B₀·E₁·…·E_t` where `E_k` is the identity
+/// with one column overwritten. FTRAN applies `E⁻¹` factors oldest→newest
+/// after the LU solve; BTRAN applies their transposes newest→oldest before
+/// the transpose LU solve. The owner refactorizes (builds a fresh
+/// [`SparseLu`] and drops the chain) when [`FactorizedBasis::eta_count`] or
+/// [`FactorizedBasis::eta_nnz`] outgrow its policy.
+#[derive(Debug, Clone)]
+pub struct FactorizedBasis<S> {
+    lu: SparseLu<S>,
+    etas: Vec<Eta<S>>,
+    eta_nnz: usize,
+}
+
+impl<S: Scalar> FactorizedBasis<S> {
+    /// Wraps a fresh factorization with an empty eta chain.
+    pub fn new(lu: SparseLu<S>) -> FactorizedBasis<S> {
+        FactorizedBasis { lu, etas: Vec::new(), eta_nnz: 0 }
+    }
+
+    /// Basis dimension.
+    pub fn dim(&self) -> usize {
+        self.lu.dim()
+    }
+
+    /// Length of the eta chain (column replacements since refactorization).
+    pub fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// Total stored eta entries (fill proxy for the refactorization policy).
+    pub fn eta_nnz(&self) -> usize {
+        self.eta_nnz
+    }
+
+    /// Stored entries of the underlying LU factors.
+    pub fn lu_nnz(&self) -> usize {
+        self.lu.nnz()
+    }
+
+    /// FTRAN: solves `B·x = b` with `b` indexed by constraint row; the
+    /// result is indexed by basis position.
+    pub fn ftran<E: VectorElem<S>>(
+        &self,
+        b: Vec<E>,
+        poll: &mut dyn FnMut() -> bool,
+    ) -> Result<Vec<E>, LuError> {
+        let mut z = self.lu.solve(b, poll)?;
+        for (k, eta) in self.etas.iter().enumerate() {
+            if k % SOLVE_POLL_STRIDE == 0 && poll() {
+                return Err(LuError::Interrupted);
+            }
+            // z := E⁻¹z with E's column `pos` holding d (diag at pos).
+            let zp = z[eta.pos].scale(&eta.inv_diag);
+            if !zp.is_zero() {
+                for (r, dv) in &eta.d {
+                    let delta = zp.scale(dv);
+                    z[*r] = z[*r].sub(&delta);
+                }
+            }
+            z[eta.pos] = zp;
+        }
+        Ok(z)
+    }
+
+    /// BTRAN: solves `Bᵀ·y = c` with `c` indexed by basis position; the
+    /// result is indexed by constraint row.
+    pub fn btran<E: VectorElem<S>>(
+        &self,
+        mut c: Vec<E>,
+        poll: &mut dyn FnMut() -> bool,
+    ) -> Result<Vec<E>, LuError> {
+        for (k, eta) in self.etas.iter().enumerate().rev() {
+            if k % SOLVE_POLL_STRIDE == 0 && poll() {
+                return Err(LuError::Interrupted);
+            }
+            // c := E⁻ᵀc: only the `pos` slot changes.
+            let mut acc = c[eta.pos].clone();
+            for (r, dv) in &eta.d {
+                if !c[*r].is_zero() {
+                    acc = acc.sub(&c[*r].scale(dv));
+                }
+            }
+            c[eta.pos] = acc.scale(&eta.inv_diag);
+        }
+        self.lu.solve_transpose(c, poll)
+    }
+
+    /// Replaces basis column `pos` with the column whose FTRAN image is the
+    /// sparse vector `d` (i.e. `d = B⁻¹·a_new` in basis coordinates, the
+    /// vector the simplex pivot already computed), appending one eta.
+    ///
+    /// Fails with [`LuError::Singular`] if `d` has no entry at `pos` — such
+    /// a replacement would make the basis singular.
+    pub fn replace_column(&mut self, pos: usize, d: &[(usize, S)]) -> Result<(), LuError> {
+        let mut diag: Option<S> = None;
+        let mut off = Vec::with_capacity(d.len().saturating_sub(1));
+        for (r, v) in d {
+            if v.is_zero() {
+                continue;
+            }
+            if *r == pos {
+                diag = Some(v.clone());
+            } else {
+                off.push((*r, v.clone()));
+            }
+        }
+        let Some(diag) = diag else {
+            return Err(LuError::Singular);
+        };
+        self.eta_nnz += 1 + off.len();
+        self.etas.push(Eta { pos, d: off, inv_diag: diag.recip() });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::rng::Pcg32;
+    use crate::vector::Vector;
+    use crate::Lu;
+
+    fn never() -> impl FnMut() -> bool {
+        || false
+    }
+
+    fn cols_of(a: &Matrix) -> Vec<Vec<(usize, f64)>> {
+        let n = a.num_rows();
+        (0..n)
+            .map(|j| {
+                (0..n)
+                    .filter(|&i| a[(i, j)] != 0.0)
+                    .map(|i| (i, a[(i, j)]))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn random_sparse(rng: &mut Pcg32, n: usize) -> Matrix {
+        // Diagonally dominant sparse matrix: nonsingular by construction.
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = rng.uniform_f64(5.0, 10.0);
+            for _ in 0..2 {
+                let j = rng.below(n);
+                if j != i {
+                    a[(i, j)] = rng.uniform_f64(-1.0, 1.0);
+                }
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn solve_matches_dense_lu() {
+        let mut rng = Pcg32::new(0x5e5e);
+        for _ in 0..32 {
+            let n = 3 + rng.below(8);
+            let a = random_sparse(&mut rng, n);
+            let b: Vec<f64> = (0..n).map(|_| rng.uniform_f64(-4.0, 4.0)).collect();
+            let sparse = SparseLu::factor(&cols_of(&a), &mut never()).unwrap();
+            let x = sparse.solve(b.clone(), &mut never()).unwrap();
+            let dense = Lu::factor(&a).unwrap().solve(&Vector::from(b)).unwrap();
+            for i in 0..n {
+                // No threshold pivoting (sparsity-ordered; exact fields are the
+                // primary consumer), so f64 comparisons get a roundoff margin.
+                assert!((x[i] - dense[i]).abs() < 1e-6, "mismatch at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_solve_matches_dense_lu() {
+        let mut rng = Pcg32::new(0x6f6f);
+        for _ in 0..32 {
+            let n = 3 + rng.below(8);
+            let a = random_sparse(&mut rng, n);
+            let c: Vec<f64> = (0..n).map(|_| rng.uniform_f64(-4.0, 4.0)).collect();
+            let sparse = SparseLu::factor(&cols_of(&a), &mut never()).unwrap();
+            let y = sparse.solve_transpose(c.clone(), &mut never()).unwrap();
+            let at = a.transpose();
+            let dense = Lu::factor(&at).unwrap().solve(&Vector::from(c.clone())).unwrap();
+            for i in 0..n {
+                let e = (y[i] - dense[i]).abs();
+                let r: f64 =
+                    (0..n).map(|ii| a[(ii, i)] * y[ii]).sum::<f64>() - c[i];
+                assert!(e < 1e-6, "mismatch at {i}: err={e:e} resid={r:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        // Second column identically zero.
+        let cols: Vec<Vec<(usize, f64)>> = vec![vec![(0, 1.0)], vec![], vec![(2, 1.0)]];
+        assert_eq!(
+            SparseLu::factor(&cols, &mut never()).unwrap_err(),
+            LuError::Singular
+        );
+    }
+
+    #[test]
+    fn poll_interrupts_factor_and_solves() {
+        let a = random_sparse(&mut Pcg32::new(0x77), 6);
+        assert_eq!(
+            SparseLu::factor(&cols_of(&a), &mut || true).unwrap_err(),
+            LuError::Interrupted
+        );
+        let lu = SparseLu::factor(&cols_of(&a), &mut never()).unwrap();
+        let b = vec![1.0; 6];
+        assert_eq!(lu.solve(b.clone(), &mut || true).unwrap_err(), LuError::Interrupted);
+        assert_eq!(
+            lu.solve_transpose(b, &mut || true).unwrap_err(),
+            LuError::Interrupted
+        );
+    }
+
+    /// Replace columns one at a time and check FTRAN/BTRAN against a dense
+    /// factorization of the replaced matrix.
+    #[test]
+    fn eta_updates_track_column_replacement() {
+        let mut rng = Pcg32::new(0x8a8a);
+        for _ in 0..16 {
+            let n = 4 + rng.below(5);
+            let mut a = random_sparse(&mut rng, n);
+            let lu = SparseLu::factor(&cols_of(&a), &mut never()).unwrap();
+            let mut basis = FactorizedBasis::new(lu);
+            for _ in 0..3 {
+                // New column: dominant on a random position to keep the
+                // replaced matrix comfortably nonsingular.
+                let pos = rng.below(n);
+                let mut col = vec![0.0; n];
+                col[pos] = rng.uniform_f64(4.0, 8.0);
+                col[(pos + 1) % n] = rng.uniform_f64(-1.0, 1.0);
+                let d = basis.ftran(col.clone(), &mut never()).unwrap();
+                let sparse_d: Vec<(usize, f64)> = d
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.abs() > 1e-12)
+                    .map(|(i, v)| (i, *v))
+                    .collect();
+                basis.replace_column(pos, &sparse_d).unwrap();
+                for i in 0..n {
+                    a[(i, pos)] = col[i];
+                }
+                // FTRAN against dense solve of the updated matrix.
+                let b: Vec<f64> = (0..n).map(|_| rng.uniform_f64(-3.0, 3.0)).collect();
+                let x = basis.ftran(b.clone(), &mut never()).unwrap();
+                let dense = Lu::factor(&a).unwrap().solve(&Vector::from(b)).unwrap();
+                for i in 0..n {
+                    assert!((x[i] - dense[i]).abs() < 1e-7, "ftran mismatch at {i}");
+                }
+                // BTRAN against dense transpose solve.
+                let c: Vec<f64> = (0..n).map(|_| rng.uniform_f64(-3.0, 3.0)).collect();
+                let y = basis.btran(c.clone(), &mut never()).unwrap();
+                let dt =
+                    Lu::factor(&a.transpose()).unwrap().solve(&Vector::from(c)).unwrap();
+                for i in 0..n {
+                    assert!((y[i] - dt[i]).abs() < 1e-7, "btran mismatch at {i}");
+                }
+            }
+            assert_eq!(basis.eta_count(), 3);
+            assert!(basis.eta_nnz() >= 3);
+        }
+    }
+
+    #[test]
+    fn replace_column_rejects_zero_pivot() {
+        let a = random_sparse(&mut Pcg32::new(0x9b), 4);
+        let lu = SparseLu::factor(&cols_of(&a), &mut never()).unwrap();
+        let mut basis = FactorizedBasis::new(lu);
+        assert_eq!(
+            basis.replace_column(1, &[(0, 2.0), (2, 1.0)]).unwrap_err(),
+            LuError::Singular
+        );
+    }
+}

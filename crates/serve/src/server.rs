@@ -153,6 +153,8 @@ fn load_case(spec: &str) -> Result<TestSystem, String> {
         "ieee57" => return Ok(synthetic::ieee_case(57)),
         "ieee118" => return Ok(synthetic::ieee_case(118)),
         "ieee300" => return Ok(synthetic::ieee_case(300)),
+        "ieee1354" => return Ok(synthetic::ieee_case(1354)),
+        "ieee2000" => return Ok(synthetic::ieee_case(2000)),
         _ => {}
     }
     let text = std::fs::read_to_string(spec)

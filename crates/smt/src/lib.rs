@@ -77,6 +77,7 @@ pub use profile::{
     flatten_spans, merge_spans, render_spans, Clock, FakeClock, Profiler, SpanGuard, SpanNode,
 };
 pub use rational::{DeltaRational, Rational};
+pub use simplex::SimplexMode;
 pub use solver::{Model, SatResult, Solver, UsageError};
 pub use stats::{ProgressSample, SolverStats};
 pub use tablefmt::{Align, Table};

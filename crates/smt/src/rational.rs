@@ -425,6 +425,56 @@ impl fmt::Display for DeltaRational {
     }
 }
 
+/// `Rational` is the exact coefficient field of the revised simplex's
+/// sparse LU kernels in `sta-linalg`.
+impl sta_linalg::Scalar for Rational {
+    fn zero() -> Self {
+        Rational::zero()
+    }
+    fn one() -> Self {
+        Rational::one()
+    }
+    fn is_zero(&self) -> bool {
+        Rational::is_zero(self)
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn sub(&self, other: &Self) -> Self {
+        self - other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn neg(&self) -> Self {
+        -self
+    }
+    fn recip(&self) -> Self {
+        Rational::recip(self)
+    }
+}
+
+/// Delta-rational right-hand sides solve against rational basis factors
+/// without refactoring: FTRAN/BTRAN only ever scale vector elements by
+/// rational factor entries, which `DeltaRational::scale` supports exactly.
+impl sta_linalg::VectorElem<Rational> for DeltaRational {
+    fn zero() -> Self {
+        DeltaRational::zero()
+    }
+    fn is_zero(&self) -> bool {
+        DeltaRational::is_zero(self)
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn sub(&self, other: &Self) -> Self {
+        self - other
+    }
+    fn scale(&self, k: &Rational) -> Self {
+        DeltaRational::scale(self, k)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -66,7 +66,7 @@ use crate::lint::{self, LintReport, Severity};
 use crate::profile::{Clock, Profiler};
 use crate::rational::Rational;
 use crate::sat::{CdclSolver, LBool, Lit, SatOutcome};
-use crate::simplex::Simplex;
+use crate::simplex::{Simplex, SimplexMode};
 use crate::stats::SolverStats;
 use std::fmt;
 
@@ -250,6 +250,9 @@ pub struct Solver {
     /// Whether `check_assuming` uses the persistent core (default) or
     /// falls back to the clone-per-check path.
     incremental: bool,
+    /// Which simplex engine checks use (see [`SimplexMode`]). Applied when
+    /// a base/live core is built; changing it drops both caches.
+    simplex_mode: SimplexMode,
     /// The single time source for every per-check wall clock in
     /// [`SolverStats`] (tests inject a fake; see [`crate::profile`]).
     clock: Clock,
@@ -274,6 +277,7 @@ impl Default for Solver {
             base: None,
             live: None,
             incremental: true,
+            simplex_mode: SimplexMode::Auto,
             clock: Clock::default(),
             profiler: None,
             progress: false,
@@ -403,6 +407,27 @@ impl Solver {
         self.incremental
     }
 
+    /// Chooses the simplex engine for subsequent checks: `Auto` (the
+    /// default) starts dense and upgrades to the revised engine once the
+    /// tableau crosses the size threshold, `Dense`/`Revised` pin one
+    /// backend. Both engines replay identical pivot trajectories over
+    /// exact rationals, so answers, models and deterministic counters do
+    /// not depend on the mode. Changing the mode drops the cached base
+    /// encoding and the live incremental core (they embed a simplex built
+    /// in the old mode).
+    pub fn set_simplex_mode(&mut self, mode: SimplexMode) {
+        if self.simplex_mode != mode {
+            self.simplex_mode = mode;
+            self.base = None;
+            self.live = None;
+        }
+    }
+
+    /// The configured simplex engine mode.
+    pub fn simplex_mode(&self) -> SimplexMode {
+        self.simplex_mode
+    }
+
     /// Sets the budget applied to every subsequent check. The default is
     /// unlimited; with a deadline or cancel token installed, checks return
     /// [`SatResult::Unknown`] instead of running past the budget.
@@ -512,6 +537,7 @@ impl Solver {
             self.base = None;
         }
         let cache_hit = self.base.is_some();
+        let mode = self.simplex_mode;
         let base = self.base.get_or_insert_with(|| {
             let mut sat = CdclSolver::new();
             if full {
@@ -519,7 +545,7 @@ impl Solver {
             }
             BaseEncoding {
                 sat,
-                simplex: Simplex::new(),
+                simplex: Simplex::with_mode(mode),
                 encoder: Encoder::new(),
                 encoded: 0,
                 reals: 0,
@@ -626,15 +652,18 @@ impl Solver {
             let _sp_search = prof.as_ref().map(|p| p.span("search"));
             let outcome = sat.solve(&mut simplex);
             if let Some(p) = &prof {
-                let t = &simplex.debug_timers;
+                let t = &simplex.debug_timers();
                 p.record_leaf("simplex", t.repair + t.scan + t.pivot, t.iterations);
+                if simplex.refactorizations() > 0 {
+                    p.record_leaf("simplex-factor", t.factor, simplex.refactorizations());
+                }
             }
             outcome
         };
         let search_done = self.clock.now();
         let search_time = search_done.saturating_sub(encode_done);
         if std::env::var_os("STA_SMT_DEBUG").is_some() {
-            let t = &simplex.debug_timers;
+            let t = &simplex.debug_timers();
             eprintln!(
                 "[sta-smt] encode {:.2?} search {:.2?} | simplex repair {:.2?} \
                  scan {:.2?} pivot {:.2?} iters {}",
@@ -660,6 +689,7 @@ impl Solver {
             simplex_rows: simplex.num_rows(),
             tableau_entries: simplex.tableau_entries(),
             pivots: simplex.pivots(),
+            refactorizations: simplex.refactorizations(),
             decisions: counters.decisions,
             propagations: counters.propagations,
             conflicts: counters.conflicts,
@@ -802,6 +832,7 @@ impl Solver {
             .iter()
             .map(|&s| if s { ScopeGuard::Sticky } else { ScopeGuard::Lazy })
             .collect();
+        let mode = self.simplex_mode;
         let live = self.live.get_or_insert_with(|| {
             let mut sat = CdclSolver::new();
             if full {
@@ -809,7 +840,7 @@ impl Solver {
             }
             LiveCore {
                 sat,
-                simplex: Simplex::new(),
+                simplex: Simplex::with_mode(mode),
                 encoder: Encoder::new(),
                 encoded: 0,
                 reals: 0,
@@ -902,6 +933,7 @@ impl Solver {
         let entry_pivots = live.simplex.pivots();
         let entry_bounds = live.simplex.bound_asserts();
         let entry_checks = live.simplex.theory_checks();
+        let entry_refactors = live.simplex.refactorizations();
         let retained_clauses = if core_reused { entry.learned_clauses } else { 0 };
         live.sat.set_budget(self.budget.clone());
         live.simplex.set_budget(self.budget.clone());
@@ -910,7 +942,7 @@ impl Solver {
         }
         let timers_entry = if prof.is_some() {
             live.simplex.enable_timing();
-            live.simplex.debug_timers.clone()
+            live.simplex.debug_timers().clone()
         } else {
             Default::default()
         };
@@ -936,7 +968,7 @@ impl Solver {
                 .sat
                 .solve_under_assumptions(&sat_assumptions, &mut live.simplex);
             if let Some(p) = &prof {
-                let t = &live.simplex.debug_timers;
+                let t = &live.simplex.debug_timers();
                 p.record_leaf(
                     "simplex",
                     (t.repair + t.scan + t.pivot).saturating_sub(
@@ -944,6 +976,15 @@ impl Solver {
                     ),
                     t.iterations.saturating_sub(timers_entry.iterations),
                 );
+                let refactors =
+                    live.simplex.refactorizations().saturating_sub(entry_refactors);
+                if refactors > 0 {
+                    p.record_leaf(
+                        "simplex-factor",
+                        t.factor.saturating_sub(timers_entry.factor),
+                        refactors,
+                    );
+                }
             }
             outcome
         };
@@ -962,6 +1003,10 @@ impl Solver {
             simplex_rows: live.simplex.num_rows(),
             tableau_entries: live.simplex.tableau_entries(),
             pivots: live.simplex.pivots().saturating_sub(entry_pivots),
+            refactorizations: live
+                .simplex
+                .refactorizations()
+                .saturating_sub(entry_refactors),
             decisions: counters.decisions.saturating_sub(entry.decisions),
             propagations: counters.propagations.saturating_sub(entry.propagations),
             conflicts: counters.conflicts.saturating_sub(entry.conflicts),

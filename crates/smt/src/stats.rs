@@ -72,6 +72,11 @@ pub struct SolverStats {
     pub tableau_entries: usize,
     /// Simplex pivot operations.
     pub pivots: u64,
+    /// Basis refactorizations performed by the revised simplex engine
+    /// (zero on the dense engine). Observational, like wall clocks: the
+    /// refactorization schedule is an engine implementation detail, so
+    /// this never enters the deterministic phase counters.
+    pub refactorizations: u64,
     /// SAT decisions.
     pub decisions: u64,
     /// SAT propagations.
@@ -189,6 +194,7 @@ impl SolverStats {
             search: self.search_time,
             cache_hits: u64::from(self.base_cache_hit),
             cache_misses: u64::from(!self.base_cache_hit),
+            refactorizations: self.refactorizations,
         }
     }
 }
@@ -213,6 +219,9 @@ impl fmt::Display for SolverStats {
             self.estimated_mb(),
             self.solve_time,
         )?;
+        if self.refactorizations > 0 {
+            write!(f, " refactors: {}", self.refactorizations)?;
+        }
         if self.certified {
             write!(f, " certified")?;
             if self.proof_steps > 0 {

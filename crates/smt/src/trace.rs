@@ -215,6 +215,12 @@ pub struct PhaseTimings {
     pub cache_hits: u64,
     /// Checks that built their base encoding from scratch.
     pub cache_misses: u64,
+    /// Basis refactorizations by the revised simplex engine (zero on the
+    /// dense engine). Observational: the refactorization schedule is an
+    /// engine implementation detail, so — like cache behavior — it must
+    /// never leak into [`PhaseMetrics`], whose aggregates are compared
+    /// byte for byte across engine modes.
+    pub refactorizations: u64,
 }
 
 impl PhaseTimings {
@@ -224,6 +230,7 @@ impl PhaseTimings {
         self.search += other.search;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.refactorizations += other.refactorizations;
     }
 
     /// The wall time of `phase`, if this struct tracks it separately
@@ -237,15 +244,18 @@ impl PhaseTimings {
     }
 
     /// Serializes as a JSON fragment
-    /// (`"encode_ms":…,"search_ms":…,"cache_hits":…,"cache_misses":…`).
+    /// (`"encode_ms":…,"search_ms":…,"cache_hits":…,"cache_misses":…,`
+    /// `"refactorizations":…`).
     pub fn to_json_into(&self, out: &mut String) {
         let _ = write!(
             out,
-            "\"encode_ms\":{:.3},\"search_ms\":{:.3},\"cache_hits\":{},\"cache_misses\":{}",
+            "\"encode_ms\":{:.3},\"search_ms\":{:.3},\"cache_hits\":{},\"cache_misses\":{},\
+             \"refactorizations\":{}",
             self.encode.as_secs_f64() * 1e3,
             self.search.as_secs_f64() * 1e3,
             self.cache_hits,
             self.cache_misses,
+            self.refactorizations,
         );
     }
 }
@@ -628,18 +638,22 @@ mod tests {
             search: Duration::from_millis(4),
             cache_hits: 2,
             cache_misses: 0,
+            refactorizations: 3,
         });
         assert_eq!(t.encode, Duration::from_millis(3));
         assert_eq!(t.search, Duration::from_millis(4));
         assert_eq!(t.cache_hits, 2);
         assert_eq!(t.cache_misses, 1);
+        assert_eq!(t.refactorizations, 3);
         assert_eq!(t.wall_of(Phase::Simplex), None);
         let mut out = String::new();
         t.to_json_into(&mut out);
         assert!(out.starts_with("\"encode_ms\":3"));
-        assert!(out.ends_with("\"cache_hits\":2,\"cache_misses\":1"));
-        // Cache behavior is scheduling-dependent, so it must never leak
-        // into the deterministic counters.
+        assert!(out.ends_with("\"cache_misses\":1,\"refactorizations\":3"));
+        // Cache behavior and the refactorization schedule are
+        // engine/scheduling-dependent, so they must never leak into the
+        // deterministic counters.
         assert!(!PhaseMetrics::default().to_json().contains("cache"));
+        assert!(!PhaseMetrics::default().to_json().contains("refactor"));
     }
 }

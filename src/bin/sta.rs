@@ -88,7 +88,7 @@ use sta::core::{scenario, validation};
 use sta::grid::{caseformat, ieee14, synthetic, TestSystem};
 use sta::smt::{
     render_spans, CertifyLevel, JsonlSink, Phase, PhaseMetrics, PhaseTimings, Profiler,
-    SharedSink, TraceEvent, TraceSink,
+    SharedSink, SimplexMode, TraceEvent, TraceSink,
 };
 use std::fs::File;
 use std::io::BufWriter;
@@ -123,6 +123,9 @@ fn one_shot_events(
             counters.push(("cache_hits", timings.cache_hits));
             counters.push(("cache_misses", timings.cache_misses));
         }
+        if phase == Phase::Search {
+            counters.push(("refactorizations", timings.refactorizations));
+        }
         let wall_us = timings.wall_of(phase).map(|d| d.as_micros() as u64);
         events.push(TraceEvent::Phase { job: 0, phase, counters, wall_us });
     }
@@ -152,21 +155,30 @@ fn observe_one_shot(
     }
     if metrics_flag {
         print!("{}", metrics.table());
+        // Observational counters ride below the deterministic table: the
+        // base-cache and refactorization counts depend on engine mode and
+        // scheduling, so they never join the phase metrics themselves.
+        println!(
+            "observational: cache {} hits / {} misses, refactorizations {}",
+            timings.cache_hits, timings.cache_misses, timings.refactorizations
+        );
     }
     Ok(())
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sta case <name>\n  sta verify <case> <scenario> [--certify off|models|full] [--timeout-ms MS] \
+        "usage:\n  sta case <name>\n  sta verify <case> <scenario> [--certify off|models|full] \
+         [--simplex auto|dense|revised] [--timeout-ms MS] \
          [--trace FILE] [--metrics]\n  \
-         sta replay <case> <scenario> [--certify off|models|full] [--timeout-ms MS]\n  sta assess <case>\n  \
+         sta replay <case> <scenario> [--certify off|models|full] [--simplex auto|dense|revised] \
+         [--timeout-ms MS]\n  sta assess <case>\n  \
          sta synthesize <case> <scenario> --budget N \
          [--reference-secured] [--measurements] [--paper-blocking] [--certify off|models|full] \
-         [--incremental on|off] [--trace FILE] [--metrics]\n  \
+         [--incremental on|off] [--simplex auto|dense|revised] [--trace FILE] [--metrics]\n  \
          sta campaign [<case>] [--jobs N] [--timeout-ms MS] [--certify off|models|full] \
          [--topology] [--force-timeout] [--out FILE] [--strip-timing] [--incremental on|off] \
-         [--trace FILE] [--metrics] [--profile]\n  \
+         [--simplex auto|dense|revised] [--trace FILE] [--metrics] [--profile]\n  \
          sta bench [--suite smoke|sweep|cegis|serve|scale] [--reps N] [--jobs N] [--out FILE] \
          [--baseline FILE] [--against FILE] [--threshold PCT]\n  \
          sta serve --listen <path|host:port> [--jobs N] [--max-sessions K] \
@@ -194,6 +206,11 @@ fn parse_incremental(v: &str) -> Result<bool, String> {
     }
 }
 
+fn parse_simplex(v: &str) -> Result<SimplexMode, String> {
+    SimplexMode::parse(v)
+        .ok_or_else(|| format!("--simplex needs auto|dense|revised, got {v:?}"))
+}
+
 fn parse_certify(v: &str) -> Result<CertifyLevel, String> {
     match v {
         "off" => Ok(CertifyLevel::Off),
@@ -206,6 +223,7 @@ fn parse_certify(v: &str) -> Result<CertifyLevel, String> {
 /// Trailing flags of `verify` (and, minus observability, `replay`).
 struct VerifyFlags {
     certify: CertifyLevel,
+    simplex: SimplexMode,
     timeout_ms: Option<u64>,
     trace: Option<String>,
     metrics: bool,
@@ -213,12 +231,14 @@ struct VerifyFlags {
 }
 
 /// Parses the trailing flags verify/replay accept: `--certify`,
+/// `--simplex` (engine A/B switch; verdicts never depend on it),
 /// `--timeout-ms` (a CLI-level deadline overriding the scenario file's
 /// own `timeout-ms`), and — when `observability` is allowed — `--trace`,
 /// `--metrics`, and `--profile`.
 fn verify_flags(args: &[String], observability: bool) -> Result<VerifyFlags, String> {
     let mut flags = VerifyFlags {
         certify: CertifyLevel::Off,
+        simplex: SimplexMode::Auto,
         timeout_ms: None,
         trace: None,
         metrics: false,
@@ -230,6 +250,10 @@ fn verify_flags(args: &[String], observability: bool) -> Result<VerifyFlags, Str
             "--certify" => {
                 let v = it.next().ok_or("--certify needs a value")?;
                 flags.certify = parse_certify(v)?;
+            }
+            "--simplex" => {
+                let v = it.next().ok_or("--simplex needs a value")?;
+                flags.simplex = parse_simplex(v)?;
             }
             "--timeout-ms" => {
                 let v = it.next().ok_or("--timeout-ms needs a value")?;
@@ -256,6 +280,8 @@ fn load_case(spec: &str) -> Result<TestSystem, String> {
         "ieee57" => return Ok(synthetic::ieee_case(57)),
         "ieee118" => return Ok(synthetic::ieee_case(118)),
         "ieee300" => return Ok(synthetic::ieee_case(300)),
+        "ieee1354" => return Ok(synthetic::ieee_case(1354)),
+        "ieee2000" => return Ok(synthetic::ieee_case(2000)),
         _ => {}
     }
     let text = std::fs::read_to_string(spec)
@@ -288,7 +314,9 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
     if flags.timeout_ms.is_some() {
         model.timeout_ms = flags.timeout_ms;
     }
-    let mut verifier = AttackVerifier::new(&sys).with_certify(flags.certify);
+    let mut verifier = AttackVerifier::new(&sys)
+        .with_certify(flags.certify)
+        .with_simplex(flags.simplex);
     let profiler = flags.profile.then(Profiler::new);
     if let Some(p) = &profiler {
         verifier = verifier.with_profiler(p.clone());
@@ -340,7 +368,9 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
     if flags.timeout_ms.is_some() {
         model.timeout_ms = flags.timeout_ms;
     }
-    let verifier = AttackVerifier::new(&sys).with_certify(flags.certify);
+    let verifier = AttackVerifier::new(&sys)
+        .with_certify(flags.certify)
+        .with_simplex(flags.simplex);
     match verifier.verify(&model) {
         AttackOutcome::Feasible(v) => {
             println!("attack: {v}");
@@ -381,6 +411,7 @@ fn cmd_synthesize(args: &[String]) -> Result<ExitCode, String> {
     let mut measurements = false;
     let mut paper_blocking = false;
     let mut certify = CertifyLevel::Off;
+    let mut simplex = SimplexMode::Auto;
     let mut incremental = true;
     let mut trace: Option<String> = None;
     let mut metrics = false;
@@ -403,6 +434,10 @@ fn cmd_synthesize(args: &[String]) -> Result<ExitCode, String> {
                 let v = it.next().ok_or("--certify needs a value")?;
                 certify = parse_certify(v)?;
             }
+            "--simplex" => {
+                let v = it.next().ok_or("--simplex needs a value")?;
+                simplex = parse_simplex(v)?;
+            }
             "--trace" => {
                 trace = Some(it.next().ok_or("--trace needs a file")?.clone());
             }
@@ -417,7 +452,7 @@ fn cmd_synthesize(args: &[String]) -> Result<ExitCode, String> {
             "--trace/--metrics/--profile are not supported with --measurements".into(),
         );
     }
-    let mut synth = Synthesizer::new(&sys).with_certify(certify);
+    let mut synth = Synthesizer::new(&sys).with_certify(certify).with_simplex(simplex);
     let profiler = profile.then(Profiler::new);
     if let Some(p) = &profiler {
         synth = synth.with_profiler(p.clone());
@@ -494,6 +529,7 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
     let mut out_file: Option<String> = None;
     let mut strip_timing = false;
     let mut incremental = true;
+    let mut simplex = SimplexMode::Auto;
     let mut trace: Option<String> = None;
     let mut metrics = false;
     let mut profile = false;
@@ -503,6 +539,10 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
             "--incremental" => {
                 let v = it.next().ok_or("--incremental needs a value")?;
                 incremental = parse_incremental(v)?;
+            }
+            "--simplex" => {
+                let v = it.next().ok_or("--simplex needs a value")?;
+                simplex = parse_simplex(v)?;
             }
             "--trace" => {
                 trace = Some(it.next().ok_or("--trace needs a file")?.clone());
@@ -561,7 +601,7 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
     if let Some(ms) = timeout_ms {
         spec = spec.with_timeout_ms(ms);
     }
-    spec = spec.with_certify(certify).with_incremental(incremental);
+    spec = spec.with_certify(certify).with_incremental(incremental).with_simplex(simplex);
     let sink = match &trace {
         Some(path) => Some(SharedSink::new(Box::new(open_trace(path)?))),
         None => None,
@@ -577,6 +617,11 @@ fn cmd_campaign(args: &[String]) -> Result<ExitCode, String> {
     print!("{}", report.table());
     if metrics {
         print!("{}", report.metrics_rollup().table());
+        let tw = report.timings_rollup();
+        println!(
+            "observational: cache {} hits / {} misses, refactorizations {}",
+            tw.cache_hits, tw.cache_misses, tw.refactorizations
+        );
     }
     if profile {
         print!("{}", render_spans(&report.merged_spans()));

@@ -75,7 +75,7 @@ fn wls_estimates_agree_across_pipelines_at_every_size() {
 fn sparse_factor_solve_matches_dense_cholesky_on_generated_gains() {
     for &b in &SIZES {
         for seed in [1u64, 17, 99] {
-            let grid = synthetic::generate(b, b + b / 2, seed);
+            let grid = synthetic::generate(b, b + b / 2, seed).unwrap();
             let sys = sta::grid::TestSystem::fully_metered(format!("gen{b}-{seed}"), grid);
             let gain = sparse_gain(&sys);
             let sparse = SparseCholesky::factor(&gain).unwrap();
@@ -103,7 +103,7 @@ fn sparse_factor_solve_matches_dense_cholesky_on_generated_gains() {
 fn amd_always_returns_a_valid_permutation() {
     for &b in &SIZES {
         for seed in [2u64, 5, 23] {
-            let grid = synthetic::generate(b, b + b / 3, seed);
+            let grid = synthetic::generate(b, b + b / 3, seed).unwrap();
             let sys = sta::grid::TestSystem::fully_metered(format!("perm{b}-{seed}"), grid);
             let gain = sparse_gain(&sys);
             let perm = amd_order(&gain).unwrap();

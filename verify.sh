@@ -17,6 +17,10 @@
 #      --incremental on vs off must produce byte-identical timing-stripped
 #      reports — the persistent solver core may only change how fast
 #      answers arrive, never the answers
+#   6b. engine equivalence: the same campaign pinned to `--simplex dense`
+#      and `--simplex revised` must produce byte-identical timing-stripped
+#      reports — the revised engine replays the dense pivot trajectory
+#      exactly, so only the clock may differ
 #   7. bench smoke: `sta bench --reps 1` must emit a schema-valid
 #      sta-bench/v1 trajectory point, and the deterministic self-diff
 #      (--baseline F --against F) must exit 0 for both the fresh point
@@ -28,10 +32,14 @@
 #   9. serve bench: `sta bench --suite serve --reps 5` medians — a warm
 #      request (cached session) must beat the cold request that built it
 #  10. scale bench: `sta bench --suite scale --reps 1` runs the WLS /
-#      observability / verify ladder at 14..300 buses to completion with
-#      a schema-valid report, and the 300-bus sparse WLS median must be
-#      at least 10x faster than the dense-oracle median — the sparse
-#      numerics are what lifts the 14-bus ceiling, so CI pins the ratio
+#      observability / verify ladder at 14..2000 buses to completion with
+#      a schema-valid report, and three ratios/verdicts are pinned:
+#      the 300-bus sparse WLS median must be at least 10x faster than
+#      the dense-oracle median (the sparse numerics lift the estimation
+#      ceiling); the pivot-heavy 300-bus engine A/B pair must show the
+#      revised simplex strictly beating the dense tableau (the factorized
+#      basis lifts the solver ceiling); and the 2000-bus verify rung must
+#      answer `unsat` — completing within its deadline, not timing out
 #  11. telemetry smoke (inside the serve smoke): the metrics registry
 #      counts the two verify requests exactly, the Prometheus exposition
 #      carries the same totals, and `sta top --once` renders a frame
@@ -177,6 +185,29 @@ cmp -s "$report4" "$report_cold" || {
     exit 1
 }
 
+echo "==> engine equivalence: --simplex dense/revised stripped reports must match"
+report_dense="$(mktemp)" report_revised="$(mktemp)"
+trap 'rm -f "$scenario" "$report1" "$report4" "$trace4" "$report_cold" \
+     "$report_dense" "$report_revised"' EXIT
+for engine in dense revised; do
+    status=0
+    ./target/release/sta campaign ieee14 --jobs 4 --certify full --force-timeout \
+        --simplex "$engine" --out "$(eval echo "\$report_$engine")" \
+        --strip-timing >/dev/null || status=$?
+    if [ "$status" -ne 3 ]; then
+        echo "expected exit 3 from the --simplex $engine run, got exit $status" >&2
+        exit 1
+    fi
+done
+cmp -s "$report_dense" "$report_revised" || {
+    echo "timing-stripped campaign reports differ between --simplex dense and revised" >&2
+    exit 1
+}
+cmp -s "$report4" "$report_revised" || {
+    echo "pinned-engine stripped report differs from the default (auto) run" >&2
+    exit 1
+}
+
 if [ "$(nproc)" -ge 4 ]; then
     echo "==> campaign speedup: --jobs 4 must halve the 32-job sweep wall clock"
     t1_start=$(date +%s%N)
@@ -210,7 +241,8 @@ grep -q '"schema":"sta-bench/v1"' BENCH_smoke.ci.json || {
 echo "==> serve smoke: warm session cache over a unix socket"
 sockdir="$(mktemp -d)"
 serve_pid=""
-trap 'rm -f "$scenario" "$report1" "$report4" "$trace4" "$report_cold"; \
+trap 'rm -f "$scenario" "$report1" "$report4" "$trace4" "$report_cold" \
+     "$report_dense" "$report_revised"; \
      [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null; \
      rm -rf "$sockdir"; true' EXIT
 sock="$sockdir/sta-serve-ci.sock"
@@ -314,6 +346,26 @@ fi
 echo "    300-bus WLS median: sparse ${sparse_us} us, dense ${dense_us} us"
 if [ $((sparse_us * 10)) -gt "$dense_us" ]; then
     echo "300-bus sparse WLS must be >= 10x faster than dense (got sparse ${sparse_us} us vs dense ${dense_us} us)" >&2
+    exit 1
+fi
+
+echo "==> scale bench: revised simplex must beat dense on the 300-bus A/B pair"
+vd_us="$(sed -n 's/.*"label":"verify-dense-300"[^}]*"wall_us":\([0-9]*\).*/\1/p' BENCH_scale.ci.json)"
+vr_us="$(sed -n 's/.*"label":"verify-revised-300"[^}]*"wall_us":\([0-9]*\).*/\1/p' BENCH_scale.ci.json)"
+if [ -z "$vd_us" ] || [ -z "$vr_us" ]; then
+    echo "could not extract the 300-bus engine A/B medians from BENCH_scale.ci.json" >&2
+    exit 1
+fi
+echo "    300-bus pivot-heavy verify median: dense ${vd_us} us, revised ${vr_us} us"
+if [ "$vr_us" -ge "$vd_us" ]; then
+    echo "revised simplex must strictly beat dense at 300 buses (got dense ${vd_us} us vs revised ${vr_us} us)" >&2
+    exit 1
+fi
+
+echo "==> scale bench: the 2000-bus verify rung must complete within its deadline"
+v2000="$(sed -n 's/.*"label":"verify-2000"[^}]*"verdict":"\([^"]*\)".*/\1/p' BENCH_scale.ci.json)"
+if [ "$v2000" != "unsat" ]; then
+    echo "2000-bus verify rung did not complete (verdict: '${v2000:-missing}')" >&2
     exit 1
 fi
 
